@@ -1,0 +1,87 @@
+// Shared helpers for the Fig. 9 / 10 / 11 / 13 benches: run every policy of
+// the paper over a scenario and print the paper's time series and averages.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/table.h"
+#include "core/goldilocks.h"
+#include "schedulers/borg.h"
+#include "schedulers/e_pvm.h"
+#include "schedulers/mpp.h"
+#include "schedulers/rc_informed.h"
+#include "sim/simulator.h"
+#include "workload/scenarios.h"
+
+namespace gl::bench {
+
+struct PolicyRun {
+  std::string name;
+  ExperimentResult result;
+};
+
+inline std::vector<PolicyRun> RunAllPolicies(
+    const Scenario& scenario, const Topology& topo,
+    const RunnerOptions& opts = {}, int goldilocks_repartition_interval = 1) {
+  ExperimentRunner runner(scenario, topo, opts);
+  std::vector<PolicyRun> runs;
+  {
+    EPvmScheduler s;
+    runs.push_back({s.name(), runner.Run(s)});
+  }
+  {
+    MppScheduler s;
+    runs.push_back({s.name(), runner.Run(s)});
+  }
+  {
+    BorgScheduler s;
+    runs.push_back({s.name(), runner.Run(s)});
+  }
+  {
+    RcInformedScheduler s;
+    runs.push_back({s.name(), runner.Run(s)});
+  }
+  {
+    GoldilocksOptions gopts;
+    gopts.repartition_interval = goldilocks_repartition_interval;
+    GoldilocksScheduler s(gopts);
+    runs.push_back({s.name(), runner.Run(s)});
+  }
+  return runs;
+}
+
+inline void PrintTimeSeries(const std::vector<PolicyRun>& runs, int stride,
+                            const char* time_unit) {
+  Table t({time_unit, "policy", "active servers", "power W", "TCT ms",
+           "J/req"});
+  const int epochs = static_cast<int>(runs.front().result.epochs.size());
+  for (int e = 0; e < epochs; e += stride) {
+    for (const auto& r : runs) {
+      const auto& m = r.result.epochs[static_cast<std::size_t>(e)];
+      t.AddRow({Table::Int(e), r.name, Table::Int(m.active_servers),
+                Table::Num(m.total_watts, 0), Table::Num(m.mean_tct_ms, 2),
+                Table::Num(m.energy_per_request_j, 4)});
+    }
+  }
+  t.Print();
+}
+
+inline void PrintAverages(const std::vector<PolicyRun>& runs) {
+  const double epvm_watts = runs.front().result.Average().total_watts;
+  Table t({"policy", "servers", "power W", "saving vs E-PVM", "TCT ms",
+           "p99 ms", "J/req", "SLA viol", "migr/epoch"});
+  for (const auto& r : runs) {
+    const auto m = r.result.Average();
+    t.AddRow({r.name, Table::Int(m.active_servers),
+              Table::Num(m.total_watts, 0),
+              Table::Pct(1.0 - m.total_watts / epvm_watts),
+              Table::Num(m.mean_tct_ms, 2), Table::Num(m.p99_tct_ms, 2),
+              Table::Num(m.energy_per_request_j, 4),
+              Table::Pct(m.sla_violation_rate), Table::Int(m.migrations)});
+  }
+  t.Print();
+}
+
+}  // namespace gl::bench

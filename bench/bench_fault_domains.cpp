@@ -1,0 +1,110 @@
+// Failure resilience (Sec. IV-C): quantify what replica anti-affinity buys.
+//
+// A replicated workload (multiple services, 3 replicas each) is placed by
+// Goldilocks twice — once with the replica sets labelled (negative edges →
+// fault-domain separation), once with the labels stripped (the scheduler is
+// free to colocate replicas, as a locality-only placer would love to: the
+// replication traffic between replicas is real affinity!). Every rack is
+// then killed in turn and we count outages and recovery times.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/goldilocks.h"
+#include "sim/failure.h"
+
+int main() {
+  using namespace gl;
+
+  const Resource cap{.cpu = 3200, .mem_gb = 64, .net_mbps = 1000};
+  const Topology topo = Topology::FatTree(4, cap, 1000.0);
+
+  // 12 replicated services, 3 replicas each, with clients and heavy
+  // replica↔replica replication traffic (the trap: affinity says colocate).
+  Workload labelled;
+  Rng rng(42);
+  for (int svc = 0; svc < 12; ++svc) {
+    std::vector<ContainerId> replicas;
+    for (int r = 0; r < 3; ++r) {
+      Container c;
+      c.id = ContainerId{labelled.size()};
+      c.app = AppType::kCassandra;
+      c.demand = {.cpu = 250, .mem_gb = 6, .net_mbps = 40};
+      c.service = svc;
+      c.replica_set = GroupId{svc};
+      labelled.containers.push_back(c);
+      replicas.push_back(c.id);
+    }
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+      for (std::size_t j = i + 1; j < replicas.size(); ++j) {
+        labelled.edges.push_back({replicas[i], replicas[j], 200.0});
+      }
+    }
+    for (int k = 0; k < 4; ++k) {
+      Container c;
+      c.id = ContainerId{labelled.size()};
+      c.app = AppType::kFrontend;
+      c.demand = {.cpu = 120, .mem_gb = 1, .net_mbps = 15};
+      c.service = svc;
+      labelled.containers.push_back(c);
+      labelled.edges.push_back(
+          {replicas[rng.NextBelow(3)], c.id, 150.0, true});
+    }
+  }
+  Workload unlabelled = labelled;
+  for (auto& c : unlabelled.containers) c.replica_set = GroupId::invalid();
+
+  std::vector<Resource> demands;
+  for (const auto& c : labelled.containers) demands.push_back(c.demand);
+  const std::vector<std::uint8_t> active(labelled.containers.size(), 1);
+
+  // Placement sees `placement_view` (labels kept or stripped); impact
+  // analysis always uses the labelled workload — the replicas exist either
+  // way, the question is only whether the scheduler knew about them.
+  auto run = [&](const Workload& placement_view, const char* name,
+                 Table& t) {
+    SchedulerInput input;
+    input.workload = &placement_view;
+    input.demands = demands;
+    input.active = active;
+    input.topology = &topo;
+    GoldilocksScheduler sched;
+    const Placement p = sched.Place(input);
+
+    int outages = 0, degraded = 0, failures = 0;
+    double worst_recovery = 0.0, total_recovery = 0.0;
+    for (const auto rack : topo.NodesAtLevel(1)) {
+      const auto servers = topo.ServersUnder(rack);
+      const auto impact = InjectFailure(p, labelled, topo,
+                                        FailureDomain::kRack,
+                                        servers.front());
+      if (impact.displaced.empty()) continue;
+      ++failures;
+      outages += static_cast<int>(impact.unavailable_sets.size());
+      degraded += static_cast<int>(impact.degraded_sets.size());
+      const auto rec = PlanRecovery(p, impact, labelled, demands, topo);
+      worst_recovery = std::max(worst_recovery, rec.recovery_makespan_ms);
+      total_recovery += rec.recovery_makespan_ms;
+    }
+    t.AddRow({name, Table::Int(p.NumActiveServers()), Table::Int(failures),
+              Table::Int(outages), Table::Int(degraded),
+              Table::Num(worst_recovery / 1000.0, 1),
+              Table::Num(failures ? total_recovery / failures / 1000.0 : 0.0,
+                         1)});
+  };
+
+  PrintBanner("Kill every rack in turn: outages with and without fault "
+              "domains");
+  Table t({"replica labels", "servers used", "rack failures with impact",
+           "service outages", "degraded (≥1 replica up)",
+           "worst recovery s", "mean recovery s"});
+  run(labelled, "anti-affinity on", t);
+  run(unlabelled, "anti-affinity off", t);
+  t.Print();
+  std::printf(
+      "\n→ without labels the min-cut (correctly!) colocates replicas — "
+      "their replication traffic is affinity — and single-rack failures "
+      "black out whole services. The negative-edge labels of Sec. IV-C turn "
+      "every such outage into a degraded-but-up event.\n");
+  return 0;
+}

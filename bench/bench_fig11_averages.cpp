@@ -1,0 +1,70 @@
+// Fig. 11 of the paper: cross-pattern averages.
+//  (a) power saving relative to E-PVM, per policy, for both trace patterns
+//      (paper: Goldilocks 22.7% on Wikipedia, 11.7% on Azure; best
+//      alternative Borg 21% / RC-Informed 8.9%);
+//  (b) average task completion time (paper: Goldilocks 3.67 ms / 4.9 ms);
+//  (c) energy per request (paper: Goldilocks ≈ 1/3 of the best
+//      alternative).
+#include "bench_common.h"
+
+int main() {
+  using namespace gl;
+  using namespace gl::bench;
+
+  const Topology topo = Topology::Testbed16();
+
+  const auto wiki = MakeTwitterCachingScenario();
+  const auto wiki_runs = RunAllPolicies(*wiki, topo);
+
+  const auto azure = MakeAzureMixScenario();
+  const auto azure_runs = RunAllPolicies(*azure, topo);
+
+  const double wiki_epvm = wiki_runs.front().result.Average().total_watts;
+  const double azure_epvm = azure_runs.front().result.Average().total_watts;
+
+  PrintBanner("Fig 11(a): average power saving vs E-PVM");
+  Table a({"policy", "Wikipedia pattern", "Azure pattern"});
+  for (std::size_t i = 1; i < wiki_runs.size(); ++i) {  // skip E-PVM itself
+    a.AddRow({wiki_runs[i].name,
+              Table::Pct(1.0 - wiki_runs[i].result.Average().total_watts /
+                                   wiki_epvm),
+              Table::Pct(1.0 - azure_runs[i].result.Average().total_watts /
+                                   azure_epvm)});
+  }
+  a.Print();
+
+  PrintBanner("Fig 11(b): average task completion time (ms)");
+  Table b({"policy", "Wikipedia pattern", "Azure pattern"});
+  for (std::size_t i = 0; i < wiki_runs.size(); ++i) {
+    b.AddRow({wiki_runs[i].name,
+              Table::Num(wiki_runs[i].result.Average().mean_tct_ms, 2),
+              Table::Num(azure_runs[i].result.Average().mean_tct_ms, 2)});
+  }
+  b.Print();
+
+  PrintBanner("Fig 11(c): average energy per request (J)");
+  Table c({"policy", "Wikipedia pattern", "Azure pattern"});
+  for (std::size_t i = 0; i < wiki_runs.size(); ++i) {
+    c.AddRow(
+        {wiki_runs[i].name,
+         Table::Num(wiki_runs[i].result.Average().energy_per_request_j, 4),
+         Table::Num(azure_runs[i].result.Average().energy_per_request_j,
+                    4)});
+  }
+  c.Print();
+
+  // Headline ratios, as the paper reports them.
+  const auto& gw = wiki_runs.back().result.Average();
+  double best_alt_tct = 1e18, best_alt_epr = 1e18;
+  for (std::size_t i = 0; i + 1 < wiki_runs.size(); ++i) {
+    best_alt_tct =
+        std::min(best_alt_tct, wiki_runs[i].result.Average().mean_tct_ms);
+    best_alt_epr = std::min(
+        best_alt_epr, wiki_runs[i].result.Average().energy_per_request_j);
+  }
+  std::printf(
+      "\nWikipedia pattern headline: best alternative TCT is %.2fx "
+      "Goldilocks; best alternative energy/request is %.2fx Goldilocks\n",
+      best_alt_tct / gw.mean_tct_ms, best_alt_epr / gw.energy_per_request_j);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 12 of the paper: the testbed micro-benchmarks that calibrate the
+// large-scale simulation's resource demands.
+//  (a) Apache Solr CPU utilization vs request rate (≤ 120 RPS, the trace's
+//      max connections per ISN); memory pinned at 12 GB.
+//  (b) Hadoop slave CPU utilization vs generated network traffic on the
+//      Facebook job trace — a scatter: several CPU values per traffic rate.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "workload/calibration.h"
+
+int main() {
+  using namespace gl;
+
+  PrintBanner("Fig 12(a): Solr CPU vs request rate (memory constant 12 GB)");
+  Table solr({"RPS", "CPU (%)", "memory (GB)"});
+  for (int rps = 0; rps <= 120; rps += 10) {
+    solr.AddRow({Table::Int(rps), Table::Num(SolrCpuForRps(rps), 1),
+                 Table::Num(kSolrIndexMemoryGb, 0)});
+  }
+  solr.Print();
+
+  PrintBanner("Fig 12(b): Hadoop CPU vs traffic (scatter, 5 samples/rate)");
+  Rng rng(58);  // the Facebook trace [58]
+  Table hadoop({"traffic Mbps", "trend CPU%", "s1", "s2", "s3", "s4", "s5"});
+  for (int mbps = 50; mbps <= 400; mbps += 50) {
+    std::vector<std::string> row{Table::Int(mbps),
+                                 Table::Num(HadoopCpuTrend(mbps), 1)};
+    for (int s = 0; s < 5; ++s) {
+      row.push_back(Table::Num(HadoopCpuForTrafficMbps(mbps, rng), 1));
+    }
+    hadoop.AddRow(row);
+  }
+  hadoop.Print();
+  std::printf(
+      "\nIn the Fig 13 simulation, a random sample (column s1..s5 style) is "
+      "drawn for each background vertex's traffic rate.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 1 of the paper.
+//  (a) Normalized power vs load for a legacy (2010, linear) and a modern
+//      (Dell-2018, cubic-beyond-PEE) server, against the strictly
+//      power-proportional line.
+//  (b) Distribution of Peak-Energy-Efficiency utilization across a
+//      SPECpower-style population of 419 servers, by year: the PEE point
+//      drifts from 100% (2010) into the 60–80% band (2018).
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "power/server_power.h"
+#include "power/spec_population.h"
+
+int main() {
+  using namespace gl;
+
+  PrintBanner("Fig 1(a): normalized power vs load");
+  const auto linear = ServerPowerModel::Linear2010();
+  const auto modern = ServerPowerModel::Dell2018();
+  Table curves({"load %", "proportional", "Server-2010", "Dell-2018",
+                "ops/W (Dell-2018)"});
+  for (int load = 0; load <= 100; load += 10) {
+    const double u = load / 100.0;
+    curves.AddRow({Table::Int(load), Table::Num(u, 3),
+                   Table::Num(linear.NormalizedPower(u), 3),
+                   Table::Num(modern.NormalizedPower(u), 3),
+                   Table::Num(modern.EfficiencyPerWatt(u), 3)});
+  }
+  curves.Print();
+  std::printf(
+      "Peak energy efficiency: Server-2010 at %.0f%% load, Dell-2018 at "
+      "%.0f%% load\n",
+      linear.PeakEfficiencyUtilization() * 100.0,
+      modern.PeakEfficiencyUtilization() * 100.0);
+
+  PrintBanner("Fig 1(b): PEE-utilization share by year (SPEC population)");
+  Table shares({"year", "100%", "90%", "80%", "70%", "60%"});
+  for (const auto& d : SpecPeeDistributions()) {
+    shares.AddRow({Table::Int(d.year), Table::Pct(d.share[0], 0),
+                   Table::Pct(d.share[1], 0), Table::Pct(d.share[2], 0),
+                   Table::Pct(d.share[3], 0), Table::Pct(d.share[4], 0)});
+  }
+  shares.Print();
+
+  // Sampled fleet, as the paper's 419 analysed submissions.
+  Rng rng(419);
+  const auto fleet = SampleSpecPopulation(419, rng);
+  int band[3] = {0, 0, 0};  // 100-90, 80-70, 60
+  for (const auto& s : fleet) {
+    if (s.pee_utilization >= 0.9) {
+      ++band[0];
+    } else if (s.pee_utilization >= 0.7) {
+      ++band[1];
+    } else {
+      ++band[2];
+    }
+  }
+  std::printf(
+      "\nSampled fleet of 419 servers: %d peak at 90-100%%, %d at 70-80%%, "
+      "%d at 60%%\n",
+      band[0], band[1], band[2]);
+  return 0;
+}

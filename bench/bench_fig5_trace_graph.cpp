@@ -1,0 +1,71 @@
+// Fig. 5 of the paper: the Microsoft search trace container graph —
+// 5488 vertices / ~128538 edges — and the distributions of vertex weights
+// (CPU, memory, network) and edge weights (flow counts), normalized to the
+// smallest value as in the paper's plot.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "workload/msr_trace.h"
+
+int main() {
+  using namespace gl;
+
+  Rng rng(19);  // trace reference [19]
+  const MsrTraceOptions opts;
+  const auto trace = GenerateMsrSearchTrace(opts, rng);
+
+  const double mean_degree =
+      2.0 * static_cast<double>(trace.workload.edges.size()) /
+      trace.workload.size();
+  std::printf(
+      "Graph: %d vertices, %zu edges (paper: 5488 / 128538), mean distinct "
+      "connections per VM: %.1f (paper: 45)\n",
+      trace.workload.size(), trace.workload.edges.size(), mean_degree);
+
+  // Collect weights.
+  std::vector<double> cpu, mem, net, edge_w;
+  for (const auto& c : trace.workload.containers) {
+    cpu.push_back(c.demand.cpu);
+    mem.push_back(c.demand.mem_gb);
+    net.push_back(c.demand.net_mbps);
+  }
+  for (const auto& e : trace.workload.edges) edge_w.push_back(e.flows);
+
+  auto normalized_cdf_row = [](std::vector<double>& xs, double p) {
+    const double lo = *std::min_element(xs.begin(), xs.end());
+    return Percentile(xs, p) / lo;
+  };
+
+  PrintBanner("Fig 5(b): weight distributions (normalized to the smallest)");
+  Table t({"percentile", "Vertex-CPU", "Vertex-Memory", "Vertex-Network",
+           "Edge-flows"});
+  for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    t.AddRow({Table::Num(p, 0), Table::Num(normalized_cdf_row(cpu, p), 2),
+              Table::Num(normalized_cdf_row(mem, p), 2),
+              Table::Num(normalized_cdf_row(net, p), 2),
+              Table::Num(normalized_cdf_row(edge_w, p), 2)});
+  }
+  t.Print();
+  std::printf(
+      "\nAs in the paper: search vertices all hold the 12 GB in-memory "
+      "index (Vertex-Memory ≈ flat at 1 for the search tier), while edge "
+      "weights span orders of magnitude.\n");
+
+  // 100-vertex snapshot (IP range 10.0.0.1–10.0.0.100 in the paper).
+  PrintBanner("Fig 5(a): 100-vertex snapshot");
+  int snapshot_edges = 0;
+  double snapshot_w = 0.0;
+  for (const auto& e : trace.workload.edges) {
+    if (e.a.value() < 100 && e.b.value() < 100) {
+      ++snapshot_edges;
+      snapshot_w += e.flows;
+    }
+  }
+  std::printf(
+      "Vertices 0..99: %d intra-snapshot edges, total flow weight %.0f\n",
+      snapshot_edges, snapshot_w);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fig. 9 of the paper: Twitter content caching on the Wikipedia trace
+// pattern — 176 containers on the 16-server testbed, aggregate RPS swinging
+// 44K–440K over 60 minutes. Series reported: (a) active servers, (b) total
+// power, (c) task completion time, (d) energy per request, for E-PVM, mPP,
+// Borg, RC-Informed and Goldilocks.
+//
+// Expected shape: Goldilocks lowest power (~22.7% saving vs E-PVM in the
+// paper) and by far the lowest TCT; Borg/mPP fewest active servers but the
+// worst TCT; RC-Informed in between.
+#include "bench_common.h"
+
+int main() {
+  using namespace gl;
+  using namespace gl::bench;
+
+  const Topology topo = Topology::Testbed16();
+  const auto scenario = MakeTwitterCachingScenario();
+  const auto runs = RunAllPolicies(*scenario, topo);
+
+  PrintBanner("Fig 9(a-d): time series, every 6 minutes");
+  PrintTimeSeries(runs, 6, "minute");
+
+  PrintBanner("Fig 9: 60-minute averages");
+  PrintAverages(runs);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Partitioner scalability microbenchmarks (google-benchmark).
+//
+// The paper reports METIS partitioning a 1M-vertex graph in 285 s and
+// argues that epoch lengths can therefore be short. These benchmarks track
+// our multilevel partitioner's cost across graph sizes, plus the unit
+// operations placement relies on (bisection, k-way, recursive-to-fit).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/partitioner.h"
+
+namespace gl {
+namespace {
+
+Graph MakeWorkloadLikeGraph(int n, std::uint64_t seed) {
+  // Clustered graph shaped like a container graph: services of ~8 with
+  // heavy intra edges, sparse light inter-service edges.
+  Rng rng(seed);
+  Graph g;
+  for (int i = 0; i < n; ++i) {
+    g.AddVertex(Resource{.cpu = rng.Uniform(20, 60), .mem_gb = 4,
+                         .net_mbps = rng.Uniform(5, 50)},
+                1.0);
+  }
+  for (int s = 0; s + 8 <= n; s += 8) {
+    for (int i = 1; i < 8; ++i) {
+      g.AddEdge(s, s + i, rng.Uniform(100, 5000));
+    }
+  }
+  const int inter = n / 2;
+  for (int e = 0; e < inter; ++e) {
+    const auto a = static_cast<VertexIndex>(rng.NextBelow(n));
+    const auto b = static_cast<VertexIndex>(rng.NextBelow(n));
+    if (a != b) g.AddEdge(a, b, rng.Uniform(1, 50));
+  }
+  return g;
+}
+
+void BM_Bisect(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = MakeWorkloadLikeGraph(n, 42);
+  for (auto _ : state) {
+    auto b = Bisect(g, {});
+    benchmark::DoNotOptimize(b.cut_weight);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Bisect)->Arg(1000)->Arg(10000)->Arg(50000)->Complexity();
+
+void BM_RecursivePartitionToServers(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = MakeWorkloadLikeGraph(n, 7);
+  const Resource ceiling{.cpu = 2240, .mem_gb = 57, .net_mbps = 700};
+  for (auto _ : state) {
+    auto r = RecursivePartition(
+        g, [&](const Resource& d, int) { return d.FitsIn(ceiling); }, {});
+    benchmark::DoNotOptimize(r.num_groups);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RecursivePartitionToServers)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Complexity();
+
+void BM_KWayPartition(benchmark::State& state) {
+  const Graph g = MakeWorkloadLikeGraph(5000, 3);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = KWayPartition(g, k, {});
+    benchmark::DoNotOptimize(r.cut_weight);
+  }
+}
+BENCHMARK(BM_KWayPartition)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_CoarseningOnly(benchmark::State& state) {
+  // Proxy for per-epoch incremental cost: one bisection on an already
+  // service-clustered graph at testbed scale.
+  const Graph g = MakeWorkloadLikeGraph(224, 11);
+  for (auto _ : state) {
+    auto b = Bisect(g, {});
+    benchmark::DoNotOptimize(b.side.data());
+  }
+}
+BENCHMARK(BM_CoarseningOnly);
+
+}  // namespace
+}  // namespace gl
+
+BENCHMARK_MAIN();

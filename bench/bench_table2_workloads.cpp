@@ -1,0 +1,21 @@
+// Table II of the paper: vertex weight (CPU / memory / network demand) and
+// edge weight (distinct flow count) of the four benchmarked containerized
+// applications, plus the companion profiles used by the Azure mixture.
+#include "common/table.h"
+#include "workload/container.h"
+
+int main() {
+  using namespace gl;
+
+  PrintBanner("Table II: vertex and edge weights of data center workloads");
+  Table t({"workload", "CPU (%)", "Memory (GB)", "Network (Mbps)",
+           "Flow Count", "service ms"});
+  for (const auto& p : AllAppProfiles()) {
+    t.AddRow({p.name, Table::Num(p.demand.cpu, 0),
+              Table::Num(p.demand.mem_gb, 0),
+              Table::Num(p.demand.net_mbps, 0), Table::Num(p.flow_count, 0),
+              Table::Num(p.base_service_ms, 1)});
+  }
+  t.Print();
+  return 0;
+}

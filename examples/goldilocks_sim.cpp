@@ -1,0 +1,180 @@
+// goldilocks_sim — command-line front end for the cluster simulator.
+//
+//   goldilocks_sim [--scenario twitter|azure|msr] [--policy <name>]
+//                  [--epochs N] [--pee 0.70] [--topology testbed|fattree<k>]
+//                  [--estimated] [--csv]
+//
+// Runs one scheduling policy (or all of them with --policy all) over a
+// scenario and prints per-epoch metrics plus averages; --csv switches the
+// per-epoch output to comma-separated rows for plotting.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/goldilocks.h"
+#include "schedulers/borg.h"
+#include "schedulers/e_pvm.h"
+#include "schedulers/mpp.h"
+#include "schedulers/random_scheduler.h"
+#include "schedulers/rc_informed.h"
+#include "sim/simulator.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+struct Args {
+  std::string scenario = "twitter";
+  std::string policy = "goldilocks";
+  std::string topology = "testbed";
+  int epochs = -1;
+  double pee = 0.70;
+  bool estimated = false;
+  bool csv = false;
+};
+
+[[noreturn]] void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: goldilocks_sim [--scenario twitter|azure|msr]\n"
+      "                      [--policy goldilocks|e-pvm|mpp|borg|rc|random|"
+      "all]\n"
+      "                      [--epochs N] [--pee F] [--topology testbed|"
+      "fattree<k>]\n"
+      "                      [--estimated] [--csv]\n");
+  std::exit(2);
+}
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) Usage();
+      return argv[++i];
+    };
+    if (flag == "--scenario") {
+      a.scenario = value();
+    } else if (flag == "--policy") {
+      a.policy = value();
+    } else if (flag == "--topology") {
+      a.topology = value();
+    } else if (flag == "--epochs") {
+      a.epochs = std::atoi(value().c_str());
+    } else if (flag == "--pee") {
+      a.pee = std::atof(value().c_str());
+    } else if (flag == "--estimated") {
+      a.estimated = true;
+    } else if (flag == "--csv") {
+      a.csv = true;
+    } else {
+      Usage();
+    }
+  }
+  return a;
+}
+
+std::unique_ptr<gl::Scheduler> MakePolicy(const std::string& name,
+                                          double pee) {
+  using namespace gl;
+  if (name == "goldilocks") {
+    GoldilocksOptions opts;
+    opts.pee_utilization = pee;
+    return std::make_unique<GoldilocksScheduler>(opts);
+  }
+  if (name == "e-pvm") return std::make_unique<EPvmScheduler>();
+  if (name == "e-pvm-oc") {
+    return std::make_unique<EPvmScheduler>(1.0, EPvmMode::kOpportunityCost);
+  }
+  if (name == "mpp") return std::make_unique<MppScheduler>();
+  if (name == "borg") return std::make_unique<BorgScheduler>();
+  if (name == "rc") return std::make_unique<RcInformedScheduler>();
+  if (name == "random") return std::make_unique<RandomScheduler>();
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gl;
+  const Args args = Parse(argc, argv);
+
+  // Topology.
+  Topology topo = Topology::Testbed16();
+  if (args.topology.rfind("fattree", 0) == 0) {
+    const int k = std::atoi(args.topology.c_str() + 7);
+    if (k < 2 || k % 2 != 0) Usage();
+    topo = Topology::FatTree(
+        k, Resource{.cpu = 3200, .mem_gb = 64, .net_mbps = 1000}, 1000.0);
+  } else if (args.topology != "testbed") {
+    Usage();
+  }
+
+  // Scenario.
+  std::unique_ptr<Scenario> scenario;
+  if (args.scenario == "twitter") {
+    TwitterScenarioOptions opts;
+    if (args.epochs > 0) opts.num_epochs = args.epochs;
+    scenario = MakeTwitterCachingScenario(opts);
+  } else if (args.scenario == "azure") {
+    AzureScenarioOptions opts;
+    if (args.epochs > 0) opts.num_epochs = args.epochs;
+    scenario = MakeAzureMixScenario(opts);
+  } else if (args.scenario == "msr") {
+    MsrScenarioOptions opts;
+    opts.trace_vertices = 686;  // laptop-sized slice of the 5488-node trace
+    opts.num_epochs = args.epochs > 0 ? args.epochs : 12;
+    scenario = MakeMsrLargeScaleScenario(opts);
+  } else {
+    Usage();
+  }
+
+  RunnerOptions ropts;
+  ropts.use_estimated_demands = args.estimated;
+  ExperimentRunner runner(*scenario, topo, ropts);
+
+  std::vector<std::string> policies;
+  if (args.policy == "all") {
+    policies = {"e-pvm", "mpp", "borg", "rc", "goldilocks"};
+  } else {
+    policies = {args.policy};
+  }
+
+  Table averages({"policy", "servers", "power W", "TCT ms", "p99 ms",
+                  "J/req", "SLA viol", "migr/epoch", "unplaced"});
+  for (const auto& name : policies) {
+    auto policy = MakePolicy(name, args.pee);
+    if (!policy) Usage();
+    const auto result = runner.Run(*policy);
+
+    if (args.csv) {
+      std::printf(
+          "policy,epoch,active_servers,total_watts,mean_tct_ms,p99_tct_ms,"
+          "energy_per_request_j,migrations,unplaced\n");
+      for (const auto& m : result.epochs) {
+        std::printf("%s,%d,%d,%.1f,%.3f,%.3f,%.4f,%d,%d\n",
+                    result.scheduler.c_str(), m.epoch, m.active_servers,
+                    m.total_watts, m.mean_tct_ms, m.p99_tct_ms,
+                    m.energy_per_request_j, m.migrations,
+                    m.unplaced_containers);
+      }
+    }
+    const auto avg = result.Average();
+    averages.AddRow({result.scheduler, Table::Int(avg.active_servers),
+                     Table::Num(avg.total_watts, 0),
+                     Table::Num(avg.mean_tct_ms, 2),
+                     Table::Num(avg.p99_tct_ms, 2),
+                     Table::Num(avg.energy_per_request_j, 4),
+                     Table::Pct(avg.sla_violation_rate),
+                     Table::Int(avg.migrations),
+                     Table::Int(avg.unplaced_containers)});
+  }
+  PrintBanner("averages over " + std::to_string(scenario->num_epochs()) +
+              " epochs — scenario: " + args.scenario +
+              (args.estimated ? " (estimated demands)" : " (oracle demands)"));
+  averages.Print();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: place a container workload with Goldilocks and inspect the
+// result.
+//
+// Builds the paper's 16-server testbed, generates the Twitter content
+// caching workload (176 containers), asks the Goldilocks scheduler for a
+// placement, and prints the group structure, per-server utilization, and
+// the power/latency metrics of the resulting configuration.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/goldilocks.h"
+#include "power/server_power.h"
+#include "sim/latency.h"
+#include "netsim/traffic.h"
+#include "workload/scenarios.h"
+
+int main() {
+  using namespace gl;
+
+  // 1. A topology: 8 racks × 2 servers, 2 spines, 1G links (Sec. V).
+  const Topology topo = Topology::Testbed16();
+  std::printf("Topology: %d servers, %d switches\n", topo.num_servers(),
+              topo.num_switches());
+
+  // 2. A workload: Twitter content caching at mid-trace load.
+  const auto scenario = MakeTwitterCachingScenario();
+  const int epoch = 30;
+  const auto demands = scenario->DemandsAt(epoch);
+  const auto active = scenario->ActiveAt(epoch);
+  std::printf("Workload: %d containers, %zu communication edges, %.0f RPS\n",
+              scenario->workload().size(), scenario->workload().edges.size(),
+              scenario->TotalRpsAt(epoch));
+
+  // 3. Place with Goldilocks (70%% PEE ceiling, locality grouping).
+  GoldilocksScheduler scheduler;
+  SchedulerInput input;
+  input.workload = &scenario->workload();
+  input.demands = demands;
+  input.active = active;
+  input.topology = &topo;
+  const Placement placement = scheduler.Place(input);
+
+  std::printf("\nGoldilocks made %d groups; %d containers on %d servers\n",
+              scheduler.last_num_groups(), placement.num_placed(),
+              placement.NumActiveServers());
+
+  // 4. Inspect per-server utilization. The NIC column reports the traffic
+  // that actually crosses the server's link — colocated container chatter
+  // never leaves the host, which is most of Goldilocks' locality win.
+  const auto traffic =
+      EstimateTraffic(scenario->workload(), placement, demands, active, topo);
+  const auto loads = ServerLoads(placement, demands, topo.num_servers());
+  Table t({"server", "cpu%", "mem%", "NIC%", "state"});
+  const ServerPowerModel power = ServerPowerModel::Dell2018();
+  double total_watts = 0.0;
+  for (int s = 0; s < topo.num_servers(); ++s) {
+    const auto& cap = topo.server_capacity(ServerId{s});
+    const auto& l = loads[static_cast<std::size_t>(s)];
+    const bool on = !l.IsZero();
+    if (on) total_watts += power.Power(l.cpu / cap.cpu);
+    const double nic =
+        traffic.UplinkUtilization(topo, topo.server_node(ServerId{s}));
+    t.AddRow({Table::Int(s), Table::Pct(l.cpu / cap.cpu),
+              Table::Pct(l.mem_gb / cap.mem_gb), Table::Pct(nic),
+              on ? "on" : "off"});
+  }
+  t.Print();
+
+  // 5. Latency of the placement.
+  const LatencyModel latency(topo);
+  const auto tct =
+      latency.ComputeTct(scenario->workload(), placement, demands, active,
+                         traffic);
+  std::printf("\nServer power: %.0f W   mean TCT: %.2f ms   p99: %.2f ms\n",
+              total_watts, tct.mean_ms, tct.p99_ms);
+  std::printf("Energy per request: %.4f J\n",
+              total_watts / 1000.0 * tct.mean_ms);
+  return 0;
+}

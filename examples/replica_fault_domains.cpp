@@ -1,0 +1,80 @@
+// Failure resilience (Sec. IV-C): replicas of a service are labelled with a
+// replica set; Goldilocks gives replica-replica edges negative weight, so
+// the min-cut partitioner pushes them into different groups and the groups
+// land in different fault domains (racks).
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/goldilocks.h"
+#include "workload/scenarios.h"
+
+int main() {
+  using namespace gl;
+
+  const Resource cap{.cpu = 3200, .mem_gb = 64, .net_mbps = 1000};
+  const Topology topo = Topology::LeafSpine(8, 2, 2, cap, 1000.0);
+
+  // A replicated key-value service: 3 replicas, each with its own clients.
+  Workload w;
+  const GroupId replica_set{1};
+  std::vector<ContainerId> replicas;
+  for (int r = 0; r < 3; ++r) {
+    Container c;
+    c.id = ContainerId{w.size()};
+    c.app = AppType::kCassandra;
+    c.demand = {.cpu = 400, .mem_gb = 20, .net_mbps = 60};
+    c.replica_set = replica_set;
+    c.service = 0;
+    w.containers.push_back(c);
+    replicas.push_back(c.id);
+  }
+  // Clients chat with their replica heavily and with the others lightly.
+  for (int r = 0; r < 3; ++r) {
+    for (int k = 0; k < 8; ++k) {
+      Container c;
+      c.id = ContainerId{w.size()};
+      c.app = AppType::kFrontend;
+      c.demand = {.cpu = 80, .mem_gb = 1, .net_mbps = 20};
+      c.service = 1 + r;
+      w.containers.push_back(c);
+      w.edges.push_back({replicas[static_cast<std::size_t>(r)], c.id, 200.0,
+                         true});
+    }
+  }
+  // Replication traffic between replicas exists but must NOT colocate them.
+  w.edges.push_back({replicas[0], replicas[1], 40.0});
+  w.edges.push_back({replicas[1], replicas[2], 40.0});
+  w.edges.push_back({replicas[0], replicas[2], 40.0});
+
+  std::vector<Resource> demands;
+  for (const auto& c : w.containers) demands.push_back(c.demand);
+  std::vector<std::uint8_t> active(w.containers.size(), 1);
+
+  GoldilocksScheduler scheduler;
+  SchedulerInput input;
+  input.workload = &w;
+  input.demands = demands;
+  input.active = active;
+  input.topology = &topo;
+  const Placement p = scheduler.Place(input);
+
+  Table t({"replica", "server", "rack (fault domain)"});
+  for (std::size_t r = 0; r < replicas.size(); ++r) {
+    const ServerId s = p.of(replicas[r]);
+    const NodeId rack = topo.AncestorAt(topo.server_node(s), 1);
+    t.AddRow({Table::Int(static_cast<int>(r)), Table::Int(s.value()),
+              Table::Int(rack.value())});
+  }
+  t.Print();
+
+  // Clients should still sit close to their own replica.
+  double near = 0, total = 0;
+  for (const auto& e : w.edges) {
+    if (!e.is_query) continue;
+    ++total;
+    if (topo.HopDistance(p.of(e.a), p.of(e.b)) <= 2) ++near;
+  }
+  std::printf("\nClients within one rack of their replica: %.0f%%\n",
+              100.0 * near / total);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Twitter content caching on the Wikipedia diurnal pattern (the Fig. 9
+// experiment), comparing Goldilocks against the four published baselines
+// over a full 60-epoch run and printing the per-epoch time series.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/table.h"
+#include "core/goldilocks.h"
+#include "schedulers/borg.h"
+#include "schedulers/e_pvm.h"
+#include "schedulers/mpp.h"
+#include "schedulers/rc_informed.h"
+#include "sim/simulator.h"
+#include "workload/scenarios.h"
+
+int main() {
+  using namespace gl;
+
+  const Topology topo = Topology::Testbed16();
+  const auto scenario = MakeTwitterCachingScenario();
+  ExperimentRunner runner(*scenario, topo);
+
+  std::vector<std::unique_ptr<Scheduler>> schedulers;
+  schedulers.push_back(std::make_unique<EPvmScheduler>());
+  schedulers.push_back(std::make_unique<MppScheduler>());
+  schedulers.push_back(std::make_unique<BorgScheduler>());
+  schedulers.push_back(std::make_unique<RcInformedScheduler>());
+  schedulers.push_back(std::make_unique<GoldilocksScheduler>());
+
+  std::vector<ExperimentResult> results;
+  for (auto& s : schedulers) results.push_back(runner.Run(*s));
+
+  PrintBanner("Per-epoch time series (every 10 minutes)");
+  Table series({"min", "policy", "servers", "power W", "TCT ms", "J/req"});
+  for (int e = 0; e < scenario->num_epochs(); e += 10) {
+    for (const auto& r : results) {
+      const auto& m = r.epochs[static_cast<std::size_t>(e)];
+      series.AddRow({Table::Int(e), r.scheduler,
+                     Table::Int(m.active_servers),
+                     Table::Num(m.total_watts, 0),
+                     Table::Num(m.mean_tct_ms, 2),
+                     Table::Num(m.energy_per_request_j, 4)});
+    }
+  }
+  series.Print();
+
+  PrintBanner("60-minute averages");
+  Table avg({"policy", "servers", "power W", "saving vs E-PVM", "TCT ms",
+             "J/req", "migr/epoch"});
+  const double epvm_watts = results.front().Average().total_watts;
+  for (const auto& r : results) {
+    const auto m = r.Average();
+    avg.AddRow({r.scheduler, Table::Int(m.active_servers),
+                Table::Num(m.total_watts, 0),
+                Table::Pct(1.0 - m.total_watts / epvm_watts),
+                Table::Num(m.mean_tct_ms, 2),
+                Table::Num(m.energy_per_request_j, 4),
+                Table::Int(m.migrations)});
+  }
+  avg.Print();
+  return 0;
+}

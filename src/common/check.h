@@ -1,0 +1,31 @@
+// Lightweight invariant checking used across the Goldilocks libraries.
+//
+// GOLDILOCKS_CHECK is for conditions that indicate a programming error (a
+// violated precondition or invariant). It is active in all build types: a
+// resource-provisioning decision made on corrupted state is worse than a
+// crash, and the checks are cheap relative to placement work.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gl {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace gl
+
+#define GOLDILOCKS_CHECK(expr)                                \
+  do {                                                        \
+    if (!(expr)) ::gl::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define GOLDILOCKS_CHECK_MSG(expr, msg)                            \
+  do {                                                             \
+    if (!(expr)) ::gl::CheckFailed(__FILE__, __LINE__, #expr, msg); \
+  } while (0)

@@ -1,0 +1,57 @@
+// Strong integer identifier types.
+//
+// Servers, switches, containers, links and partition groups all have integer
+// ids; mixing them up silently is a classic source of placement bugs. Each id
+// kind is a distinct type with no implicit conversions between kinds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace gl {
+
+// Tag-parameterised strong id. Comparable, hashable, printable via value().
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::int32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  static constexpr Id invalid() { return Id{-1}; }
+
+ private:
+  underlying_type value_ = -1;
+};
+
+struct ContainerTag {};
+struct ServerTag {};
+struct SwitchTag {};
+struct LinkTag {};
+struct GroupTag {};
+struct NodeTag {};  // generic topology node (server or switch)
+
+using ContainerId = Id<ContainerTag>;
+using ServerId = Id<ServerTag>;
+using SwitchId = Id<SwitchTag>;
+using LinkId = Id<LinkTag>;
+using GroupId = Id<GroupTag>;
+using NodeId = Id<NodeTag>;
+
+}  // namespace gl
+
+namespace std {
+template <typename Tag>
+struct hash<gl::Id<Tag>> {
+  size_t operator()(gl::Id<Tag> id) const noexcept {
+    return std::hash<typename gl::Id<Tag>::underlying_type>{}(id.value());
+  }
+};
+}  // namespace std

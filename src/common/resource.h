@@ -1,0 +1,110 @@
+// Multi-dimensional resource vectors.
+//
+// Following Sec. III-A of the paper, every container demand and server
+// capacity is a 3-vector ⟨CPU, Memory, Network⟩:
+//   * cpu      — CPU utilization in "core-percent" units. One fully-busy core
+//                is 100.0; a 24-core server has capacity 2400.0. Table II's
+//                "33%" for a Memcached container is cpu = 33.0.
+//   * mem_gb   — resident memory in GiB.
+//   * net_mbps — NIC bandwidth in Mbit/s.
+// Disk is deliberately not modelled (the paper assumes it is not limiting).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+
+namespace gl {
+
+struct Resource {
+  double cpu = 0.0;
+  double mem_gb = 0.0;
+  double net_mbps = 0.0;
+
+  constexpr Resource& operator+=(const Resource& o) {
+    cpu += o.cpu;
+    mem_gb += o.mem_gb;
+    net_mbps += o.net_mbps;
+    return *this;
+  }
+  constexpr Resource& operator-=(const Resource& o) {
+    cpu -= o.cpu;
+    mem_gb -= o.mem_gb;
+    net_mbps -= o.net_mbps;
+    return *this;
+  }
+  friend constexpr Resource operator+(Resource a, const Resource& b) {
+    return a += b;
+  }
+  friend constexpr Resource operator-(Resource a, const Resource& b) {
+    return a -= b;
+  }
+  friend constexpr Resource operator*(Resource a, double s) {
+    a.cpu *= s;
+    a.mem_gb *= s;
+    a.net_mbps *= s;
+    return a;
+  }
+  friend constexpr bool operator==(const Resource&, const Resource&) = default;
+
+  // Component-wise "fits into": every dimension of *this must be <= cap.
+  // A small epsilon absorbs floating-point accumulation error; a demand that
+  // exceeds capacity by less than one part in a million is considered to fit.
+  [[nodiscard]] constexpr bool FitsIn(const Resource& cap) const {
+    constexpr double kEps = 1e-6;
+    return cpu <= cap.cpu * (1.0 + kEps) + kEps &&
+           mem_gb <= cap.mem_gb * (1.0 + kEps) + kEps &&
+           net_mbps <= cap.net_mbps * (1.0 + kEps) + kEps;
+  }
+
+  // Largest utilization fraction across dimensions when placed on `cap`.
+  // Dimensions with zero capacity contribute only if demanded.
+  [[nodiscard]] double DominantShare(const Resource& cap) const {
+    double worst = 0.0;
+    auto dim = [&worst](double demand, double capacity) {
+      if (capacity > 0.0) {
+        worst = std::max(worst, demand / capacity);
+      } else if (demand > 0.0) {
+        worst = std::max(worst, 1e9);  // demanded but unavailable
+      }
+    };
+    dim(cpu, cap.cpu);
+    dim(mem_gb, cap.mem_gb);
+    dim(net_mbps, cap.net_mbps);
+    return worst;
+  }
+
+  // Scalar magnitude used for size-ordering in FFD-style packers (mPP).
+  // Uses the L1 norm of the demand normalised by a reference capacity so the
+  // three dimensions are commensurable.
+  [[nodiscard]] double NormalizedL1(const Resource& ref) const {
+    double s = 0.0;
+    if (ref.cpu > 0) s += cpu / ref.cpu;
+    if (ref.mem_gb > 0) s += mem_gb / ref.mem_gb;
+    if (ref.net_mbps > 0) s += net_mbps / ref.net_mbps;
+    return s;
+  }
+
+  [[nodiscard]] constexpr bool IsZero() const {
+    return cpu == 0.0 && mem_gb == 0.0 && net_mbps == 0.0;
+  }
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+inline std::string Resource::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "<cpu=%.1f, mem=%.1fG, net=%.1fMbps>", cpu,
+                mem_gb, net_mbps);
+  return buf;
+}
+
+// Component-wise max, used when sizing capacity headroom.
+[[nodiscard]] constexpr Resource Max(const Resource& a, const Resource& b) {
+  return Resource{std::max(a.cpu, b.cpu), std::max(a.mem_gb, b.mem_gb),
+                  std::max(a.net_mbps, b.net_mbps)};
+}
+
+}  // namespace gl

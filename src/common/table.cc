@@ -1,0 +1,74 @@
+#include "common/table.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace gl {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  GOLDILOCKS_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+std::string Table::Pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(headers_);
+  std::string sep = "|";
+  for (const auto w : widths) {
+    sep.append(w + 2, '-');
+    sep += '|';
+  }
+  out += sep + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::Print() const { std::fputs(Render().c_str(), stdout); }
+
+void PrintBanner(const std::string& title) {
+  std::string bar(title.size() + 4, '=');
+  std::printf("\n%s\n= %s =\n%s\n", bar.c_str(), title.c_str(), bar.c_str());
+}
+
+}  // namespace gl

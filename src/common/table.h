@@ -1,0 +1,36 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary reproduces a paper table or figure by printing rows; this
+// helper keeps the output aligned and uniform so EXPERIMENTS.md can quote it
+// directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gl {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; each cell is already formatted. Row width must match headers.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(long long v);
+  static std::string Pct(double fraction, int precision = 1);
+
+  [[nodiscard]] std::string Render() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner for bench output.
+void PrintBanner(const std::string& title);
+
+}  // namespace gl

@@ -1,0 +1,55 @@
+#include "core/epoch_controller.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace gl {
+
+EpochController::EpochController(std::unique_ptr<Scheduler> scheduler,
+                                 const Topology& topo,
+                                 MigrationPlannerOptions planner_opts)
+    : scheduler_(std::move(scheduler)),
+      topo_(topo),
+      planner_opts_(planner_opts) {
+  GOLDILOCKS_CHECK(scheduler_ != nullptr);
+}
+
+EpochDecision EpochController::Step(const Workload& workload,
+                                    std::span<const Resource> demands,
+                                    std::span<const std::uint8_t> active) {
+  EpochDecision decision;
+  decision.epoch = epoch_;
+
+  SchedulerInput input;
+  input.workload = &workload;
+  input.demands = demands;
+  input.active = active;
+  input.topology = &topo_;
+  input.previous = current_.server_of.empty() ? nullptr : &current_;
+  decision.placement = scheduler_->Place(input);
+  decision.containers_placed = decision.placement.num_placed();
+
+  if (!current_.server_of.empty()) {
+    const std::size_t m =
+        std::min(current_.server_of.size(), decision.placement.server_of.size());
+    for (std::size_t i = 0; i < m; ++i) {
+      const bool was = current_.server_of[i].valid();
+      const bool is = decision.placement.server_of[i].valid();
+      decision.containers_started += !was && is;
+      decision.containers_stopped += was && !is;
+    }
+    decision.plan = PlanMigrations(current_, decision.placement, workload,
+                                   demands, topo_, planner_opts_);
+    total_makespan_ms_ += decision.plan.makespan_ms;
+    total_image_gb_ += decision.plan.total_image_gb;
+  } else {
+    decision.containers_started = decision.containers_placed;
+  }
+
+  current_ = decision.placement;
+  ++epoch_;
+  return decision;
+}
+
+}  // namespace gl

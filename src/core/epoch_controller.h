@@ -1,0 +1,63 @@
+// Epoch controller — the management node of Sec. V.
+//
+// The paper's deployment has a distinct management node that measures
+// utilization, runs the placement algorithm at each epoch boundary, and
+// orchestrates the CRIU checkpoint/restore moves that realize the new
+// placement. This class is that control loop as a library: feed it the
+// epoch's (measured or predicted) demands, get back the placement *and* the
+// ordered migration plan, plus bookkeeping of what the transition costs.
+//
+// It is scheduler-agnostic: Goldilocks is the intended brain, but any
+// Scheduler plugs in, which is how the examples compare transition costs
+// across policies.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "schedulers/scheduler.h"
+#include "sim/migration_planner.h"
+
+namespace gl {
+
+struct EpochDecision {
+  int epoch = 0;
+  Placement placement;
+  MigrationPlan plan;       // how to get there from the previous epoch
+  int containers_placed = 0;
+  int containers_started = 0;  // new this epoch (no migration needed)
+  int containers_stopped = 0;  // gone this epoch
+};
+
+class EpochController {
+ public:
+  EpochController(std::unique_ptr<Scheduler> scheduler, const Topology& topo,
+                  MigrationPlannerOptions planner_opts = {});
+
+  // Runs one epoch: schedules the active containers and plans the moves
+  // from the previous epoch's placement.
+  EpochDecision Step(const Workload& workload,
+                     std::span<const Resource> demands,
+                     std::span<const std::uint8_t> active);
+
+  [[nodiscard]] const Placement& current_placement() const {
+    return current_;
+  }
+  [[nodiscard]] int epochs_run() const { return epoch_; }
+  // Cumulative transition cost over all epochs so far.
+  [[nodiscard]] double total_migration_makespan_ms() const {
+    return total_makespan_ms_;
+  }
+  [[nodiscard]] double total_image_gb() const { return total_image_gb_; }
+
+ private:
+  std::unique_ptr<Scheduler> scheduler_;
+  const Topology& topo_;
+  MigrationPlannerOptions planner_opts_;
+  Placement current_;
+  int epoch_ = 0;
+  double total_makespan_ms_ = 0.0;
+  double total_image_gb_ = 0.0;
+};
+
+}  // namespace gl

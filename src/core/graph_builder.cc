@@ -1,0 +1,70 @@
+#include "core/graph_builder.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace gl {
+
+ContainerGraph BuildContainerGraph(const Workload& workload,
+                                   std::span<const Resource> demands,
+                                   std::span<const std::uint8_t> active,
+                                   const Resource& reference_capacity,
+                                   const ContainerGraphOptions& opts) {
+  GOLDILOCKS_CHECK(demands.size() == workload.containers.size());
+  GOLDILOCKS_CHECK(active.size() == workload.containers.size());
+  ContainerGraph cg;
+  cg.container_to_vertex.assign(workload.containers.size(), -1);
+
+  for (const auto& c : workload.containers) {
+    const auto i = static_cast<std::size_t>(c.id.value());
+    if (!active[i]) continue;
+    const VertexIndex v = cg.graph.AddVertex(
+        demands[i], demands[i].NormalizedL1(reference_capacity));
+    cg.container_to_vertex[i] = v;
+    cg.vertex_to_container.push_back(c.id);
+  }
+
+  for (const auto& e : workload.edges) {
+    const auto va =
+        cg.container_to_vertex[static_cast<std::size_t>(e.a.value())];
+    const auto vb =
+        cg.container_to_vertex[static_cast<std::size_t>(e.b.value())];
+    if (va >= 0 && vb >= 0) cg.graph.AddEdge(va, vb, e.flows);
+  }
+
+  // Replica anti-affinity: one negative clique per replica set.
+  std::unordered_map<GroupId, std::vector<VertexIndex>> replica_sets;
+  for (const auto& c : workload.containers) {
+    const auto i = static_cast<std::size_t>(c.id.value());
+    if (!active[i] || !c.replica_set.valid()) continue;
+    replica_sets[c.replica_set].push_back(cg.container_to_vertex[i]);
+  }
+  for (const auto& [set_id, members] : replica_sets) {
+    (void)set_id;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        cg.graph.AddEdge(members[i], members[j], opts.replica_anti_affinity);
+      }
+    }
+  }
+  return cg;
+}
+
+Graph BuildCapacityGraph(const Topology& topo) {
+  Graph g;
+  for (int s = 0; s < topo.num_servers(); ++s) {
+    const auto& cap = topo.server_capacity(ServerId{s});
+    g.AddVertex(cap, 1.0);
+  }
+  for (int a = 0; a < topo.num_servers(); ++a) {
+    for (int b = a + 1; b < topo.num_servers(); ++b) {
+      g.AddEdge(a, b,
+                static_cast<double>(topo.HopDistance(ServerId{a},
+                                                     ServerId{b})));
+    }
+  }
+  return g;
+}
+
+}  // namespace gl

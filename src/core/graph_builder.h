@@ -1,0 +1,48 @@
+// Construction of the two graphs of Sec. III-A.
+//
+//   * Container graph — one vertex per *active* container, weighted by its
+//     demand vector (balance weight: demand normalised against the average
+//     server capacity); edges weighted by distinct-flow counts. Replicas
+//     (containers sharing a replica_set) get a negative anti-affinity edge
+//     so min-cut separates them into different fault domains (Sec. IV-C).
+//   * Capacity graph — one vertex per server, weighted by its capacity;
+//     edge weights are shortest-path lengths in the DCN topology. Goldilocks
+//     proper navigates the Topology directly (the capacity graph's max-cut
+//     substructures are exactly the topology subtrees), but the explicit
+//     graph is exposed for analysis and tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "topology/topology.h"
+#include "workload/container.h"
+
+namespace gl {
+
+struct ContainerGraph {
+  Graph graph;
+  // Graph vertex index → ContainerId.
+  std::vector<ContainerId> vertex_to_container;
+  // ContainerId value → vertex index, -1 if inactive.
+  std::vector<VertexIndex> container_to_vertex;
+};
+
+struct ContainerGraphOptions {
+  // Edge weight used to push replicas apart; magnitude should exceed any
+  // legitimate flow count so the cut always prefers separating replicas.
+  double replica_anti_affinity = -1.0e5;
+};
+
+ContainerGraph BuildContainerGraph(const Workload& workload,
+                                   std::span<const Resource> demands,
+                                   std::span<const std::uint8_t> active,
+                                   const Resource& reference_capacity,
+                                   const ContainerGraphOptions& opts = {});
+
+// Capacity graph over all servers; edge weight = hop distance. Quadratic in
+// the number of servers — intended for testbed-scale analysis (Fig. 4).
+Graph BuildCapacityGraph(const Topology& topo);
+
+}  // namespace gl

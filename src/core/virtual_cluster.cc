@@ -1,0 +1,226 @@
+#include "core/virtual_cluster.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gl {
+namespace {
+
+constexpr double kEps = 1e-6;
+
+}  // namespace
+
+VirtualClusterPlacer::VirtualClusterPlacer(const Topology& topo,
+                                           VirtualClusterOptions opts)
+    : topo_(topo), opts_(opts) {
+  loads_.resize(static_cast<std::size_t>(topo.num_servers()));
+  p_sum_.assign(static_cast<std::size_t>(topo.num_nodes()), 0.0);
+  node_groups_.resize(static_cast<std::size_t>(topo.num_nodes()));
+}
+
+Resource VirtualClusterPlacer::Ceiling(ServerId s) const {
+  const Resource& cap = topo_.server_capacity(s);
+  return Resource{.cpu = cap.cpu * opts_.pee_utilization,
+                  .mem_gb = cap.mem_gb * opts_.memory_ceiling,
+                  .net_mbps = cap.net_mbps * opts_.pee_utilization};
+}
+
+const std::vector<ServerId>& VirtualClusterPlacer::ServersCached(
+    NodeId subtree) {
+  auto it = servers_cache_.find(subtree.value());
+  if (it == servers_cache_.end()) {
+    it = servers_cache_.emplace(subtree.value(),
+                                topo_.ServersUnder(subtree)).first;
+  }
+  return it->second;
+}
+
+bool VirtualClusterPlacer::TryFill(std::span<const ContainerId> containers,
+                                   std::span<const Resource> demands,
+                                   NodeId subtree, Tentative& out) {
+  out.assignment.clear();
+  const auto& servers = ServersCached(subtree);
+  // Tentative additional load per server in this attempt.
+  std::unordered_map<int, Resource> added;
+  for (const auto c : containers) {
+    const auto& d = demands[static_cast<std::size_t>(c.value())];
+    bool placed = false;
+    for (const auto s : servers) {
+      Resource load = loads_[static_cast<std::size_t>(s.value())];
+      const auto it = added.find(s.value());
+      if (it != added.end()) load += it->second;
+      if ((load + d).FitsIn(Ceiling(s))) {
+        added[s.value()] += d;
+        out.assignment.emplace_back(c, s);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return false;
+  }
+  return true;
+}
+
+double VirtualClusterPlacer::ReservationWith(
+    NodeId n, int g_extra, const std::unordered_map<int, double>& delta,
+    double extra_total) const {
+  const auto ni = static_cast<std::size_t>(n.value());
+  // Updated aggregates if the tentative component lands.
+  const auto dit = delta.find(n.value());
+  const double d_in = dit != delta.end() ? dit->second : 0.0;
+  const bool extra_new = g_extra >= 0 && !group_touched_[
+      static_cast<std::size_t>(g_extra)];
+  const double p_sum = p_sum_[ni] + d_in;
+  const double placed_total = placed_total_bw_ + (extra_new ? extra_total : 0.0);
+  const double pending_total =
+      pending_total_bw_ - (extra_new ? extra_total : 0.0);
+
+  auto r_for = [&](int g, double b_in) {
+    const double b_tot =
+        g == g_extra && extra_new ? extra_total
+                                  : b_total_[static_cast<std::size_t>(g)];
+    // Eq. (5): traffic crossing this uplink on behalf of group g is at most
+    // the group's inside bandwidth, and at most its own outside component
+    // plus everything the other groups keep outside (placed groups'
+    // component b, pending groups in full).
+    const double outside_own = b_tot - b_in;
+    const double outside_others = (placed_total - b_tot) - (p_sum - b_in);
+    const double need = outside_own + std::max(0.0, outside_others) +
+                        pending_total;
+    return std::min(b_in, need);
+  };
+
+  double total = 0.0;
+  bool g_extra_counted = false;
+  for (const auto& [g, b_in] : node_groups_[ni]) {
+    double b = b_in;
+    if (g == g_extra) {
+      b += d_in;
+      g_extra_counted = true;
+    }
+    total += r_for(g, b);
+  }
+  if (!g_extra_counted && g_extra >= 0 && d_in > 0.0) {
+    total += r_for(g_extra, d_in);
+  }
+  return total;
+}
+
+bool VirtualClusterPlacer::BandwidthFeasible(
+    int g, const Tentative& t, std::span<const Resource> demands) {
+  // b_in deltas along every ancestor path of the tentative servers.
+  std::unordered_map<int, double> delta;
+  double extra_total = b_total_[static_cast<std::size_t>(g)];
+  for (const auto& [c, s] : t.assignment) {
+    const double bw = demands[static_cast<std::size_t>(c.value())].net_mbps;
+    for (NodeId n = topo_.server_node(s); n.valid();
+         n = topo_.node(n).parent) {
+      delta[n.value()] += bw;
+    }
+  }
+  for (const auto& [node_value, d_in] : delta) {
+    (void)d_in;
+    const NodeId n{node_value};
+    if (!topo_.node(n).parent.valid()) continue;  // root has no uplink
+    const double need = ReservationWith(n, g, delta, extra_total);
+    if (need > topo_.uplink_capacity(n) + kEps) return false;
+  }
+  return true;
+}
+
+void VirtualClusterPlacer::Commit(int g, const Tentative& t,
+                                  std::span<const Resource> demands,
+                                  Placement& placement) {
+  const auto gi = static_cast<std::size_t>(g);
+  if (!group_touched_[gi]) {
+    group_touched_[gi] = 1;
+    placed_total_bw_ += b_total_[gi];
+    pending_total_bw_ -= b_total_[gi];
+  }
+  for (const auto& [c, s] : t.assignment) {
+    const auto ci = static_cast<std::size_t>(c.value());
+    loads_[static_cast<std::size_t>(s.value())] += demands[ci];
+    placement.server_of[ci] = s;
+    const double bw = demands[ci].net_mbps;
+    for (NodeId n = topo_.server_node(s); n.valid();
+         n = topo_.node(n).parent) {
+      const auto ni = static_cast<std::size_t>(n.value());
+      node_groups_[ni][g] += bw;
+      p_sum_[ni] += bw;
+    }
+  }
+}
+
+Placement VirtualClusterPlacer::PlaceGroups(
+    const std::vector<std::vector<ContainerId>>& groups,
+    std::span<const Resource> demands, std::size_t num_containers) {
+  Placement placement;
+  placement.server_of.assign(num_containers, ServerId::invalid());
+
+  const int num_groups = static_cast<int>(groups.size());
+  b_total_.assign(static_cast<std::size_t>(num_groups), 0.0);
+  group_touched_.assign(static_cast<std::size_t>(num_groups), 0);
+  pending_total_bw_ = 0.0;
+  placed_total_bw_ = 0.0;
+  for (int g = 0; g < num_groups; ++g) {
+    for (const auto c : groups[static_cast<std::size_t>(g)]) {
+      b_total_[static_cast<std::size_t>(g)] +=
+          demands[static_cast<std::size_t>(c.value())].net_mbps;
+    }
+    pending_total_bw_ += b_total_[static_cast<std::size_t>(g)];
+  }
+
+  for (int g = 0; g < num_groups; ++g) {
+    const auto& group = groups[static_cast<std::size_t>(g)];
+    if (group.empty()) continue;
+
+    // Try the smallest left-most subtree that can host the whole group.
+    bool placed_whole = false;
+    for (int level = 1; level < topo_.num_levels() && !placed_whole;
+         ++level) {
+      for (const auto node : topo_.NodesAtLevel(level)) {
+        Tentative t;
+        if (!TryFill(group, demands, node, t)) continue;
+        if (!BandwidthFeasible(g, t, demands)) continue;
+        Commit(g, t, demands, placement);
+        placed_whole = true;
+        break;
+      }
+    }
+    if (placed_whole) {
+      ++stats_.groups_placed_whole;
+      continue;
+    }
+
+    // Split path: place container-by-container into the left-most feasible
+    // rack; relax the bandwidth constraint only as a last resort (counted
+    // as a violation — the paper grows the active set by a pod instead).
+    ++stats_.groups_split;
+    const auto racks = topo_.NodesAtLevel(1);
+    for (const auto c : group) {
+      bool done = false;
+      for (int pass = 0; pass < 2 && !done; ++pass) {
+        const bool check_bw = pass == 0;
+        for (const auto rack : racks) {
+          Tentative t;
+          const ContainerId one[] = {c};
+          if (!TryFill(one, demands, rack, t)) continue;
+          if (check_bw && !BandwidthFeasible(g, t, demands)) continue;
+          if (!check_bw) ++stats_.bandwidth_violations;
+          Commit(g, t, demands, placement);
+          done = true;
+          break;
+        }
+      }
+      // A container that fits nowhere even capacity-wise stays unplaced.
+    }
+  }
+  return placement;
+}
+
+double VirtualClusterPlacer::ReservationOn(NodeId node) const {
+  return ReservationWith(node, -1, {}, 0.0);
+}
+
+}  // namespace gl

@@ -1,0 +1,99 @@
+// Virtual-Cluster placement on asymmetric topologies (Sec. IV).
+//
+// Each container group is abstracted as an Oktopus-style Virtual Cluster
+// [46]: containers hang off a virtual switch, and container i needs
+// bandwidth B_i (its network demand — conservatively covering intra- and
+// inter-group traffic). Placing a group on a subtree T requires, besides
+// CPU/memory room on T's servers, a reservation on T's outbound uplink of
+//
+//   R_Gk(T) = min( Σ_{q∈Gka} B_q,
+//                  Σ_{r∈Gkb} B_r                       [intra, Eq. 4]
+//                + Σ_{y<k} Σ_{r∈Gyb} B_r               [placed groups, Eq. 5]
+//                + Σ_{z>k} Σ_{s∈Gz}  B_s )             [pending groups, Eq. 5]
+//
+// where component a is the part of the group inside T and component b the
+// part outside. Groups are placed on the smallest left-most subtree that can
+// hold them entirely; a group that fits no subtree is split across racks
+// with per-component reservations (the paper's component-a/component-b
+// case). Heterogeneous servers are handled naturally: fitting is checked
+// against each server's own capacity.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "schedulers/placement.h"
+#include "workload/container.h"
+
+namespace gl {
+
+struct VirtualClusterOptions {
+  double pee_utilization = 0.70;
+  double memory_ceiling = 1.0;
+};
+
+struct VirtualClusterStats {
+  int groups_placed_whole = 0;   // found a single subtree
+  int groups_split = 0;          // spilled across subtrees
+  int bandwidth_violations = 0;  // containers placed despite an infeasible
+                                 // reservation (placement never fails hard)
+};
+
+class VirtualClusterPlacer {
+ public:
+  VirtualClusterPlacer(const Topology& topo, VirtualClusterOptions opts);
+
+  // Groups in locality order; demands indexed by ContainerId value.
+  Placement PlaceGroups(const std::vector<std::vector<ContainerId>>& groups,
+                        std::span<const Resource> demands,
+                        std::size_t num_containers);
+
+  [[nodiscard]] const VirtualClusterStats& stats() const { return stats_; }
+  // Reservation currently required on a node's uplink (after PlaceGroups).
+  [[nodiscard]] double ReservationOn(NodeId node) const;
+
+ private:
+  struct Tentative {
+    // container → server chosen in this attempt.
+    std::vector<std::pair<ContainerId, ServerId>> assignment;
+  };
+
+  [[nodiscard]] Resource Ceiling(ServerId s) const;
+  [[nodiscard]] const std::vector<ServerId>& ServersCached(NodeId subtree);
+
+  // Greedy fill of `containers` into servers under `subtree`; returns true
+  // and the assignment if every container fits (capacity only).
+  bool TryFill(std::span<const ContainerId> containers,
+               std::span<const Resource> demands, NodeId subtree,
+               Tentative& out);
+
+  // Reservation Σ_g R_g(n) on node n's uplink, with optional tentative
+  // deltas applied for group `g_extra` (b_in delta per node).
+  [[nodiscard]] double ReservationWith(
+      NodeId n, int g_extra, const std::unordered_map<int, double>& delta,
+      double extra_total) const;
+
+  // True if committing `t` for group g keeps every affected uplink feasible.
+  bool BandwidthFeasible(int g, const Tentative& t,
+                         std::span<const Resource> demands);
+
+  void Commit(int g, const Tentative& t, std::span<const Resource> demands,
+              Placement& placement);
+
+  const Topology& topo_;
+  VirtualClusterOptions opts_;
+  VirtualClusterStats stats_;
+
+  std::vector<Resource> loads_;                    // per server
+  std::vector<double> b_total_;                    // per group
+  std::vector<std::uint8_t> group_touched_;        // group has placed members
+  double pending_total_bw_ = 0.0;                  // Σ b_total of untouched
+  double placed_total_bw_ = 0.0;                   // Σ b_total of touched
+  std::vector<double> p_sum_;                      // per node: Σ placed b_in
+  // node → (group → b_in). Sparse: only nodes on ancestor paths appear.
+  std::vector<std::unordered_map<int, double>> node_groups_;
+  std::unordered_map<int, std::vector<ServerId>> servers_cache_;
+};
+
+}  // namespace gl

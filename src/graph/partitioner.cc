@@ -1,0 +1,666 @@
+#include "graph/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <limits>
+#include <queue>
+
+#include "common/rng.h"
+
+namespace gl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lazy max-heap keyed by double priority. Entries are (priority, vertex);
+// stale entries (whose priority no longer matches current[v]) are skipped on
+// pop. Simple and fast enough for the graph sizes Goldilocks handles.
+// ---------------------------------------------------------------------------
+class LazyMaxHeap {
+ public:
+  explicit LazyMaxHeap(std::size_t n) : current_(n, kAbsent) {}
+
+  void Push(VertexIndex v, double priority) {
+    current_[static_cast<std::size_t>(v)] = priority;
+    heap_.push({priority, v});
+  }
+
+  void Invalidate(VertexIndex v) {
+    current_[static_cast<std::size_t>(v)] = kAbsent;
+  }
+
+  [[nodiscard]] bool Contains(VertexIndex v) const {
+    return current_[static_cast<std::size_t>(v)] != kAbsent;
+  }
+
+  // Pops the highest-priority live entry; returns false if empty.
+  bool Pop(VertexIndex& v_out, double& priority_out) {
+    while (!heap_.empty()) {
+      const auto [p, v] = heap_.top();
+      heap_.pop();
+      if (current_[static_cast<std::size_t>(v)] == p) {
+        current_[static_cast<std::size_t>(v)] = kAbsent;
+        v_out = v;
+        priority_out = p;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  static constexpr double kAbsent = -std::numeric_limits<double>::infinity();
+  struct Entry {
+    double priority;
+    VertexIndex v;
+    bool operator<(const Entry& o) const { return priority < o.priority; }
+  };
+  std::vector<double> current_;
+  std::priority_queue<Entry> heap_;
+};
+
+// ---------------------------------------------------------------------------
+// Coarsening: heavy-edge matching. Only positive edges are contracted —
+// contracting an anti-affinity (negative) edge would glue replicas together
+// and make them inseparable at finer levels.
+// ---------------------------------------------------------------------------
+struct Level {
+  Graph graph;
+  // Maps each vertex of the *finer* graph to its coarse vertex. Empty for
+  // the finest (original) level.
+  std::vector<VertexIndex> fine_to_coarse;
+};
+
+Graph CoarsenOnce(const Graph& g, Rng& rng,
+                  std::vector<VertexIndex>& fine_to_coarse) {
+  const auto n = g.num_vertices();
+  std::vector<VertexIndex> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBelow(i)]);
+  }
+
+  std::vector<VertexIndex> match(static_cast<std::size_t>(n), -1);
+  for (const auto v : order) {
+    if (match[static_cast<std::size_t>(v)] >= 0) continue;
+    VertexIndex best = -1;
+    double best_w = 0.0;
+    for (const auto& e : g.neighbors(v)) {
+      if (e.weight > best_w && match[static_cast<std::size_t>(e.to)] < 0) {
+        best = e.to;
+        best_w = e.weight;
+      }
+    }
+    if (best >= 0) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;  // stays a singleton
+    }
+  }
+
+  fine_to_coarse.assign(static_cast<std::size_t>(n), -1);
+  Graph coarse;
+  for (VertexIndex v = 0; v < n; ++v) {
+    const auto m = match[static_cast<std::size_t>(v)];
+    if (fine_to_coarse[static_cast<std::size_t>(v)] >= 0) continue;
+    Resource demand = g.demand(v);
+    double bw = g.balance_weight(v);
+    if (m != v) {
+      demand += g.demand(m);
+      bw += g.balance_weight(m);
+    }
+    const auto c = coarse.AddVertex(demand, bw);
+    fine_to_coarse[static_cast<std::size_t>(v)] = c;
+    if (m != v) fine_to_coarse[static_cast<std::size_t>(m)] = c;
+  }
+  for (VertexIndex v = 0; v < n; ++v) {
+    const auto cv = fine_to_coarse[static_cast<std::size_t>(v)];
+    for (const auto& e : g.neighbors(v)) {
+      if (e.to <= v) continue;  // visit each fine edge once
+      const auto cu = fine_to_coarse[static_cast<std::size_t>(e.to)];
+      if (cu != cv) coarse.AddEdge(cv, cu, e.weight);
+    }
+  }
+  return coarse;
+}
+
+std::vector<Level> BuildHierarchy(const Graph& g,
+                                  const PartitionOptions& opts, Rng& rng) {
+  std::vector<Level> levels;
+  levels.push_back({g, {}});
+  while (levels.back().graph.num_vertices() > opts.coarsen_target) {
+    std::vector<VertexIndex> map;
+    Graph coarse = CoarsenOnce(levels.back().graph, rng, map);
+    // Stop if matching stalled (e.g. star graphs): coarsening must shrink
+    // meaningfully or refinement costs outweigh the benefit.
+    if (coarse.num_vertices() >
+        static_cast<VertexIndex>(0.95 * levels.back().graph.num_vertices())) {
+      break;
+    }
+    levels.push_back({std::move(coarse), std::move(map)});
+  }
+  return levels;
+}
+
+// ---------------------------------------------------------------------------
+// Balance bookkeeping for an asymmetric split: side 0 should carry
+// `target_fraction` of the total weight, within (1 + tolerance).
+// ---------------------------------------------------------------------------
+struct BalanceBounds {
+  double total = 0.0;
+  double target0 = 0.0;
+  double lo0 = 0.0;
+  double hi0 = 0.0;
+
+  BalanceBounds(double total_weight, double target_fraction, double tol) {
+    total = total_weight;
+    target0 = total * target_fraction;
+    const double hi1 = total * (1.0 - target_fraction) * (1.0 + tol);
+    hi0 = std::min(total, total * target_fraction * (1.0 + tol));
+    lo0 = std::max(0.0, total - hi1);
+    if (lo0 > hi0) lo0 = hi0;  // degenerate tolerance; collapse to a point
+  }
+
+  [[nodiscard]] bool Feasible(double w0) const {
+    return w0 >= lo0 - 1e-9 && w0 <= hi0 + 1e-9;
+  }
+  // Distance from the feasible interval (0 when inside).
+  [[nodiscard]] double Violation(double w0) const {
+    if (w0 < lo0) return lo0 - w0;
+    if (w0 > hi0) return w0 - hi0;
+    return 0.0;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Initial partition on the coarsest graph: greedy graph growing. Grows side 0
+// from a random seed, always absorbing the frontier vertex that most reduces
+// the eventual cut, until side 0 reaches its target weight.
+// ---------------------------------------------------------------------------
+std::vector<std::uint8_t> GrowInitialPartition(const Graph& g,
+                                               const BalanceBounds& bounds,
+                                               Rng& rng) {
+  const auto n = g.num_vertices();
+  std::vector<std::uint8_t> side(static_cast<std::size_t>(n), 1);
+  if (n == 0) return side;
+
+  LazyMaxHeap frontier(static_cast<std::size_t>(n));
+  std::vector<double> key(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::uint8_t> in_region(static_cast<std::size_t>(n), 0);
+  double w0 = 0.0;
+
+  auto absorb = [&](VertexIndex v) {
+    in_region[static_cast<std::size_t>(v)] = 1;
+    side[static_cast<std::size_t>(v)] = 0;
+    w0 += g.balance_weight(v);
+    frontier.Invalidate(v);
+    for (const auto& e : g.neighbors(v)) {
+      if (in_region[static_cast<std::size_t>(e.to)]) continue;
+      // Edge e flips from region-external to region-internal for e.to.
+      key[static_cast<std::size_t>(e.to)] += 2.0 * e.weight;
+      frontier.Push(e.to, key[static_cast<std::size_t>(e.to)]);
+    }
+  };
+
+  auto seed_new_component = [&]() -> bool {
+    // All frontier exhausted: jump to a random vertex outside the region.
+    std::vector<VertexIndex> outside;
+    for (VertexIndex v = 0; v < n; ++v) {
+      if (!in_region[static_cast<std::size_t>(v)]) outside.push_back(v);
+    }
+    if (outside.empty()) return false;
+    absorb(outside[rng.NextBelow(outside.size())]);
+    return true;
+  };
+
+  // Initial gain of v if absorbed = -(its total external weight); seed with
+  // that so the heap ordering is correct from the start.
+  for (VertexIndex v = 0; v < n; ++v) {
+    key[static_cast<std::size_t>(v)] = -g.degree_weight(v);
+  }
+
+  if (!seed_new_component()) return side;
+  while (w0 < bounds.target0) {
+    VertexIndex v;
+    double priority;
+    if (frontier.Pop(v, priority)) {
+      if (in_region[static_cast<std::size_t>(v)]) continue;
+      absorb(v);
+    } else if (!seed_new_component()) {
+      break;
+    }
+  }
+  return side;
+}
+
+// ---------------------------------------------------------------------------
+// Fiduccia–Mattheyses refinement with rollback to the best prefix. Also
+// restores balance when the incoming partition is infeasible (moves that
+// reduce the balance violation are allowed regardless of gain).
+// ---------------------------------------------------------------------------
+struct FmState {
+  std::vector<std::uint8_t> side;
+  double cut = 0.0;
+  double w0 = 0.0;
+};
+
+void FmRefine(const Graph& g, const BalanceBounds& bounds,
+              const PartitionOptions& opts, FmState& state) {
+  const auto n = g.num_vertices();
+  std::vector<double> gain(static_cast<std::size_t>(n), 0.0);
+
+  for (int pass = 0; pass < opts.refine_passes; ++pass) {
+    // (Re)compute all gains for this pass.
+    for (VertexIndex v = 0; v < n; ++v) {
+      double gv = 0.0;
+      for (const auto& e : g.neighbors(v)) {
+        const bool cross = state.side[static_cast<std::size_t>(v)] !=
+                           state.side[static_cast<std::size_t>(e.to)];
+        gv += cross ? e.weight : -e.weight;
+      }
+      gain[static_cast<std::size_t>(v)] = gv;
+    }
+
+    LazyMaxHeap heap(static_cast<std::size_t>(n));
+    for (VertexIndex v = 0; v < n; ++v) {
+      heap.Push(v, gain[static_cast<std::size_t>(v)]);
+    }
+
+    std::vector<std::uint8_t> moved(static_cast<std::size_t>(n), 0);
+    std::vector<VertexIndex> move_seq;
+    move_seq.reserve(static_cast<std::size_t>(n));
+    double best_cut = state.cut;
+    double best_violation = bounds.Violation(state.w0);
+    std::size_t best_prefix = 0;
+    int stall = 0;
+
+    double cut = state.cut;
+    double w0 = state.w0;
+
+    VertexIndex v;
+    double priority;
+    while (heap.Pop(v, priority)) {
+      if (moved[static_cast<std::size_t>(v)]) continue;
+      const double bw = g.balance_weight(v);
+      const bool from0 = state.side[static_cast<std::size_t>(v)] == 0;
+      const double new_w0 = from0 ? w0 - bw : w0 + bw;
+      const double cur_violation = bounds.Violation(w0);
+      const double new_violation = bounds.Violation(new_w0);
+      // Permit the move if it stays feasible, or strictly improves an
+      // infeasible balance (restoration mode).
+      if (new_violation > 1e-12 && new_violation >= cur_violation) continue;
+
+      moved[static_cast<std::size_t>(v)] = 1;
+      move_seq.push_back(v);
+      const double gv = gain[static_cast<std::size_t>(v)];
+      cut -= gv;
+      w0 = new_w0;
+      state.side[static_cast<std::size_t>(v)] ^= 1;
+
+      for (const auto& e : g.neighbors(v)) {
+        if (moved[static_cast<std::size_t>(e.to)]) continue;
+        const bool cross = state.side[static_cast<std::size_t>(v)] !=
+                           state.side[static_cast<std::size_t>(e.to)];
+        gain[static_cast<std::size_t>(e.to)] +=
+            cross ? 2.0 * e.weight : -2.0 * e.weight;
+        heap.Push(e.to, gain[static_cast<std::size_t>(e.to)]);
+      }
+
+      const double violation = bounds.Violation(w0);
+      const bool better =
+          (violation < best_violation - 1e-12) ||
+          (violation <= best_violation + 1e-12 && cut < best_cut - 1e-12);
+      if (better) {
+        best_cut = cut;
+        best_violation = violation;
+        best_prefix = move_seq.size();
+        stall = 0;
+      } else if (++stall > opts.fm_stall_limit) {
+        break;
+      }
+    }
+
+    // Roll back everything after the best prefix.
+    for (std::size_t i = move_seq.size(); i > best_prefix; --i) {
+      const auto u = move_seq[i - 1];
+      const double bw = g.balance_weight(u);
+      w0 += state.side[static_cast<std::size_t>(u)] == 0 ? -bw : bw;
+      state.side[static_cast<std::size_t>(u)] ^= 1;
+    }
+    // w0 after rollback equals the prefix value; recompute cut from scratch
+    // is O(E) — instead track it: cut at best prefix is best_cut.
+    const bool improved = best_cut < state.cut - 1e-12 ||
+                          best_violation < bounds.Violation(state.w0) - 1e-12;
+    state.cut = best_cut;
+    state.w0 = w0;
+    if (!improved) break;
+  }
+}
+
+double SideWeight0(const Graph& g, std::span<const std::uint8_t> side) {
+  double w0 = 0.0;
+  for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
+    if (side[static_cast<std::size_t>(v)] == 0) w0 += g.balance_weight(v);
+  }
+  return w0;
+}
+
+}  // namespace
+
+Bisection Bisect(const Graph& g, const PartitionOptions& opts,
+                 double target_fraction) {
+  GOLDILOCKS_CHECK(target_fraction > 0.0 && target_fraction < 1.0);
+  Bisection result;
+  const auto n = g.num_vertices();
+  result.side.assign(static_cast<std::size_t>(n), 0);
+  if (n <= 1) {
+    result.side_weight[0] = g.total_balance_weight();
+    result.balanced = true;
+    return result;
+  }
+
+  Rng rng(opts.seed);
+  const auto levels = BuildHierarchy(g, opts, rng);
+  const Graph& coarsest = levels.back().graph;
+  const BalanceBounds coarse_bounds(coarsest.total_balance_weight(),
+                                    target_fraction, opts.balance_tolerance);
+
+  // Several growing trials on the coarsest graph; keep the best after a
+  // quick refinement.
+  FmState best;
+  bool have_best = false;
+  for (int t = 0; t < std::max(1, opts.initial_trials); ++t) {
+    FmState s;
+    s.side = GrowInitialPartition(coarsest, coarse_bounds, rng);
+    s.w0 = SideWeight0(coarsest, s.side);
+    s.cut = coarsest.CutWeight(s.side);
+    PartitionOptions quick = opts;
+    quick.refine_passes = 2;
+    FmRefine(coarsest, coarse_bounds, quick, s);
+    const bool better =
+        !have_best ||
+        coarse_bounds.Violation(s.w0) <
+            coarse_bounds.Violation(best.w0) - 1e-12 ||
+        (coarse_bounds.Violation(s.w0) <=
+             coarse_bounds.Violation(best.w0) + 1e-12 &&
+         s.cut < best.cut - 1e-12);
+    if (better) {
+      best = std::move(s);
+      have_best = true;
+    }
+  }
+
+  // Project through the hierarchy, refining at every level.
+  FmState state = std::move(best);
+  for (std::size_t li = levels.size() - 1; li > 0; --li) {
+    const Graph& fine = levels[li - 1].graph;
+    const auto& map = levels[li].fine_to_coarse;
+    std::vector<std::uint8_t> fine_side(
+        static_cast<std::size_t>(fine.num_vertices()));
+    for (VertexIndex v = 0; v < fine.num_vertices(); ++v) {
+      fine_side[static_cast<std::size_t>(v)] =
+          state.side[static_cast<std::size_t>(
+              map[static_cast<std::size_t>(v)])];
+    }
+    state.side = std::move(fine_side);
+    state.w0 = SideWeight0(fine, state.side);
+    state.cut = fine.CutWeight(state.side);
+    const BalanceBounds bounds(fine.total_balance_weight(), target_fraction,
+                               opts.balance_tolerance);
+    FmRefine(fine, bounds, opts, state);
+  }
+
+  const BalanceBounds bounds(g.total_balance_weight(), target_fraction,
+                             opts.balance_tolerance);
+  result.side = std::move(state.side);
+  result.cut_weight = g.CutWeight(result.side);
+  result.side_weight[0] = SideWeight0(g, result.side);
+  result.side_weight[1] = g.total_balance_weight() - result.side_weight[0];
+  result.balanced = bounds.Feasible(result.side_weight[0]);
+  return result;
+}
+
+namespace {
+
+void KWayRecurse(const Graph& g, std::span<const VertexIndex> global_ids,
+                 int k, int first_group, const PartitionOptions& opts,
+                 std::uint64_t seed, KWayResult& out) {
+  if (k == 1 || g.num_vertices() <= 1) {
+    for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
+      out.group_of[static_cast<std::size_t>(
+          global_ids[static_cast<std::size_t>(v)])] = first_group;
+    }
+    return;
+  }
+  const int k0 = (k + 1) / 2;
+  PartitionOptions sub = opts;
+  sub.seed = seed;
+  const auto bis =
+      Bisect(g, sub, static_cast<double>(k0) / static_cast<double>(k));
+  out.cut_weight += bis.cut_weight;
+
+  std::vector<VertexIndex> left, right;
+  for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
+    (bis.side[static_cast<std::size_t>(v)] == 0 ? left : right).push_back(v);
+  }
+  auto globalize = [&](const std::vector<VertexIndex>& local) {
+    std::vector<VertexIndex> ids;
+    ids.reserve(local.size());
+    for (const auto v : local) {
+      ids.push_back(global_ids[static_cast<std::size_t>(v)]);
+    }
+    return ids;
+  };
+  const auto left_ids = globalize(left);
+  const auto right_ids = globalize(right);
+  const Graph gl_sub = g.InducedSubgraph(left);
+  const Graph gr_sub = g.InducedSubgraph(right);
+  Rng salt(seed);
+  const auto s1 = salt.NextU64();
+  const auto s2 = salt.NextU64();
+  KWayRecurse(gl_sub, left_ids, k0, first_group, opts, s1, out);
+  KWayRecurse(gr_sub, right_ids, k - k0, first_group + k0, opts, s2, out);
+}
+
+}  // namespace
+
+KWayResult KWayPartition(const Graph& g, int k, const PartitionOptions& opts) {
+  GOLDILOCKS_CHECK(k >= 1);
+  KWayResult out;
+  out.num_groups = k;
+  out.group_of.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<VertexIndex> ids(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(ids.begin(), ids.end(), 0);
+  KWayRecurse(g, ids, k, 0, opts, opts.seed, out);
+  if (opts.kway_refine_passes > 0 && k > 1) {
+    RefineKWay(g, out.group_of, k, opts);
+    out.cut_weight = g.CutWeightKWay(out.group_of);
+  }
+  return out;
+}
+
+double RefineKWay(const Graph& g, std::vector<int>& group_of, int k,
+                  const PartitionOptions& opts) {
+  GOLDILOCKS_CHECK(group_of.size() ==
+                   static_cast<std::size_t>(g.num_vertices()));
+  if (k <= 1 || g.num_vertices() == 0) return 0.0;
+
+  // Balance bookkeeping: each group may carry up to (1 + tol) of its
+  // proportional share, and no move may empty a group.
+  std::vector<double> weight(static_cast<std::size_t>(k), 0.0);
+  std::vector<int> count(static_cast<std::size_t>(k), 0);
+  for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
+    const int gid = group_of[static_cast<std::size_t>(v)];
+    GOLDILOCKS_CHECK(gid >= 0 && gid < k);
+    weight[static_cast<std::size_t>(gid)] += g.balance_weight(v);
+    ++count[static_cast<std::size_t>(gid)];
+  }
+  double max_bw = 0.0;
+  for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
+    max_bw = std::max(max_bw, g.balance_weight(v));
+  }
+  // One-vertex slack on top of the tolerance: without it, greedy single
+  // moves can never perform the two-step swaps FM achieves via rollback.
+  const double cap = g.total_balance_weight() / k *
+                         (1.0 + opts.balance_tolerance) +
+                     max_bw;
+
+  Rng rng(opts.seed ^ 0x4b57);
+  std::vector<VertexIndex> order(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(order.begin(), order.end(), 0);
+
+  double improvement = 0.0;
+  std::vector<double> attach(static_cast<std::size_t>(k), 0.0);
+  std::vector<int> touched;
+  for (int pass = 0; pass < opts.kway_refine_passes; ++pass) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBelow(i)]);
+    }
+    bool moved_any = false;
+    for (const auto v : order) {
+      const int own = group_of[static_cast<std::size_t>(v)];
+      if (count[static_cast<std::size_t>(own)] <= 1) continue;
+      // Attachment of v to each adjacent group (sparse accumulation).
+      touched.clear();
+      for (const auto& e : g.neighbors(v)) {
+        const int ng = group_of[static_cast<std::size_t>(e.to)];
+        if (attach[static_cast<std::size_t>(ng)] == 0.0) {
+          touched.push_back(ng);
+        }
+        attach[static_cast<std::size_t>(ng)] += e.weight;
+      }
+      const double own_w = attach[static_cast<std::size_t>(own)];
+      int best = -1;
+      double best_gain = 1e-9;
+      for (const int ng : touched) {
+        if (ng == own) continue;
+        const double gain = attach[static_cast<std::size_t>(ng)] - own_w;
+        if (gain > best_gain &&
+            weight[static_cast<std::size_t>(ng)] + g.balance_weight(v) <=
+                cap) {
+          best = ng;
+          best_gain = gain;
+        }
+      }
+      for (const int ng : touched) {
+        attach[static_cast<std::size_t>(ng)] = 0.0;
+      }
+      if (best >= 0) {
+        group_of[static_cast<std::size_t>(v)] = best;
+        weight[static_cast<std::size_t>(own)] -= g.balance_weight(v);
+        weight[static_cast<std::size_t>(best)] += g.balance_weight(v);
+        --count[static_cast<std::size_t>(own)];
+        ++count[static_cast<std::size_t>(best)];
+        improvement += best_gain;
+        moved_any = true;
+      }
+    }
+    if (!moved_any) break;
+  }
+  return improvement;
+}
+
+namespace {
+
+// A group may only become terminal if it contains no anti-affinity
+// (negative) edge: replicas must end up in different groups (Sec. IV-C).
+bool HasNegativeInternalEdge(const Graph& g) {
+  for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
+    for (const auto& e : g.neighbors(v)) {
+      if (e.to > v && e.weight < 0.0) return true;
+    }
+  }
+  return false;
+}
+
+void FitRecurse(const Graph& g, std::span<const VertexIndex> global_ids,
+                const std::string& path, const FitPredicate& fits,
+                const CapacityUnitsFn& units, const PartitionOptions& opts,
+                std::uint64_t seed, RecursivePartitionResult& out) {
+  const Resource demand = g.total_demand();
+  const int count = g.num_vertices();
+  if (count == 0) return;
+  if ((fits(demand, count) && !HasNegativeInternalEdge(g)) || count == 1) {
+    const int gid = out.num_groups++;
+    for (const auto id : global_ids) {
+      out.group_of[static_cast<std::size_t>(id)] = gid;
+    }
+    out.group_path.push_back(path);
+    out.group_demand.push_back(demand);
+    out.group_size.push_back(count);
+    if (!fits(demand, count)) out.oversized_groups.push_back(gid);
+    return;
+  }
+
+  PartitionOptions sub = opts;
+  sub.seed = seed;
+  // Proportional split target: carve off whole server-units so leaves fill
+  // servers tightly instead of landing at ~50-70% from plain halving.
+  double fraction = 0.5;
+  if (units) {
+    const double u = std::max(1.0 + 1e-9, units(demand));
+    fraction = std::clamp(std::ceil(u / 2.0) / u, 0.25, 0.75);
+  }
+  const auto bis = Bisect(g, sub, fraction);
+  out.cut_weight += bis.cut_weight;
+
+  std::vector<VertexIndex> left, right;
+  for (VertexIndex v = 0; v < count; ++v) {
+    (bis.side[static_cast<std::size_t>(v)] == 0 ? left : right).push_back(v);
+  }
+  // Defensive: if the bisection degenerated (all vertices one side — can
+  // happen with pathological weights), force an arbitrary split so the
+  // recursion always terminates.
+  if (left.empty() || right.empty()) {
+    left.clear();
+    right.clear();
+    for (VertexIndex v = 0; v < count; ++v) {
+      (v < count / 2 ? left : right).push_back(v);
+    }
+  }
+
+  auto globalize = [&](const std::vector<VertexIndex>& local) {
+    std::vector<VertexIndex> ids;
+    ids.reserve(local.size());
+    for (const auto v : local) {
+      ids.push_back(global_ids[static_cast<std::size_t>(v)]);
+    }
+    return ids;
+  };
+  const auto left_ids = globalize(left);
+  const auto right_ids = globalize(right);
+  const Graph gl_sub = g.InducedSubgraph(left);
+  const Graph gr_sub = g.InducedSubgraph(right);
+  Rng salt(seed);
+  const auto s1 = salt.NextU64();
+  const auto s2 = salt.NextU64();
+  FitRecurse(gl_sub, left_ids, path + '0', fits, units, opts, s1, out);
+  FitRecurse(gr_sub, right_ids, path + '1', fits, units, opts, s2, out);
+}
+
+}  // namespace
+
+RecursivePartitionResult RecursivePartition(const Graph& g,
+                                            const FitPredicate& fits,
+                                            const PartitionOptions& opts,
+                                            const CapacityUnitsFn& units) {
+  RecursivePartitionResult out;
+  out.group_of.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::vector<VertexIndex> ids(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(ids.begin(), ids.end(), 0);
+  FitRecurse(g, ids, "", fits, units, opts, opts.seed, out);
+  return out;
+}
+
+std::vector<int> GroupsInLocalityOrder(const RecursivePartitionResult& r) {
+  std::vector<int> order(static_cast<std::size_t>(r.num_groups));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return r.group_path[static_cast<std::size_t>(a)] <
+           r.group_path[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace gl

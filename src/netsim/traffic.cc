@@ -1,0 +1,86 @@
+#include "netsim/traffic.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gl {
+
+TrafficEstimate EstimateTraffic(const Workload& workload,
+                                const Placement& placement,
+                                std::span<const Resource> demands,
+                                std::span<const std::uint8_t> active,
+                                const Topology& topo) {
+  TrafficEstimate out;
+  out.edge_mbps.assign(workload.edges.size(), 0.0);
+  out.node_uplink_mbps.assign(static_cast<std::size_t>(topo.num_nodes()),
+                              0.0);
+
+  // Total flow weight incident to each container (over live edges only).
+  std::vector<double> total_flows(workload.containers.size(), 0.0);
+  auto edge_live = [&](const CommunicationEdge& e) {
+    const auto ia = static_cast<std::size_t>(e.a.value());
+    const auto ib = static_cast<std::size_t>(e.b.value());
+    return active[ia] && active[ib] && placement.server_of[ia].valid() &&
+           placement.server_of[ib].valid();
+  };
+  for (const auto& e : workload.edges) {
+    if (!edge_live(e)) continue;
+    total_flows[static_cast<std::size_t>(e.a.value())] += std::abs(e.flows);
+    total_flows[static_cast<std::size_t>(e.b.value())] += std::abs(e.flows);
+  }
+
+  for (std::size_t ei = 0; ei < workload.edges.size(); ++ei) {
+    const auto& e = workload.edges[ei];
+    if (!edge_live(e) || e.flows <= 0.0) continue;
+    const auto ia = static_cast<std::size_t>(e.a.value());
+    const auto ib = static_cast<std::size_t>(e.b.value());
+    // Each endpoint pushes a share of its network demand over this edge.
+    const double share_a =
+        total_flows[ia] > 0.0
+            ? demands[ia].net_mbps * (e.flows / total_flows[ia])
+            : 0.0;
+    const double share_b =
+        total_flows[ib] > 0.0
+            ? demands[ib].net_mbps * (e.flows / total_flows[ib])
+            : 0.0;
+    const double traffic = 0.5 * (share_a + share_b);
+    out.edge_mbps[ei] = traffic;
+
+    const ServerId sa = placement.server_of[ia];
+    const ServerId sb = placement.server_of[ib];
+    if (sa == sb) continue;  // intra-server traffic never leaves the host
+
+    // Load every uplink bundle on the tree path (LCA walk).
+    NodeId na = topo.server_node(sa);
+    NodeId nb = topo.server_node(sb);
+    auto depth = [&](NodeId id) {
+      int d = 0;
+      for (NodeId cur = id; topo.node(cur).parent.valid();
+           cur = topo.node(cur).parent) {
+        ++d;
+      }
+      return d;
+    };
+    int da = depth(na), db = depth(nb);
+    while (da > db) {
+      out.node_uplink_mbps[static_cast<std::size_t>(na.value())] += traffic;
+      na = topo.node(na).parent;
+      --da;
+    }
+    while (db > da) {
+      out.node_uplink_mbps[static_cast<std::size_t>(nb.value())] += traffic;
+      nb = topo.node(nb).parent;
+      --db;
+    }
+    while (na != nb) {
+      out.node_uplink_mbps[static_cast<std::size_t>(na.value())] += traffic;
+      out.node_uplink_mbps[static_cast<std::size_t>(nb.value())] += traffic;
+      na = topo.node(na).parent;
+      nb = topo.node(nb).parent;
+    }
+  }
+  return out;
+}
+
+}  // namespace gl

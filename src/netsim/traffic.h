@@ -1,0 +1,42 @@
+// Per-edge traffic estimation and tree-path link loading.
+//
+// Each container's network demand is apportioned across its active
+// communication edges in proportion to flow counts; each edge's traffic is
+// then routed along the unique tree path between its endpoints' servers,
+// loading every traversed uplink bundle. The resulting per-node loads feed
+// the latency model (per-hop congestion) and switch gating (how much fabric
+// must stay powered).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "schedulers/placement.h"
+#include "topology/topology.h"
+#include "workload/container.h"
+
+namespace gl {
+
+struct TrafficEstimate {
+  // Traffic (Mbps) per workload edge index; 0 for edges with an inactive or
+  // unplaced endpoint.
+  std::vector<double> edge_mbps;
+  // Aggregate traffic (Mbps) crossing each node's uplink bundle, per NodeId.
+  std::vector<double> node_uplink_mbps;
+
+  [[nodiscard]] double UplinkUtilization(const Topology& topo,
+                                         NodeId n) const {
+    const double cap = topo.uplink_capacity(n);
+    return cap > 0.0
+               ? node_uplink_mbps[static_cast<std::size_t>(n.value())] / cap
+               : 0.0;
+  }
+};
+
+TrafficEstimate EstimateTraffic(const Workload& workload,
+                                const Placement& placement,
+                                std::span<const Resource> demands,
+                                std::span<const std::uint8_t> active,
+                                const Topology& topo);
+
+}  // namespace gl

@@ -1,0 +1,113 @@
+#include "netsim/traffic_packing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gl {
+
+TrafficPackingPlan PackTraffic(const Topology& topo,
+                               std::span<const std::uint8_t> server_active,
+                               const TrafficEstimate& traffic,
+                               std::span<const SwitchPowerModel> level_models,
+                               const TrafficPackingOptions& opts) {
+  GOLDILOCKS_CHECK(server_active.size() ==
+                   static_cast<std::size_t>(topo.num_servers()));
+  GOLDILOCKS_CHECK(static_cast<int>(level_models.size()) >=
+                   topo.num_levels());
+
+  const int n = topo.num_nodes();
+  TrafficPackingPlan plan;
+  plan.active_uplinks.assign(static_cast<std::size_t>(n), 0);
+  plan.active_switches.assign(static_cast<std::size_t>(n), 0);
+
+  // Subtree activity (reverse index order is post-order: factories append
+  // parents before children).
+  std::vector<std::uint8_t> subtree_active(static_cast<std::size_t>(n), 0);
+  for (int i = n - 1; i >= 0; --i) {
+    const auto& node = topo.node(NodeId{i});
+    if (node.level == 0) {
+      subtree_active[static_cast<std::size_t>(i)] =
+          server_active[static_cast<std::size_t>(node.server.value())];
+      continue;
+    }
+    for (const auto c : node.children) {
+      if (subtree_active[static_cast<std::size_t>(c.value())]) {
+        subtree_active[static_cast<std::size_t>(i)] = 1;
+        break;
+      }
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const auto& node = topo.node(NodeId{i});
+    plan.total_switches += node.physical_switches;
+    plan.total_links += node.physical_uplinks;
+    if (!subtree_active[static_cast<std::size_t>(i)]) continue;
+
+    // --- uplink bundle sizing ------------------------------------------------
+    if (node.physical_uplinks > 0 && node.uplink_capacity_mbps > 0.0) {
+      const double per_link =
+          node.uplink_capacity_mbps / node.physical_uplinks;
+      const double demand =
+          traffic.node_uplink_mbps[static_cast<std::size_t>(i)];
+      int needed = static_cast<int>(
+          std::ceil(demand / (per_link * opts.max_link_utilization)));
+      needed += static_cast<int>(
+          std::lround(node.physical_uplinks * opts.backup_fraction));
+      needed = std::max(needed, 1);  // connectivity for an active subtree
+      if (needed > node.physical_uplinks) {
+        needed = node.physical_uplinks;
+        plan.overloaded = true;
+      }
+      plan.active_uplinks[static_cast<std::size_t>(i)] = needed;
+      plan.total_active_links += needed;
+    }
+
+    // --- switch activation ------------------------------------------------------
+    if (node.physical_switches > 0) {
+      const auto& model = level_models[static_cast<std::size_t>(node.level)];
+      if (node.level == 1) {
+        // The rack's ToR stays on; idle downlink ports are disabled.
+        int live_children = 0;
+        for (const auto c : node.children) {
+          live_children +=
+              subtree_active[static_cast<std::size_t>(c.value())];
+        }
+        const double port_fraction =
+            node.children.empty()
+                ? 0.0
+                : static_cast<double>(live_children) /
+                      static_cast<double>(node.children.size());
+        plan.active_switches[static_cast<std::size_t>(i)] = 1;
+        plan.watts += model.Power(port_fraction);
+        plan.total_active_switches += 1;
+        continue;
+      }
+      // Fabric tier: in a Clos, each fabric switch of a bundle carries an
+      // equal slice; the switch count follows the live slice of the
+      // *children's* uplinks into this node.
+      int child_links_total = 0, child_links_live = 0;
+      for (const auto c : node.children) {
+        const auto& cn = topo.node(c);
+        child_links_total += cn.physical_uplinks;
+        child_links_live +=
+            plan.active_uplinks[static_cast<std::size_t>(c.value())];
+      }
+      const double slice =
+          child_links_total > 0
+              ? static_cast<double>(child_links_live) / child_links_total
+              : 1.0;
+      const int live = std::clamp(
+          static_cast<int>(std::ceil(node.physical_switches * slice)), 1,
+          node.physical_switches);
+      plan.active_switches[static_cast<std::size_t>(i)] = live;
+      plan.watts += live * model.Power(1.0);
+      plan.total_active_switches += live;
+    }
+  }
+  return plan;
+}
+
+}  // namespace gl

@@ -1,0 +1,54 @@
+// Traffic packing: ElasticTree-style [5] network right-sizing.
+//
+// Given the per-uplink traffic a placement produces, decide how many
+// physical uplinks and switches of each bundle must stay powered so that
+// every link runs below a safety utilization, keep a few backup paths for
+// bursts (Sec. I), and power the rest down. This is the Sec. II "Traffic
+// Packing" column of Fig. 3 as an executable algorithm rather than a
+// closed-form estimate — and the two are cross-checked in
+// bench_fig3_dc_breakdown's topology validation.
+//
+// The plan is hierarchical: a subtree with active servers keeps its ToR on
+// (ports gated to active downlinks); fabric bundles keep
+// ceil(required / per-link capacity) + backup links, with the switch count
+// scaled proportionally (fabric switches serve their bundle's links
+// uniformly in a Clos).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "power/server_power.h"
+#include "netsim/traffic.h"
+#include "topology/topology.h"
+
+namespace gl {
+
+struct TrafficPackingOptions {
+  // Keep every powered link below this share of its capacity.
+  double max_link_utilization = 0.90;
+  // Extra links kept on, as a fraction of each bundle (backup paths).
+  double backup_fraction = 0.10;
+};
+
+struct TrafficPackingPlan {
+  // Physical uplinks kept powered per node (index = NodeId value).
+  std::vector<int> active_uplinks;
+  // Physical switches kept powered per node.
+  std::vector<int> active_switches;
+  int total_active_switches = 0;
+  int total_switches = 0;
+  int total_active_links = 0;
+  int total_links = 0;
+  // True if some bundle cannot carry its traffic even fully powered.
+  bool overloaded = false;
+  double watts = 0.0;
+};
+
+TrafficPackingPlan PackTraffic(const Topology& topo,
+                               std::span<const std::uint8_t> server_active,
+                               const TrafficEstimate& traffic,
+                               std::span<const SwitchPowerModel> level_models,
+                               const TrafficPackingOptions& opts = {});
+
+}  // namespace gl

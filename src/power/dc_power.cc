@@ -1,0 +1,163 @@
+#include "power/dc_power.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gl {
+namespace {
+
+// All Fig 3 rows use the modern PEE-at-70% curve scaled to the spec's server.
+ServerPowerModel AnalysisServerModel(const DataCenterSpec& spec) {
+  return ServerPowerModel("analysis", spec.server_max_watts, 0.35, 0.70, 0.55);
+}
+
+}  // namespace
+
+Fig3Rows AnalyzeDataCenter(const DataCenterSpec& spec,
+                           const DcAnalysisOptions& opts) {
+  const ServerPowerModel server = AnalysisServerModel(spec);
+  const SwitchPowerModel tor("tor", spec.tor_switch_watts);
+  const SwitchPowerModel fabric("fabric", spec.fabric_switch_watts);
+  const auto servers = static_cast<double>(spec.servers);
+  const auto tors = static_cast<double>(spec.tor_switches);
+  const auto fabrics = static_cast<double>(spec.fabric_switches);
+  const double servers_per_tor = servers / tors;
+
+  Fig3Rows rows;
+
+  // Baseline: every server on at the baseline utilization; every switch on
+  // with all ports enabled.
+  rows.baseline.server_watts = servers * server.Power(opts.baseline_server_util);
+  rows.baseline.tor_watts = tors * tor.Power(1.0);
+  rows.baseline.fabric_watts = fabrics * fabric.Power(1.0);
+
+  // Traffic packing: server load untouched. Flows are consolidated onto the
+  // fewest links (bin packing at link granularity): the fabric only needs
+  // the baseline link utilization plus backup headroom; ToR switches must
+  // stay up (servers hang off them) but can disable idle uplink ports.
+  {
+    const double fabric_fraction = std::clamp(
+        opts.baseline_link_util + opts.backup_fraction, 0.0, 1.0);
+    const double active_fabric = std::ceil(fabrics * fabric_fraction);
+    rows.traffic_packing.server_watts = rows.baseline.server_watts;
+    rows.traffic_packing.tor_watts = tors * tor.Power(fabric_fraction);
+    rows.traffic_packing.fabric_watts = active_fabric * fabric.Power(1.0);
+  }
+
+  // Task packing: consolidate server load into the fewest servers below the
+  // packing ceiling, turn the rest off, then gate racks with no active
+  // servers and scale the fabric with the active fraction.
+  {
+    const double total_load = servers * opts.baseline_server_util;
+    const double active_servers =
+        std::ceil(total_load / opts.pack_target_util);
+    const double packed_util = total_load / active_servers;
+    const double active_tors = std::ceil(active_servers / servers_per_tor);
+    const double active_share = active_tors / tors;
+    const double fabric_fraction = std::clamp(
+        active_share * opts.baseline_link_util / opts.baseline_server_util +
+            opts.backup_fraction,
+        opts.backup_fraction, 1.0);
+    rows.task_packing.server_watts = active_servers * server.Power(packed_util);
+    rows.task_packing.tor_watts = active_tors * tor.Power(1.0);
+    rows.task_packing.fabric_watts =
+        std::ceil(fabrics * fabric_fraction) * fabric.Power(1.0);
+  }
+
+  return rows;
+}
+
+NetworkPowerResult ComputeNetworkPower(
+    const Topology& topo, std::span<const std::uint8_t> server_active,
+    std::span<const double> node_traffic_mbps,
+    std::span<const SwitchPowerModel> level_models,
+    const GatingOptions& opts) {
+  GOLDILOCKS_CHECK(server_active.size() ==
+                   static_cast<std::size_t>(topo.num_servers()));
+  GOLDILOCKS_CHECK(static_cast<int>(level_models.size()) >= topo.num_levels());
+
+  // Post-order pass: which subtrees contain an active server, and what
+  // fraction of each node's children are active.
+  const int n = topo.num_nodes();
+  std::vector<std::uint8_t> subtree_active(static_cast<std::size_t>(n), 0);
+  std::vector<double> active_child_fraction(static_cast<std::size_t>(n), 0.0);
+
+  // Nodes were appended parent-before-child by the factories, so a reverse
+  // index scan is a valid post-order for activity propagation.
+  for (int i = n - 1; i >= 0; --i) {
+    const auto& node = topo.node(NodeId{i});
+    if (node.level == 0) {
+      subtree_active[static_cast<std::size_t>(i)] =
+          server_active[static_cast<std::size_t>(node.server.value())];
+      continue;
+    }
+    int active_children = 0;
+    for (const auto c : node.children) {
+      if (subtree_active[static_cast<std::size_t>(c.value())]) {
+        ++active_children;
+      }
+    }
+    subtree_active[static_cast<std::size_t>(i)] = active_children > 0;
+    active_child_fraction[static_cast<std::size_t>(i)] =
+        node.children.empty()
+            ? 0.0
+            : static_cast<double>(active_children) /
+                  static_cast<double>(node.children.size());
+  }
+
+  NetworkPowerResult result;
+  for (int i = 0; i < n; ++i) {
+    const auto& node = topo.node(NodeId{i});
+    if (node.level == 0 || node.physical_switches == 0) continue;
+    result.total_switches += node.physical_switches;
+    const auto& model = level_models[static_cast<std::size_t>(node.level)];
+
+    if (!opts.gate_idle_switches) {
+      result.watts += node.physical_switches * model.Power(1.0);
+      result.active_switches += node.physical_switches;
+      continue;
+    }
+    if (!subtree_active[static_cast<std::size_t>(i)]) continue;  // gated off
+
+    if (node.level == 1) {
+      // A rack's single ToR is on; idle downlink ports are disabled.
+      result.watts += node.physical_switches *
+                      model.Power(active_child_fraction[
+                          static_cast<std::size_t>(i)]);
+      result.active_switches += node.physical_switches;
+      continue;
+    }
+    // Fabric tier: scale the number of powered switches with demand —
+    // measured uplink+internal traffic when available, otherwise the
+    // fraction of active child subtrees — plus backup headroom.
+    double demand_fraction = active_child_fraction[static_cast<std::size_t>(i)];
+    if (!node_traffic_mbps.empty() && node.uplink_capacity_mbps > 0.0) {
+      demand_fraction =
+          node_traffic_mbps[static_cast<std::size_t>(i)] /
+          node.uplink_capacity_mbps;
+    } else if (!node_traffic_mbps.empty() && node.uplink_capacity_mbps == 0) {
+      // Root: use the max of the children's uplink demands.
+      double frac = 0.0;
+      for (const auto c : node.children) {
+        const auto& cn = topo.node(c);
+        if (cn.uplink_capacity_mbps > 0.0) {
+          frac = std::max(frac,
+                          node_traffic_mbps[static_cast<std::size_t>(
+                              c.value())] /
+                              cn.uplink_capacity_mbps);
+        }
+      }
+      demand_fraction = frac;
+    }
+    const double fraction =
+        std::clamp(demand_fraction + opts.backup_fraction,
+                   opts.backup_fraction, 1.0);
+    const int active = std::max(
+        1, static_cast<int>(std::ceil(node.physical_switches * fraction)));
+    result.watts += active * model.Power(1.0);
+    result.active_switches += active;
+  }
+  return result;
+}
+
+}  // namespace gl

@@ -1,0 +1,78 @@
+// Data-center-level power accounting.
+//
+// Two consumers:
+//   * the Fig. 3 analysis — closed-form bin-packing estimates of the power
+//     breakdown of the five Table I data centers under Baseline / Traffic
+//     Packing / Task Packing (the paper's Sec. II argument that task packing
+//     saves ~53% of total power while traffic packing saves only ~8%);
+//   * the cluster simulator — switch/link gating for an instantiated
+//     Topology given which servers are active and how much traffic each
+//     subtree sends upward. A few backup paths stay powered for bursts
+//     (Sec. I: "a few extra backup paths are reserved for bursty traffic").
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "power/server_power.h"
+#include "topology/datacenters.h"
+#include "topology/topology.h"
+
+namespace gl {
+
+struct PowerBreakdown {
+  double server_watts = 0.0;
+  double tor_watts = 0.0;
+  double fabric_watts = 0.0;
+
+  [[nodiscard]] double total() const {
+    return server_watts + tor_watts + fabric_watts;
+  }
+  [[nodiscard]] double dcn_watts() const { return tor_watts + fabric_watts; }
+  [[nodiscard]] double dcn_share() const {
+    return total() > 0.0 ? dcn_watts() / total() : 0.0;
+  }
+};
+
+struct DcAnalysisOptions {
+  double baseline_server_util = 0.20;  // [1]-[3]: servers run at 20-30%
+  double baseline_link_util = 0.10;    // [4],[5]: DCN links ~10% utilised
+  double pack_target_util = 0.95;      // packing policies' ceiling
+  double backup_fraction = 0.10;       // fabric capacity kept on as backup
+};
+
+struct Fig3Rows {
+  PowerBreakdown baseline;
+  PowerBreakdown traffic_packing;  // consolidate flows, gate idle fabric
+  PowerBreakdown task_packing;     // consolidate servers, gate idle racks
+};
+
+// Closed-form analysis of one Table I data center.
+Fig3Rows AnalyzeDataCenter(const DataCenterSpec& spec,
+                           const DcAnalysisOptions& opts = {});
+
+// --- topology-based switch gating (simulator path) --------------------------
+
+struct GatingOptions {
+  // Fraction of a node's fabric capacity kept powered beyond current demand.
+  double backup_fraction = 0.10;
+  // When false, every switch is always on (E-PVM-style no-gating baseline).
+  bool gate_idle_switches = true;
+};
+
+struct NetworkPowerResult {
+  double watts = 0.0;
+  int active_switches = 0;
+  int total_switches = 0;
+};
+
+// Switch power for `topo` with the given server activity. `node_traffic_mbps`
+// maps NodeId → traffic on that node's uplink bundle; pass an empty span to
+// fall back to active-subtree-fraction scaling. `level_models[l]` is the
+// switch model for hierarchy level l (index 0 unused).
+NetworkPowerResult ComputeNetworkPower(
+    const Topology& topo, std::span<const std::uint8_t> server_active,
+    std::span<const double> node_traffic_mbps,
+    std::span<const SwitchPowerModel> level_models, const GatingOptions& opts);
+
+}  // namespace gl

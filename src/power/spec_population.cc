@@ -1,0 +1,49 @@
+#include "power/spec_population.h"
+
+#include "common/check.h"
+
+namespace gl {
+
+const std::vector<PeeYearDistribution>& SpecPeeDistributions() {
+  // Read off Fig 1(b): in 2010 nearly every submission peaked at full load;
+  // by 2018 the mode sits at 70% with a substantial 60% tail.
+  static const std::vector<PeeYearDistribution> kDist = {
+      {2008, {0.88, 0.08, 0.04, 0.00, 0.00}},
+      {2010, {0.80, 0.12, 0.06, 0.02, 0.00}},
+      {2012, {0.55, 0.20, 0.15, 0.08, 0.02}},
+      {2014, {0.30, 0.22, 0.25, 0.17, 0.06}},
+      {2016, {0.12, 0.15, 0.30, 0.30, 0.13}},
+      {2018, {0.05, 0.10, 0.28, 0.38, 0.19}},
+  };
+  return kDist;
+}
+
+std::array<double, 5> PeeSharesForYear(int year) {
+  const auto& dists = SpecPeeDistributions();
+  for (const auto& d : dists) {
+    if (d.year == year) return d.share;
+  }
+  GOLDILOCKS_CHECK_MSG(false, "no SPEC distribution for requested year");
+}
+
+std::vector<SpecServer> SampleSpecPopulation(int n, Rng& rng) {
+  GOLDILOCKS_CHECK(n > 0);
+  const auto& dists = SpecPeeDistributions();
+  std::vector<SpecServer> fleet;
+  fleet.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto& d = dists[rng.NextBelow(dists.size())];
+    double r = rng.NextDouble();
+    std::size_t level = 0;
+    for (; level + 1 < d.share.size(); ++level) {
+      if (r < d.share[level]) break;
+      r -= d.share[level];
+    }
+    const double pee = kPeeUtilizationLevels[level];
+    fleet.push_back(
+        {d.year, pee, ServerPowerModel::WithPeePoint(pee, 750.0)});
+  }
+  return fleet;
+}
+
+}  // namespace gl

@@ -1,0 +1,45 @@
+// Synthetic SPECpower_ssj2008 server population (Fig 1b of the paper).
+//
+// The paper analysed 419 vendor submissions and found that the utilization at
+// which servers reach Peak Energy Efficiency drifted from ~100% (2010 era)
+// down into the 60–80% band by 2018. The real result database is not
+// redistributable, so this module encodes the per-year PEE-utilization share
+// distribution read off Fig 1(b) and samples synthetic fleets from it — the
+// only facts Goldilocks consumes.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+#include "power/server_power.h"
+
+namespace gl {
+
+// Share of servers submitted in `year` whose PEE utilization is 100 / 90 /
+// 80 / 70 / 60 percent. Shares sum to 1.
+struct PeeYearDistribution {
+  int year = 0;
+  std::array<double, 5> share{};  // index 0 → 100%, 1 → 90%, ... 4 → 60%
+};
+
+inline constexpr std::array<double, 5> kPeeUtilizationLevels = {1.0, 0.9, 0.8,
+                                                                0.7, 0.6};
+
+// Distributions for 2008–2018 (even years), monotone drift toward 60–80%.
+const std::vector<PeeYearDistribution>& SpecPeeDistributions();
+
+struct SpecServer {
+  int year = 0;
+  double pee_utilization = 0.0;
+  ServerPowerModel model;
+};
+
+// Samples a fleet of `n` servers across the year range, mirroring the 419
+// analysed submissions. Deterministic given the Rng.
+std::vector<SpecServer> SampleSpecPopulation(int n, Rng& rng);
+
+// Share of sampled servers at each PEE level for one year (Fig 1b bars).
+std::array<double, 5> PeeSharesForYear(int year);
+
+}  // namespace gl

@@ -1,0 +1,91 @@
+#include "schedulers/borg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gl {
+namespace {
+
+// Stranding score after hypothetically placing `demand` on the server:
+// spread between the most- and least-free dimension, minus a packing bonus
+// for high utilization. Lower is better.
+double StrandingScore(const Resource& load, const Resource& demand,
+                      const Resource& cap) {
+  const Resource after = load + demand;
+  auto free_frac = [](double used, double capacity) {
+    return capacity > 0.0 ? std::max(0.0, 1.0 - used / capacity) : 0.0;
+  };
+  const double fc = free_frac(after.cpu, cap.cpu);
+  const double fm = free_frac(after.mem_gb, cap.mem_gb);
+  const double fn = free_frac(after.net_mbps, cap.net_mbps);
+  const double spread =
+      std::max({fc, fm, fn}) - std::min({fc, fm, fn});
+  const double utilization = 1.0 - (fc + fm + fn) / 3.0;
+  return spread - 0.5 * utilization;
+}
+
+}  // namespace
+
+Placement BorgScheduler::Place(const SchedulerInput& input) {
+  GOLDILOCKS_CHECK(input.workload != nullptr && input.topology != nullptr);
+  const auto& topo = *input.topology;
+  PackingState state(topo);
+  Placement p;
+  p.server_of.assign(input.workload->containers.size(), ServerId::invalid());
+
+  const Resource ref = topo.average_server_capacity();
+  std::vector<int> order;
+  for (const auto& c : input.workload->containers) {
+    if (input.IsActive(c.id)) order.push_back(c.id.value());
+  }
+  // Larger tasks first: fragments pack into the gaps the big ones leave.
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return input.demands[static_cast<std::size_t>(a)].NormalizedL1(ref) >
+           input.demands[static_cast<std::size_t>(b)].NormalizedL1(ref);
+  });
+
+  std::vector<int> open;
+  int next_fresh = 0;
+  for (const int ci : order) {
+    const auto& demand = input.demands[static_cast<std::size_t>(ci)];
+    ServerId best = ServerId::invalid();
+    double best_score = 0.0;
+    for (const int s : open) {
+      const ServerId sid{s};
+      if (!state.Fits(sid, demand, max_utilization_)) continue;
+      const double score =
+          StrandingScore(state.load(sid), demand, topo.server_capacity(sid));
+      if (!best.valid() || score < best_score) {
+        best = sid;
+        best_score = score;
+      }
+    }
+    // Opening a new machine is a last resort: Borg packs first.
+    if (!best.valid() && next_fresh < topo.num_servers()) {
+      const ServerId fresh{next_fresh};
+      if (state.Fits(fresh, demand, max_utilization_)) best = fresh;
+    }
+    if (!best.valid()) {
+      // Nothing fits under the 95% packing target: spill at full capacity
+      // rather than rejecting (the target is a goal, not an admission rule).
+      for (const int s : open) {
+        const ServerId sid{s};
+        if (state.Fits(sid, demand, 1.0)) {
+          best = sid;
+          break;
+        }
+      }
+    }
+    if (!best.valid()) continue;
+    if (best.value() == next_fresh) {
+      open.push_back(next_fresh);
+      ++next_fresh;
+    }
+    state.Add(best, demand);
+    p.server_of[static_cast<std::size_t>(ci)] = best;
+  }
+  return p;
+}
+
+}  // namespace gl

@@ -1,0 +1,26 @@
+// Borg's task-packing policy [14]: best-fit scoring that reduces *stranded
+// resources* — capacity left unusable on a machine because one dimension is
+// exhausted while others are free. The score prefers servers where, after
+// placement, the free fractions of CPU / memory / network stay even, and
+// among those the fullest server (pack tight, keep machines either busy or
+// empty).
+#pragma once
+
+#include "schedulers/scheduler.h"
+
+namespace gl {
+
+class BorgScheduler final : public Scheduler {
+ public:
+  explicit BorgScheduler(double max_utilization = 0.95)
+      : max_utilization_(max_utilization) {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  Placement Place(const SchedulerInput& input) override;
+
+ private:
+  std::string name_ = "Borg";
+  double max_utilization_;
+};
+
+}  // namespace gl

@@ -1,0 +1,113 @@
+#include "schedulers/e_pvm.h"
+
+#include <cmath>
+#include <queue>
+#include <vector>
+
+namespace gl {
+
+Placement EPvmScheduler::Place(const SchedulerInput& input) {
+  GOLDILOCKS_CHECK(input.workload != nullptr && input.topology != nullptr);
+  return mode_ == EPvmMode::kLeastUtilized ? PlaceLeastUtilized(input)
+                                           : PlaceOpportunityCost(input);
+}
+
+Placement EPvmScheduler::PlaceLeastUtilized(
+    const SchedulerInput& input) const {
+  const auto& topo = *input.topology;
+  PackingState state(topo);
+  Placement p;
+  p.server_of.assign(input.workload->containers.size(), ServerId::invalid());
+
+  // Least-utilized-first selection via a lazy min-heap: stale entries (whose
+  // utilization no longer matches) are re-pushed with the fresh value.
+  struct Entry {
+    double util;
+    int server;
+    bool operator>(const Entry& o) const { return util > o.util; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::vector<double> current(static_cast<std::size_t>(topo.num_servers()));
+  for (int s = 0; s < topo.num_servers(); ++s) {
+    current[static_cast<std::size_t>(s)] = 0.0;
+    heap.push({0.0, s});
+  }
+
+  for (const auto& c : input.workload->containers) {
+    if (!input.IsActive(c.id)) continue;
+    const auto& demand = input.demands[static_cast<std::size_t>(c.id.value())];
+    // Pop candidates in utilization order; servers the container does not
+    // fit on are parked aside and restored afterwards.
+    std::vector<Entry> parked;
+    ServerId chosen = ServerId::invalid();
+    while (!heap.empty()) {
+      const Entry e = heap.top();
+      heap.pop();
+      if (e.util != current[static_cast<std::size_t>(e.server)]) {
+        continue;  // stale
+      }
+      const ServerId sid{e.server};
+      if (state.Fits(sid, demand, max_utilization_)) {
+        chosen = sid;
+        break;
+      }
+      parked.push_back(e);
+    }
+    for (const auto& e : parked) heap.push(e);
+    if (chosen.valid()) {
+      state.Add(chosen, demand);
+      const double u = state.Utilization(chosen);
+      current[static_cast<std::size_t>(chosen.value())] = u;
+      heap.push({u, chosen.value()});
+      p.server_of[static_cast<std::size_t>(c.id.value())] = chosen;
+    }
+  }
+  return p;
+}
+
+Placement EPvmScheduler::PlaceOpportunityCost(
+    const SchedulerInput& input) const {
+  const auto& topo = *input.topology;
+  PackingState state(topo);
+  Placement p;
+  p.server_of.assign(input.workload->containers.size(), ServerId::invalid());
+
+  // Marginal cost of adding `demand` to server s: Σ over dimensions of
+  // a^{u'} − a^{u}. Convexity penalises loading an already-busy dimension.
+  auto marginal_cost = [&](ServerId s, const Resource& demand) {
+    const Resource& cap = topo.server_capacity(s);
+    const Resource& load = state.load(s);
+    auto dim = [&](double used, double add, double capacity) {
+      if (capacity <= 0.0) return 0.0;
+      const double u0 = used / capacity;
+      const double u1 = (used + add) / capacity;
+      return std::pow(cost_base_, u1) - std::pow(cost_base_, u0);
+    };
+    return dim(load.cpu, demand.cpu, cap.cpu) +
+           dim(load.mem_gb, demand.mem_gb, cap.mem_gb) +
+           dim(load.net_mbps, demand.net_mbps, cap.net_mbps);
+  };
+
+  for (const auto& c : input.workload->containers) {
+    if (!input.IsActive(c.id)) continue;
+    const auto& demand = input.demands[static_cast<std::size_t>(c.id.value())];
+    ServerId best = ServerId::invalid();
+    double best_cost = 0.0;
+    for (int s = 0; s < topo.num_servers(); ++s) {
+      const ServerId sid{s};
+      if (!state.Fits(sid, demand, max_utilization_)) continue;
+      const double cost = marginal_cost(sid, demand);
+      if (!best.valid() || cost < best_cost) {
+        best = sid;
+        best_cost = cost;
+      }
+    }
+    if (best.valid()) {
+      state.Add(best, demand);
+      p.server_of[static_cast<std::size_t>(c.id.value())] = best;
+    }
+  }
+  return p;
+}
+
+}  // namespace gl

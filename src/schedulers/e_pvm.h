@@ -1,0 +1,47 @@
+// E-PVM [17]: opportunity-cost job assignment.
+//
+// Two modes:
+//  * kLeastUtilized — the paper's description ("containers are placed on the
+//    least utilized machines"): each container goes to the machine with the
+//    lowest dominant-share utilization. Spreads load across the whole fleet
+//    (every server stays on) — good task completion times, no power saving.
+//    This is the baseline used by every paper experiment.
+//  * kOpportunityCost — Amir et al.'s actual marginal-cost rule: the cost of
+//    a machine is Σ_dims a^utilization, and a container goes wherever it
+//    increases that cost least. Exponential cost makes high-utilization
+//    machines expensive in *every* dimension at once. Exposed as an
+//    extension and exercised by the ablation benches.
+#pragma once
+
+#include "schedulers/scheduler.h"
+
+namespace gl {
+
+enum class EPvmMode {
+  kLeastUtilized,
+  kOpportunityCost,
+};
+
+class EPvmScheduler final : public Scheduler {
+ public:
+  explicit EPvmScheduler(double max_utilization = 1.0,
+                         EPvmMode mode = EPvmMode::kLeastUtilized,
+                         double cost_base = 32.0)
+      : max_utilization_(max_utilization),
+        mode_(mode),
+        cost_base_(cost_base) {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  Placement Place(const SchedulerInput& input) override;
+
+ private:
+  Placement PlaceLeastUtilized(const SchedulerInput& input) const;
+  Placement PlaceOpportunityCost(const SchedulerInput& input) const;
+
+  std::string name_ = "E-PVM";
+  double max_utilization_;
+  EPvmMode mode_;
+  double cost_base_;
+};
+
+}  // namespace gl

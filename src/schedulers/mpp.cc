@@ -1,0 +1,87 @@
+#include "schedulers/mpp.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gl {
+
+Placement MppScheduler::Place(const SchedulerInput& input) {
+  GOLDILOCKS_CHECK(input.workload != nullptr && input.topology != nullptr);
+  const auto& topo = *input.topology;
+  PackingState state(topo);
+  Placement p;
+  p.server_of.assign(input.workload->containers.size(), ServerId::invalid());
+
+  // First Fit *Decreasing*: big items first.
+  const Resource ref = topo.average_server_capacity();
+  std::vector<int> order;
+  for (const auto& c : input.workload->containers) {
+    if (input.IsActive(c.id)) order.push_back(c.id.value());
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return input.demands[static_cast<std::size_t>(a)].NormalizedL1(ref) >
+           input.demands[static_cast<std::size_t>(b)].NormalizedL1(ref);
+  });
+
+  // Only servers that already host something ("open") plus one fresh server
+  // need to be scored; every closed server is identical to the first one.
+  std::vector<int> open;
+  int next_fresh = 0;
+
+  auto power_delta_per_util = [&](ServerId s, const Resource& d) {
+    const double u_before = state.Utilization(s);
+    const Resource after = state.load(s) + d;
+    const double u_after = after.DominantShare(topo.server_capacity(s));
+    const double p_before =
+        state.IsEmpty(s) ? ServerPowerModel::ServerOff() : power_.Power(u_before);
+    const double p_after = power_.Power(u_after);
+    const double du = std::max(1e-9, u_after - u_before);
+    return (p_after - p_before) / du;
+  };
+
+  for (const int ci : order) {
+    const auto& demand = input.demands[static_cast<std::size_t>(ci)];
+    ServerId best = ServerId::invalid();
+    double best_score = 0.0;
+    for (const int s : open) {
+      const ServerId sid{s};
+      if (!state.Fits(sid, demand, max_utilization_)) continue;
+      const double score = power_delta_per_util(sid, demand);
+      if (!best.valid() || score < best_score) {
+        best = sid;
+        best_score = score;
+      }
+    }
+    if (next_fresh < topo.num_servers()) {
+      const ServerId fresh{next_fresh};
+      if (state.Fits(fresh, demand, max_utilization_)) {
+        const double score = power_delta_per_util(fresh, demand);
+        if (!best.valid() || score < best_score) {
+          best = fresh;
+          best_score = score;
+        }
+      }
+    }
+    if (!best.valid()) {
+      // Nothing fits under the 95% packing target: spill at full capacity
+      // rather than rejecting (the target is a goal, not an admission rule).
+      for (const int s : open) {
+        const ServerId sid{s};
+        if (state.Fits(sid, demand, 1.0)) {
+          best = sid;
+          break;
+        }
+      }
+    }
+    if (!best.valid()) continue;  // admission failure
+    if (best.value() == next_fresh) {
+      open.push_back(next_fresh);
+      ++next_fresh;
+    }
+    state.Add(best, demand);
+    p.server_of[static_cast<std::size_t>(ci)] = best;
+  }
+  return p;
+}
+
+}  // namespace gl

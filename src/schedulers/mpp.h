@@ -1,0 +1,29 @@
+// mPP from pMapper [16]: power-aware First Fit Decreasing. Containers are
+// considered in decreasing order of demand size; each goes to the feasible
+// server with the lowest power increase per unit of utilization, packing
+// servers up to `max_utilization` (95% in the paper's experiments — the
+// contrast with Goldilocks' 70% PEE ceiling is the point of the comparison).
+#pragma once
+
+#include "power/server_power.h"
+#include "schedulers/scheduler.h"
+
+namespace gl {
+
+class MppScheduler final : public Scheduler {
+ public:
+  explicit MppScheduler(ServerPowerModel power_model =
+                            ServerPowerModel::Dell2018(),
+                        double max_utilization = 0.95)
+      : power_(std::move(power_model)), max_utilization_(max_utilization) {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  Placement Place(const SchedulerInput& input) override;
+
+ private:
+  std::string name_ = "mPP";
+  ServerPowerModel power_;
+  double max_utilization_;
+};
+
+}  // namespace gl

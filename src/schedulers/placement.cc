@@ -1,0 +1,80 @@
+#include "schedulers/placement.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace gl {
+
+int Placement::num_placed() const {
+  int n = 0;
+  for (const auto s : server_of) {
+    if (s.valid()) ++n;
+  }
+  return n;
+}
+
+int Placement::NumActiveServers() const {
+  std::unordered_set<ServerId> servers;
+  for (const auto s : server_of) {
+    if (s.valid()) servers.insert(s);
+  }
+  return static_cast<int>(servers.size());
+}
+
+int Placement::MigrationsFrom(const Placement& before) const {
+  int migrations = 0;
+  const std::size_t n = std::min(server_of.size(), before.server_of.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (server_of[i].valid() && before.server_of[i].valid() &&
+        server_of[i] != before.server_of[i]) {
+      ++migrations;
+    }
+  }
+  return migrations;
+}
+
+std::vector<Resource> ServerLoads(const Placement& p,
+                                  std::span<const Resource> demands,
+                                  int num_servers) {
+  std::vector<Resource> loads(static_cast<std::size_t>(num_servers));
+  const std::size_t n = std::min(p.server_of.size(), demands.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = p.server_of[i];
+    if (s.valid()) {
+      GOLDILOCKS_CHECK(s.value() < num_servers);
+      loads[static_cast<std::size_t>(s.value())] += demands[i];
+    }
+  }
+  return loads;
+}
+
+PackingState::PackingState(const Topology& topo)
+    : topo_(topo),
+      loads_(static_cast<std::size_t>(topo.num_servers())) {}
+
+bool PackingState::Fits(ServerId s, const Resource& demand,
+                        double max_utilization) const {
+  const Resource after = loads_[static_cast<std::size_t>(s.value())] + demand;
+  return after.FitsIn(topo_.server_capacity(s) * max_utilization);
+}
+
+void PackingState::Add(ServerId s, const Resource& demand) {
+  loads_[static_cast<std::size_t>(s.value())] += demand;
+}
+
+void PackingState::Remove(ServerId s, const Resource& demand) {
+  loads_[static_cast<std::size_t>(s.value())] -= demand;
+}
+
+const Resource& PackingState::capacity(ServerId s) const {
+  return topo_.server_capacity(s);
+}
+
+double PackingState::Utilization(ServerId s) const {
+  return loads_[static_cast<std::size_t>(s.value())].DominantShare(
+      topo_.server_capacity(s));
+}
+
+}  // namespace gl

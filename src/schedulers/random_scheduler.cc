@@ -1,0 +1,43 @@
+#include "schedulers/random_scheduler.h"
+
+namespace gl {
+
+Placement RandomScheduler::Place(const SchedulerInput& input) {
+  GOLDILOCKS_CHECK(input.workload != nullptr && input.topology != nullptr);
+  const auto& topo = *input.topology;
+  PackingState state(topo);
+  Placement p;
+  p.server_of.assign(input.workload->containers.size(), ServerId::invalid());
+
+  const int n = topo.num_servers();
+  for (const auto& c : input.workload->containers) {
+    if (!input.IsActive(c.id)) continue;
+    const auto& demand = input.demands[static_cast<std::size_t>(c.id.value())];
+    ServerId chosen = ServerId::invalid();
+    // A handful of random probes, then a linear sweep from a random start so
+    // a feasible server is always found if one exists.
+    for (int probe = 0; probe < 8 && !chosen.valid(); ++probe) {
+      const ServerId sid{static_cast<int>(rng_.NextBelow(
+          static_cast<std::uint64_t>(n)))};
+      if (state.Fits(sid, demand, max_utilization_)) chosen = sid;
+    }
+    if (!chosen.valid()) {
+      const int start = static_cast<int>(rng_.NextBelow(
+          static_cast<std::uint64_t>(n)));
+      for (int k = 0; k < n; ++k) {
+        const ServerId sid{(start + k) % n};
+        if (state.Fits(sid, demand, max_utilization_)) {
+          chosen = sid;
+          break;
+        }
+      }
+    }
+    if (chosen.valid()) {
+      state.Add(chosen, demand);
+      p.server_of[static_cast<std::size_t>(c.id.value())] = chosen;
+    }
+  }
+  return p;
+}
+
+}  // namespace gl

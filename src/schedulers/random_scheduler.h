@@ -1,0 +1,27 @@
+// Random feasible placement. Not a paper baseline — used by the ablation
+// benches as the no-intelligence lower bound and by tests as a fuzzing
+// opponent (any invariant the simulator holds must hold under arbitrary
+// feasible placements).
+#pragma once
+
+#include "common/rng.h"
+#include "schedulers/scheduler.h"
+
+namespace gl {
+
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed = 0xfeed,
+                           double max_utilization = 0.95)
+      : rng_(seed), max_utilization_(max_utilization) {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  Placement Place(const SchedulerInput& input) override;
+
+ private:
+  std::string name_ = "Random";
+  Rng rng_;
+  double max_utilization_;
+};
+
+}  // namespace gl

@@ -1,0 +1,65 @@
+#include "schedulers/rc_informed.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gl {
+
+Placement RcInformedScheduler::Place(const SchedulerInput& input) {
+  GOLDILOCKS_CHECK(input.workload != nullptr && input.topology != nullptr);
+  const auto& topo = *input.topology;
+  Placement p;
+  p.server_of.assign(input.workload->containers.size(), ServerId::invalid());
+
+  // Bucket = a server with its CPU capacity inflated by the oversubscription
+  // factor. Accounting is on reservations (profile demand), not live demand.
+  std::vector<Resource> reserved(static_cast<std::size_t>(topo.num_servers()));
+  auto bucket_capacity = [&](ServerId s) {
+    Resource cap = topo.server_capacity(s);
+    cap.cpu *= cpu_oversubscription_;
+    return cap;
+  };
+
+  // Resource Central buckets VMs by predicted size class: same-class VMs
+  // are packed together. Ordering by app type (the size class proxy) before
+  // the first-fit sweep reproduces that — and, as in the real system,
+  // containers of one service end up scattered because their components
+  // fall into different buckets.
+  std::vector<int> order;
+  for (const auto& c : input.workload->containers) {
+    if (input.IsActive(c.id)) order.push_back(c.id.value());
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return input.workload->containers[static_cast<std::size_t>(a)].app <
+           input.workload->containers[static_cast<std::size_t>(b)].app;
+  });
+
+  // First fit, scanning from the last bucket that accepted something
+  // (same-class reservations are identical sizes, so this stays near-O(1)
+  // per container).
+  int scan_start = 0;
+  for (const int ci : order) {
+    const auto& c =
+        input.workload->containers[static_cast<std::size_t>(ci)];
+    // Resource Central packs against what the owner reserved (CPU cores
+    // and memory), not against live utilization; network is not reserved.
+    const Resource reservation = GetAppProfile(c.app).reserved;
+    ServerId chosen = ServerId::invalid();
+    for (int k = 0; k < topo.num_servers(); ++k) {
+      const int s = (scan_start + k) % topo.num_servers();
+      const ServerId sid{s};
+      const Resource after = reserved[static_cast<std::size_t>(s)] + reservation;
+      if (after.FitsIn(bucket_capacity(sid))) {
+        chosen = sid;
+        break;
+      }
+    }
+    if (!chosen.valid()) continue;
+    reserved[static_cast<std::size_t>(chosen.value())] += reservation;
+    p.server_of[static_cast<std::size_t>(c.id.value())] = chosen;
+    scan_start = chosen.value();
+  }
+  return p;
+}
+
+}  // namespace gl

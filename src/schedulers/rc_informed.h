@@ -1,0 +1,27 @@
+// RC-Informed, after Resource Central [15]: bucket-based placement on
+// *reserved* resources with CPU oversubscription. Each container's
+// reservation is its application profile's nominal demand (what the owner
+// requested), not the live utilization; CPU is oversubscribed 125% because
+// reservations are rarely fully used. The number of active servers is
+// therefore driven by reservations — the behaviour Fig. 13 highlights
+// (RC-Informed holds ~2358 servers regardless of instantaneous load).
+#pragma once
+
+#include "schedulers/scheduler.h"
+
+namespace gl {
+
+class RcInformedScheduler final : public Scheduler {
+ public:
+  explicit RcInformedScheduler(double cpu_oversubscription = 1.25)
+      : cpu_oversubscription_(cpu_oversubscription) {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  Placement Place(const SchedulerInput& input) override;
+
+ private:
+  std::string name_ = "RC-Informed";
+  double cpu_oversubscription_;
+};
+
+}  // namespace gl

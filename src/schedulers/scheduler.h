@@ -1,0 +1,43 @@
+// Common interface for container placement policies.
+//
+// Every epoch the simulator asks a Scheduler to map the active containers to
+// servers. The input carries the workload structure (only Goldilocks uses
+// the communication edges), the current-epoch demand vectors, and the
+// previous placement (for stability-aware policies and migration
+// accounting).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "schedulers/placement.h"
+#include "workload/container.h"
+
+namespace gl {
+
+struct SchedulerInput {
+  const Workload* workload = nullptr;
+  std::span<const Resource> demands;        // per ContainerId
+  std::span<const std::uint8_t> active;     // per ContainerId
+  const Topology* topology = nullptr;
+  const Placement* previous = nullptr;      // nullable
+
+  [[nodiscard]] bool IsActive(ContainerId c) const {
+    const auto i = static_cast<std::size_t>(c.value());
+    return i < active.size() && active[i] != 0;
+  }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  // Maps every active container to a server. Implementations must respect
+  // server capacity at their policy's packing ceiling; containers that fit
+  // nowhere are left unplaced (callers treat that as an admission failure).
+  virtual Placement Place(const SchedulerInput& input) = 0;
+};
+
+}  // namespace gl

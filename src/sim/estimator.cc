@@ -1,0 +1,71 @@
+#include "sim/estimator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gl {
+namespace {
+
+void Update(double x, double alpha, bool first, double& mean, double& var) {
+  if (first) {
+    mean = x;
+    var = 0.0;
+    return;
+  }
+  const double delta = x - mean;
+  mean += alpha * delta;
+  // EWMA variance (West 1979): blend of old variance and the new squared
+  // deviation measured against the updated mean.
+  var = (1.0 - alpha) * (var + alpha * delta * delta);
+}
+
+double Forecast(const double mean, const double var, double k) {
+  return std::max(0.0, mean + k * std::sqrt(std::max(0.0, var)));
+}
+
+}  // namespace
+
+DemandEstimator::DemandEstimator(std::size_t num_containers,
+                                 EstimatorOptions opts)
+    : opts_(opts), entries_(num_containers) {
+  GOLDILOCKS_CHECK(opts.ewma_alpha > 0.0 && opts.ewma_alpha <= 1.0);
+}
+
+void DemandEstimator::Observe(std::span<const Resource> measured) {
+  GOLDILOCKS_CHECK(measured.size() == entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    auto& e = entries_[i];
+    const bool first = !e.seen;
+    // A zero vector means "not running this epoch": forgetting the history
+    // would make restarts look like brand-new containers, so skip instead.
+    if (measured[i].IsZero()) continue;
+    Update(measured[i].cpu, opts_.ewma_alpha, first, e.cpu.mean, e.cpu.var);
+    Update(measured[i].mem_gb, opts_.ewma_alpha, first, e.mem.mean,
+           e.mem.var);
+    Update(measured[i].net_mbps, opts_.ewma_alpha, first, e.net.mean,
+           e.net.var);
+    e.seen = true;
+  }
+  ++observations_;
+}
+
+std::vector<Resource> DemandEstimator::Predict(
+    std::span<const Resource> fallback) const {
+  GOLDILOCKS_CHECK(fallback.size() == entries_.size());
+  std::vector<Resource> out(entries_.size());
+  const double k = opts_.headroom_stddevs;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto& e = entries_[i];
+    if (!e.seen) {
+      out[i] = fallback[i];
+      continue;
+    }
+    out[i] = Resource{.cpu = Forecast(e.cpu.mean, e.cpu.var, k),
+                      .mem_gb = Forecast(e.mem.mean, e.mem.var, k),
+                      .net_mbps = Forecast(e.net.mean, e.net.var, k)};
+  }
+  return out;
+}
+
+}  // namespace gl

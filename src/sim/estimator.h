@@ -1,0 +1,57 @@
+// Online demand estimation (Sec. V: "prior to mapping containers to
+// servers, the real-time server and network utilization have to be
+// measured" — Docker metric pseudo-files and IPTraf in the testbed).
+//
+// A deployed scheduler never sees the next epoch's true demands; it sees
+// the history of measured utilization and must provision for what comes.
+// The estimator keeps per-container, per-dimension EWMA mean and variance
+// and predicts mean + k·σ — the headroom multiplier k plays the same role
+// as Resource Central's percentile predictions. The estimator-vs-oracle
+// ablation (bench_ablations) quantifies what imperfect prediction costs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/resource.h"
+
+namespace gl {
+
+struct EstimatorOptions {
+  // Smoothing factor: weight of the newest observation.
+  double ewma_alpha = 0.4;
+  // Prediction = mean + headroom_stddevs × σ, per dimension.
+  double headroom_stddevs = 1.0;
+};
+
+class DemandEstimator {
+ public:
+  explicit DemandEstimator(std::size_t num_containers,
+                           EstimatorOptions opts = {});
+
+  // Feeds one epoch of measured utilization (indexed by ContainerId).
+  void Observe(std::span<const Resource> measured);
+
+  // Predicted demand for the next epoch. Containers with no observations
+  // yet fall back to the given per-container values (e.g. reservations).
+  [[nodiscard]] std::vector<Resource> Predict(
+      std::span<const Resource> fallback) const;
+
+  [[nodiscard]] int observations() const { return observations_; }
+
+ private:
+  struct Dim {
+    double mean = 0.0;
+    double var = 0.0;
+  };
+  struct Entry {
+    Dim cpu, mem, net;
+    bool seen = false;
+  };
+
+  EstimatorOptions opts_;
+  std::vector<Entry> entries_;
+  int observations_ = 0;
+};
+
+}  // namespace gl

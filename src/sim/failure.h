@@ -1,0 +1,64 @@
+// Failure injection and recovery analysis (Sec. IV-C).
+//
+// The paper places replicas of a service in different fault domains (racks)
+// via negative container-graph edges, so that a server, ToR, or power-rail
+// failure [48]-[50] never takes out every copy. This module makes that
+// claim measurable:
+//
+//   * InjectFailure — knock out a server or a whole rack; report which
+//     containers are displaced and which replica sets lost every member
+//     (service unavailable) versus kept at least one (degraded but up).
+//   * PlanRecovery — re-place the displaced containers on the surviving
+//     servers (best-fit, leaving the untouched containers in place — no
+//     gratuitous reshuffle during an outage) and estimate the time to
+//     restore full replication from checkpoints/replicas.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "schedulers/placement.h"
+#include "sim/migration.h"
+#include "workload/container.h"
+
+namespace gl {
+
+enum class FailureDomain {
+  kServer,  // one machine dies
+  kRack,    // ToR / power rail: every server under the rack dies
+};
+
+struct FailureImpact {
+  std::vector<ContainerId> displaced;
+  // Replica sets that still have at least one member on a healthy server.
+  std::vector<GroupId> degraded_sets;
+  // Replica sets whose every member was on the failed domain: an outage.
+  std::vector<GroupId> unavailable_sets;
+  int failed_servers = 0;
+};
+
+// What fails: `victim` is a ServerId for kServer, or any server under the
+// doomed rack for kRack.
+FailureImpact InjectFailure(const Placement& placement,
+                            const Workload& workload, const Topology& topo,
+                            FailureDomain domain, ServerId victim);
+
+struct RecoveryResult {
+  Placement placement;      // after re-placing the displaced containers
+  int recovered = 0;        // displaced containers that found a new home
+  int unrecoverable = 0;    // no healthy capacity left for them
+  // Time to ship the displaced containers' state to their new homes
+  // (restore-from-checkpoint/replica semantics).
+  double recovery_makespan_ms = 0.0;
+};
+
+// Re-places the displaced containers on the healthy servers (best-fit by
+// dominant share). Containers that were not displaced stay where they are.
+RecoveryResult PlanRecovery(const Placement& placement,
+                            const FailureImpact& impact,
+                            const Workload& workload,
+                            std::span<const Resource> demands,
+                            const Topology& topo,
+                            const MigrationCostOptions& cost = {});
+
+}  // namespace gl

@@ -1,0 +1,67 @@
+// Task-completion-time model.
+//
+// A query on edge (a → b) completes in
+//
+//   TCT = S_b · Q(u) + 2 · Σ_{links on path} h · C(ρ_link)
+//
+// where S_b is the responder application's unloaded service time, Q the
+// queueing inflation of the busier endpoint server, h the per-hop one-way
+// latency (switching + VxLAN encap/decap on the testbed software overlay),
+// and C the per-link congestion inflation. Both inflations are M/M/1-shaped
+// (1/(1-u)) with a cap, and server utilization is amplified by an
+// intra-epoch burst factor: the paper's core argument is that policies that
+// pack to ~95% leave no headroom, so correlated bursts push them into the
+// saturated regime while Goldilocks' PEE ceiling absorbs them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "schedulers/placement.h"
+#include "netsim/traffic.h"
+#include "topology/topology.h"
+#include "workload/container.h"
+
+namespace gl {
+
+struct LatencyOptions {
+  // One-way per-link latency: switching plus software VxLAN overlay cost.
+  double per_hop_ms = 0.4;
+  // Intra-epoch bursts above the epoch-mean utilization (Azure VMs burst
+  // together: pairwise correlation 0.6–0.8).
+  double burst_amplification = 0.15;
+  // Caps for the queueing / congestion inflation factors.
+  double max_queue_factor = 12.0;
+  double max_congestion_factor = 4.0;
+  // A query slower than this violates the SLA.
+  double sla_ms = 30.0;
+};
+
+struct TctResult {
+  double mean_ms = 0.0;        // flow-weighted mean over query edges
+  double p99_ms = 0.0;         // unweighted p99 over query edges
+  int query_edges = 0;
+  double sla_violation_rate = 0.0;
+};
+
+class LatencyModel {
+ public:
+  LatencyModel(const Topology& topo, LatencyOptions opts = {});
+
+  [[nodiscard]] TctResult ComputeTct(const Workload& workload,
+                                     const Placement& placement,
+                                     std::span<const Resource> demands,
+                                     std::span<const std::uint8_t> active,
+                                     const TrafficEstimate& traffic) const;
+
+  // Effective queueing factor for a server at `utilization` (exposed for
+  // tests and the ablation benches).
+  [[nodiscard]] double QueueFactor(double utilization) const;
+  [[nodiscard]] double CongestionFactor(double link_utilization) const;
+
+ private:
+  const Topology& topo_;
+  LatencyOptions opts_;
+};
+
+}  // namespace gl

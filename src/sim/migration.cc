@@ -1,0 +1,33 @@
+#include "sim/migration.h"
+
+#include <algorithm>
+
+namespace gl {
+
+MigrationCost ComputeMigrationCost(const Placement& before,
+                                   const Placement& after,
+                                   const Workload& workload,
+                                   std::span<const Resource> demands,
+                                   const MigrationCostOptions& opts) {
+  MigrationCost cost;
+  const std::size_t n =
+      std::min(before.server_of.size(), after.server_of.size());
+  for (std::size_t i = 0; i < n && i < workload.containers.size(); ++i) {
+    const auto from = before.server_of[i];
+    const auto to = after.server_of[i];
+    if (!from.valid() || !to.valid() || from == to) continue;
+
+    const double image_gb = demands[i].mem_gb * opts.image_overhead;
+    // GB → Gbit: ×8; Mbps → Gbit/s: ÷1000; seconds → ms: ×1000.
+    const double transfer_ms =
+        image_gb * 8.0 / (opts.transfer_mbps / 1000.0) * 1000.0;
+    const double downtime = opts.freeze_ms + transfer_ms + opts.restore_ms;
+    ++cost.migrations;
+    cost.total_downtime_ms += downtime;
+    cost.max_downtime_ms = std::max(cost.max_downtime_ms, downtime);
+    cost.traffic_gb += image_gb;
+  }
+  return cost;
+}
+
+}  // namespace gl

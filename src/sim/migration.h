@@ -1,0 +1,36 @@
+// CRIU-style container migration cost model (Sec. V).
+//
+// Moving a container between epochs checkpoint-freezes the process tree,
+// ships the image (≈ resident memory) plus volume delta over the network
+// (rsync in the testbed), and restores at the destination. Costs scale with
+// the container's memory footprint and the available transfer bandwidth.
+#pragma once
+
+#include <span>
+
+#include "schedulers/placement.h"
+#include "workload/container.h"
+
+namespace gl {
+
+struct MigrationCostOptions {
+  double freeze_ms = 250.0;         // CRIU checkpoint freeze
+  double restore_ms = 300.0;        // restore + network re-attach (VxLAN)
+  double transfer_mbps = 800.0;     // effective rsync throughput on 1G links
+  double image_overhead = 1.10;     // image is slightly larger than RSS
+};
+
+struct MigrationCost {
+  int migrations = 0;
+  double total_downtime_ms = 0.0;  // Σ freeze + transfer + restore
+  double max_downtime_ms = 0.0;    // worst single container
+  double traffic_gb = 0.0;         // checkpoint bytes moved
+};
+
+MigrationCost ComputeMigrationCost(const Placement& before,
+                                   const Placement& after,
+                                   const Workload& workload,
+                                   std::span<const Resource> demands,
+                                   const MigrationCostOptions& opts = {});
+
+}  // namespace gl

@@ -1,0 +1,69 @@
+// Migration plan construction (the Sec. V migration controller).
+//
+// Moving from one epoch's placement to the next is not a single atomic step:
+// a container can only be restored on its destination server if the
+// destination has room *at that moment*. Moves can depend on each other —
+// A's destination frees only after B departs — and dependencies can form
+// cycles (A→B's slot, B→A's slot), which need a bounce through a spare
+// server. This planner orders the moves into phases:
+//
+//   phase k = the set of migrations whose destination has room given the
+//             state after phases 0..k-1; cycles are broken by bouncing the
+//             smallest-memory container of the cycle through a server with
+//             scratch capacity (two moves instead of one).
+//
+// It also estimates the makespan: within a phase, migrations run in
+// parallel subject to a per-server transfer-concurrency limit (the NIC is
+// the bottleneck: rsync streams share it).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "schedulers/placement.h"
+#include "sim/migration.h"
+#include "workload/container.h"
+
+namespace gl {
+
+struct MigrationStep {
+  ContainerId container;
+  ServerId from;
+  ServerId to;
+  int phase = 0;
+  bool bounce = false;  // part of a cycle break (extra hop via a spare)
+  double transfer_ms = 0.0;
+};
+
+struct MigrationPlan {
+  std::vector<MigrationStep> steps;
+  int num_phases = 0;
+  int bounced_containers = 0;
+  // Containers whose move could not be scheduled (no room anywhere even
+  // with bounce). Empty in any sane reconfiguration.
+  std::vector<ContainerId> stuck;
+  // Wall-clock estimate: phases run sequentially; within a phase, each
+  // server transfers one image at a time.
+  double makespan_ms = 0.0;
+  double total_image_gb = 0.0;
+};
+
+struct MigrationPlannerOptions {
+  MigrationCostOptions cost;
+  // Utilization ceiling the *destination* must respect mid-transition
+  // (containers briefly exist on both sides; keeping a margin avoids
+  // overload while the old copy drains).
+  double transition_ceiling = 1.0;
+  int max_phases = 16;
+};
+
+// Builds the phased plan that transforms `before` into `after` for the
+// given demands. Containers present only in `after` (new starts) and only
+// in `before` (stops) are not migrations and are ignored.
+MigrationPlan PlanMigrations(const Placement& before, const Placement& after,
+                             const Workload& workload,
+                             std::span<const Resource> demands,
+                             const Topology& topo,
+                             const MigrationPlannerOptions& opts = {});
+
+}  // namespace gl

@@ -1,0 +1,164 @@
+#include "sim/simulator.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+#include "netsim/traffic.h"
+
+namespace gl {
+
+EpochMetrics ExperimentResult::Average() const {
+  EpochMetrics avg;
+  if (epochs.empty()) return avg;
+  const auto n = static_cast<double>(epochs.size());
+  for (const auto& e : epochs) {
+    avg.active_servers += e.active_servers;
+    avg.active_switches += e.active_switches;
+    avg.server_watts += e.server_watts;
+    avg.network_watts += e.network_watts;
+    avg.total_watts += e.total_watts;
+    avg.avg_active_utilization += e.avg_active_utilization;
+    avg.mean_tct_ms += e.mean_tct_ms;
+    avg.p99_tct_ms += e.p99_tct_ms;
+    avg.sla_violation_rate += e.sla_violation_rate;
+    avg.rps += e.rps;
+    avg.energy_per_request_j += e.energy_per_request_j;
+    avg.watts_per_krps += e.watts_per_krps;
+    avg.migrations += e.migrations;
+    avg.migration_downtime_ms += e.migration_downtime_ms;
+    avg.placed_containers += e.placed_containers;
+    avg.unplaced_containers += e.unplaced_containers;
+  }
+  avg.active_servers = static_cast<int>(avg.active_servers / n);
+  avg.active_switches = static_cast<int>(avg.active_switches / n);
+  avg.server_watts /= n;
+  avg.network_watts /= n;
+  avg.total_watts /= n;
+  avg.avg_active_utilization /= n;
+  avg.mean_tct_ms /= n;
+  avg.p99_tct_ms /= n;
+  avg.sla_violation_rate /= n;
+  avg.rps /= n;
+  avg.energy_per_request_j /= n;
+  avg.watts_per_krps /= n;
+  avg.migrations = static_cast<int>(avg.migrations / n);
+  avg.migration_downtime_ms /= n;
+  avg.placed_containers = static_cast<int>(avg.placed_containers / n);
+  avg.unplaced_containers = static_cast<int>(avg.unplaced_containers / n);
+  return avg;
+}
+
+ExperimentRunner::ExperimentRunner(const Scenario& scenario,
+                                   const Topology& topo, RunnerOptions opts)
+    : scenario_(scenario), topo_(topo), opts_(std::move(opts)) {
+  if (opts_.switch_models.empty()) {
+    opts_.switch_models.assign(static_cast<std::size_t>(topo.num_levels()),
+                               SwitchPowerModel::Hpe3800());
+  }
+  GOLDILOCKS_CHECK(static_cast<int>(opts_.switch_models.size()) >=
+                   topo.num_levels());
+}
+
+ExperimentResult ExperimentRunner::Run(Scheduler& scheduler) const {
+  ExperimentResult result;
+  result.scheduler = scheduler.name();
+  result.scenario = scenario_.name();
+
+  const Workload& workload = scenario_.workload();
+  const LatencyModel latency(topo_, opts_.latency);
+  Placement previous;
+  DemandEstimator estimator(workload.containers.size(), opts_.estimator);
+  std::vector<Resource> reservations;
+  if (opts_.use_estimated_demands) {
+    reservations.reserve(workload.containers.size());
+    for (const auto& c : workload.containers) {
+      reservations.push_back(GetAppProfile(c.app).reserved);
+    }
+  }
+
+  for (int epoch = 0; epoch < scenario_.num_epochs(); ++epoch) {
+    const auto demands = scenario_.DemandsAt(epoch);
+    const auto active = scenario_.ActiveAt(epoch);
+    // What the scheduler believes: the oracle, or predictions from history.
+    std::vector<Resource> believed;
+    if (opts_.use_estimated_demands) {
+      believed = estimator.observations() > 0 ? estimator.Predict(reservations)
+                                              : reservations;
+    }
+
+    SchedulerInput input;
+    input.workload = &workload;
+    input.demands = opts_.use_estimated_demands ? believed : demands;
+    input.active = active;
+    input.topology = &topo_;
+    input.previous = previous.server_of.empty() ? nullptr : &previous;
+
+    const Placement placement = scheduler.Place(input);
+    if (opts_.use_estimated_demands) estimator.Observe(demands);
+
+    EpochMetrics m;
+    m.epoch = epoch;
+
+    // Placement accounting.
+    int expected = 0;
+    for (const auto a : active) expected += a;
+    m.placed_containers = placement.num_placed();
+    m.unplaced_containers = expected - m.placed_containers;
+
+    // Server power.
+    const auto loads =
+        ServerLoads(placement, demands, topo_.num_servers());
+    std::vector<std::uint8_t> server_active(
+        static_cast<std::size_t>(topo_.num_servers()), 0);
+    double util_sum = 0.0;
+    for (int s = 0; s < topo_.num_servers(); ++s) {
+      const auto si = static_cast<std::size_t>(s);
+      const bool on = !loads[si].IsZero();
+      server_active[si] = on || !opts_.power_off_idle_servers;
+      if (!server_active[si]) continue;
+      const auto& cap = topo_.server_capacity(ServerId{s});
+      const double cpu_util = cap.cpu > 0.0 ? loads[si].cpu / cap.cpu : 0.0;
+      m.server_watts += opts_.server_power.Power(cpu_util);
+      if (on) {
+        ++m.active_servers;
+        util_sum += loads[si].DominantShare(cap);
+      }
+    }
+    m.avg_active_utilization =
+        m.active_servers > 0 ? util_sum / m.active_servers : 0.0;
+
+    // Network traffic, gating and power.
+    const TrafficEstimate traffic =
+        EstimateTraffic(workload, placement, demands, active, topo_);
+    const NetworkPowerResult net = ComputeNetworkPower(
+        topo_, server_active, traffic.node_uplink_mbps, opts_.switch_models,
+        opts_.gating);
+    m.network_watts = net.watts;
+    m.active_switches = net.active_switches;
+    m.total_watts = m.server_watts + m.network_watts;
+
+    // Task completion time and energy per request.
+    const TctResult tct =
+        latency.ComputeTct(workload, placement, demands, active, traffic);
+    m.mean_tct_ms = tct.mean_ms;
+    m.p99_tct_ms = tct.p99_ms;
+    m.sla_violation_rate = tct.sla_violation_rate;
+    m.rps = scenario_.TotalRpsAt(epoch);
+    m.energy_per_request_j = (m.total_watts / 1000.0) * m.mean_tct_ms;
+    m.watts_per_krps = m.rps > 0.0 ? m.total_watts / (m.rps / 1000.0) : 0.0;
+
+    // Migration cost vs the previous epoch.
+    if (!previous.server_of.empty()) {
+      const MigrationCost mig = ComputeMigrationCost(
+          previous, placement, workload, demands, opts_.migration);
+      m.migrations = mig.migrations;
+      m.migration_downtime_ms = mig.total_downtime_ms;
+    }
+
+    result.epochs.push_back(m);
+    previous = placement;
+  }
+  return result;
+}
+
+}  // namespace gl

@@ -1,0 +1,76 @@
+#include "topology/datacenters.h"
+
+namespace gl {
+
+const std::array<DataCenterSpec, 5>& TableOneDataCenters() {
+  static const std::array<DataCenterSpec, 5> kSpecs = {{
+      {
+          .name = "Google (Jupiter)",
+          .servers = 98304,
+          .server_nic_gbps = 40.0,
+          .tor_switches = 2048,
+          .fabric_switches = 3584,
+          .links = 147456,
+          .server_max_watts = 96.0,    // Facebook 1S SoC server [30]
+          .tor_switch_watts = 630.0,   // 2x HPE Altoline 6940 [31]
+          .fabric_switch_watts = 630.0,
+          .server_model = "Facebook 1S (96W SoC)",
+          .switch_model = "2x HPE Altoline 6940 (630W)",
+      },
+      {
+          .name = "Facebook (fabric)",
+          .servers = 184320,
+          .server_nic_gbps = 10.0,
+          .tor_switches = 4608,
+          .fabric_switches = 576,
+          .links = 36864,
+          .server_max_watts = 96.0,
+          .tor_switch_watts = 282.0,    // Facebook Wedge [33]
+          .fabric_switch_watts = 1400.0,  // Facebook 6 Pack [33]
+          .server_model = "Facebook 1S (96W SoC)",
+          .switch_model = "Wedge ToR (282W), 6 Pack fabric (1400W)",
+      },
+      {
+          .name = "VL2(96)",
+          .servers = 46080,
+          .server_nic_gbps = 10.0,
+          .tor_switches = 2304,
+          .fabric_switches = 144,
+          .links = 9216,
+          .server_max_watts = 250.0,  // Microsoft blade server [30]
+          .tor_switch_watts = 282.0,
+          .fabric_switch_watts = 1400.0,
+          .server_model = "Microsoft blade (250W)",
+          .switch_model = "Wedge ToR (282W), 6 Pack fabric (1400W)",
+      },
+      {
+          .name = "Fat-tree(32)",
+          .servers = 32768,
+          .server_nic_gbps = 10.0,
+          .tor_switches = 512,    // k^2/2 edge switches
+          .fabric_switches = 768,  // k^2/2 aggregation + k^2/4 core
+          .links = 2048,
+          .server_max_watts = 250.0,
+          .tor_switch_watts = 315.0,  // HPE Altoline 6940 [31]
+          .fabric_switch_watts = 315.0,
+          .server_model = "Microsoft blade (250W)",
+          .switch_model = "HPE Altoline 6940 (315W)",
+      },
+      {
+          .name = "Fat-tree(72)",
+          .servers = 93312,
+          .server_nic_gbps = 10.0,
+          .tor_switches = 2592,    // k^2/2
+          .fabric_switches = 3888,  // k^2/2 + k^2/4
+          .links = 10368,
+          .server_max_watts = 250.0,
+          .tor_switch_watts = 315.0,  // HPE Altoline 6920 [36]
+          .fabric_switch_watts = 315.0,
+          .server_model = "Microsoft blade (250W)",
+          .switch_model = "HPE Altoline 6920 (315W)",
+      },
+  }};
+  return kSpecs;
+}
+
+}  // namespace gl

@@ -1,0 +1,31 @@
+// Table I of the paper: configurations of five production-scale data centers
+// with matched Open Compute Project power models. These are pure data; the
+// power analysis that turns them into the Fig. 3 breakdown lives in
+// power/dc_power.h.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace gl {
+
+struct DataCenterSpec {
+  std::string name;
+  long long servers = 0;
+  double server_nic_gbps = 0.0;
+  long long tor_switches = 0;
+  long long fabric_switches = 0;  // aggregation + core combined
+  long long links = 0;            // inter-switch links (ToR and above)
+  // Peak (100%-load) power draws from the matched models.
+  double server_max_watts = 0.0;
+  double tor_switch_watts = 0.0;
+  double fabric_switch_watts = 0.0;
+  std::string server_model;
+  std::string switch_model;
+};
+
+// The five rows of Table I: Google (Jupiter), Facebook (fabric), VL2(96),
+// Fat-tree(32), Fat-tree(72).
+const std::array<DataCenterSpec, 5>& TableOneDataCenters();
+
+}  // namespace gl

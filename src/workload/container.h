@@ -1,0 +1,79 @@
+// Containers, application profiles (Table II) and workload graphs.
+//
+// A Workload is the raw material of the container graph (Sec. III-A):
+// containers with ⟨CPU, Memory, Network⟩ demand vectors, plus communication
+// edges weighted by the number of distinct flows between container pairs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/resource.h"
+
+namespace gl {
+
+enum class AppType {
+  kMemcached,       // Twitter content caching backend
+  kFrontend,        // Twitter content caching query generator
+  kSolr,            // Apache Solr web search
+  kHadoop,          // Naive Bayes classifier on Hadoop
+  kNginx,           // media streaming
+  kSparkRecommend,  // movie recommendation on Spark
+  kSparkPageRank,   // page rank on Spark
+  kCassandra,       // Cassandra database
+};
+
+[[nodiscard]] const char* AppTypeName(AppType t);
+
+// Measured per-container characteristics (Table II of the paper for the four
+// benchmarked workloads; companion profiles, measured the same way, for the
+// additional Azure-mix applications).
+struct AppProfile {
+  AppType type;
+  std::string name;
+  Resource demand;      // vertex weight at the reference load
+  // What the service owner *requests* (cores, memory) when deploying —
+  // typically well above the measured demand; reservation-driven policies
+  // (RC-Informed) pack against this, not against live utilization [15].
+  Resource reserved;
+  double flow_count;    // typical edge weight to a communication peer
+  double reference_rps; // request rate at which `demand` was measured
+  double base_service_ms;  // service time at an unloaded server
+};
+
+[[nodiscard]] const AppProfile& GetAppProfile(AppType t);
+[[nodiscard]] const std::vector<AppProfile>& AllAppProfiles();
+
+struct Container {
+  ContainerId id;
+  AppType app = AppType::kMemcached;
+  Resource demand;  // current-epoch demand (vertex weight)
+  // Service instance this container belongs to (e.g. one Spark job); used to
+  // wire intra-service communication.
+  int service = -1;
+  // Containers sharing a valid replica_set are replicas of one another and
+  // must land in different fault domains (Sec. IV-C).
+  GroupId replica_set = GroupId::invalid();
+};
+
+struct CommunicationEdge {
+  ContainerId a;
+  ContainerId b;
+  double flows = 0.0;  // distinct flow count — the container-graph edge weight
+  // Query edges carry latency-sensitive request/response traffic; task
+  // completion time is measured across them (a → b → a).
+  bool is_query = false;
+};
+
+struct Workload {
+  std::vector<Container> containers;
+  std::vector<CommunicationEdge> edges;
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(containers.size());
+  }
+  [[nodiscard]] Resource TotalDemand() const;
+};
+
+}  // namespace gl

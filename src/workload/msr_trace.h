@@ -1,0 +1,56 @@
+// Synthetic Microsoft search trace (the DCTCP trace [19] used throughout the
+// paper: container-graph snapshots in Fig. 5, partitions in Fig. 7(b), and
+// the Fig. 13 large-scale simulation).
+//
+// The real trace is not public; this generator reproduces every statistic the
+// paper states and consumes:
+//   * 5488 vertices, ~128538 edges (mean distinct connections per VM ≈ 45);
+//   * partition–aggregate search structure: a small tier of aggregators with
+//    high fan-out over Index Serving Nodes (ISNs);
+//   * ISNs hold a 12 GB in-memory index (constant memory weight, Fig. 5b)
+//     and serve at most 120 connections (Fig. 12a);
+//   * query flows of 1.6–2 KB, background (Hadoop URL-crawl) flows of
+//     1–50 MB;
+//   * vertex CPU derived from the Fig. 12 calibration models.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/container.h"
+
+namespace gl {
+
+struct MsrTraceOptions {
+  int num_vertices = 5488;
+  double mean_degree = 45.0;       // → ~123k edges; paper reports 128538
+  double aggregator_fraction = 0.08;  // high fan-out search aggregators
+  double background_fraction = 0.10;  // Hadoop update/crawl vertices
+  double max_connections_per_isn = 120.0;
+  double min_query_flow_kb = 1.6;
+  double max_query_flow_kb = 2.0;
+  double min_background_flow_mb = 1.0;
+  double max_background_flow_mb = 50.0;
+  std::uint64_t seed = 0x315a;
+};
+
+struct MsrTrace {
+  // One container per trace vertex. Search vertices use the Solr profile
+  // shape (12 GB index); background vertices the Hadoop shape.
+  Workload workload;
+  std::vector<std::uint8_t> is_background;  // per vertex
+  // Sampled flow sizes, for the flow-level benches and Fig 5 statistics.
+  std::vector<double> query_flow_kb;
+  std::vector<double> background_flow_mb;
+};
+
+MsrTrace GenerateMsrSearchTrace(const MsrTraceOptions& opts, Rng& rng);
+
+// Expands each trace vertex into `per_vertex` containers (the Fig. 13 setup:
+// 5488 vertices × 9 = 49392 containers). Each vertex becomes a service whose
+// containers share the vertex's demand profile and are wired in a star; the
+// vertex-to-vertex edges connect the service hubs with the original flow
+// weights.
+Workload ExpandTraceToContainers(const MsrTrace& trace, int per_vertex);
+
+}  // namespace gl

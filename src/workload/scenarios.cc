@@ -1,0 +1,367 @@
+#include "workload/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "workload/calibration.h"
+#include "workload/msr_trace.h"
+
+namespace gl {
+
+std::vector<ContainerId> AppendService(Workload& w, AppType type, int count,
+                                       int service_id) {
+  GOLDILOCKS_CHECK(count >= 1);
+  const AppProfile& profile = GetAppProfile(type);
+  std::vector<ContainerId> ids;
+  ids.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Container c;
+    c.id = ContainerId{w.size()};
+    c.app = type;
+    c.demand = profile.demand;
+    c.service = service_id;
+    w.containers.push_back(c);
+    ids.push_back(c.id);
+  }
+  // Star around the first container (master/coordinator) plus a
+  // nearest-neighbour chain so partitions cannot cheaply split the service.
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    w.edges.push_back({ids[0], ids[i], profile.flow_count});
+    if (i + 1 < ids.size()) {
+      w.edges.push_back({ids[i], ids[i + 1], profile.flow_count * 0.25});
+    }
+  }
+  return ids;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Twitter content caching (Fig. 9).
+// ---------------------------------------------------------------------------
+class TwitterCachingScenario final : public Scenario {
+ public:
+  explicit TwitterCachingScenario(const TwitterScenarioOptions& opts)
+      : opts_(opts),
+        name_("twitter-caching/wikipedia"),
+        trace_(opts.min_rps, opts.max_rps,
+               opts.epoch_minutes * opts.num_epochs, opts.seed),
+        bursts_(opts.num_containers, opts.num_epochs, opts.seed ^ 0xb0b0) {
+    GOLDILOCKS_CHECK(opts.num_containers >= 8 &&
+                     opts.num_containers % 8 == 0);
+    BuildWorkload();
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const Workload& workload() const override { return workload_; }
+  [[nodiscard]] int num_epochs() const override { return opts_.num_epochs; }
+  [[nodiscard]] double epoch_minutes() const override {
+    return opts_.epoch_minutes;
+  }
+
+  [[nodiscard]] std::vector<Resource> DemandsAt(int epoch) const override {
+    const double per_pair_rps = PerPairRps(epoch);
+    std::vector<Resource> demands;
+    demands.reserve(workload_.containers.size());
+    for (const auto& c : workload_.containers) {
+      const double jitter =
+          bursts_.Multiplier(c.id.value(), epoch % bursts_.num_steps());
+      const double rps = per_pair_rps * jitter;
+      demands.push_back(c.app == AppType::kMemcached
+                            ? MemcachedDemandForRps(rps)
+                            : FrontendDemandForRps(rps));
+    }
+    return demands;
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> ActiveAt(int epoch) const override {
+    (void)epoch;
+    return std::vector<std::uint8_t>(workload_.containers.size(), 1);
+  }
+
+  [[nodiscard]] double TotalRpsAt(int epoch) const override {
+    return trace_.RpsAt((epoch + 0.5) * opts_.epoch_minutes);
+  }
+
+ private:
+  [[nodiscard]] double PerPairRps(int epoch) const {
+    const int pairs = opts_.num_containers / 2;
+    return TotalRpsAt(epoch) / static_cast<double>(pairs);
+  }
+
+  void BuildWorkload() {
+    // Services of 8 containers: 4 front-ends and their 4 Memcached peers.
+    // The matched pair carries the Table II flow count; each front-end also
+    // fans out lightly to the other Memcacheds of its service (consistent
+    // hashing spreads keys across the peer set).
+    const AppProfile& mc = GetAppProfile(AppType::kMemcached);
+    const int services = opts_.num_containers / 8;
+    for (int s = 0; s < services; ++s) {
+      std::vector<ContainerId> fes, mcs;
+      for (int i = 0; i < 4; ++i) {
+        Container fe;
+        fe.id = ContainerId{workload_.size()};
+        fe.app = AppType::kFrontend;
+        fe.demand = GetAppProfile(AppType::kFrontend).demand;
+        fe.service = s;
+        workload_.containers.push_back(fe);
+        fes.push_back(fe.id);
+
+        Container m;
+        m.id = ContainerId{workload_.size()};
+        m.app = AppType::kMemcached;
+        m.demand = mc.demand;
+        m.service = s;
+        workload_.containers.push_back(m);
+        mcs.push_back(m.id);
+      }
+      for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+          const double flows = (i == j) ? mc.flow_count : mc.flow_count * 0.1;
+          workload_.edges.push_back({fes[static_cast<std::size_t>(i)],
+                                     mcs[static_cast<std::size_t>(j)], flows,
+                                     /*is_query=*/true});
+        }
+      }
+    }
+  }
+
+  TwitterScenarioOptions opts_;
+  std::string name_;
+  WikipediaTrace trace_;
+  CorrelatedDemandModel bursts_;
+  Workload workload_;
+};
+
+// ---------------------------------------------------------------------------
+// Azure application mixture (Fig. 10).
+// ---------------------------------------------------------------------------
+class AzureMixScenario final : public Scenario {
+ public:
+  explicit AzureMixScenario(const AzureScenarioOptions& opts)
+      : opts_(opts),
+        name_("azure-mix"),
+        trace_(opts.min_containers, opts.max_containers,
+               opts.epoch_minutes * opts.num_epochs, opts.seed),
+        bursts_(opts.max_containers, opts.num_epochs, opts.seed ^ 0xdada) {
+    BuildWorkload();
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const Workload& workload() const override { return workload_; }
+  [[nodiscard]] int num_epochs() const override { return opts_.num_epochs; }
+  [[nodiscard]] double epoch_minutes() const override {
+    return opts_.epoch_minutes;
+  }
+
+  [[nodiscard]] std::vector<Resource> DemandsAt(int epoch) const override {
+    const auto active = ActiveAt(epoch);
+    std::vector<Resource> demands(workload_.containers.size());
+    for (std::size_t i = 0; i < workload_.containers.size(); ++i) {
+      if (!active[i]) continue;  // stays zero
+      const auto& c = workload_.containers[i];
+      const double m = bursts_.Multiplier(static_cast<int>(i),
+                                          epoch % bursts_.num_steps());
+      if (c.app == AppType::kMemcached) {
+        demands[i] = MemcachedDemandForRps(
+            opts_.memcached_rps_per_connection * m);
+      } else if (c.app == AppType::kFrontend) {
+        demands[i] = FrontendDemandForRps(
+            opts_.memcached_rps_per_connection * m);
+      } else {
+        // Background apps run at a fraction of their measured peak profile
+        // (activity), with correlated bursts on top; resident memory stays.
+        Resource d = GetAppProfile(c.app).demand;
+        d.cpu *= opts_.background_activity * m;
+        d.net_mbps *= opts_.background_activity * m;
+        demands[i] = d;
+      }
+    }
+    return demands;
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> ActiveAt(int epoch) const override {
+    const int count = trace_.CountAt((epoch + 0.5) * opts_.epoch_minutes);
+    std::vector<std::uint8_t> active(workload_.containers.size(), 0);
+    // Containers are appended service-by-service; a prefix cut therefore
+    // stops whole services first, mirroring jobs leaving the cluster.
+    for (int i = 0; i < count && i < workload_.size(); ++i) {
+      active[static_cast<std::size_t>(i)] = 1;
+    }
+    return active;
+  }
+
+  [[nodiscard]] double TotalRpsAt(int epoch) const override {
+    // Only the Twitter caching connections serve front-end requests.
+    const auto active = ActiveAt(epoch);
+    double rps = 0.0;
+    for (std::size_t i = 0; i < workload_.containers.size(); ++i) {
+      if (active[i] && workload_.containers[i].app == AppType::kFrontend) {
+        rps += opts_.memcached_rps_per_connection;
+      }
+    }
+    return rps;
+  }
+
+ private:
+  void BuildWorkload() {
+    // Mixture sized to reach max_containers: Twitter caching pairs plus the
+    // six background applications of Sec. VI-A-2, in repeating blocks so an
+    // active-prefix always contains a representative mix.
+    int service = 0;
+    Rng rng(opts_.seed ^ 0x5e11);
+    while (workload_.size() < opts_.max_containers) {
+      const int block = service % 7;
+      switch (block) {
+        case 0: {  // Twitter caching: 4 FE/MC pairs
+          auto ids = AppendService(workload_, AppType::kMemcached, 4, service);
+          for (const auto mc_id : ids) {
+            Container fe;
+            fe.id = ContainerId{workload_.size()};
+            fe.app = AppType::kFrontend;
+            fe.demand = GetAppProfile(AppType::kFrontend).demand;
+            fe.service = service;
+            workload_.containers.push_back(fe);
+            workload_.edges.push_back(
+                {fe.id, mc_id, GetAppProfile(AppType::kMemcached).flow_count,
+                 /*is_query=*/true});
+          }
+          break;
+        }
+        case 1:
+          AppendService(workload_, AppType::kSolr, 1, service);
+          break;
+        case 2:
+          AppendService(workload_, AppType::kSparkRecommend, 6, service);
+          break;
+        case 3:
+          AppendService(workload_, AppType::kHadoop, 4, service);
+          break;
+        case 4:
+          AppendService(workload_, AppType::kSparkPageRank, 4, service);
+          break;
+        case 5:
+          AppendService(workload_, AppType::kCassandra, 4, service);
+          break;
+        case 6:
+          // Media streaming shows up once in the mix — its 57 GB working
+          // set (Table II) would exhaust the testbed's memory otherwise.
+          if (service == 6) {
+            AppendService(workload_, AppType::kNginx, 1, service);
+          } else {
+            AppendService(workload_, AppType::kHadoop, 4, service);
+          }
+          break;
+      }
+      ++service;
+    }
+    // Trim overshoot from the last service block.
+    while (workload_.size() > opts_.max_containers) {
+      const auto last = ContainerId{workload_.size() - 1};
+      workload_.containers.pop_back();
+      std::erase_if(workload_.edges, [last](const CommunicationEdge& e) {
+        return e.a == last || e.b == last;
+      });
+    }
+    (void)rng;
+  }
+
+  AzureScenarioOptions opts_;
+  std::string name_;
+  AzureContainerTrace trace_;
+  CorrelatedDemandModel bursts_;
+  Workload workload_;
+};
+
+// ---------------------------------------------------------------------------
+// Microsoft-trace large-scale scenario (Fig. 13).
+// ---------------------------------------------------------------------------
+class MsrLargeScaleScenario final : public Scenario {
+ public:
+  explicit MsrLargeScaleScenario(const MsrScenarioOptions& opts)
+      : opts_(opts), name_("msr-large-scale") {
+    Rng rng(opts.seed);
+    MsrTraceOptions topts;
+    topts.num_vertices = opts.trace_vertices;
+    topts.seed = opts.seed;
+    trace_ = GenerateMsrSearchTrace(topts, rng);
+    workload_ = ExpandTraceToContainers(trace_, opts.per_vertex);
+    // Per-service burst streams (containers of one service burst together,
+    // mirroring the VM-level correlation of Sec. II).
+    bursts_ = std::make_unique<CorrelatedDemandModel>(
+        opts.trace_vertices, std::max(2, opts.num_epochs),
+        opts.seed ^ 0xfeed);
+    // Count of latency-sensitive search containers, for the RPS metric.
+    for (const auto& c : workload_.containers) {
+      search_containers_ += c.app == AppType::kSolr;
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const Workload& workload() const override { return workload_; }
+  [[nodiscard]] int num_epochs() const override { return opts_.num_epochs; }
+  [[nodiscard]] double epoch_minutes() const override {
+    return opts_.epoch_minutes;
+  }
+
+  [[nodiscard]] double DiurnalAt(int epoch) const {
+    // Hour-of-day shape: 0.55 at night, 1.0 at the evening peak.
+    const double hour = std::fmod(epoch * opts_.epoch_minutes / 60.0, 24.0);
+    return 0.775 + 0.225 * std::sin(2.0 * 3.14159265358979 *
+                                    (hour - 9.0) / 24.0);
+  }
+
+  [[nodiscard]] std::vector<Resource> DemandsAt(int epoch) const override {
+    const double diurnal = DiurnalAt(epoch);
+    std::vector<Resource> demands;
+    demands.reserve(workload_.containers.size());
+    for (const auto& c : workload_.containers) {
+      const double m =
+          diurnal * bursts_->Multiplier(c.service,
+                                        epoch % bursts_->num_steps());
+      Resource d = c.demand;
+      d.cpu *= m;
+      d.net_mbps *= m;  // memory (the index) stays resident
+      demands.push_back(d);
+    }
+    return demands;
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> ActiveAt(int epoch) const override {
+    (void)epoch;
+    return std::vector<std::uint8_t>(workload_.containers.size(), 1);
+  }
+
+  [[nodiscard]] double TotalRpsAt(int epoch) const override {
+    // Each search container serves up to 120 RPS at peak (Fig 12a).
+    return search_containers_ * 120.0 * DiurnalAt(epoch);
+  }
+
+ private:
+  MsrScenarioOptions opts_;
+  std::string name_;
+  MsrTrace trace_;
+  Workload workload_;
+  std::unique_ptr<CorrelatedDemandModel> bursts_;
+  int search_containers_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Scenario> MakeMsrLargeScaleScenario(
+    const MsrScenarioOptions& opts) {
+  return std::make_unique<MsrLargeScaleScenario>(opts);
+}
+
+std::unique_ptr<Scenario> MakeTwitterCachingScenario(
+    const TwitterScenarioOptions& opts) {
+  return std::make_unique<TwitterCachingScenario>(opts);
+}
+
+std::unique_ptr<Scenario> MakeAzureMixScenario(
+    const AzureScenarioOptions& opts) {
+  return std::make_unique<AzureMixScenario>(opts);
+}
+
+}  // namespace gl

@@ -1,0 +1,101 @@
+// Testbed experiment scenarios (Sec. VI-A).
+//
+// A Scenario owns a fixed container universe (the workload graph) and
+// animates it over epochs: per-epoch demand vectors, an active mask (the
+// Azure mix starts and stops containers), and the aggregate request rate
+// (for energy-per-request accounting).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/container.h"
+#include "workload/traces.h"
+
+namespace gl {
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  [[nodiscard]] virtual const Workload& workload() const = 0;
+  [[nodiscard]] virtual int num_epochs() const = 0;
+  [[nodiscard]] virtual double epoch_minutes() const = 0;
+
+  // Demand vector per container for this epoch (zero if inactive).
+  [[nodiscard]] virtual std::vector<Resource> DemandsAt(int epoch) const = 0;
+  // Which containers exist this epoch.
+  [[nodiscard]] virtual std::vector<std::uint8_t> ActiveAt(int epoch) const = 0;
+  // Aggregate served request rate this epoch (requests/second).
+  [[nodiscard]] virtual double TotalRpsAt(int epoch) const = 0;
+};
+
+// --- Twitter content caching on the Wikipedia pattern (Fig. 9) --------------
+//
+// `num_containers` front-end/Memcached containers in equal halves, organised
+// into services of 4 FE + 4 MC with a heavy primary edge per pair (Table II:
+// 4944 flows) and lighter secondary edges. Aggregate RPS follows the
+// Wikipedia diurnal trace.
+struct TwitterScenarioOptions {
+  int num_containers = 176;
+  int num_epochs = 60;
+  double epoch_minutes = 1.0;
+  double min_rps = 44000.0;
+  double max_rps = 440000.0;
+  std::uint64_t seed = 0x7717;
+};
+
+std::unique_ptr<Scenario> MakeTwitterCachingScenario(
+    const TwitterScenarioOptions& opts = {});
+
+// --- Rich application mixture on the Azure pattern (Fig. 10) ----------------
+//
+// Twitter caching pairs at a fixed 2K RPS per connection plus six background
+// applications (Solr, Spark recommendation, Hadoop, Spark PageRank,
+// Cassandra, Nginx). The live container count follows the Azure trace
+// (149–221); demands fluctuate with the correlated-burst model.
+struct AzureScenarioOptions {
+  int min_containers = 149;
+  int max_containers = 221;
+  int num_epochs = 60;
+  double epoch_minutes = 1.0;
+  double memcached_rps_per_connection = 2000.0;
+  // Average fraction of its Table II peak profile a background application
+  // actually uses — cloud VMs run far below their provisioned peak, the
+  // central observation of Resource Central [15]. Bursts multiply on top.
+  double background_activity = 0.30;
+  std::uint64_t seed = 0xa22e;
+};
+
+std::unique_ptr<Scenario> MakeAzureMixScenario(
+    const AzureScenarioOptions& opts = {});
+
+// --- Large-scale Microsoft-trace simulation (Fig. 13) -----------------------
+//
+// The synthetic Microsoft search trace expanded to `per_vertex` containers
+// per trace vertex (paper: 5488 × 9 = 49392 containers) over an 88-hour
+// horizon. Demands follow a diurnal shape with correlated bursts; memory
+// (the in-memory index) stays flat.
+struct MsrScenarioOptions {
+  int per_vertex = 9;
+  int num_epochs = 88;         // one epoch per hour in the paper
+  double epoch_minutes = 60.0;
+  int trace_vertices = 5488;
+  std::uint64_t seed = 0x135a;
+};
+
+std::unique_ptr<Scenario> MakeMsrLargeScaleScenario(
+    const MsrScenarioOptions& opts = {});
+
+// Helper shared by scenario builders and tests: appends one service of
+// `type` with `count` containers to `w`, wiring its intra-service edges
+// (star around the first container plus nearest-neighbour mesh) with the
+// profile's flow count. Returns the indices of the new containers.
+std::vector<ContainerId> AppendService(Workload& w, AppType type, int count,
+                                       int service_id);
+
+}  // namespace gl

@@ -1,0 +1,127 @@
+#include "workload/traces.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace gl {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Smooth periodic interpolation over a noise table.
+double SmoothLookup(const std::vector<double>& table, double phase01) {
+  const auto n = static_cast<double>(table.size());
+  double x = phase01 - std::floor(phase01);
+  const double pos = x * n;
+  const auto i0 = static_cast<std::size_t>(pos) % table.size();
+  const auto i1 = (i0 + 1) % table.size();
+  const double f = pos - std::floor(pos);
+  // Cosine interpolation keeps the series C1-smooth.
+  const double w = (1.0 - std::cos(f * kPi)) * 0.5;
+  return table[i0] * (1.0 - w) + table[i1] * w;
+}
+
+}  // namespace
+
+WikipediaTrace::WikipediaTrace(double min_rps, double max_rps,
+                               double period_minutes, std::uint64_t seed)
+    : min_rps_(min_rps), max_rps_(max_rps), period_(period_minutes) {
+  GOLDILOCKS_CHECK(min_rps > 0.0 && max_rps >= min_rps && period_minutes > 0);
+  Rng rng(seed);
+  noise_.resize(48);
+  for (auto& v : noise_) v = rng.Gaussian(0.0, 0.04);
+}
+
+double WikipediaTrace::RpsAt(double minutes) const {
+  const double phase = minutes / period_;
+  // Wikipedia's daily shape: a deep night trough and a broad daytime
+  // plateau with an evening peak — approximated by two harmonics.
+  const double d1 = std::sin(2.0 * kPi * (phase - 0.30));
+  const double d2 = 0.35 * std::sin(4.0 * kPi * (phase - 0.05));
+  double shape = 0.5 + 0.5 * std::clamp((d1 + d2) / 1.25, -1.0, 1.0);
+  shape = std::clamp(shape * (1.0 + SmoothLookup(noise_, phase * 6.0)), 0.0,
+                     1.0);
+  return min_rps_ + (max_rps_ - min_rps_) * shape;
+}
+
+AzureContainerTrace::AzureContainerTrace(int min_containers,
+                                         int max_containers,
+                                         double period_minutes,
+                                         std::uint64_t seed)
+    : min_(min_containers), max_(max_containers), period_(period_minutes) {
+  GOLDILOCKS_CHECK(min_containers > 0 && max_containers >= min_containers);
+  Rng rng(seed);
+  // Bounded random walk, then normalised to [0, 1] so the trace actually
+  // touches both extremes of the container range.
+  walk_.resize(64);
+  double x = 0.5;
+  for (auto& v : walk_) {
+    x += rng.Gaussian(0.0, 0.18);
+    x = std::clamp(x, 0.0, 1.0);
+    v = x;
+  }
+  const auto [lo_it, hi_it] = std::minmax_element(walk_.begin(), walk_.end());
+  const double lo = *lo_it, hi = *hi_it;
+  if (hi > lo) {
+    for (auto& v : walk_) v = (v - lo) / (hi - lo);
+  }
+}
+
+int AzureContainerTrace::CountAt(double minutes) const {
+  const double w = SmoothLookup(walk_, minutes / period_);
+  return min_ + static_cast<int>(std::lround(w * (max_ - min_)));
+}
+
+CorrelatedDemandModel::CorrelatedDemandModel(int num_series, int num_steps,
+                                             std::uint64_t seed)
+    : num_series_(num_series), num_steps_(num_steps) {
+  GOLDILOCKS_CHECK(num_series > 0 && num_steps > 1);
+  Rng rng(seed);
+  // Common burst process: AR(1) with strong persistence.
+  std::vector<double> common(static_cast<std::size_t>(num_steps));
+  double c = 0.0;
+  for (auto& v : common) {
+    c = 0.85 * c + rng.Gaussian(0.0, 0.3);
+    v = c;
+  }
+  // Weights: corr(m_i, m_j) = Var(shared·C) / (Var(shared·C) + idio²).
+  // C is AR(1) with φ=0.85, σ=0.3 → Var(C) ≈ 0.324; with shared=1.0 and
+  // idio=0.37, corr ≈ 0.70 — the middle of the paper's 0.6–0.8 band.
+  constexpr double kShared = 1.0;
+  constexpr double kIdio = 0.37;
+  values_.resize(static_cast<std::size_t>(num_series) *
+                 static_cast<std::size_t>(num_steps));
+  for (int s = 0; s < num_series; ++s) {
+    Rng own = rng.Fork();
+    for (int t = 0; t < num_steps; ++t) {
+      const double m = 1.0 + 0.25 * (kShared * common[static_cast<std::size_t>(t)] +
+                                     kIdio * own.Gaussian());
+      values_[static_cast<std::size_t>(s) *
+                  static_cast<std::size_t>(num_steps) +
+              static_cast<std::size_t>(t)] = std::clamp(m, 0.3, 2.2);
+    }
+  }
+}
+
+double CorrelatedDemandModel::Multiplier(int series, int step) const {
+  GOLDILOCKS_CHECK(series >= 0 && series < num_series_);
+  GOLDILOCKS_CHECK(step >= 0 && step < num_steps_);
+  return values_[static_cast<std::size_t>(series) *
+                     static_cast<std::size_t>(num_steps_) +
+                 static_cast<std::size_t>(step)];
+}
+
+double CorrelatedDemandModel::Correlation(int a, int b) const {
+  std::vector<double> xa(static_cast<std::size_t>(num_steps_));
+  std::vector<double> xb(static_cast<std::size_t>(num_steps_));
+  for (int t = 0; t < num_steps_; ++t) {
+    xa[static_cast<std::size_t>(t)] = Multiplier(a, t);
+    xb[static_cast<std::size_t>(t)] = Multiplier(b, t);
+  }
+  return PearsonCorrelation(xa, xb);
+}
+
+}  // namespace gl

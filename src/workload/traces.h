@@ -1,0 +1,82 @@
+// Load-trace patterns driving the experiments.
+//
+//   * WikipediaTrace — the diurnal request-rate shape of the Wikipedia
+//     workload analysis [27], compressed into the 60-minute testbed window
+//     of Fig. 9 (aggregate RPS swings 44K–440K).
+//   * AzureContainerTrace — the container-count fluctuation of the Microsoft
+//     Azure trace [15] used in Fig. 10 (149–221 containers, slow wander).
+//   * CorrelatedDemandModel — per-container demand multipliers with the
+//     pairwise Pearson correlation (0.6–0.8) the paper measured across 1500
+//     Azure VMs (Sec. II): bursts are correlated, so headroom matters.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gl {
+
+class WikipediaTrace {
+ public:
+  // Aggregate request rate swings between min_rps and max_rps over a
+  // `period_minutes` diurnal cycle (the testbed replays one full day in 60
+  // minutes).
+  WikipediaTrace(double min_rps, double max_rps, double period_minutes = 60.0,
+                 std::uint64_t seed = 0x5eed);
+
+  // Aggregate requests/second at time t (minutes).
+  [[nodiscard]] double RpsAt(double minutes) const;
+
+  [[nodiscard]] double min_rps() const { return min_rps_; }
+  [[nodiscard]] double max_rps() const { return max_rps_; }
+
+ private:
+  double min_rps_;
+  double max_rps_;
+  double period_;
+  std::vector<double> noise_;  // smooth per-slot multiplicative noise
+};
+
+class AzureContainerTrace {
+ public:
+  AzureContainerTrace(int min_containers, int max_containers,
+                      double period_minutes = 60.0,
+                      std::uint64_t seed = 0xa22e);
+
+  // Number of live containers at time t (minutes).
+  [[nodiscard]] int CountAt(double minutes) const;
+
+  [[nodiscard]] int min_containers() const { return min_; }
+  [[nodiscard]] int max_containers() const { return max_; }
+
+ private:
+  int min_;
+  int max_;
+  double period_;
+  std::vector<double> walk_;  // smoothed random walk in [0,1]
+};
+
+// Demand multiplier series: every container's multiplier is
+//   m_i(t) = clamp(base + shared·C(t) + idio·N_i(t))
+// where C is a common burst process and N_i independent noise. The weights
+// are chosen so pairwise Pearson correlation lands in the paper's 0.6–0.8
+// band (validated by tests).
+class CorrelatedDemandModel {
+ public:
+  CorrelatedDemandModel(int num_series, int num_steps,
+                        std::uint64_t seed = 0xc0de);
+
+  [[nodiscard]] double Multiplier(int series, int step) const;
+  [[nodiscard]] int num_series() const { return num_series_; }
+  [[nodiscard]] int num_steps() const { return num_steps_; }
+
+  // Pairwise Pearson correlation between two series' multiplier vectors.
+  [[nodiscard]] double Correlation(int a, int b) const;
+
+ private:
+  int num_series_;
+  int num_steps_;
+  std::vector<double> values_;  // row-major [series][step]
+};
+
+}  // namespace gl

@@ -1,0 +1,40 @@
+// Workload serialization: CSV import/export.
+//
+// Downstream users bring their own container inventories and communication
+// matrices (e.g. from sFlow/IPTraf captures, as the paper's testbed did).
+// The format is two flat CSV files:
+//
+//   containers.csv: id,app,cpu,mem_gb,net_mbps,service,replica_set
+//   edges.csv:      a,b,flows,is_query
+//
+// `app` is the AppTypeName string (unknown names map to Cassandra-class
+// generic); `replica_set` is empty or an integer. Loading validates ids and
+// referential integrity and reports precise line numbers on malformed rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/container.h"
+
+namespace gl {
+
+// Serialize. Streams are used directly so tests need no filesystem.
+void WriteContainersCsv(const Workload& workload, std::ostream& out);
+void WriteEdgesCsv(const Workload& workload, std::ostream& out);
+
+struct LoadResult {
+  Workload workload;
+  bool ok = false;
+  std::string error;  // empty when ok; includes a line number otherwise
+};
+
+LoadResult ReadWorkloadCsv(std::istream& containers, std::istream& edges);
+
+// Convenience file wrappers.
+bool SaveWorkload(const Workload& workload, const std::string& containers_path,
+                  const std::string& edges_path);
+LoadResult LoadWorkload(const std::string& containers_path,
+                        const std::string& edges_path);
+
+}  // namespace gl

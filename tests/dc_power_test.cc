@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "power/dc_power.h"
+
+namespace gl {
+namespace {
+
+const Resource kCap{.cpu = 1600, .mem_gb = 64, .net_mbps = 1000};
+
+// --- Fig 3 closed-form analysis -----------------------------------------------------
+
+TEST(Fig3Analysis, DcnShareIsModerate) {
+  // Paper: the DCN contributes around 20% of total power.
+  double share_sum = 0.0;
+  for (const auto& dc : TableOneDataCenters()) {
+    const auto rows = AnalyzeDataCenter(dc);
+    share_sum += rows.baseline.dcn_share();
+    EXPECT_GT(rows.baseline.dcn_share(), 0.05) << dc.name;
+    EXPECT_LT(rows.baseline.dcn_share(), 0.55) << dc.name;
+  }
+  EXPECT_NEAR(share_sum / 5.0, 0.22, 0.10);  // ~20% on average
+}
+
+TEST(Fig3Analysis, TaskPackingBeatsTrafficPacking) {
+  for (const auto& dc : TableOneDataCenters()) {
+    const auto rows = AnalyzeDataCenter(dc);
+    const double traffic_saving =
+        1.0 - rows.traffic_packing.total() / rows.baseline.total();
+    const double task_saving =
+        1.0 - rows.task_packing.total() / rows.baseline.total();
+    EXPECT_GT(task_saving, traffic_saving * 2.0) << dc.name;
+    EXPECT_GT(task_saving, 0.30) << dc.name;   // paper: ~53% on average
+    EXPECT_LT(traffic_saving, 0.30) << dc.name;  // paper: ~8% on average
+  }
+}
+
+TEST(Fig3Analysis, TrafficPackingOnlyTouchesNetwork) {
+  const auto rows = AnalyzeDataCenter(TableOneDataCenters()[2]);  // VL2
+  EXPECT_DOUBLE_EQ(rows.traffic_packing.server_watts,
+                   rows.baseline.server_watts);
+  EXPECT_LT(rows.traffic_packing.fabric_watts, rows.baseline.fabric_watts);
+}
+
+TEST(Fig3Analysis, TaskPackingSavesServersAndRacks) {
+  const auto rows = AnalyzeDataCenter(TableOneDataCenters()[1]);  // Facebook
+  EXPECT_LT(rows.task_packing.server_watts, rows.baseline.server_watts);
+  EXPECT_LT(rows.task_packing.tor_watts, rows.baseline.tor_watts);
+}
+
+TEST(Fig3Analysis, AverageTaskPackingSavingNearPaper) {
+  double saving = 0.0;
+  for (const auto& dc : TableOneDataCenters()) {
+    const auto rows = AnalyzeDataCenter(dc);
+    saving += 1.0 - rows.task_packing.total() / rows.baseline.total();
+  }
+  EXPECT_NEAR(saving / 5.0, 0.53, 0.15);
+}
+
+// --- topology-based gating -----------------------------------------------------------
+
+class GatingTest : public ::testing::Test {
+ protected:
+  GatingTest() : topo_(Topology::FatTree(4, kCap, 1000.0)) {
+    models_.assign(static_cast<std::size_t>(topo_.num_levels()),
+                   SwitchPowerModel("sw", 100.0, 0.3));
+  }
+  Topology topo_;
+  std::vector<SwitchPowerModel> models_;
+};
+
+TEST_F(GatingTest, AllIdleMeansAllOff) {
+  std::vector<std::uint8_t> active(16, 0);
+  const auto r = ComputeNetworkPower(topo_, active, {}, models_, {});
+  EXPECT_DOUBLE_EQ(r.watts, 0.0);
+  EXPECT_EQ(r.active_switches, 0);
+  EXPECT_EQ(r.total_switches, 20);
+}
+
+TEST_F(GatingTest, AllActiveMeansEverythingOn) {
+  std::vector<std::uint8_t> active(16, 1);
+  GatingOptions opts;
+  opts.backup_fraction = 1.0;  // force full fabric
+  const auto r = ComputeNetworkPower(topo_, active, {}, models_, opts);
+  EXPECT_EQ(r.active_switches, 20);
+}
+
+TEST_F(GatingTest, GatingDisabledKeepsEverythingOn) {
+  std::vector<std::uint8_t> active(16, 0);
+  GatingOptions opts;
+  opts.gate_idle_switches = false;
+  const auto r = ComputeNetworkPower(topo_, active, {}, models_, opts);
+  EXPECT_EQ(r.active_switches, 20);
+  EXPECT_DOUBLE_EQ(r.watts, 20 * 100.0);
+}
+
+TEST_F(GatingTest, SingleRackKeepsItsPathOnly) {
+  std::vector<std::uint8_t> active(16, 0);
+  active[0] = active[1] = 1;  // one rack (servers 0,1)
+  const auto r = ComputeNetworkPower(topo_, active, {}, models_, {});
+  // 1 ToR + ≥1 agg (in the pod) + ≥1 core must be on; far pods dark.
+  EXPECT_GE(r.active_switches, 3);
+  EXPECT_LE(r.active_switches, 6);
+  EXPECT_GT(r.watts, 0.0);
+}
+
+TEST_F(GatingTest, MoreActiveServersMorePower) {
+  std::vector<std::uint8_t> few(16, 0), many(16, 0);
+  few[0] = 1;
+  for (int i = 0; i < 8; ++i) many[static_cast<std::size_t>(i)] = 1;
+  const auto r_few = ComputeNetworkPower(topo_, few, {}, models_, {});
+  const auto r_many = ComputeNetworkPower(topo_, many, {}, models_, {});
+  EXPECT_GT(r_many.watts, r_few.watts);
+}
+
+TEST_F(GatingTest, TrafficAwareFabricScaling) {
+  std::vector<std::uint8_t> active(16, 1);
+  // Light traffic everywhere → fabric mostly gated.
+  std::vector<double> light(static_cast<std::size_t>(topo_.num_nodes()), 0.0);
+  std::vector<double> heavy(static_cast<std::size_t>(topo_.num_nodes()), 0.0);
+  for (int i = 0; i < topo_.num_nodes(); ++i) {
+    const auto& n = topo_.node(NodeId{i});
+    if (n.uplink_capacity_mbps > 0.0) {
+      light[static_cast<std::size_t>(i)] = 0.05 * n.uplink_capacity_mbps;
+      heavy[static_cast<std::size_t>(i)] = 0.95 * n.uplink_capacity_mbps;
+    }
+  }
+  const auto r_light =
+      ComputeNetworkPower(topo_, active, light, models_, {});
+  const auto r_heavy =
+      ComputeNetworkPower(topo_, active, heavy, models_, {});
+  EXPECT_LT(r_light.watts, r_heavy.watts);
+}
+
+}  // namespace
+}  // namespace gl

@@ -1,0 +1,121 @@
+// Tests for the opportunity-cost E-PVM mode and the new topology factories.
+#include <gtest/gtest.h>
+
+#include "schedulers/e_pvm.h"
+#include "workload/scenarios.h"
+
+namespace gl {
+namespace {
+
+const Resource kCap{.cpu = 3200, .mem_gb = 64, .net_mbps = 1000};
+
+TEST(EPvmOpportunityCost, PlacesEverything) {
+  const Topology topo = Topology::LeafSpine(8, 2, 2, kCap, 1000.0);
+  const auto scenario = MakeTwitterCachingScenario();
+  const auto demands = scenario->DemandsAt(30);
+  const auto active = scenario->ActiveAt(30);
+  SchedulerInput input;
+  input.workload = &scenario->workload();
+  input.demands = demands;
+  input.active = active;
+  input.topology = &topo;
+  EPvmScheduler sched(1.0, EPvmMode::kOpportunityCost);
+  const auto p = sched.Place(input);
+  EXPECT_EQ(p.num_placed(), 176);
+}
+
+TEST(EPvmOpportunityCost, BalancesLikeLeastUtilized) {
+  const Topology topo = Topology::LeafSpine(8, 2, 2, kCap, 1000.0);
+  const auto scenario = MakeTwitterCachingScenario();
+  const auto demands = scenario->DemandsAt(30);
+  const auto active = scenario->ActiveAt(30);
+  SchedulerInput input;
+  input.workload = &scenario->workload();
+  input.demands = demands;
+  input.active = active;
+  input.topology = &topo;
+  EPvmScheduler oc(1.0, EPvmMode::kOpportunityCost);
+  const auto p = oc.Place(input);
+  // Exponential marginal cost spreads load: every machine ends up active
+  // and the utilization spread stays narrow.
+  EXPECT_EQ(p.NumActiveServers(), 16);
+  const auto loads = ServerLoads(p, demands, topo.num_servers());
+  double lo = 1e18, hi = 0.0;
+  for (int s = 0; s < 16; ++s) {
+    const double u = loads[static_cast<std::size_t>(s)].DominantShare(kCap);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(hi - lo, 0.3);
+}
+
+TEST(EPvmOpportunityCost, AvoidsLoadingHotDimension) {
+  // Server 0 is CPU-hot; the next CPU-heavy container should go elsewhere
+  // even though server 0 has plenty of memory.
+  Topology topo = Topology::LeafSpine(2, 1, 1, kCap, 1000.0);
+  Workload w;
+  for (int i = 0; i < 2; ++i) {
+    Container c;
+    c.id = ContainerId{i};
+    w.containers.push_back(c);
+  }
+  std::vector<Resource> demands{
+      {.cpu = 2500, .mem_gb = 2, .net_mbps = 10},   // hot CPU item
+      {.cpu = 500, .mem_gb = 2, .net_mbps = 10}};
+  std::vector<std::uint8_t> active(2, 1);
+  SchedulerInput input;
+  input.workload = &w;
+  input.demands = demands;
+  input.active = active;
+  input.topology = &topo;
+  EPvmScheduler oc(1.0, EPvmMode::kOpportunityCost);
+  const auto p = oc.Place(input);
+  EXPECT_NE(p.server_of[0], p.server_of[1]);
+}
+
+// --- new topology factories -------------------------------------------------
+
+TEST(ThreeTier, CountsMatchSpec) {
+  Topology::ThreeTierSpec spec;
+  spec.pods = 3;
+  spec.racks_per_pod = 4;
+  spec.servers_per_rack = 5;
+  spec.agg_per_pod = 2;
+  spec.core_switches = 4;
+  const Topology t = Topology::ThreeTier(spec);
+  EXPECT_EQ(t.num_servers(), 3 * 4 * 5);
+  // switches: 4 core + 3×2 agg + 12 ToR
+  EXPECT_EQ(t.num_switches(), 4 + 6 + 12);
+  EXPECT_EQ(t.num_levels(), 4);
+}
+
+TEST(ThreeTier, UplinkCapacities) {
+  Topology::ThreeTierSpec spec;
+  spec.rack_uplinks = 2;
+  spec.pod_uplinks = 4;
+  spec.fabric_link_mbps = 40000.0;
+  const Topology t = Topology::ThreeTier(spec);
+  const NodeId rack = t.AncestorAt(t.server_node(ServerId{0}), 1);
+  const NodeId pod = t.AncestorAt(t.server_node(ServerId{0}), 2);
+  EXPECT_DOUBLE_EQ(t.uplink_capacity(rack), 80000.0);
+  EXPECT_DOUBLE_EQ(t.uplink_capacity(pod), 160000.0);
+}
+
+TEST(Vl2Factory, TwentyServersPerTor) {
+  const Topology t = Topology::Vl2(16, kCap);
+  EXPECT_EQ(t.num_servers(), 16 * 20);
+  const NodeId rack = t.AncestorAt(t.server_node(ServerId{0}), 1);
+  EXPECT_EQ(t.ServersUnder(rack).size(), 20u);
+  // Dual-homed ToR: 2 × 40G uplinks.
+  EXPECT_DOUBLE_EQ(t.uplink_capacity(rack), 80000.0);
+}
+
+TEST(Vl2Factory, HopDistancesAreClos) {
+  const Topology t = Topology::Vl2(16, kCap);
+  EXPECT_EQ(t.HopDistance(ServerId{0}, ServerId{1}), 2);    // same ToR
+  EXPECT_EQ(t.HopDistance(ServerId{0}, ServerId{21}), 4);   // same pod
+  EXPECT_EQ(t.HopDistance(ServerId{0}, ServerId{300}), 6);  // cross pod
+}
+
+}  // namespace
+}  // namespace gl

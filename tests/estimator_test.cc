@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sim/estimator.h"
+
+namespace gl {
+namespace {
+
+std::vector<Resource> Uniform(std::size_t n, double cpu) {
+  return std::vector<Resource>(n, Resource{.cpu = cpu, .mem_gb = 1,
+                                           .net_mbps = 10});
+}
+
+TEST(Estimator, FallbackBeforeAnyObservation) {
+  DemandEstimator est(3);
+  const auto fallback = Uniform(3, 123.0);
+  const auto pred = est.Predict(fallback);
+  for (const auto& p : pred) EXPECT_DOUBLE_EQ(p.cpu, 123.0);
+}
+
+TEST(Estimator, ConvergesOnSteadyDemand) {
+  DemandEstimator est(2);
+  for (int i = 0; i < 20; ++i) est.Observe(Uniform(2, 50.0));
+  const auto pred = est.Predict(Uniform(2, 0.0));
+  // Steady input → zero variance → prediction equals the mean.
+  EXPECT_NEAR(pred[0].cpu, 50.0, 1e-6);
+  EXPECT_NEAR(pred[1].cpu, 50.0, 1e-6);
+}
+
+TEST(Estimator, HeadroomCoversVariance) {
+  EstimatorOptions opts;
+  opts.headroom_stddevs = 2.0;
+  DemandEstimator est(1, opts);
+  Rng rng(5);
+  RunningStats seen;
+  for (int i = 0; i < 200; ++i) {
+    const double x = std::max(0.0, rng.Gaussian(100.0, 20.0));
+    seen.Add(x);
+    est.Observe(Uniform(1, x));
+  }
+  const auto pred = est.Predict(Uniform(1, 0.0));
+  // mean + 2σ must sit clearly above the mean and cover most samples.
+  EXPECT_GT(pred[0].cpu, 110.0);
+  EXPECT_LT(pred[0].cpu, 180.0);
+}
+
+TEST(Estimator, TracksDemandShift) {
+  DemandEstimator est(1);
+  for (int i = 0; i < 10; ++i) est.Observe(Uniform(1, 10.0));
+  for (int i = 0; i < 10; ++i) est.Observe(Uniform(1, 100.0));
+  const auto pred = est.Predict(Uniform(1, 0.0));
+  EXPECT_GT(pred[0].cpu, 80.0);  // the EWMA has mostly moved to 100
+}
+
+TEST(Estimator, ZeroObservationsAreSkipped) {
+  DemandEstimator est(1);
+  est.Observe(Uniform(1, 40.0));
+  est.Observe(std::vector<Resource>(1));  // container paused this epoch
+  est.Observe(Uniform(1, 40.0));
+  const auto pred = est.Predict(Uniform(1, 0.0));
+  EXPECT_NEAR(pred[0].cpu, 40.0, 1e-6);
+}
+
+TEST(Estimator, PredictionsNeverNegative) {
+  EstimatorOptions opts;
+  opts.headroom_stddevs = -5.0;  // adversarial: pessimistic headroom
+  DemandEstimator est(1, opts);
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    est.Observe(Uniform(1, rng.Uniform(0.0, 5.0)));
+  }
+  const auto pred = est.Predict(Uniform(1, 0.0));
+  EXPECT_GE(pred[0].cpu, 0.0);
+}
+
+TEST(Estimator, PerContainerIndependence) {
+  DemandEstimator est(2);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<Resource> obs{{.cpu = 10, .mem_gb = 1, .net_mbps = 1},
+                              {.cpu = 90, .mem_gb = 2, .net_mbps = 5}};
+    est.Observe(obs);
+  }
+  const auto pred = est.Predict(Uniform(2, 0.0));
+  EXPECT_NEAR(pred[0].cpu, 10.0, 1e-6);
+  EXPECT_NEAR(pred[1].cpu, 90.0, 1e-6);
+  EXPECT_NEAR(pred[1].mem_gb, 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace gl

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "core/goldilocks.h"
+#include "sim/failure.h"
+
+namespace gl {
+namespace {
+
+const Resource kCap{.cpu = 3200, .mem_gb = 64, .net_mbps = 1000};
+
+// A replicated service (3 replicas) plus filler containers on a leaf-spine.
+struct Fixture {
+  Fixture() : topo(Topology::LeafSpine(6, 2, 2, kCap, 1000.0)) {
+    for (int r = 0; r < 3; ++r) {
+      Container c;
+      c.id = ContainerId{workload.size()};
+      c.app = AppType::kCassandra;
+      c.demand = {.cpu = 300, .mem_gb = 8, .net_mbps = 30};
+      c.replica_set = GroupId{1};
+      workload.containers.push_back(c);
+    }
+    for (int i = 0; i < 12; ++i) {
+      Container c;
+      c.id = ContainerId{workload.size()};
+      c.app = AppType::kFrontend;
+      c.demand = {.cpu = 150, .mem_gb = 2, .net_mbps = 20};
+      workload.containers.push_back(c);
+      workload.edges.push_back(
+          {ContainerId{i % 3}, c.id, 100.0, true});
+    }
+    for (const auto& c : workload.containers) demands.push_back(c.demand);
+    active.assign(workload.containers.size(), 1);
+  }
+
+  Placement Place() {
+    SchedulerInput input;
+    input.workload = &workload;
+    input.demands = demands;
+    input.active = active;
+    input.topology = &topo;
+    GoldilocksScheduler sched;
+    return sched.Place(input);
+  }
+
+  Topology topo;
+  Workload workload;
+  std::vector<Resource> demands;
+  std::vector<std::uint8_t> active;
+};
+
+TEST(Failure, ServerFailureDisplacesItsContainers) {
+  Fixture f;
+  const Placement p = f.Place();
+  const ServerId victim = p.server_of[0];
+  ASSERT_TRUE(victim.valid());
+  const auto impact = InjectFailure(p, f.workload, f.topo,
+                                    FailureDomain::kServer, victim);
+  EXPECT_EQ(impact.failed_servers, 1);
+  EXPECT_FALSE(impact.displaced.empty());
+  for (const auto c : impact.displaced) {
+    EXPECT_EQ(p.server_of[static_cast<std::size_t>(c.value())], victim);
+  }
+}
+
+TEST(Failure, AntiAffinityKeepsServiceAvailableThroughRackLoss) {
+  Fixture f;
+  const Placement p = f.Place();
+  // Kill the rack of replica 0. Goldilocks' fault domains must have kept
+  // at least one replica elsewhere.
+  const auto impact = InjectFailure(p, f.workload, f.topo,
+                                    FailureDomain::kRack, p.server_of[0]);
+  EXPECT_TRUE(impact.unavailable_sets.empty())
+      << "a replica set went fully dark despite anti-affinity";
+}
+
+TEST(Failure, ColocatedReplicasGoDarkTogether) {
+  // The negative result: place all replicas on one server by hand and kill
+  // it — the set must be reported unavailable.
+  Fixture f;
+  Placement p;
+  p.server_of.assign(f.workload.containers.size(), ServerId{1});
+  for (int r = 0; r < 3; ++r) {
+    p.server_of[static_cast<std::size_t>(r)] = ServerId{0};
+  }
+  const auto impact = InjectFailure(p, f.workload, f.topo,
+                                    FailureDomain::kServer, ServerId{0});
+  ASSERT_EQ(impact.unavailable_sets.size(), 1u);
+  EXPECT_EQ(impact.unavailable_sets[0], GroupId{1});
+  EXPECT_TRUE(impact.degraded_sets.empty());
+}
+
+TEST(Failure, PartialLossIsDegradedNotUnavailable) {
+  Fixture f;
+  Placement p;
+  p.server_of.assign(f.workload.containers.size(), ServerId{4});
+  p.server_of[0] = ServerId{0};  // one replica on the victim
+  p.server_of[1] = ServerId{2};
+  p.server_of[2] = ServerId{4};
+  const auto impact = InjectFailure(p, f.workload, f.topo,
+                                    FailureDomain::kServer, ServerId{0});
+  ASSERT_EQ(impact.degraded_sets.size(), 1u);
+  EXPECT_TRUE(impact.unavailable_sets.empty());
+}
+
+TEST(Failure, RecoveryFindsNewHomes) {
+  Fixture f;
+  const Placement p = f.Place();
+  const auto impact = InjectFailure(p, f.workload, f.topo,
+                                    FailureDomain::kRack, p.server_of[0]);
+  const auto recovery =
+      PlanRecovery(p, impact, f.workload, f.demands, f.topo);
+  EXPECT_EQ(recovery.unrecoverable, 0);
+  EXPECT_EQ(recovery.recovered, static_cast<int>(impact.displaced.size()));
+  EXPECT_GT(recovery.recovery_makespan_ms, 0.0);
+  // Nothing may land back on the dead rack.
+  const NodeId dead_rack =
+      f.topo.AncestorAt(f.topo.server_node(p.server_of[0]), 1);
+  for (const auto c : impact.displaced) {
+    const ServerId s =
+        recovery.placement.server_of[static_cast<std::size_t>(c.value())];
+    ASSERT_TRUE(s.valid());
+    EXPECT_NE(f.topo.AncestorAt(f.topo.server_node(s), 1), dead_rack);
+  }
+}
+
+TEST(Failure, UntouchedContainersStayPut) {
+  Fixture f;
+  const Placement p = f.Place();
+  const auto impact = InjectFailure(p, f.workload, f.topo,
+                                    FailureDomain::kServer, p.server_of[0]);
+  const auto recovery =
+      PlanRecovery(p, impact, f.workload, f.demands, f.topo);
+  for (std::size_t i = 0; i < p.server_of.size(); ++i) {
+    const bool was_displaced =
+        std::find(impact.displaced.begin(), impact.displaced.end(),
+                  ContainerId{static_cast<int>(i)}) != impact.displaced.end();
+    if (!was_displaced) {
+      EXPECT_EQ(recovery.placement.server_of[i], p.server_of[i]);
+    }
+  }
+}
+
+TEST(Failure, RecoveryCapacityExhaustion) {
+  // Tiny cluster: 2 servers nearly full; killing one leaves nowhere to go.
+  Topology topo = Topology::LeafSpine(2, 1, 1, kCap, 1000.0);
+  Workload w;
+  for (int i = 0; i < 2; ++i) {
+    Container c;
+    c.id = ContainerId{i};
+    c.demand = {.cpu = 2800, .mem_gb = 50, .net_mbps = 100};
+    w.containers.push_back(c);
+  }
+  std::vector<Resource> demands{w.containers[0].demand,
+                                w.containers[1].demand};
+  Placement p;
+  p.server_of = {ServerId{0}, ServerId{1}};
+  const auto impact =
+      InjectFailure(p, w, topo, FailureDomain::kServer, ServerId{0});
+  const auto recovery = PlanRecovery(p, impact, w, demands, topo);
+  EXPECT_EQ(recovery.unrecoverable, 1);
+  EXPECT_FALSE(recovery.placement.server_of[0].valid());
+}
+
+}  // namespace
+}  // namespace gl

@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/goldilocks.h"
+#include "schedulers/borg.h"
+#include "schedulers/e_pvm.h"
+#include "workload/scenarios.h"
+
+namespace gl {
+namespace {
+
+const Resource kCap{.cpu = 3200, .mem_gb = 64, .net_mbps = 1000};
+
+struct Fixture {
+  explicit Fixture(int epoch = 30)
+      : topo(Topology::LeafSpine(8, 2, 2, kCap, 1000.0)),
+        scenario(MakeTwitterCachingScenario()) {
+    demands = scenario->DemandsAt(epoch);
+    active = scenario->ActiveAt(epoch);
+    input.workload = &scenario->workload();
+    input.demands = demands;
+    input.active = active;
+    input.topology = &topo;
+  }
+  Topology topo;
+  std::unique_ptr<Scenario> scenario;
+  std::vector<Resource> demands;
+  std::vector<std::uint8_t> active;
+  SchedulerInput input;
+};
+
+// --- graph builder ------------------------------------------------------------------
+
+TEST(GraphBuilder, OneVertexPerActiveContainer) {
+  Fixture f;
+  const auto cg = BuildContainerGraph(*f.input.workload, f.demands, f.active,
+                                      kCap);
+  EXPECT_EQ(cg.graph.num_vertices(), 176);
+  EXPECT_EQ(cg.vertex_to_container.size(), 176u);
+  for (int i = 0; i < 176; ++i) {
+    const auto v = cg.container_to_vertex[static_cast<std::size_t>(i)];
+    ASSERT_GE(v, 0);
+    EXPECT_EQ(cg.vertex_to_container[static_cast<std::size_t>(v)].value(), i);
+  }
+}
+
+TEST(GraphBuilder, InactiveContainersSkipped) {
+  Fixture f;
+  f.active[0] = 0;
+  f.active[5] = 0;
+  const auto cg = BuildContainerGraph(*f.input.workload, f.demands, f.active,
+                                      kCap);
+  EXPECT_EQ(cg.graph.num_vertices(), 174);
+  EXPECT_EQ(cg.container_to_vertex[0], -1);
+}
+
+TEST(GraphBuilder, EdgeWeightsAreFlowCounts) {
+  Fixture f;
+  const auto cg = BuildContainerGraph(*f.input.workload, f.demands, f.active,
+                                      kCap);
+  double max_w = 0.0;
+  for (VertexIndex v = 0; v < cg.graph.num_vertices(); ++v) {
+    for (const auto& e : cg.graph.neighbors(v)) {
+      max_w = std::max(max_w, e.weight);
+    }
+  }
+  EXPECT_DOUBLE_EQ(max_w, 4944.0);
+}
+
+TEST(GraphBuilder, ReplicaAntiAffinityEdges) {
+  Workload w;
+  for (int i = 0; i < 3; ++i) {
+    Container c;
+    c.id = ContainerId{i};
+    c.demand = {.cpu = 10, .mem_gb = 1, .net_mbps = 1};
+    c.replica_set = GroupId{1};
+    w.containers.push_back(c);
+  }
+  std::vector<Resource> demands(3, {.cpu = 10, .mem_gb = 1, .net_mbps = 1});
+  std::vector<std::uint8_t> active(3, 1);
+  const auto cg = BuildContainerGraph(w, demands, active, kCap);
+  // A negative clique over the 3 replicas.
+  EXPECT_EQ(cg.graph.num_edges(), 3u);
+  for (const auto& e : cg.graph.neighbors(0)) EXPECT_LT(e.weight, 0.0);
+}
+
+TEST(GraphBuilder, CapacityGraphShape) {
+  const Topology topo = Topology::FatTree(4, kCap, 1000.0);
+  const Graph g = BuildCapacityGraph(topo);
+  EXPECT_EQ(g.num_vertices(), 16);
+  EXPECT_EQ(g.num_edges(), 16u * 15u / 2u);
+  // Same-rack pairs have the shortest edges.
+  bool found2 = false, found6 = false;
+  for (const auto& e : g.neighbors(0)) {
+    if (e.weight == 2.0) found2 = true;
+    if (e.weight == 6.0) found6 = true;
+  }
+  EXPECT_TRUE(found2);
+  EXPECT_TRUE(found6);
+}
+
+// --- Goldilocks placement --------------------------------------------------------------
+
+TEST(Goldilocks, PlacesAllActiveContainers) {
+  Fixture f;
+  GoldilocksScheduler sched;
+  const auto p = sched.Place(f.input);
+  for (std::size_t i = 0; i < p.server_of.size(); ++i) {
+    EXPECT_EQ(p.server_of[i].valid(), f.active[i] != 0);
+  }
+}
+
+TEST(Goldilocks, RespectsPeeCeiling) {
+  Fixture f;
+  GoldilocksOptions opts;
+  GoldilocksScheduler sched(opts);
+  const auto p = sched.Place(f.input);
+  const auto loads = ServerLoads(p, f.demands, f.topo.num_servers());
+  for (int s = 0; s < f.topo.num_servers(); ++s) {
+    const auto& cap = f.topo.server_capacity(ServerId{s});
+    const auto& l = loads[static_cast<std::size_t>(s)];
+    EXPECT_LE(l.cpu, cap.cpu * opts.pee_utilization * 1.02);
+    EXPECT_LE(l.mem_gb, cap.mem_gb * opts.memory_ceiling * 1.02);
+  }
+}
+
+TEST(Goldilocks, ColocatesCommunicatingPairs) {
+  Fixture f;
+  GoldilocksScheduler sched;
+  const auto p = sched.Place(f.input);
+  const auto& w = f.scenario->workload();
+  // Weighted cut: heavy FE↔MC pairs should overwhelmingly be colocated or
+  // same-rack.
+  double colocated_flows = 0.0, total_flows = 0.0;
+  for (const auto& e : w.edges) {
+    total_flows += e.flows;
+    const auto sa = p.of(e.a);
+    const auto sb = p.of(e.b);
+    if (sa.valid() && sb.valid() &&
+        f.topo.HopDistance(sa, sb) <= 2) {
+      colocated_flows += e.flows;
+    }
+  }
+  EXPECT_GT(colocated_flows / total_flows, 0.7);
+}
+
+TEST(Goldilocks, BetterLocalityThanEPvm) {
+  Fixture f;
+  GoldilocksScheduler gold;
+  EPvmScheduler epvm;
+  const auto pg = gold.Place(f.input);
+  const auto pe = epvm.Place(f.input);
+  const auto& w = f.scenario->workload();
+  auto mean_hops = [&](const Placement& p) {
+    double hops = 0.0, weight = 0.0;
+    for (const auto& e : w.edges) {
+      const auto sa = p.of(e.a);
+      const auto sb = p.of(e.b);
+      if (sa.valid() && sb.valid()) {
+        hops += f.topo.HopDistance(sa, sb) * e.flows;
+        weight += e.flows;
+      }
+    }
+    return hops / weight;
+  };
+  EXPECT_LT(mean_hops(pg), mean_hops(pe) * 0.6);
+}
+
+TEST(Goldilocks, UsesFarFewerServersThanEPvm) {
+  Fixture f;
+  GoldilocksScheduler gold;
+  EPvmScheduler epvm;
+  const int ng = gold.Place(f.input).NumActiveServers();
+  const int ne = epvm.Place(f.input).NumActiveServers();
+  // Paper Fig 9(a): E-PVM keeps all 16 on; Goldilocks needs ~9.
+  EXPECT_EQ(ne, 16);
+  EXPECT_LT(ng, ne);
+  // ...but not fewer than the memory lower bound (440 GB over 57.6 GB
+  // usable per server → at least 8).
+  EXPECT_GE(ng, 8);
+}
+
+TEST(Goldilocks, GroupingExposedAndConsistent) {
+  Fixture f;
+  GoldilocksScheduler sched;
+  const auto p = sched.Place(f.input);
+  const auto& grouping = sched.last_grouping();
+  EXPECT_EQ(grouping.size(), 176u);
+  EXPECT_GT(sched.last_num_groups(), 1);
+  // Containers of the same group share a server under the symmetric path.
+  for (std::size_t i = 0; i < grouping.size(); ++i) {
+    for (std::size_t j = i + 1; j < grouping.size(); ++j) {
+      if (grouping[i] >= 0 && grouping[i] == grouping[j]) {
+        EXPECT_EQ(p.server_of[i], p.server_of[j]);
+      }
+    }
+  }
+}
+
+TEST(Goldilocks, PeeCeilingSweepChangesActiveServers) {
+  Fixture f;
+  auto servers_at = [&](double pee) {
+    GoldilocksOptions opts;
+    opts.pee_utilization = pee;
+    GoldilocksScheduler sched(opts);
+    return sched.Place(f.input).NumActiveServers();
+  };
+  // Lower ceiling → more servers.
+  EXPECT_GE(servers_at(0.5), servers_at(0.7));
+  EXPECT_GE(servers_at(0.7), servers_at(0.95));
+}
+
+TEST(Goldilocks, RepartitionIntervalIsStable) {
+  Fixture f;
+  GoldilocksOptions opts;
+  opts.repartition_interval = 10;
+  GoldilocksScheduler sched(opts);
+  const auto p1 = sched.Place(f.input);
+  // Second epoch, slightly different demands, same actives: grouping reused
+  // → placement identical (no migrations).
+  auto d2 = f.scenario->DemandsAt(31);
+  SchedulerInput in2 = f.input;
+  in2.demands = d2;
+  const auto p2 = sched.Place(in2);
+  EXPECT_EQ(p2.MigrationsFrom(p1), 0);
+}
+
+TEST(Goldilocks, ReplicasLandOnDifferentServers) {
+  // 4 replicas of a service plus filler traffic.
+  Workload w;
+  for (int i = 0; i < 4; ++i) {
+    Container c;
+    c.id = ContainerId{w.size()};
+    c.demand = {.cpu = 100, .mem_gb = 2, .net_mbps = 10};
+    c.replica_set = GroupId{7};
+    w.containers.push_back(c);
+  }
+  // Each replica has a retinue of 3 clients talking to it heavily.
+  for (int r = 0; r < 4; ++r) {
+    for (int k = 0; k < 3; ++k) {
+      Container c;
+      c.id = ContainerId{w.size()};
+      c.demand = {.cpu = 50, .mem_gb = 1, .net_mbps = 5};
+      w.containers.push_back(c);
+      w.edges.push_back({ContainerId{r}, c.id, 100.0});
+    }
+  }
+  std::vector<Resource> demands;
+  for (const auto& c : w.containers) demands.push_back(c.demand);
+  std::vector<std::uint8_t> active(w.containers.size(), 1);
+  Topology topo = Topology::LeafSpine(4, 2, 2, kCap, 1000.0);
+  SchedulerInput input;
+  input.workload = &w;
+  input.demands = demands;
+  input.active = active;
+  input.topology = &topo;
+
+  GoldilocksOptions opts;
+  // Force fine groups so replicas cannot hide in one big group.
+  opts.pee_utilization = 0.70;
+  GoldilocksScheduler sched(opts);
+  const auto p = sched.Place(input);
+  std::set<int> servers;
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_TRUE(p.server_of[static_cast<std::size_t>(r)].valid());
+    servers.insert(p.server_of[static_cast<std::size_t>(r)].value());
+  }
+  // Min-cut must separate the negative clique: ≥ 2 distinct servers, and
+  // the retinues follow their replica.
+  EXPECT_GE(servers.size(), 2u);
+}
+
+TEST(Goldilocks, LocalityAblationKeepsPackingChangesAdjacency) {
+  Fixture f;
+  GoldilocksOptions with;
+  GoldilocksOptions without;
+  without.locality_order = false;
+  GoldilocksScheduler a(with), b(without);
+  const auto pa = a.Place(f.input);
+  const auto pb = b.Place(f.input);
+  EXPECT_NEAR(pa.NumActiveServers(), pb.NumActiveServers(), 2);
+}
+
+TEST(Goldilocks, IncrementalModeStillPlacesEverything) {
+  Fixture f;
+  GoldilocksOptions opts;
+  opts.incremental_repartition = true;
+  GoldilocksScheduler sched(opts);
+  // First call: no cache → full partition. Second call with shifted
+  // demands: incremental repair path.
+  const auto p1 = sched.Place(f.input);
+  auto d2 = f.scenario->DemandsAt(45);
+  SchedulerInput in2 = f.input;
+  in2.demands = d2;
+  const auto p2 = sched.Place(in2);
+  for (std::size_t i = 0; i < p2.server_of.size(); ++i) {
+    EXPECT_TRUE(p2.server_of[i].valid()) << i;
+  }
+  EXPECT_GT(p1.num_placed(), 0);
+}
+
+TEST(Goldilocks, IncrementalModeMigratesLessThanFresh) {
+  Fixture f;
+  auto total_migrations = [&](bool incremental) {
+    GoldilocksOptions opts;
+    opts.incremental_repartition = incremental;
+    opts.repartition_interval = 1;  // re-plan every epoch
+    GoldilocksScheduler sched(opts);
+    Placement prev;
+    int total = 0;
+    for (int e = 20; e <= 40; e += 5) {
+      auto d = f.scenario->DemandsAt(e);
+      SchedulerInput in = f.input;
+      in.demands = d;
+      in.previous = prev.server_of.empty() ? nullptr : &prev;
+      const auto p = sched.Place(in);
+      if (!prev.server_of.empty()) total += p.MigrationsFrom(prev);
+      prev = p;
+    }
+    return total;
+  };
+  const int fresh = total_migrations(false);
+  const int incremental = total_migrations(true);
+  EXPECT_LT(incremental, fresh);
+}
+
+TEST(Goldilocks, HandlesAzureChurn) {
+  const auto scenario = MakeAzureMixScenario();
+  Topology topo = Topology::LeafSpine(8, 2, 2, kCap, 1000.0);
+  GoldilocksScheduler sched;
+  for (int e = 0; e < 10; ++e) {
+    const auto demands = scenario->DemandsAt(e);
+    const auto active = scenario->ActiveAt(e);
+    SchedulerInput input;
+    input.workload = &scenario->workload();
+    input.demands = demands;
+    input.active = active;
+    input.topology = &topo;
+    const auto p = sched.Place(input);
+    for (std::size_t i = 0; i < p.server_of.size(); ++i) {
+      EXPECT_EQ(p.server_of[i].valid(), active[i] != 0) << "epoch " << e;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gl

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace gl {
+namespace {
+
+Graph TriangleWithTail() {
+  // 0-1-2 triangle (weights 1,2,3) with a tail 2-3 (weight 0.5).
+  Graph g;
+  for (int i = 0; i < 4; ++i) {
+    g.AddVertex(Resource{.cpu = 10.0 * (i + 1), .mem_gb = 1, .net_mbps = 5},
+                1.0);
+  }
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 2.0);
+  g.AddEdge(0, 2, 3.0);
+  g.AddEdge(2, 3, 0.5);
+  return g;
+}
+
+TEST(GraphTest, VertexAccounting) {
+  const Graph g = TriangleWithTail();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_DOUBLE_EQ(g.total_demand().cpu, 100.0);
+  EXPECT_DOUBLE_EQ(g.total_balance_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(g.demand(2).cpu, 30.0);
+}
+
+TEST(GraphTest, NeighborsAndDegree) {
+  const Graph g = TriangleWithTail();
+  EXPECT_EQ(g.neighbors(2).size(), 3u);
+  EXPECT_DOUBLE_EQ(g.degree_weight(2), 5.5);
+  EXPECT_DOUBLE_EQ(g.degree_weight(3), 0.5);
+}
+
+TEST(GraphTest, ParallelEdgesMerge) {
+  Graph g;
+  g.AddVertex({}, 1.0);
+  g.AddVertex({}, 1.0);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 1, 2.5);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].weight, 3.5);
+  EXPECT_DOUBLE_EQ(g.neighbors(1)[0].weight, 3.5);
+}
+
+TEST(GraphTest, SelfLoopsIgnored) {
+  Graph g;
+  g.AddVertex({}, 1.0);
+  g.AddEdge(0, 0, 5.0);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(GraphTest, TotalPositiveEdgeWeightSkipsNegative) {
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.AddVertex({}, 1.0);
+  g.AddEdge(0, 1, 4.0);
+  g.AddEdge(1, 2, -100.0);
+  EXPECT_DOUBLE_EQ(g.total_positive_edge_weight(), 4.0);
+}
+
+TEST(GraphTest, CutWeightTwoWay) {
+  const Graph g = TriangleWithTail();
+  // Cut {0,1} vs {2,3}: edges 1-2 (2) and 0-2 (3) cross → 5.
+  std::vector<std::uint8_t> side{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(g.CutWeight(side), 5.0);
+}
+
+TEST(GraphTest, CutWeightKWay) {
+  const Graph g = TriangleWithTail();
+  std::vector<int> group{0, 1, 2, 2};
+  // Crossing: 0-1 (1), 1-2 (2), 0-2 (3) → 6; 2-3 internal.
+  EXPECT_DOUBLE_EQ(g.CutWeightKWay(group), 6.0);
+}
+
+TEST(GraphTest, InducedSubgraph) {
+  const Graph g = TriangleWithTail();
+  std::vector<VertexIndex> keep{0, 1, 2};
+  std::vector<VertexIndex> map;
+  const Graph sub = g.InducedSubgraph(keep, &map);
+  EXPECT_EQ(sub.num_vertices(), 3);
+  EXPECT_EQ(sub.num_edges(), 3u);  // triangle preserved, tail dropped
+  EXPECT_EQ(map[3], -1);
+  EXPECT_DOUBLE_EQ(sub.total_demand().cpu, 60.0);
+}
+
+TEST(GraphTest, InducedSubgraphPreservesWeights) {
+  const Graph g = TriangleWithTail();
+  std::vector<VertexIndex> keep{0, 2};
+  const Graph sub = g.InducedSubgraph(keep);
+  ASSERT_EQ(sub.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(sub.neighbors(0)[0].weight, 3.0);
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddVertex({}, 1.0);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  const auto [comp, n] = g.ConnectedComponents();
+  EXPECT_EQ(n, 3);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[0]);
+}
+
+TEST(GraphTest, NegativeEdgesDoNotConnectComponents) {
+  Graph g;
+  g.AddVertex({}, 1.0);
+  g.AddVertex({}, 1.0);
+  g.AddEdge(0, 1, -5.0);
+  const auto [comp, n] = g.ConnectedComponents();
+  EXPECT_EQ(n, 2);
+  EXPECT_NE(comp[0], comp[1]);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.total_positive_edge_weight(), 0.0);
+  const auto [comp, n] = g.ConnectedComponents();
+  EXPECT_EQ(n, 0);
+  EXPECT_TRUE(comp.empty());
+}
+
+}  // namespace
+}  // namespace gl

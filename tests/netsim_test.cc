@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "netsim/flowsim.h"
+
+namespace gl {
+namespace {
+
+const Resource kCap{.cpu = 1600, .mem_gb = 64, .net_mbps = 1000};
+
+TEST(FlowSim, SingleFlowGetsLineRate) {
+  const Topology topo = Topology::LeafSpine(2, 2, 2, kCap, 1000.0);
+  FlowSimulator sim(topo);
+  sim.AddFlow(ServerId{0}, ServerId{2}, 1e6);
+  sim.ComputeMaxMinRates();
+  EXPECT_DOUBLE_EQ(sim.flow(0).rate_mbps, 1000.0);  // NIC limited
+}
+
+TEST(FlowSim, TwoFlowsShareTheNic) {
+  const Topology topo = Topology::LeafSpine(2, 2, 2, kCap, 1000.0);
+  FlowSimulator sim(topo);
+  // Both flows leave server 0: its 1G NIC is the bottleneck.
+  sim.AddFlow(ServerId{0}, ServerId{2}, 1e6);
+  sim.AddFlow(ServerId{0}, ServerId{3}, 1e6);
+  sim.ComputeMaxMinRates();
+  EXPECT_DOUBLE_EQ(sim.flow(0).rate_mbps, 500.0);
+  EXPECT_DOUBLE_EQ(sim.flow(1).rate_mbps, 500.0);
+}
+
+TEST(FlowSim, MaxMinIsWaterFilling) {
+  const Topology topo = Topology::LeafSpine(2, 2, 2, kCap, 1000.0);
+  FlowSimulator sim(topo);
+  // Flows 0,1 share server 0's NIC; flow 2 has server 1 to itself but
+  // shares the destination NIC of server 2 with flow 0.
+  sim.AddFlow(ServerId{0}, ServerId{2}, 1e6);
+  sim.AddFlow(ServerId{0}, ServerId{3}, 1e6);
+  sim.AddFlow(ServerId{1}, ServerId{2}, 1e6);
+  sim.ComputeMaxMinRates();
+  // Fair shares: flows 0,1 get 500 at the source NIC; flow 2 then gets the
+  // remaining 500 headroom... but dst NIC of 2 allows 1000 total: flow 0
+  // fixed at 500 → flow 2 can take 500. All 500.
+  EXPECT_NEAR(sim.flow(0).rate_mbps, 500.0, 1.0);
+  EXPECT_NEAR(sim.flow(1).rate_mbps, 500.0, 1.0);
+  EXPECT_NEAR(sim.flow(2).rate_mbps, 500.0, 1.0);
+}
+
+TEST(FlowSim, RatesRespectEveryLinkCapacity) {
+  const Topology topo = Topology::FatTree(4, kCap, 1000.0);
+  FlowSimulator sim(topo);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = static_cast<int>(rng.NextBelow(16));
+    const auto b = static_cast<int>(rng.NextBelow(16));
+    if (a != b) sim.AddFlow(ServerId{a}, ServerId{b}, 1e6);
+  }
+  sim.ComputeMaxMinRates();
+  // Re-derive per-link usage and check it against capacity.
+  for (int n = 0; n < topo.num_nodes(); ++n) {
+    EXPECT_LE(sim.PeakUplinkUtilization(NodeId{n}), 1.0 + 1e-6);
+  }
+}
+
+TEST(FlowSim, IntraServerFlowCompletesInstantly) {
+  const Topology topo = Topology::LeafSpine(2, 2, 2, kCap, 1000.0);
+  FlowSimulator sim(topo);
+  sim.AddFlow(ServerId{0}, ServerId{0}, 1e9);
+  sim.RunToCompletion(0.01);
+  EXPECT_DOUBLE_EQ(sim.flow(0).completion_ms, 0.01);
+}
+
+TEST(FlowSim, CompletionTimeMatchesSizeOverRate) {
+  const Topology topo = Topology::LeafSpine(2, 2, 2, kCap, 1000.0);
+  FlowSimulator sim(topo);
+  // 1 MB at 1000 Mbps = 8e6 bits / 1e9 bps = 8 ms.
+  sim.AddFlow(ServerId{0}, ServerId{2}, 1e6);
+  sim.RunToCompletion();
+  EXPECT_NEAR(sim.flow(0).completion_ms, 8.0, 0.01);
+}
+
+TEST(FlowSim, ShortFlowsFinishBeforeLongOnes) {
+  const Topology topo = Topology::LeafSpine(2, 2, 2, kCap, 1000.0);
+  FlowSimulator sim(topo);
+  sim.AddFlow(ServerId{0}, ServerId{2}, 2e3);   // a 2 KB query flow
+  sim.AddFlow(ServerId{0}, ServerId{3}, 50e6);  // a 50 MB background flow
+  sim.RunToCompletion();
+  EXPECT_LT(sim.flow(0).completion_ms, sim.flow(1).completion_ms / 100.0);
+}
+
+TEST(FlowSim, BandwidthFreedAfterCompletionSpeedsSurvivors) {
+  const Topology topo = Topology::LeafSpine(2, 2, 2, kCap, 1000.0);
+  FlowSimulator sim(topo);
+  sim.AddFlow(ServerId{0}, ServerId{2}, 1e6);  // finishes first
+  sim.AddFlow(ServerId{0}, ServerId{3}, 2e6);
+  sim.RunToCompletion();
+  // Flow 1: 1 MB at 500 (16ms) + 1 MB at 1000 (8ms) = 24 ms.
+  EXPECT_NEAR(sim.flow(1).completion_ms, 24.0, 0.5);
+  EXPECT_NEAR(sim.flow(0).completion_ms, 16.0, 0.5);
+}
+
+TEST(FlowSim, LocalityShortensPath) {
+  const Topology topo = Topology::FatTree(4, kCap, 1000.0);
+  // Same-rack flow contends with nothing above the ToR.
+  FlowSimulator sim(topo);
+  sim.AddFlow(ServerId{0}, ServerId{1}, 1e6);
+  sim.RunToCompletion();
+  const NodeId rack = topo.AncestorAt(topo.server_node(ServerId{0}), 1);
+  EXPECT_DOUBLE_EQ(sim.PeakUplinkUtilization(rack), 0.0);
+}
+
+TEST(FlowSim, CrossPodLoadsTheFabric) {
+  const Topology topo = Topology::FatTree(4, kCap, 1000.0);
+  FlowSimulator sim(topo);
+  sim.AddFlow(ServerId{0}, ServerId{15}, 1e6);
+  sim.ComputeMaxMinRates();
+  const NodeId pod = topo.AncestorAt(topo.server_node(ServerId{0}), 2);
+  EXPECT_GT(sim.PeakUplinkUtilization(pod), 0.0);
+}
+
+TEST(FlowSim, ClearResets) {
+  const Topology topo = Topology::LeafSpine(2, 2, 2, kCap, 1000.0);
+  FlowSimulator sim(topo);
+  sim.AddFlow(ServerId{0}, ServerId{2}, 1e6);
+  sim.RunToCompletion();
+  sim.Clear();
+  EXPECT_EQ(sim.num_flows(), 0);
+  for (int n = 0; n < topo.num_nodes(); ++n) {
+    EXPECT_DOUBLE_EQ(sim.PeakUplinkUtilization(NodeId{n}), 0.0);
+  }
+}
+
+TEST(FlowSim, MeanFct) {
+  const Topology topo = Topology::LeafSpine(2, 2, 2, kCap, 1000.0);
+  FlowSimulator sim(topo);
+  sim.AddFlow(ServerId{0}, ServerId{2}, 1e6);
+  sim.AddFlow(ServerId{1}, ServerId{3}, 1e6);
+  sim.RunToCompletion();
+  EXPECT_NEAR(sim.MeanFctMs(), 8.0, 0.5);
+}
+
+}  // namespace
+}  // namespace gl

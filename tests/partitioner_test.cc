@@ -1,0 +1,420 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/partitioner.h"
+
+namespace gl {
+namespace {
+
+// Two dense cliques joined by one weak edge — the canonical min-cut case.
+Graph TwoCliques(int clique_size, double intra_w = 10.0,
+                 double bridge_w = 1.0) {
+  Graph g;
+  for (int i = 0; i < 2 * clique_size; ++i) {
+    g.AddVertex(Resource{.cpu = 10, .mem_gb = 1, .net_mbps = 1}, 1.0);
+  }
+  for (int c = 0; c < 2; ++c) {
+    const int base = c * clique_size;
+    for (int i = 0; i < clique_size; ++i) {
+      for (int j = i + 1; j < clique_size; ++j) {
+        g.AddEdge(base + i, base + j, intra_w);
+      }
+    }
+  }
+  g.AddEdge(0, clique_size, bridge_w);
+  return g;
+}
+
+// Ring of `n` vertices with unit weights.
+Graph Ring(int n) {
+  Graph g;
+  for (int i = 0; i < n; ++i) {
+    g.AddVertex(Resource{.cpu = 1, .mem_gb = 1, .net_mbps = 1}, 1.0);
+  }
+  for (int i = 0; i < n; ++i) g.AddEdge(i, (i + 1) % n, 1.0);
+  return g;
+}
+
+Graph RandomGraph(int n, double degree, std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g;
+  for (int i = 0; i < n; ++i) {
+    g.AddVertex(Resource{.cpu = rng.Uniform(1, 20), .mem_gb = 1,
+                         .net_mbps = 1},
+                rng.Uniform(0.5, 2.0));
+  }
+  const int edges = static_cast<int>(n * degree / 2);
+  for (int e = 0; e < edges; ++e) {
+    const auto a = static_cast<VertexIndex>(rng.NextBelow(n));
+    const auto b = static_cast<VertexIndex>(rng.NextBelow(n));
+    if (a != b) g.AddEdge(a, b, rng.Uniform(0.5, 5.0));
+  }
+  return g;
+}
+
+[[maybe_unused]] double BalanceRatio(const Bisection& b, const Graph& g) {
+  const double total = g.total_balance_weight();
+  return std::max(b.side_weight[0], b.side_weight[1]) / (total / 2.0);
+}
+
+// --- Bisect --------------------------------------------------------------------
+
+TEST(Bisect, FindsTheObviousCut) {
+  const Graph g = TwoCliques(8);
+  const auto b = Bisect(g, {});
+  EXPECT_DOUBLE_EQ(b.cut_weight, 1.0);  // only the bridge crosses
+  EXPECT_TRUE(b.balanced);
+  // Each clique must be wholly on one side.
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(b.side[i], b.side[0]);
+  for (int i = 9; i < 16; ++i) EXPECT_EQ(b.side[i], b.side[8]);
+  EXPECT_NE(b.side[0], b.side[8]);
+}
+
+TEST(Bisect, RingCutsExactlyTwoEdges) {
+  const Graph g = Ring(32);
+  const auto b = Bisect(g, {});
+  EXPECT_DOUBLE_EQ(b.cut_weight, 2.0);
+  EXPECT_TRUE(b.balanced);
+}
+
+TEST(Bisect, SingleVertex) {
+  Graph g;
+  g.AddVertex({}, 1.0);
+  const auto b = Bisect(g, {});
+  EXPECT_EQ(b.side.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.cut_weight, 0.0);
+}
+
+TEST(Bisect, EmptyGraph) {
+  Graph g;
+  const auto b = Bisect(g, {});
+  EXPECT_TRUE(b.side.empty());
+  EXPECT_TRUE(b.balanced);
+}
+
+TEST(Bisect, TwoVertices) {
+  Graph g;
+  g.AddVertex({}, 1.0);
+  g.AddVertex({}, 1.0);
+  g.AddEdge(0, 1, 3.0);
+  const auto b = Bisect(g, {});
+  EXPECT_NE(b.side[0], b.side[1]);
+  EXPECT_DOUBLE_EQ(b.cut_weight, 3.0);
+}
+
+TEST(Bisect, CutMatchesReportedWeight) {
+  const Graph g = RandomGraph(200, 6.0, 99);
+  const auto b = Bisect(g, {});
+  EXPECT_NEAR(g.CutWeight(b.side), b.cut_weight, 1e-9);
+}
+
+TEST(Bisect, DeterministicGivenSeed) {
+  const Graph g = RandomGraph(150, 5.0, 7);
+  PartitionOptions opts;
+  opts.seed = 42;
+  const auto b1 = Bisect(g, opts);
+  const auto b2 = Bisect(g, opts);
+  EXPECT_EQ(b1.side, b2.side);
+  EXPECT_DOUBLE_EQ(b1.cut_weight, b2.cut_weight);
+}
+
+TEST(Bisect, AsymmetricTargetFraction) {
+  const Graph g = RandomGraph(300, 4.0, 3);
+  PartitionOptions opts;
+  opts.balance_tolerance = 0.08;
+  const auto b = Bisect(g, opts, 0.25);
+  const double total = g.total_balance_weight();
+  EXPECT_NEAR(b.side_weight[0] / total, 0.25, 0.08);
+}
+
+TEST(Bisect, NegativeEdgeSeparatesReplicas) {
+  // Two hub-and-spoke stars whose hubs are replicas (negative edge).
+  Graph g;
+  for (int i = 0; i < 12; ++i) {
+    g.AddVertex(Resource{.cpu = 1, .mem_gb = 1, .net_mbps = 1}, 1.0);
+  }
+  for (int i = 1; i < 6; ++i) g.AddEdge(0, i, 5.0);
+  for (int i = 7; i < 12; ++i) g.AddEdge(6, i, 5.0);
+  g.AddEdge(0, 6, -1000.0);
+  const auto b = Bisect(g, {});
+  EXPECT_NE(b.side[0], b.side[6]);
+}
+
+TEST(Bisect, BetterThanRandomOnStructuredGraph) {
+  const Graph g = TwoCliques(20, 8.0, 2.0);
+  const auto b = Bisect(g, {});
+  // A random balanced cut of two 20-cliques crosses ~half the intra edges;
+  // the partitioner must find the 2.0 bridge.
+  EXPECT_LE(b.cut_weight, 2.0 + 1e-9);
+}
+
+// Parameterized balance sweep: the bisection respects the tolerance across
+// graph shapes and sizes.
+class BisectBalanceTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(BisectBalanceTest, WithinTolerance) {
+  const auto [n, tol] = GetParam();
+  const Graph g = RandomGraph(n, 6.0, static_cast<std::uint64_t>(n) * 31 + 1);
+  PartitionOptions opts;
+  opts.balance_tolerance = tol;
+  const auto b = Bisect(g, opts);
+  // Tolerance plus one max-weight vertex of slack (vertices are atomic).
+  double max_bw = 0.0;
+  for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
+    max_bw = std::max(max_bw, g.balance_weight(v));
+  }
+  const double limit =
+      (1.0 + tol) * g.total_balance_weight() / 2.0 + max_bw;
+  EXPECT_LE(b.side_weight[0], limit);
+  EXPECT_LE(b.side_weight[1], limit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BisectBalanceTest,
+    ::testing::Combine(::testing::Values(50, 200, 1000),
+                       ::testing::Values(0.05, 0.10, 0.20)));
+
+// --- KWayPartition ---------------------------------------------------------------
+
+TEST(KWay, ProducesExactlyKGroups) {
+  const Graph g = RandomGraph(120, 5.0, 11);
+  for (const int k : {2, 3, 5, 8}) {
+    const auto r = KWayPartition(g, k, {});
+    std::set<int> groups(r.group_of.begin(), r.group_of.end());
+    EXPECT_EQ(static_cast<int>(groups.size()), k) << "k=" << k;
+    for (const int gi : r.group_of) {
+      EXPECT_GE(gi, 0);
+      EXPECT_LT(gi, k);
+    }
+  }
+}
+
+TEST(KWay, CutMatchesAssignment) {
+  const Graph g = RandomGraph(150, 6.0, 13);
+  const auto r = KWayPartition(g, 4, {});
+  EXPECT_NEAR(g.CutWeightKWay(r.group_of), r.cut_weight, 1e-9);
+}
+
+TEST(KWay, KEqualsOneIsWholeGraph) {
+  const Graph g = Ring(10);
+  const auto r = KWayPartition(g, 1, {});
+  for (const int gi : r.group_of) EXPECT_EQ(gi, 0);
+  EXPECT_DOUBLE_EQ(r.cut_weight, 0.0);
+}
+
+TEST(KWay, BalancedAcrossGroups) {
+  const Graph g = RandomGraph(400, 5.0, 17);
+  const int k = 5;
+  const auto r = KWayPartition(g, k, {});
+  std::vector<double> weight(static_cast<std::size_t>(k), 0.0);
+  for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
+    weight[static_cast<std::size_t>(
+        r.group_of[static_cast<std::size_t>(v)])] += g.balance_weight(v);
+  }
+  const double target = g.total_balance_weight() / k;
+  for (const double w : weight) {
+    EXPECT_LT(w, target * 1.6);
+    EXPECT_GT(w, target * 0.4);
+  }
+}
+
+TEST(KWayRefine, ImprovesASwappedAssignment) {
+  // Two cliques assigned correctly except two swapped vertices: refinement
+  // must send them home and report the gain.
+  const Graph g = TwoCliques(8);
+  std::vector<int> group(16);
+  for (int v = 0; v < 16; ++v) group[static_cast<std::size_t>(v)] = v / 8;
+  std::swap(group[1], group[9]);
+  const double before = g.CutWeightKWay(group);
+  const double gain = RefineKWay(g, group, 2, {});
+  const double after = g.CutWeightKWay(group);
+  EXPECT_GT(gain, 0.0);
+  EXPECT_LT(after, before);
+  EXPECT_EQ(group[1], group[0]);
+  EXPECT_EQ(group[9], group[8]);
+}
+
+TEST(KWayRefine, RespectsBalanceCap) {
+  // A star: every leaf wants to join the hub's group, but balance forbids
+  // collapsing everything into one side.
+  Graph g;
+  for (int i = 0; i < 16; ++i) {
+    g.AddVertex(Resource{.cpu = 1, .mem_gb = 1, .net_mbps = 1}, 1.0);
+  }
+  for (int i = 1; i < 16; ++i) g.AddEdge(0, i, 5.0);
+  std::vector<int> group(16);
+  for (int v = 0; v < 16; ++v) group[static_cast<std::size_t>(v)] = v % 2;
+  PartitionOptions opts;
+  opts.balance_tolerance = 0.10;
+  RefineKWay(g, group, 2, opts);
+  int side0 = 0;
+  for (const int gi : group) side0 += gi == 0;
+  EXPECT_GE(side0, 7);
+  EXPECT_LE(side0, 9);
+}
+
+TEST(KWayRefine, NoopOnOptimal) {
+  const Graph g = TwoCliques(8);
+  std::vector<int> group(16);
+  for (int v = 0; v < 16; ++v) group[static_cast<std::size_t>(v)] = v / 8;
+  EXPECT_DOUBLE_EQ(RefineKWay(g, group, 2, {}), 0.0);
+}
+
+TEST(KWayRefine, NeverEmptiesAGroup) {
+  const Graph g = Ring(12);
+  std::vector<int> group(12, 0);
+  group[5] = 1;  // a lone vertex that refinement would love to absorb
+  RefineKWay(g, group, 2, {});
+  int side1 = 0;
+  for (const int gi : group) side1 += gi == 1;
+  EXPECT_GE(side1, 1);
+}
+
+TEST(KWayRefine, KWayPartitionUsesIt) {
+  // With refinement on, the k-way cut must be no worse than without.
+  const Graph g = RandomGraph(300, 6.0, 77);
+  PartitionOptions with;
+  PartitionOptions without;
+  without.kway_refine_passes = 0;
+  const auto a = KWayPartition(g, 6, with);
+  const auto b = KWayPartition(g, 6, without);
+  EXPECT_LE(a.cut_weight, b.cut_weight + 1e-9);
+}
+
+// --- RecursivePartition -----------------------------------------------------------
+
+TEST(RecursivePartition, StopsWhenEverythingFits) {
+  const Graph g = Ring(16);
+  const auto r = RecursivePartition(
+      g, [](const Resource&, int) { return true; }, {});
+  EXPECT_EQ(r.num_groups, 1);
+  EXPECT_TRUE(r.oversized_groups.empty());
+}
+
+TEST(RecursivePartition, SplitsUntilFit) {
+  const Graph g = Ring(64);  // total cpu 64
+  const auto r = RecursivePartition(
+      g, [](const Resource& d, int) { return d.cpu <= 10.0; }, {});
+  EXPECT_GE(r.num_groups, 7);  // 64/10 → at least 7 groups
+  for (int gi = 0; gi < r.num_groups; ++gi) {
+    EXPECT_LE(r.group_demand[static_cast<std::size_t>(gi)].cpu, 10.0 + 1e-9);
+  }
+  EXPECT_TRUE(r.oversized_groups.empty());
+}
+
+TEST(RecursivePartition, EveryVertexAssigned) {
+  const Graph g = RandomGraph(300, 5.0, 23);
+  const auto r = RecursivePartition(
+      g, [](const Resource& d, int) { return d.cpu <= 100.0; }, {});
+  for (const int gi : r.group_of) {
+    EXPECT_GE(gi, 0);
+    EXPECT_LT(gi, r.num_groups);
+  }
+  // Group sizes sum to the vertex count.
+  int total = 0;
+  for (const int s : r.group_size) total += s;
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(RecursivePartition, GroupDemandsConsistent) {
+  const Graph g = RandomGraph(200, 4.0, 29);
+  const auto r = RecursivePartition(
+      g, [](const Resource& d, int) { return d.cpu <= 150.0; }, {});
+  std::vector<Resource> recomputed(static_cast<std::size_t>(r.num_groups));
+  for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
+    recomputed[static_cast<std::size_t>(
+        r.group_of[static_cast<std::size_t>(v)])] += g.demand(v);
+  }
+  for (int gi = 0; gi < r.num_groups; ++gi) {
+    EXPECT_NEAR(recomputed[static_cast<std::size_t>(gi)].cpu,
+                r.group_demand[static_cast<std::size_t>(gi)].cpu, 1e-6);
+  }
+}
+
+TEST(RecursivePartition, OversizedSingletonFlagged) {
+  Graph g;
+  g.AddVertex(Resource{.cpu = 1000, .mem_gb = 1, .net_mbps = 1}, 1.0);
+  g.AddVertex(Resource{.cpu = 1, .mem_gb = 1, .net_mbps = 1}, 1.0);
+  g.AddEdge(0, 1, 1.0);
+  const auto r = RecursivePartition(
+      g, [](const Resource& d, int) { return d.cpu <= 10.0; }, {});
+  EXPECT_EQ(r.oversized_groups.size(), 1u);
+}
+
+TEST(RecursivePartition, PathsEncodeHierarchy) {
+  const Graph g = Ring(32);
+  const auto r = RecursivePartition(
+      g, [](const Resource& d, int) { return d.cpu <= 8.0; }, {});
+  EXPECT_EQ(static_cast<int>(r.group_path.size()), r.num_groups);
+  // Paths must be distinct and none may be a prefix of another (they are
+  // leaves of the recursion tree).
+  for (int i = 0; i < r.num_groups; ++i) {
+    for (int j = i + 1; j < r.num_groups; ++j) {
+      const auto& a = r.group_path[static_cast<std::size_t>(i)];
+      const auto& b = r.group_path[static_cast<std::size_t>(j)];
+      EXPECT_NE(a, b);
+      EXPECT_FALSE(a.size() < b.size() && b.compare(0, a.size(), a) == 0);
+      EXPECT_FALSE(b.size() < a.size() && a.compare(0, b.size(), b) == 0);
+    }
+  }
+}
+
+TEST(RecursivePartition, LocalityOrderSortsByPath) {
+  const Graph g = Ring(32);
+  const auto r = RecursivePartition(
+      g, [](const Resource& d, int) { return d.cpu <= 8.0; }, {});
+  const auto order = GroupsInLocalityOrder(r);
+  ASSERT_EQ(static_cast<int>(order.size()), r.num_groups);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(r.group_path[static_cast<std::size_t>(order[i - 1])],
+              r.group_path[static_cast<std::size_t>(order[i])]);
+  }
+}
+
+TEST(RecursivePartition, CliquesStayTogether) {
+  // 4 cliques of 8 (cpu 80 each), fit threshold 100: each clique is one
+  // group; the weak bridges are the only cut edges.
+  Graph g;
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 8; ++i) {
+      g.AddVertex(Resource{.cpu = 10, .mem_gb = 1, .net_mbps = 1}, 1.0);
+    }
+    const int base = c * 8;
+    for (int i = 0; i < 8; ++i) {
+      for (int j = i + 1; j < 8; ++j) g.AddEdge(base + i, base + j, 10.0);
+    }
+  }
+  for (int c = 0; c < 3; ++c) g.AddEdge(c * 8, (c + 1) * 8, 1.0);
+  const auto r = RecursivePartition(
+      g, [](const Resource& d, int) { return d.cpu <= 100.0; }, {});
+  for (int c = 0; c < 4; ++c) {
+    const int expected = r.group_of[static_cast<std::size_t>(c * 8)];
+    for (int i = 1; i < 8; ++i) {
+      EXPECT_EQ(r.group_of[static_cast<std::size_t>(c * 8 + i)], expected)
+          << "clique " << c << " split";
+    }
+  }
+}
+
+// Parameterized scalability/sanity sweep.
+class RecursivePartitionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecursivePartitionSweep, HandlesSize) {
+  const int n = GetParam();
+  const Graph g = RandomGraph(n, 8.0, static_cast<std::uint64_t>(n));
+  const double cap = g.total_demand().cpu / 20.0;
+  const auto r = RecursivePartition(
+      g, [cap](const Resource& d, int) { return d.cpu <= cap; }, {});
+  EXPECT_GE(r.num_groups, 15);
+  EXPECT_NEAR(g.CutWeightKWay(r.group_of), r.cut_weight, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RecursivePartitionSweep,
+                         ::testing::Values(100, 1000, 5000));
+
+}  // namespace
+}  // namespace gl

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "schedulers/borg.h"
+#include "schedulers/e_pvm.h"
+#include "schedulers/mpp.h"
+#include "schedulers/random_scheduler.h"
+#include "schedulers/rc_informed.h"
+#include "workload/scenarios.h"
+
+namespace gl {
+namespace {
+
+const Resource kCap{.cpu = 3200, .mem_gb = 64, .net_mbps = 1000};
+
+struct Fixture {
+  Fixture()
+      : topo(Topology::LeafSpine(8, 2, 2, kCap, 1000.0)),
+        scenario(MakeTwitterCachingScenario()) {
+    demands = scenario->DemandsAt(30);
+    active = scenario->ActiveAt(30);
+    input.workload = &scenario->workload();
+    input.demands = demands;
+    input.active = active;
+    input.topology = &topo;
+  }
+  Topology topo;
+  std::unique_ptr<Scenario> scenario;
+  std::vector<Resource> demands;
+  std::vector<std::uint8_t> active;
+  SchedulerInput input;
+};
+
+void ExpectValidPlacement(const Placement& p, const Fixture& f,
+                          double max_util) {
+  // Every active container placed; capacity respected at the policy's cap.
+  int placed = 0;
+  for (std::size_t i = 0; i < p.server_of.size(); ++i) {
+    if (f.active[i]) {
+      EXPECT_TRUE(p.server_of[i].valid()) << "container " << i;
+      ++placed;
+    } else {
+      EXPECT_FALSE(p.server_of[i].valid());
+    }
+  }
+  EXPECT_EQ(placed, 176);
+  const auto loads = ServerLoads(p, f.demands, f.topo.num_servers());
+  for (int s = 0; s < f.topo.num_servers(); ++s) {
+    const double u = loads[static_cast<std::size_t>(s)].DominantShare(
+        f.topo.server_capacity(ServerId{s}));
+    EXPECT_LE(u, max_util + 0.01) << "server " << s;
+  }
+}
+
+// --- E-PVM ------------------------------------------------------------------------
+
+TEST(EPvm, PlacesAllAndRespectsCapacity) {
+  Fixture f;
+  EPvmScheduler sched;
+  const auto p = sched.Place(f.input);
+  ExpectValidPlacement(p, f, 1.0);
+}
+
+TEST(EPvm, SpreadsAcrossAllServers) {
+  Fixture f;
+  EPvmScheduler sched;
+  const auto p = sched.Place(f.input);
+  // Least-utilized-first keeps every machine busy (paper: all 16 active).
+  EXPECT_EQ(p.NumActiveServers(), 16);
+}
+
+TEST(EPvm, LoadIsBalanced) {
+  Fixture f;
+  EPvmScheduler sched;
+  const auto p = sched.Place(f.input);
+  const auto loads = ServerLoads(p, f.demands, f.topo.num_servers());
+  double lo = 1e18, hi = 0.0;
+  for (int s = 0; s < 16; ++s) {
+    const double u = loads[static_cast<std::size_t>(s)].DominantShare(kCap);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(hi - lo, 0.25);
+}
+
+TEST(EPvm, NameIsStable) {
+  EPvmScheduler sched;
+  EXPECT_EQ(sched.name(), "E-PVM");
+}
+
+// --- mPP --------------------------------------------------------------------------
+
+TEST(Mpp, PlacesAllAndRespectsCap) {
+  Fixture f;
+  MppScheduler sched;
+  const auto p = sched.Place(f.input);
+  ExpectValidPlacement(p, f, 0.95);
+}
+
+TEST(Mpp, PacksIntoFewerServersThanEPvm) {
+  Fixture f;
+  MppScheduler mpp;
+  EPvmScheduler epvm;
+  const auto p_mpp = mpp.Place(f.input);
+  const auto p_epvm = epvm.Place(f.input);
+  EXPECT_LT(p_mpp.NumActiveServers(), p_epvm.NumActiveServers());
+}
+
+TEST(Mpp, HigherCapMeansFewerServers) {
+  Fixture f;
+  MppScheduler tight(ServerPowerModel::Dell2018(), 0.95);
+  MppScheduler loose(ServerPowerModel::Dell2018(), 0.60);
+  EXPECT_LE(tight.Place(f.input).NumActiveServers(),
+            loose.Place(f.input).NumActiveServers());
+}
+
+// --- Borg -------------------------------------------------------------------------
+
+TEST(Borg, PlacesAllAndRespectsCap) {
+  Fixture f;
+  BorgScheduler sched;
+  const auto p = sched.Place(f.input);
+  ExpectValidPlacement(p, f, 0.95);
+}
+
+TEST(Borg, PacksComparablyToMpp) {
+  Fixture f;
+  BorgScheduler borg;
+  MppScheduler mpp;
+  const int nb = borg.Place(f.input).NumActiveServers();
+  const int nm = mpp.Place(f.input).NumActiveServers();
+  EXPECT_LE(std::abs(nb - nm), 3);
+}
+
+TEST(Borg, ReducesStranding) {
+  // Two server types of demand: CPU-heavy and memory-heavy. Borg should
+  // co-locate complementary shapes instead of stranding memory.
+  Topology topo = Topology::LeafSpine(4, 2, 1, kCap, 1000.0);
+  Workload w;
+  for (int i = 0; i < 8; ++i) {
+    Container c;
+    c.id = ContainerId{w.size()};
+    c.app = AppType::kHadoop;  // CPU-heavy profile shape
+    c.demand = i % 2 == 0
+                   ? Resource{.cpu = 1500, .mem_gb = 4, .net_mbps = 50}
+                   : Resource{.cpu = 100, .mem_gb = 28, .net_mbps = 50};
+    w.containers.push_back(c);
+  }
+  std::vector<Resource> demands;
+  for (const auto& c : w.containers) demands.push_back(c.demand);
+  std::vector<std::uint8_t> active(w.containers.size(), 1);
+  SchedulerInput input;
+  input.workload = &w;
+  input.demands = demands;
+  input.active = active;
+  input.topology = &topo;
+  BorgScheduler borg;
+  const auto p = borg.Place(input);
+  // Complementary pairs fit 2-per-server → 4 servers; stranding-blind
+  // same-shape packing would need more.
+  EXPECT_LE(p.NumActiveServers(), 5);
+}
+
+// --- RC-Informed --------------------------------------------------------------------
+
+TEST(RcInformed, PlacesAll) {
+  Fixture f;
+  RcInformedScheduler sched;
+  const auto p = sched.Place(f.input);
+  int placed = 0;
+  for (std::size_t i = 0; i < p.server_of.size(); ++i) {
+    if (f.active[i] && p.server_of[i].valid()) ++placed;
+  }
+  EXPECT_EQ(placed, 176);
+}
+
+TEST(RcInformed, ActiveServersTrackReservationsNotLoad) {
+  // The same container set at wildly different instantaneous load must land
+  // on the same number of servers (reservation-driven buckets).
+  Fixture f;
+  RcInformedScheduler sched;
+  const auto p_high = sched.Place(f.input);
+
+  auto low_demands = f.scenario->DemandsAt(0);
+  for (auto& d : low_demands) d = d * 0.2;
+  SchedulerInput low = f.input;
+  low.demands = low_demands;
+  RcInformedScheduler sched2;
+  const auto p_low = sched2.Place(low);
+  EXPECT_EQ(p_high.NumActiveServers(), p_low.NumActiveServers());
+}
+
+TEST(RcInformed, OversubscriptionPacksTighter) {
+  Fixture f;
+  RcInformedScheduler with_over(1.25);
+  RcInformedScheduler without(1.0);
+  EXPECT_LE(with_over.Place(f.input).NumActiveServers(),
+            without.Place(f.input).NumActiveServers());
+}
+
+TEST(RcInformed, SeparatesServiceComponents) {
+  // Bucketing by size class scatters each FE/MC pair — the behaviour that
+  // costs RC-Informed locality in the paper.
+  Fixture f;
+  RcInformedScheduler sched;
+  const auto p = sched.Place(f.input);
+  const auto& w = f.scenario->workload();
+  int colocated = 0, total = 0;
+  for (const auto& e : w.edges) {
+    if (!e.is_query || e.flows < 4000.0) continue;  // primary pairs only
+    ++total;
+    const auto sa = p.of(e.a);
+    const auto sb = p.of(e.b);
+    if (sa.valid() && sa == sb) ++colocated;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_LT(static_cast<double>(colocated) / total, 0.5);
+}
+
+// --- Random ------------------------------------------------------------------------
+
+TEST(RandomSched, PlacesAllFeasible) {
+  Fixture f;
+  RandomScheduler sched(42);
+  const auto p = sched.Place(f.input);
+  ExpectValidPlacement(p, f, 0.95);
+}
+
+TEST(RandomSched, DeterministicPerSeed) {
+  Fixture f;
+  RandomScheduler a(7), b(7);
+  EXPECT_EQ(a.Place(f.input).server_of, b.Place(f.input).server_of);
+}
+
+// --- Placement utilities -------------------------------------------------------------
+
+TEST(PlacementUtil, MigrationsFrom) {
+  Placement before, after;
+  before.server_of = {ServerId{0}, ServerId{1}, ServerId{2},
+                      ServerId::invalid()};
+  after.server_of = {ServerId{0}, ServerId{2}, ServerId::invalid(),
+                     ServerId{3}};
+  // Container 1 moved; container 2 stopped (no migration); container 3 is
+  // new (no migration).
+  EXPECT_EQ(after.MigrationsFrom(before), 1);
+}
+
+TEST(PlacementUtil, NumActiveServers) {
+  Placement p;
+  p.server_of = {ServerId{0}, ServerId{0}, ServerId{3}, ServerId::invalid()};
+  EXPECT_EQ(p.NumActiveServers(), 2);
+  EXPECT_EQ(p.num_placed(), 3);
+}
+
+TEST(PlacementUtil, ServerLoadsAggregates) {
+  Placement p;
+  p.server_of = {ServerId{0}, ServerId{0}, ServerId{1}};
+  std::vector<Resource> demands{{.cpu = 10, .mem_gb = 1, .net_mbps = 5},
+                                {.cpu = 20, .mem_gb = 2, .net_mbps = 5},
+                                {.cpu = 5, .mem_gb = 1, .net_mbps = 1}};
+  const auto loads = ServerLoads(p, demands, 3);
+  EXPECT_DOUBLE_EQ(loads[0].cpu, 30.0);
+  EXPECT_DOUBLE_EQ(loads[1].cpu, 5.0);
+  EXPECT_TRUE(loads[2].IsZero());
+}
+
+}  // namespace
+}  // namespace gl

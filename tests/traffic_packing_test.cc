@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "netsim/traffic_packing.h"
+
+namespace gl {
+namespace {
+
+const Resource kCap{.cpu = 1600, .mem_gb = 64, .net_mbps = 1000};
+
+struct Fixture {
+  Fixture()
+      : topo(Topology::FatTree(4, kCap, 1000.0)),
+        models(static_cast<std::size_t>(topo.num_levels()),
+               SwitchPowerModel("sw", 100.0, 0.3)) {
+    traffic.node_uplink_mbps.assign(
+        static_cast<std::size_t>(topo.num_nodes()), 0.0);
+  }
+
+  void LoadUplink(NodeId n, double mbps) {
+    traffic.node_uplink_mbps[static_cast<std::size_t>(n.value())] = mbps;
+  }
+
+  Topology topo;
+  std::vector<SwitchPowerModel> models;
+  TrafficEstimate traffic;
+};
+
+TEST(TrafficPacking, AllIdleEverythingOff) {
+  Fixture f;
+  std::vector<std::uint8_t> active(16, 0);
+  const auto plan = PackTraffic(f.topo, active, f.traffic, f.models);
+  EXPECT_EQ(plan.total_active_switches, 0);
+  EXPECT_EQ(plan.total_active_links, 0);
+  EXPECT_DOUBLE_EQ(plan.watts, 0.0);
+  EXPECT_FALSE(plan.overloaded);
+  EXPECT_EQ(plan.total_switches, 20);
+}
+
+TEST(TrafficPacking, IdleButActiveKeepsConnectivity) {
+  Fixture f;
+  std::vector<std::uint8_t> active(16, 1);
+  // Zero traffic: every bundle still keeps its backup/connectivity links.
+  const auto plan = PackTraffic(f.topo, active, f.traffic, f.models);
+  EXPECT_GT(plan.total_active_switches, 0);
+  for (int i = 0; i < f.topo.num_nodes(); ++i) {
+    const auto& node = f.topo.node(NodeId{i});
+    if (node.physical_uplinks > 0) {
+      EXPECT_GE(plan.active_uplinks[static_cast<std::size_t>(i)], 1);
+    }
+  }
+}
+
+TEST(TrafficPacking, LinksScaleWithLoad) {
+  Fixture f;
+  std::vector<std::uint8_t> active(16, 1);
+  const NodeId rack = f.topo.AncestorAt(f.topo.server_node(ServerId{0}), 1);
+  // Rack uplink bundle: 2 links × 1G.
+  f.LoadUplink(rack, 100.0);
+  const auto light = PackTraffic(f.topo, active, f.traffic, f.models);
+  f.LoadUplink(rack, 1700.0);
+  const auto heavy = PackTraffic(f.topo, active, f.traffic, f.models);
+  EXPECT_LT(light.active_uplinks[static_cast<std::size_t>(rack.value())],
+            heavy.active_uplinks[static_cast<std::size_t>(rack.value())]);
+  EXPECT_EQ(heavy.active_uplinks[static_cast<std::size_t>(rack.value())], 2);
+}
+
+TEST(TrafficPacking, OverloadFlagged) {
+  Fixture f;
+  std::vector<std::uint8_t> active(16, 1);
+  const NodeId rack = f.topo.AncestorAt(f.topo.server_node(ServerId{0}), 1);
+  f.LoadUplink(rack, 5000.0);  // 2 G bundle cannot carry 5 G
+  const auto plan = PackTraffic(f.topo, active, f.traffic, f.models);
+  EXPECT_TRUE(plan.overloaded);
+}
+
+TEST(TrafficPacking, PackedNetworkCheaperThanFull) {
+  Fixture f;
+  std::vector<std::uint8_t> active(16, 1);
+  // Light traffic everywhere (10% — the paper's baseline link load).
+  for (int i = 0; i < f.topo.num_nodes(); ++i) {
+    const auto& node = f.topo.node(NodeId{i});
+    if (node.uplink_capacity_mbps > 0.0) {
+      f.LoadUplink(NodeId{i}, 0.1 * node.uplink_capacity_mbps);
+    }
+  }
+  const auto plan = PackTraffic(f.topo, active, f.traffic, f.models);
+  const double full_watts = f.topo.num_switches() * 100.0;
+  EXPECT_LT(plan.watts, full_watts);
+  EXPECT_GT(plan.watts, 0.0);
+  // Fig 3's point: traffic packing saves a modest share of network power.
+  EXPECT_LT(plan.watts / full_watts, 0.95);
+}
+
+TEST(TrafficPacking, GatedRacksDropSwitches) {
+  Fixture f;
+  std::vector<std::uint8_t> half(16, 0);
+  for (int i = 0; i < 8; ++i) half[static_cast<std::size_t>(i)] = 1;
+  std::vector<std::uint8_t> all(16, 1);
+  const auto plan_half = PackTraffic(f.topo, half, f.traffic, f.models);
+  const auto plan_all = PackTraffic(f.topo, all, f.traffic, f.models);
+  EXPECT_LT(plan_half.total_active_switches, plan_all.total_active_switches);
+}
+
+TEST(TrafficPacking, BackupFractionAddsLinks) {
+  Fixture f;
+  std::vector<std::uint8_t> active(16, 1);
+  TrafficPackingOptions no_backup;
+  no_backup.backup_fraction = 0.0;
+  TrafficPackingOptions with_backup;
+  with_backup.backup_fraction = 0.5;
+  const auto a = PackTraffic(f.topo, active, f.traffic, f.models, no_backup);
+  const auto b =
+      PackTraffic(f.topo, active, f.traffic, f.models, with_backup);
+  EXPECT_GT(b.total_active_links, a.total_active_links);
+}
+
+}  // namespace
+}  // namespace gl

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/goldilocks.h"
+#include "core/virtual_cluster.h"
+#include "workload/scenarios.h"
+
+namespace gl {
+namespace {
+
+const Resource kCap{.cpu = 3200, .mem_gb = 64, .net_mbps = 1000};
+
+std::vector<Resource> UniformDemands(int n, const Resource& d) {
+  return std::vector<Resource>(static_cast<std::size_t>(n), d);
+}
+
+std::vector<std::vector<ContainerId>> MakeGroups(
+    const std::vector<int>& sizes) {
+  std::vector<std::vector<ContainerId>> groups;
+  int next = 0;
+  for (const int s : sizes) {
+    std::vector<ContainerId> g;
+    for (int i = 0; i < s; ++i) g.push_back(ContainerId{next++});
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+TEST(VirtualCluster, PlacesSmallGroupOnOneRack) {
+  Topology topo = Topology::FatTree(4, kCap, 1000.0);
+  VirtualClusterPlacer placer(topo, {});
+  const auto groups = MakeGroups({2});
+  const Resource d{.cpu = 500, .mem_gb = 8, .net_mbps = 100};
+  const auto p = placer.PlaceGroups(groups, UniformDemands(2, d), 2);
+  ASSERT_TRUE(p.server_of[0].valid());
+  ASSERT_TRUE(p.server_of[1].valid());
+  EXPECT_LE(topo.HopDistance(p.server_of[0], p.server_of[1]), 2);
+  EXPECT_EQ(placer.stats().groups_placed_whole, 1);
+  EXPECT_EQ(placer.stats().bandwidth_violations, 0);
+}
+
+TEST(VirtualCluster, RespectsServerCeilings) {
+  Topology topo = Topology::LeafSpine(4, 2, 2, kCap, 1000.0);
+  VirtualClusterOptions opts;
+  VirtualClusterPlacer placer(topo, opts);
+  const Resource d{.cpu = 1000, .mem_gb = 10, .net_mbps = 100};
+  const auto groups = MakeGroups({8});
+  const auto p = placer.PlaceGroups(groups, UniformDemands(8, d), 8);
+  std::vector<Resource> loads(static_cast<std::size_t>(topo.num_servers()));
+  for (std::size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(p.server_of[i].valid());
+    loads[static_cast<std::size_t>(p.server_of[i].value())] +=
+        d;
+  }
+  for (int s = 0; s < topo.num_servers(); ++s) {
+    EXPECT_LE(loads[static_cast<std::size_t>(s)].cpu,
+              kCap.cpu * opts.pee_utilization + 1e-6);
+  }
+}
+
+TEST(VirtualCluster, GroupTooBigForRackIsSplit) {
+  // Each rack holds 2 servers; with cpu 2240 ceiling (70% of 3200) a server
+  // fits 2 containers of cpu 1000 → a rack fits 4. A 10-container group
+  // must span racks.
+  Topology topo = Topology::LeafSpine(4, 2, 2, kCap, 10000.0);
+  VirtualClusterPlacer placer(topo, {});
+  const Resource d{.cpu = 1000, .mem_gb = 4, .net_mbps = 100};
+  const auto groups = MakeGroups({10});
+  const auto p = placer.PlaceGroups(groups, UniformDemands(10, d), 10);
+  std::set<int> racks;
+  for (std::size_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(p.server_of[i].valid());
+    racks.insert(
+        topo.AncestorAt(topo.server_node(p.server_of[i]), 1).value());
+  }
+  EXPECT_GE(racks.size(), 2u);
+}
+
+TEST(VirtualCluster, BandwidthConstraintForcesSpread) {
+  // Tiny rack uplinks: 100 Mbps. A group pushing 80 Mbps per container
+  // cannot put many containers behind one rack once inter-group traffic is
+  // accounted; the placer must spread or record violations.
+  Topology topo = Topology::LeafSpine(8, 2, 1, kCap, 100.0);
+  VirtualClusterPlacer placer(topo, {});
+  const Resource d{.cpu = 100, .mem_gb = 2, .net_mbps = 40};
+  const auto groups = MakeGroups({4, 4});
+  const auto p = placer.PlaceGroups(groups, UniformDemands(8, d), 8);
+  int placed = 0;
+  for (const auto s : p.server_of) placed += s.valid();
+  EXPECT_EQ(placed, 8);
+  // Reservations on every leaf uplink must respect Eq. 4/5 bookkeeping
+  // within capacity unless explicitly counted as violations.
+  int over = 0;
+  for (const auto leaf : topo.NodesAtLevel(1)) {
+    if (placer.ReservationOn(leaf) > topo.uplink_capacity(leaf) + 1e-6) {
+      ++over;
+    }
+  }
+  EXPECT_LE(over, placer.stats().bandwidth_violations);
+}
+
+TEST(VirtualCluster, HeterogeneousServersUsed) {
+  Topology topo = Topology::LeafSpine(4, 2, 2, kCap, 1000.0);
+  // Shrink half of the servers.
+  for (int s = 0; s < topo.num_servers(); s += 2) {
+    topo.set_server_capacity(ServerId{s}, kCap * 0.25);
+  }
+  VirtualClusterPlacer placer(topo, {});
+  const Resource d{.cpu = 1500, .mem_gb = 8, .net_mbps = 50};
+  const auto groups = MakeGroups({4});
+  const auto p = placer.PlaceGroups(groups, UniformDemands(4, d), 4);
+  // cpu 1500 fits only the big servers (small ceiling = 0.25·3200·0.7=560).
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(p.server_of[i].valid());
+    EXPECT_EQ(p.server_of[i].value() % 2, 1) << "landed on a small server";
+  }
+}
+
+TEST(VirtualCluster, DegradedUplinkAvoided) {
+  Topology topo = Topology::FatTree(4, kCap, 1000.0);
+  // Cripple the first pod's uplink so cross-pod groups avoid it.
+  const NodeId pod0 = topo.NodesAtLevel(2).front();
+  topo.DegradeUplink(pod0, 0.01);
+  VirtualClusterPlacer placer(topo, {});
+  // Two groups that talk across: every container sends 300 Mbps.
+  const Resource d{.cpu = 200, .mem_gb = 2, .net_mbps = 300};
+  const auto groups = MakeGroups({4, 4});
+  const auto p = placer.PlaceGroups(groups, UniformDemands(8, d), 8);
+  // Placement succeeds; the heavily-communicating groups should not be
+  // split across the degraded pod boundary without a violation record.
+  int placed = 0;
+  for (const auto s : p.server_of) placed += s.valid();
+  EXPECT_EQ(placed, 8);
+}
+
+TEST(VirtualCluster, LocalitySiblingsShareSubtree) {
+  Topology topo = Topology::FatTree(4, kCap, 10000.0);
+  VirtualClusterPlacer placer(topo, {});
+  const Resource d{.cpu = 1000, .mem_gb = 4, .net_mbps = 10};
+  // Groups sized one-per-server; consecutive groups should fill nearby
+  // servers (left-most subtree first).
+  const auto groups = MakeGroups({2, 2, 2, 2});
+  const auto p = placer.PlaceGroups(groups, UniformDemands(8, d), 8);
+  // First two groups land in the first rack(s) of the first pod.
+  const NodeId pod_of_0 =
+      topo.AncestorAt(topo.server_node(p.server_of[0]), 2);
+  const NodeId pod_of_2 =
+      topo.AncestorAt(topo.server_node(p.server_of[2]), 2);
+  EXPECT_EQ(pod_of_0, pod_of_2);
+}
+
+TEST(VirtualCluster, EmptyGroupsAreSkipped) {
+  Topology topo = Topology::LeafSpine(2, 2, 1, kCap, 1000.0);
+  VirtualClusterPlacer placer(topo, {});
+  std::vector<std::vector<ContainerId>> groups{{}, {ContainerId{0}}};
+  const Resource d{.cpu = 100, .mem_gb = 1, .net_mbps = 10};
+  const auto p = placer.PlaceGroups(groups, UniformDemands(1, d), 1);
+  EXPECT_TRUE(p.server_of[0].valid());
+}
+
+TEST(VirtualCluster, GoldilocksEndToEndOnAsymmetricTopology) {
+  // Full pipeline: heterogeneous servers + degraded link via the scheduler.
+  Topology topo = Topology::FatTree(4, kCap, 1000.0);
+  for (int s = 0; s < topo.num_servers(); s += 3) {
+    topo.set_server_capacity(ServerId{s}, kCap * 0.5);
+  }
+  topo.DegradeUplink(topo.NodesAtLevel(2)[1], 0.5);
+
+  const auto scenario = MakeTwitterCachingScenario();
+  const auto demands = scenario->DemandsAt(10);
+  const auto active = scenario->ActiveAt(10);
+  SchedulerInput input;
+  input.workload = &scenario->workload();
+  input.demands = demands;
+  input.active = active;
+  input.topology = &topo;
+
+  GoldilocksOptions opts;
+  opts.use_virtual_clusters = true;
+  GoldilocksScheduler sched(opts);
+  const auto p = sched.Place(input);
+  int placed = 0;
+  for (const auto s : p.server_of) placed += s.valid();
+  EXPECT_EQ(placed, 176);
+  // Ceilings hold per heterogeneous capacity.
+  const auto loads = ServerLoads(p, demands, topo.num_servers());
+  for (int s = 0; s < topo.num_servers(); ++s) {
+    const auto& cap = topo.server_capacity(ServerId{s});
+    EXPECT_LE(loads[static_cast<std::size_t>(s)].cpu,
+              cap.cpu * opts.pee_utilization * 1.02);
+  }
+}
+
+}  // namespace
+}  // namespace gl
