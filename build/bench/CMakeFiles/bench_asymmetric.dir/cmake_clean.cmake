@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_asymmetric.dir/bench_asymmetric.cpp.o"
+  "CMakeFiles/bench_asymmetric.dir/bench_asymmetric.cpp.o.d"
+  "bench_asymmetric"
+  "bench_asymmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asymmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

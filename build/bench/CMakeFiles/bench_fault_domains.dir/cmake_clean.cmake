@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_domains.dir/bench_fault_domains.cpp.o"
+  "CMakeFiles/bench_fault_domains.dir/bench_fault_domains.cpp.o.d"
+  "bench_fault_domains"
+  "bench_fault_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fct_validation.dir/bench_fct_validation.cpp.o"
+  "CMakeFiles/bench_fct_validation.dir/bench_fct_validation.cpp.o.d"
+  "bench_fct_validation"
+  "bench_fct_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fct_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

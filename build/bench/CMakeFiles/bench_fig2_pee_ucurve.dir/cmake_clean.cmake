@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_pee_ucurve.dir/bench_fig2_pee_ucurve.cpp.o"
+  "CMakeFiles/bench_fig2_pee_ucurve.dir/bench_fig2_pee_ucurve.cpp.o.d"
+  "bench_fig2_pee_ucurve"
+  "bench_fig2_pee_ucurve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_pee_ucurve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

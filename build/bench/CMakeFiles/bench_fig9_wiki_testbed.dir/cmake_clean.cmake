@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_wiki_testbed.dir/bench_fig9_wiki_testbed.cpp.o"
+  "CMakeFiles/bench_fig9_wiki_testbed.dir/bench_fig9_wiki_testbed.cpp.o.d"
+  "bench_fig9_wiki_testbed"
+  "bench_fig9_wiki_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_wiki_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioner_scale.dir/bench_partitioner_scale.cpp.o"
+  "CMakeFiles/bench_partitioner_scale.dir/bench_partitioner_scale.cpp.o.d"
+  "bench_partitioner_scale"
+  "bench_partitioner_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioner_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asymmetric_datacenter.dir/asymmetric_datacenter.cpp.o"
+  "CMakeFiles/asymmetric_datacenter.dir/asymmetric_datacenter.cpp.o.d"
+  "asymmetric_datacenter"
+  "asymmetric_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asymmetric_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_replay.dir/epoch_replay.cpp.o"
+  "CMakeFiles/epoch_replay.dir/epoch_replay.cpp.o.d"
+  "epoch_replay"
+  "epoch_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goldilocks_sim.dir/goldilocks_sim.cpp.o"
+  "CMakeFiles/goldilocks_sim.dir/goldilocks_sim.cpp.o.d"
+  "goldilocks_sim"
+  "goldilocks_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goldilocks_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

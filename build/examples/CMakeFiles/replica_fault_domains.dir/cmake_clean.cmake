@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_fault_domains.dir/replica_fault_domains.cpp.o"
+  "CMakeFiles/replica_fault_domains.dir/replica_fault_domains.cpp.o.d"
+  "replica_fault_domains"
+  "replica_fault_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_fault_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

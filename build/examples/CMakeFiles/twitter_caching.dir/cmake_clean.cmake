@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitter_caching.dir/twitter_caching.cpp.o"
+  "CMakeFiles/twitter_caching.dir/twitter_caching.cpp.o.d"
+  "twitter_caching"
+  "twitter_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitter_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gl_common.dir/rng.cc.o"
+  "CMakeFiles/gl_common.dir/rng.cc.o.d"
+  "CMakeFiles/gl_common.dir/stats.cc.o"
+  "CMakeFiles/gl_common.dir/stats.cc.o.d"
+  "CMakeFiles/gl_common.dir/table.cc.o"
+  "CMakeFiles/gl_common.dir/table.cc.o.d"
+  "libgl_common.a"
+  "libgl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gl_core.dir/epoch_controller.cc.o"
+  "CMakeFiles/gl_core.dir/epoch_controller.cc.o.d"
+  "CMakeFiles/gl_core.dir/goldilocks.cc.o"
+  "CMakeFiles/gl_core.dir/goldilocks.cc.o.d"
+  "CMakeFiles/gl_core.dir/graph_builder.cc.o"
+  "CMakeFiles/gl_core.dir/graph_builder.cc.o.d"
+  "CMakeFiles/gl_core.dir/virtual_cluster.cc.o"
+  "CMakeFiles/gl_core.dir/virtual_cluster.cc.o.d"
+  "libgl_core.a"
+  "libgl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/gl_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/gl_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/incremental.cc" "src/graph/CMakeFiles/gl_graph.dir/incremental.cc.o" "gcc" "src/graph/CMakeFiles/gl_graph.dir/incremental.cc.o.d"
+  "/root/repo/src/graph/partitioner.cc" "src/graph/CMakeFiles/gl_graph.dir/partitioner.cc.o" "gcc" "src/graph/CMakeFiles/gl_graph.dir/partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gl_graph.dir/graph.cc.o"
+  "CMakeFiles/gl_graph.dir/graph.cc.o.d"
+  "CMakeFiles/gl_graph.dir/incremental.cc.o"
+  "CMakeFiles/gl_graph.dir/incremental.cc.o.d"
+  "CMakeFiles/gl_graph.dir/partitioner.cc.o"
+  "CMakeFiles/gl_graph.dir/partitioner.cc.o.d"
+  "libgl_graph.a"
+  "libgl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/flowsim.cc" "src/netsim/CMakeFiles/gl_netsim.dir/flowsim.cc.o" "gcc" "src/netsim/CMakeFiles/gl_netsim.dir/flowsim.cc.o.d"
+  "/root/repo/src/netsim/traffic.cc" "src/netsim/CMakeFiles/gl_netsim.dir/traffic.cc.o" "gcc" "src/netsim/CMakeFiles/gl_netsim.dir/traffic.cc.o.d"
+  "/root/repo/src/netsim/traffic_packing.cc" "src/netsim/CMakeFiles/gl_netsim.dir/traffic_packing.cc.o" "gcc" "src/netsim/CMakeFiles/gl_netsim.dir/traffic_packing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/gl_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedulers/CMakeFiles/gl_schedulers.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

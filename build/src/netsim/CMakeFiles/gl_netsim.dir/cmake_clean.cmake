@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gl_netsim.dir/flowsim.cc.o"
+  "CMakeFiles/gl_netsim.dir/flowsim.cc.o.d"
+  "CMakeFiles/gl_netsim.dir/traffic.cc.o"
+  "CMakeFiles/gl_netsim.dir/traffic.cc.o.d"
+  "CMakeFiles/gl_netsim.dir/traffic_packing.cc.o"
+  "CMakeFiles/gl_netsim.dir/traffic_packing.cc.o.d"
+  "libgl_netsim.a"
+  "libgl_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gl_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

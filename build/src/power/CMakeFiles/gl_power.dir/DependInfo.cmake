@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/dc_power.cc" "src/power/CMakeFiles/gl_power.dir/dc_power.cc.o" "gcc" "src/power/CMakeFiles/gl_power.dir/dc_power.cc.o.d"
+  "/root/repo/src/power/server_power.cc" "src/power/CMakeFiles/gl_power.dir/server_power.cc.o" "gcc" "src/power/CMakeFiles/gl_power.dir/server_power.cc.o.d"
+  "/root/repo/src/power/spec_population.cc" "src/power/CMakeFiles/gl_power.dir/spec_population.cc.o" "gcc" "src/power/CMakeFiles/gl_power.dir/spec_population.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gl_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

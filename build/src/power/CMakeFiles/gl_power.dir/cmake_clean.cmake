@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gl_power.dir/dc_power.cc.o"
+  "CMakeFiles/gl_power.dir/dc_power.cc.o.d"
+  "CMakeFiles/gl_power.dir/server_power.cc.o"
+  "CMakeFiles/gl_power.dir/server_power.cc.o.d"
+  "CMakeFiles/gl_power.dir/spec_population.cc.o"
+  "CMakeFiles/gl_power.dir/spec_population.cc.o.d"
+  "libgl_power.a"
+  "libgl_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gl_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

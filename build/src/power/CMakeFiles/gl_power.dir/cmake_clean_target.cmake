@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgl_power.a"
+)

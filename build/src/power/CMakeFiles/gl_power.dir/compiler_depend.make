@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gl_power.
+# This may be replaced when dependencies are built.

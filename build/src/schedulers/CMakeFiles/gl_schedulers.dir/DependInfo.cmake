@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedulers/borg.cc" "src/schedulers/CMakeFiles/gl_schedulers.dir/borg.cc.o" "gcc" "src/schedulers/CMakeFiles/gl_schedulers.dir/borg.cc.o.d"
+  "/root/repo/src/schedulers/e_pvm.cc" "src/schedulers/CMakeFiles/gl_schedulers.dir/e_pvm.cc.o" "gcc" "src/schedulers/CMakeFiles/gl_schedulers.dir/e_pvm.cc.o.d"
+  "/root/repo/src/schedulers/mpp.cc" "src/schedulers/CMakeFiles/gl_schedulers.dir/mpp.cc.o" "gcc" "src/schedulers/CMakeFiles/gl_schedulers.dir/mpp.cc.o.d"
+  "/root/repo/src/schedulers/placement.cc" "src/schedulers/CMakeFiles/gl_schedulers.dir/placement.cc.o" "gcc" "src/schedulers/CMakeFiles/gl_schedulers.dir/placement.cc.o.d"
+  "/root/repo/src/schedulers/random_scheduler.cc" "src/schedulers/CMakeFiles/gl_schedulers.dir/random_scheduler.cc.o" "gcc" "src/schedulers/CMakeFiles/gl_schedulers.dir/random_scheduler.cc.o.d"
+  "/root/repo/src/schedulers/rc_informed.cc" "src/schedulers/CMakeFiles/gl_schedulers.dir/rc_informed.cc.o" "gcc" "src/schedulers/CMakeFiles/gl_schedulers.dir/rc_informed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/gl_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gl_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

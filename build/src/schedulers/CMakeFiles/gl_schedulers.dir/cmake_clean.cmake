@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gl_schedulers.dir/borg.cc.o"
+  "CMakeFiles/gl_schedulers.dir/borg.cc.o.d"
+  "CMakeFiles/gl_schedulers.dir/e_pvm.cc.o"
+  "CMakeFiles/gl_schedulers.dir/e_pvm.cc.o.d"
+  "CMakeFiles/gl_schedulers.dir/mpp.cc.o"
+  "CMakeFiles/gl_schedulers.dir/mpp.cc.o.d"
+  "CMakeFiles/gl_schedulers.dir/placement.cc.o"
+  "CMakeFiles/gl_schedulers.dir/placement.cc.o.d"
+  "CMakeFiles/gl_schedulers.dir/random_scheduler.cc.o"
+  "CMakeFiles/gl_schedulers.dir/random_scheduler.cc.o.d"
+  "CMakeFiles/gl_schedulers.dir/rc_informed.cc.o"
+  "CMakeFiles/gl_schedulers.dir/rc_informed.cc.o.d"
+  "libgl_schedulers.a"
+  "libgl_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gl_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgl_schedulers.a"
+)

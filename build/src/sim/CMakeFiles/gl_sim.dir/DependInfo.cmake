@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/estimator.cc" "src/sim/CMakeFiles/gl_sim.dir/estimator.cc.o" "gcc" "src/sim/CMakeFiles/gl_sim.dir/estimator.cc.o.d"
+  "/root/repo/src/sim/failure.cc" "src/sim/CMakeFiles/gl_sim.dir/failure.cc.o" "gcc" "src/sim/CMakeFiles/gl_sim.dir/failure.cc.o.d"
+  "/root/repo/src/sim/latency.cc" "src/sim/CMakeFiles/gl_sim.dir/latency.cc.o" "gcc" "src/sim/CMakeFiles/gl_sim.dir/latency.cc.o.d"
+  "/root/repo/src/sim/migration.cc" "src/sim/CMakeFiles/gl_sim.dir/migration.cc.o" "gcc" "src/sim/CMakeFiles/gl_sim.dir/migration.cc.o.d"
+  "/root/repo/src/sim/migration_planner.cc" "src/sim/CMakeFiles/gl_sim.dir/migration_planner.cc.o" "gcc" "src/sim/CMakeFiles/gl_sim.dir/migration_planner.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/gl_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/gl_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/gl_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedulers/CMakeFiles/gl_schedulers.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/gl_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gl_sim.dir/estimator.cc.o"
+  "CMakeFiles/gl_sim.dir/estimator.cc.o.d"
+  "CMakeFiles/gl_sim.dir/failure.cc.o"
+  "CMakeFiles/gl_sim.dir/failure.cc.o.d"
+  "CMakeFiles/gl_sim.dir/latency.cc.o"
+  "CMakeFiles/gl_sim.dir/latency.cc.o.d"
+  "CMakeFiles/gl_sim.dir/migration.cc.o"
+  "CMakeFiles/gl_sim.dir/migration.cc.o.d"
+  "CMakeFiles/gl_sim.dir/migration_planner.cc.o"
+  "CMakeFiles/gl_sim.dir/migration_planner.cc.o.d"
+  "CMakeFiles/gl_sim.dir/simulator.cc.o"
+  "CMakeFiles/gl_sim.dir/simulator.cc.o.d"
+  "libgl_sim.a"
+  "libgl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gl_topology.dir/datacenters.cc.o"
+  "CMakeFiles/gl_topology.dir/datacenters.cc.o.d"
+  "CMakeFiles/gl_topology.dir/topology.cc.o"
+  "CMakeFiles/gl_topology.dir/topology.cc.o.d"
+  "libgl_topology.a"
+  "libgl_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gl_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

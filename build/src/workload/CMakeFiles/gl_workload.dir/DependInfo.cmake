@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/calibration.cc" "src/workload/CMakeFiles/gl_workload.dir/calibration.cc.o" "gcc" "src/workload/CMakeFiles/gl_workload.dir/calibration.cc.o.d"
+  "/root/repo/src/workload/container.cc" "src/workload/CMakeFiles/gl_workload.dir/container.cc.o" "gcc" "src/workload/CMakeFiles/gl_workload.dir/container.cc.o.d"
+  "/root/repo/src/workload/msr_trace.cc" "src/workload/CMakeFiles/gl_workload.dir/msr_trace.cc.o" "gcc" "src/workload/CMakeFiles/gl_workload.dir/msr_trace.cc.o.d"
+  "/root/repo/src/workload/scenarios.cc" "src/workload/CMakeFiles/gl_workload.dir/scenarios.cc.o" "gcc" "src/workload/CMakeFiles/gl_workload.dir/scenarios.cc.o.d"
+  "/root/repo/src/workload/traces.cc" "src/workload/CMakeFiles/gl_workload.dir/traces.cc.o" "gcc" "src/workload/CMakeFiles/gl_workload.dir/traces.cc.o.d"
+  "/root/repo/src/workload/workload_io.cc" "src/workload/CMakeFiles/gl_workload.dir/workload_io.cc.o" "gcc" "src/workload/CMakeFiles/gl_workload.dir/workload_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

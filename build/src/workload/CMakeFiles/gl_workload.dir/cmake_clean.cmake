@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gl_workload.dir/calibration.cc.o"
+  "CMakeFiles/gl_workload.dir/calibration.cc.o.d"
+  "CMakeFiles/gl_workload.dir/container.cc.o"
+  "CMakeFiles/gl_workload.dir/container.cc.o.d"
+  "CMakeFiles/gl_workload.dir/msr_trace.cc.o"
+  "CMakeFiles/gl_workload.dir/msr_trace.cc.o.d"
+  "CMakeFiles/gl_workload.dir/scenarios.cc.o"
+  "CMakeFiles/gl_workload.dir/scenarios.cc.o.d"
+  "CMakeFiles/gl_workload.dir/traces.cc.o"
+  "CMakeFiles/gl_workload.dir/traces.cc.o.d"
+  "CMakeFiles/gl_workload.dir/workload_io.cc.o"
+  "CMakeFiles/gl_workload.dir/workload_io.cc.o.d"
+  "libgl_workload.a"
+  "libgl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_controller_test.dir/epoch_controller_test.cc.o"
+  "CMakeFiles/epoch_controller_test.dir/epoch_controller_test.cc.o.d"
+  "epoch_controller_test"
+  "epoch_controller_test.pdb"
+  "epoch_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epvm_oc_test.dir/epvm_oc_test.cc.o"
+  "CMakeFiles/epvm_oc_test.dir/epvm_oc_test.cc.o.d"
+  "epvm_oc_test"
+  "epvm_oc_test.pdb"
+  "epvm_oc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epvm_oc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

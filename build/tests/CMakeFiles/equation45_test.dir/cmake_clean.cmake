@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equation45_test.dir/equation45_test.cc.o"
+  "CMakeFiles/equation45_test.dir/equation45_test.cc.o.d"
+  "equation45_test"
+  "equation45_test.pdb"
+  "equation45_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equation45_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/estimator_test.cc" "tests/CMakeFiles/estimator_test.dir/estimator_test.cc.o" "gcc" "tests/CMakeFiles/estimator_test.dir/estimator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/gl_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedulers/CMakeFiles/gl_schedulers.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/gl_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

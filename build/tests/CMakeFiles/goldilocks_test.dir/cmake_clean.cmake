@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goldilocks_test.dir/goldilocks_test.cc.o"
+  "CMakeFiles/goldilocks_test.dir/goldilocks_test.cc.o.d"
+  "goldilocks_test"
+  "goldilocks_test.pdb"
+  "goldilocks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goldilocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_planner_test.dir/migration_planner_test.cc.o"
+  "CMakeFiles/migration_planner_test.dir/migration_planner_test.cc.o.d"
+  "migration_planner_test"
+  "migration_planner_test.pdb"
+  "migration_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msr_trace_test.dir/msr_trace_test.cc.o"
+  "CMakeFiles/msr_trace_test.dir/msr_trace_test.cc.o.d"
+  "msr_trace_test"
+  "msr_trace_test.pdb"
+  "msr_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msr_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedulers_test.dir/schedulers_test.cc.o"
+  "CMakeFiles/schedulers_test.dir/schedulers_test.cc.o.d"
+  "schedulers_test"
+  "schedulers_test.pdb"
+  "schedulers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedulers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_cluster_test.dir/virtual_cluster_test.cc.o"
+  "CMakeFiles/virtual_cluster_test.dir/virtual_cluster_test.cc.o.d"
+  "virtual_cluster_test"
+  "virtual_cluster_test.pdb"
+  "virtual_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
