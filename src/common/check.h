@@ -4,10 +4,18 @@
 // violated precondition or invariant). It is active in all build types: a
 // resource-provisioning decision made on corrupted state is worse than a
 // crash, and the checks are cheap relative to placement work.
+//
+// The comparison forms (GOLDILOCKS_CHECK_LE and friends) print both operand
+// values on failure, so a violated bound reports *how far* it was violated,
+// not just that it was.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
 
 namespace gl {
 
@@ -17,6 +25,40 @@ namespace gl {
                msg[0] ? " — " : "", msg);
   std::abort();
 }
+
+namespace internal {
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+// Best-effort value rendering for failure messages. Anything streamable is
+// printed through operator<<; everything else degrades to a placeholder so
+// the macros stay usable with arbitrary types.
+template <typename T>
+std::string CheckValueString(const T& v) {
+  if constexpr (IsStreamable<T>::value) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+[[noreturn]] inline void CheckOpFailed(const char* file, int line,
+                                       const char* expr,
+                                       const std::string& lhs,
+                                       const std::string& rhs) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s (lhs=%s, rhs=%s)\n", file,
+               line, expr, lhs.c_str(), rhs.c_str());
+  std::abort();
+}
+
+}  // namespace internal
 
 }  // namespace gl
 
@@ -29,3 +71,23 @@ namespace gl {
   do {                                                             \
     if (!(expr)) ::gl::CheckFailed(__FILE__, __LINE__, #expr, msg); \
   } while (0)
+
+// Comparison checks that report both operands. Operands are evaluated once.
+#define GOLDILOCKS_CHECK_OP_(lhs, op, rhs)                                  \
+  do {                                                                      \
+    auto&& gl_check_lhs_ = (lhs);                                           \
+    auto&& gl_check_rhs_ = (rhs);                                           \
+    if (!(gl_check_lhs_ op gl_check_rhs_)) {                                \
+      ::gl::internal::CheckOpFailed(                                        \
+          __FILE__, __LINE__, #lhs " " #op " " #rhs,                        \
+          ::gl::internal::CheckValueString(gl_check_lhs_),                  \
+          ::gl::internal::CheckValueString(gl_check_rhs_));                 \
+    }                                                                       \
+  } while (0)
+
+#define GOLDILOCKS_CHECK_EQ(lhs, rhs) GOLDILOCKS_CHECK_OP_(lhs, ==, rhs)
+#define GOLDILOCKS_CHECK_NE(lhs, rhs) GOLDILOCKS_CHECK_OP_(lhs, !=, rhs)
+#define GOLDILOCKS_CHECK_LE(lhs, rhs) GOLDILOCKS_CHECK_OP_(lhs, <=, rhs)
+#define GOLDILOCKS_CHECK_LT(lhs, rhs) GOLDILOCKS_CHECK_OP_(lhs, <, rhs)
+#define GOLDILOCKS_CHECK_GE(lhs, rhs) GOLDILOCKS_CHECK_OP_(lhs, >=, rhs)
+#define GOLDILOCKS_CHECK_GT(lhs, rhs) GOLDILOCKS_CHECK_OP_(lhs, >, rhs)

@@ -48,7 +48,7 @@ double Rng::Uniform(double lo, double hi) {
 }
 
 std::uint64_t Rng::NextBelow(std::uint64_t n) {
-  GOLDILOCKS_CHECK(n > 0);
+  GOLDILOCKS_CHECK_GT(n, 0u);
   // Rejection sampling to avoid modulo bias.
   const std::uint64_t threshold = -n % n;
   for (;;) {
@@ -58,7 +58,7 @@ std::uint64_t Rng::NextBelow(std::uint64_t n) {
 }
 
 std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
-  GOLDILOCKS_CHECK(lo <= hi);
+  GOLDILOCKS_CHECK_LE(lo, hi);
   return lo + static_cast<std::int64_t>(
                   NextBelow(static_cast<std::uint64_t>(hi - lo) + 1));
 }
@@ -85,7 +85,7 @@ double Rng::Gaussian(double mean, double stddev) {
 }
 
 double Rng::Exponential(double mean) {
-  GOLDILOCKS_CHECK(mean > 0.0);
+  GOLDILOCKS_CHECK_GT(mean, 0.0);
   double u;
   do {
     u = NextDouble();

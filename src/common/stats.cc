@@ -97,7 +97,7 @@ void Histogram::Add(double x) {
 }
 
 std::size_t Histogram::count(std::size_t bin) const {
-  GOLDILOCKS_CHECK(bin < counts_.size());
+  GOLDILOCKS_CHECK_LT(bin, counts_.size());
   return counts_[bin];
 }
 

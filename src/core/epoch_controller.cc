@@ -15,6 +15,12 @@ EpochController::EpochController(std::unique_ptr<Scheduler> scheduler,
   GOLDILOCKS_CHECK(scheduler_ != nullptr);
 }
 
+void EpochController::EnableAudit(AuditOptions opts, bool fail_fast) {
+  audit_ = true;
+  audit_fail_fast_ = fail_fast;
+  audit_opts_ = opts;
+}
+
 EpochDecision EpochController::Step(const Workload& workload,
                                     std::span<const Resource> demands,
                                     std::span<const std::uint8_t> active) {
@@ -45,6 +51,21 @@ EpochDecision EpochController::Step(const Workload& workload,
     total_image_gb_ += decision.plan.total_image_gb;
   } else {
     decision.containers_started = decision.containers_placed;
+  }
+
+  if (audit_) {
+    const InvariantAuditor auditor(audit_opts_);
+    SystemView view;
+    view.topology = &topo_;
+    view.workload = &workload;
+    view.demands = demands;
+    view.active = active;
+    view.placement = &decision.placement;
+    const AuditReport report = auditor.AuditAll(view);
+    if (audit_fail_fast_ && report.errors() > 0) {
+      GOLDILOCKS_CHECK_MSG(false, report.ToString().c_str());
+    }
+    audit_report_.Append(report);
   }
 
   current_ = decision.placement;

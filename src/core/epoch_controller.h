@@ -15,6 +15,7 @@
 #include <memory>
 #include <span>
 
+#include "analysis/invariant_auditor.h"
 #include "schedulers/scheduler.h"
 #include "sim/migration_planner.h"
 
@@ -40,6 +41,16 @@ class EpochController {
                      std::span<const Resource> demands,
                      std::span<const std::uint8_t> active);
 
+  // Opt-in invariant audit (src/analysis): every Step() additionally runs
+  // the InvariantAuditor over the fresh placement, the topology and its
+  // bandwidth reservations. Findings accumulate in audit_report(); with
+  // `fail_fast` any *error* aborts via GOLDILOCKS_CHECK — the management
+  // node must never roll out a placement it knows is corrupt.
+  void EnableAudit(AuditOptions opts = {}, bool fail_fast = false);
+  [[nodiscard]] const AuditReport& audit_report() const {
+    return audit_report_;
+  }
+
   [[nodiscard]] const Placement& current_placement() const {
     return current_;
   }
@@ -58,6 +69,10 @@ class EpochController {
   int epoch_ = 0;
   double total_makespan_ms_ = 0.0;
   double total_image_gb_ = 0.0;
+  bool audit_ = false;
+  bool audit_fail_fast_ = false;
+  AuditOptions audit_opts_;
+  AuditReport audit_report_;
 };
 
 }  // namespace gl

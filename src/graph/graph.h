@@ -81,7 +81,8 @@ class Graph {
 
  private:
   [[nodiscard]] std::size_t Checked(VertexIndex v) const {
-    GOLDILOCKS_CHECK(v >= 0 && v < num_vertices());
+    GOLDILOCKS_CHECK_GE(v, 0);
+    GOLDILOCKS_CHECK_LT(v, num_vertices());
     return static_cast<std::size_t>(v);
   }
 

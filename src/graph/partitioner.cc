@@ -466,7 +466,7 @@ void KWayRecurse(const Graph& g, std::span<const VertexIndex> global_ids,
 }  // namespace
 
 KWayResult KWayPartition(const Graph& g, int k, const PartitionOptions& opts) {
-  GOLDILOCKS_CHECK(k >= 1);
+  GOLDILOCKS_CHECK_GE(k, 1);
   KWayResult out;
   out.num_groups = k;
   out.group_of.assign(static_cast<std::size_t>(g.num_vertices()), 0);

@@ -22,7 +22,7 @@ FlowSimulator::FlowSimulator(const Topology& topo) : topo_(topo) {
 }
 
 int FlowSimulator::AddFlow(ServerId src, ServerId dst, double size_bytes) {
-  GOLDILOCKS_CHECK(size_bytes >= 0.0);
+  GOLDILOCKS_CHECK_GE(size_bytes, 0.0);
   flows_.push_back({src, dst, size_bytes, 0.0, -1.0});
   routes_.push_back(Route(src, dst));
   return num_flows() - 1;

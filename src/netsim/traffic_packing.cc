@@ -14,8 +14,8 @@ TrafficPackingPlan PackTraffic(const Topology& topo,
                                const TrafficPackingOptions& opts) {
   GOLDILOCKS_CHECK(server_active.size() ==
                    static_cast<std::size_t>(topo.num_servers()));
-  GOLDILOCKS_CHECK(static_cast<int>(level_models.size()) >=
-                   topo.num_levels());
+  GOLDILOCKS_CHECK_GE(static_cast<int>(level_models.size()),
+                      topo.num_levels());
 
   const int n = topo.num_nodes();
   TrafficPackingPlan plan;

@@ -74,7 +74,8 @@ NetworkPowerResult ComputeNetworkPower(
     const GatingOptions& opts) {
   GOLDILOCKS_CHECK(server_active.size() ==
                    static_cast<std::size_t>(topo.num_servers()));
-  GOLDILOCKS_CHECK(static_cast<int>(level_models.size()) >= topo.num_levels());
+  GOLDILOCKS_CHECK_GE(static_cast<int>(level_models.size()),
+                      topo.num_levels());
 
   // Post-order pass: which subtrees contain an active server, and what
   // fraction of each node's children are active.

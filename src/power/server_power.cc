@@ -16,7 +16,7 @@ ServerPowerModel::ServerPowerModel(std::string name, double max_watts,
       idle_fraction_(idle_fraction),
       pee_utilization_(pee_utilization),
       pee_power_fraction_(pee_power_fraction) {
-  GOLDILOCKS_CHECK(max_watts > 0.0);
+  GOLDILOCKS_CHECK_GT(max_watts, 0.0);
   GOLDILOCKS_CHECK(idle_fraction >= 0.0 && idle_fraction < 1.0);
   GOLDILOCKS_CHECK(pee_utilization > 0.0 && pee_utilization <= 1.0);
   GOLDILOCKS_CHECK(pee_power_fraction >= idle_fraction &&

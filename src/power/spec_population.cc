@@ -27,7 +27,7 @@ std::array<double, 5> PeeSharesForYear(int year) {
 }
 
 std::vector<SpecServer> SampleSpecPopulation(int n, Rng& rng) {
-  GOLDILOCKS_CHECK(n > 0);
+  GOLDILOCKS_CHECK_GT(n, 0);
   const auto& dists = SpecPeeDistributions();
   std::vector<SpecServer> fleet;
   fleet.reserve(static_cast<std::size_t>(n));

@@ -28,6 +28,7 @@ EpochMetrics ExperimentResult::Average() const {
     avg.migration_downtime_ms += e.migration_downtime_ms;
     avg.placed_containers += e.placed_containers;
     avg.unplaced_containers += e.unplaced_containers;
+    avg.audit_findings += e.audit_findings;
   }
   avg.active_servers = static_cast<int>(avg.active_servers / n);
   avg.active_switches = static_cast<int>(avg.active_switches / n);
@@ -45,6 +46,7 @@ EpochMetrics ExperimentResult::Average() const {
   avg.migration_downtime_ms /= n;
   avg.placed_containers = static_cast<int>(avg.placed_containers / n);
   avg.unplaced_containers = static_cast<int>(avg.unplaced_containers / n);
+  avg.audit_findings = static_cast<int>(avg.audit_findings / n);
   return avg;
 }
 
@@ -55,8 +57,8 @@ ExperimentRunner::ExperimentRunner(const Scenario& scenario,
     opts_.switch_models.assign(static_cast<std::size_t>(topo.num_levels()),
                                SwitchPowerModel::Hpe3800());
   }
-  GOLDILOCKS_CHECK(static_cast<int>(opts_.switch_models.size()) >=
-                   topo.num_levels());
+  GOLDILOCKS_CHECK_GE(static_cast<int>(opts_.switch_models.size()),
+                      topo.num_levels());
 }
 
 ExperimentResult ExperimentRunner::Run(Scheduler& scheduler) const {
@@ -98,6 +100,25 @@ ExperimentResult ExperimentRunner::Run(Scheduler& scheduler) const {
 
     EpochMetrics m;
     m.epoch = epoch;
+
+    if (opts_.audit) {
+      const InvariantAuditor auditor(opts_.audit_opts);
+      SystemView view;
+      view.topology = &topo_;
+      view.workload = &workload;
+      // Audit against what the scheduler acted on: with estimated demands a
+      // true-demand overflow is a prediction miss, not a placement bug.
+      view.demands = input.demands;
+      view.active = active;
+      view.placement = &placement;
+      view.server_power = &opts_.server_power;
+      AuditReport report = auditor.AuditAll(view);
+      m.audit_findings = static_cast<int>(report.findings.size());
+      if (opts_.audit_fail_fast && report.errors() > 0) {
+        GOLDILOCKS_CHECK_MSG(false, report.ToString().c_str());
+      }
+      result.audit.Append(report);
+    }
 
     // Placement accounting.
     int expected = 0;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/invariant_auditor.h"
 #include "power/dc_power.h"
 #include "power/server_power.h"
 #include "schedulers/scheduler.h"
@@ -41,6 +42,14 @@ struct RunnerOptions {
   // fallback is the owner's reservation.
   bool use_estimated_demands = false;
   EstimatorOptions estimator;
+  // Opt-in invariant audit (src/analysis): after every epoch the auditor
+  // checks the placement, the bandwidth reservations and the topology
+  // against the demands the scheduler acted on. Findings accumulate in
+  // ExperimentResult::audit; with audit_fail_fast any *error* aborts the
+  // run via GOLDILOCKS_CHECK instead.
+  bool audit = false;
+  bool audit_fail_fast = false;
+  AuditOptions audit_opts;
 };
 
 struct EpochMetrics {
@@ -61,12 +70,15 @@ struct EpochMetrics {
   double migration_downtime_ms = 0.0;
   int placed_containers = 0;
   int unplaced_containers = 0;
+  int audit_findings = 0;  // 0 unless RunnerOptions::audit is set
 };
 
 struct ExperimentResult {
   std::string scheduler;
   std::string scenario;
   std::vector<EpochMetrics> epochs;
+  // Merged findings across all epochs (empty unless RunnerOptions::audit).
+  AuditReport audit;
 
   [[nodiscard]] EpochMetrics Average() const;
 };

@@ -6,7 +6,7 @@ namespace gl {
 
 NodeId Topology::AddSwitchNode(NodeId parent, int level, double uplink_mbps,
                                int physical_switches, int physical_uplinks) {
-  GOLDILOCKS_CHECK(level >= 1);
+  GOLDILOCKS_CHECK_GE(level, 1);
   const NodeId id{num_nodes()};
   Node n;
   n.id = id;
@@ -117,7 +117,7 @@ Topology Topology::ThreeTier(const ThreeTierSpec& spec) {
 
 Topology Topology::Vl2(int num_tors, const Resource& server_capacity,
                        double server_link_mbps) {
-  GOLDILOCKS_CHECK(num_tors >= 2);
+  GOLDILOCKS_CHECK_GE(num_tors, 2);
   // VL2: 20 servers per ToR, each ToR dual-homed (2×10G in the paper's
   // Table I row) into the aggregation; aggregation fully meshed to
   // intermediates. Modelled as pods of 8 ToRs under aggregation pairs.
@@ -247,7 +247,7 @@ NodeId Topology::AncestorAt(NodeId id, int level) const {
 }
 
 void Topology::Reserve(NodeId id, double mbps) {
-  GOLDILOCKS_CHECK(mbps >= 0.0);
+  GOLDILOCKS_CHECK_GE(mbps, 0.0);
   auto& n = nodes_[CheckedNode(id)];
   n.uplink_reserved_mbps += mbps;
 }

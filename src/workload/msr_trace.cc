@@ -10,7 +10,7 @@
 namespace gl {
 
 MsrTrace GenerateMsrSearchTrace(const MsrTraceOptions& opts, Rng& rng) {
-  GOLDILOCKS_CHECK(opts.num_vertices > 10);
+  GOLDILOCKS_CHECK_GT(opts.num_vertices, 10);
   MsrTrace trace;
   const int n = opts.num_vertices;
   const int num_background =
@@ -128,7 +128,7 @@ MsrTrace GenerateMsrSearchTrace(const MsrTraceOptions& opts, Rng& rng) {
 }
 
 Workload ExpandTraceToContainers(const MsrTrace& trace, int per_vertex) {
-  GOLDILOCKS_CHECK(per_vertex >= 1);
+  GOLDILOCKS_CHECK_GE(per_vertex, 1);
   Workload out;
   const int n = trace.workload.size();
   out.containers.reserve(static_cast<std::size_t>(n * per_vertex));

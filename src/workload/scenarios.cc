@@ -11,7 +11,7 @@ namespace gl {
 
 std::vector<ContainerId> AppendService(Workload& w, AppType type, int count,
                                        int service_id) {
-  GOLDILOCKS_CHECK(count >= 1);
+  GOLDILOCKS_CHECK_GE(count, 1);
   const AppProfile& profile = GetAppProfile(type);
   std::vector<ContainerId> ids;
   ids.reserve(static_cast<std::size_t>(count));

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Full correctness gate: warnings-as-errors Release build + tier-1 ctest,
+# then the same suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+# This is what CI runs; run it locally before sending a change.
+#
+#   tools/check.sh            # both stages
+#   tools/check.sh release    # Release stage only
+#   tools/check.sh asan       # ASan+UBSan stage only
+#   tools/check.sh tidy       # clang-tidy over src/ (needs clang-tidy)
+#
+# Build trees go to build-check-release/ and build-check-asan/ so they never
+# collide with the default build/ directory.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+STAGE="${1:-all}"
+
+case "${STAGE}" in
+  all|release|asan|tidy) ;;
+  *)
+    echo "unknown stage: ${STAGE} (expected all, release, asan or tidy)" >&2
+    exit 2
+    ;;
+esac
+
+run_stage() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==> configure ${name}"
+  cmake -B "${dir}" -S . "$@"
+  echo "==> build ${name}"
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "==> test ${name}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+if [[ "${STAGE}" == "all" || "${STAGE}" == "release" ]]; then
+  run_stage "Release (-Werror)" build-check-release \
+    -DCMAKE_BUILD_TYPE=Release -DGOLDILOCKS_WERROR=ON
+fi
+
+if [[ "${STAGE}" == "all" || "${STAGE}" == "asan" ]]; then
+  # abort_on_error makes any ASan report kill the test immediately;
+  # detect_leaks stays on where supported (Linux).
+  export ASAN_OPTIONS="abort_on_error=1:check_initialization_order=1:strict_init_order=1"
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  run_stage "ASan+UBSan" build-check-asan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOLDILOCKS_WERROR=ON \
+    "-DGOLDILOCKS_SANITIZE=address;undefined"
+fi
+
+if [[ "${STAGE}" == "tidy" ]]; then
+  if ! command -v clang-tidy >/dev/null; then
+    echo "clang-tidy not found on PATH" >&2
+    exit 1
+  fi
+  cmake -B build-check-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  # Headers are covered via the .cc files that include them.
+  find src tools -name '*.cc' -print0 |
+    xargs -0 -P "${JOBS}" -n 8 clang-tidy -p build-check-tidy --quiet
+fi
+
+echo "==> all requested stages passed"
