@@ -6,16 +6,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stable_map.h"
+
 namespace gl {
 
 namespace {
 
-constexpr double kRelEps = 1e-9;
-constexpr double kAbsEps = 1e-6;
-
-[[nodiscard]] bool WithinCap(double value, double cap) {
-  return value <= cap * (1.0 + kRelEps) + kAbsEps;
-}
+// Capacity comparisons use the shared kResourceEps tolerance via
+// gl::WithinCap (common/resource.h) — the auditor must accept exactly what
+// Resource::FitsIn accepts, or the checker and the checked code drift apart.
 
 [[nodiscard]] bool FiniteNonNegative(double v) {
   return std::isfinite(v) && v >= 0.0;
@@ -293,7 +292,7 @@ void InvariantAuditor::AuditBandwidth(const Topology& topo,
     const NodeId id{i};
     const double reserved = topo.uplink_reserved(id);
     const double capacity = topo.uplink_capacity(id);
-    if (!std::isfinite(reserved) || reserved < -kAbsEps) {
+    if (!std::isfinite(reserved) || reserved < -kResourceEps) {
       add.Add(AuditSeverity::kError, AuditClass::kBandwidth, "topology",
               "uplink reservation is negative or non-finite", {i});
       continue;
@@ -406,8 +405,11 @@ void InvariantAuditor::AuditReplicaDomains(const Placement& placement,
     }
     domains[c.replica_set][domain].push_back(c.id.value());
   }
-  for (const auto& [set_id, by_domain] : domains) {
-    for (const auto& [domain, members] : by_domain) {
+  // Sorted snapshots: findings must come out in (set, domain) order, not
+  // hash-bucket order, or two identical runs produce differently-ordered
+  // reports.
+  for (const auto& [set_id, by_domain] : SortedItems(domains)) {
+    for (const auto& [domain, members] : SortedItems(by_domain)) {
       if (members.size() < 2) continue;
       std::vector<std::int32_t> ids = members;
       std::sort(ids.begin(), ids.end());
@@ -465,8 +467,7 @@ void InvariantAuditor::AuditGraph(const Graph& graph, AuditReport& out) const {
           if (back.to != v) continue;
           matched = std::isfinite(back.weight) == std::isfinite(e.weight) &&
                     (!std::isfinite(e.weight) ||
-                     std::abs(back.weight - e.weight) <=
-                         kAbsEps + kRelEps * std::abs(e.weight));
+                     ApproxEq(back.weight, e.weight));
           break;
         }
         if (!matched) {
@@ -507,7 +508,7 @@ void InvariantAuditor::AuditPowerCurve(
                             p, max_watts));
       return;
     }
-    if (p + kAbsEps < prev) {
+    if (p + kResourceEps < prev) {
       add.Add(AuditSeverity::kError, AuditClass::kPowerModel, "power",
               name + Format(": power is not monotone: drops to %.3f W "
                             "after %.3f W",

@@ -18,6 +18,26 @@
 
 namespace gl {
 
+// Shared floating-point tolerance for resource arithmetic. Demands and loads
+// are sums of many doubles, so comparisons against capacity must absorb
+// accumulation error. Every component that checks "does this fit" —
+// Resource::FitsIn, the InvariantAuditor, the Virtual Cluster placer — uses
+// this one constant, so the checker and the checked code cannot drift apart.
+inline constexpr double kResourceEps = 1e-6;
+
+// Sanctioned epsilon comparison: value <= cap with kResourceEps relative
+// (scaled by cap) plus kResourceEps absolute slack.
+[[nodiscard]] constexpr bool WithinCap(double value, double cap) {
+  return value <= cap * (1.0 + kResourceEps) + kResourceEps;
+}
+
+// Sanctioned epsilon equality for accumulated doubles.
+[[nodiscard]] constexpr bool ApproxEq(double a, double b) {
+  const double diff = a < b ? b - a : a - b;
+  const double mag = std::max(a < 0.0 ? -a : a, b < 0.0 ? -b : b);
+  return diff <= mag * kResourceEps + kResourceEps;
+}
+
 struct Resource {
   double cpu = 0.0;
   double mem_gb = 0.0;
@@ -50,13 +70,11 @@ struct Resource {
   friend constexpr bool operator==(const Resource&, const Resource&) = default;
 
   // Component-wise "fits into": every dimension of *this must be <= cap.
-  // A small epsilon absorbs floating-point accumulation error; a demand that
+  // kResourceEps absorbs floating-point accumulation error; a demand that
   // exceeds capacity by less than one part in a million is considered to fit.
   [[nodiscard]] constexpr bool FitsIn(const Resource& cap) const {
-    constexpr double kEps = 1e-6;
-    return cpu <= cap.cpu * (1.0 + kEps) + kEps &&
-           mem_gb <= cap.mem_gb * (1.0 + kEps) + kEps &&
-           net_mbps <= cap.net_mbps * (1.0 + kEps) + kEps;
+    return WithinCap(cpu, cap.cpu) && WithinCap(mem_gb, cap.mem_gb) &&
+           WithinCap(net_mbps, cap.net_mbps);
   }
 
   // Largest utilization fraction across dimensions when placed on `cap`.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/state_hash.h"
 
 namespace gl {
 namespace {
@@ -109,5 +110,13 @@ double Rng::LogNormal(double mu, double sigma) {
 bool Rng::Chance(double p) { return NextDouble() < p; }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
+
+std::uint64_t Rng::StateHash() const {
+  StateHasher h;
+  for (const auto s : s_) h.MixU64(s);
+  h.MixDouble(has_spare_ ? spare_ : 0.0);
+  h.MixU64(has_spare_ ? 1 : 0);
+  return h.digest();
+}
 
 }  // namespace gl

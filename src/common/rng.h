@@ -51,6 +51,12 @@ class Rng {
   // Fork an independent stream (e.g., one per trace vertex).
   Rng Fork();
 
+  // Digest of the full generator state — stream position plus the cached
+  // Gaussian spare. Two generators with equal digests produce identical
+  // futures; the reproducibility gate hashes this per epoch to pin RNG
+  // cursors across replays.
+  [[nodiscard]] std::uint64_t StateHash() const;
+
  private:
   std::uint64_t s_[4];
   double spare_ = 0.0;

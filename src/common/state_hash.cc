@@ -1,0 +1,57 @@
+#include "common/state_hash.h"
+
+#include <cstdio>
+
+namespace gl {
+
+std::uint64_t HashAssignment(std::span<const ServerId> server_of) {
+  StateHasher h;
+  h.MixU64(server_of.size());
+  for (const auto s : server_of) h.MixId(s);
+  return h.digest();
+}
+
+std::uint64_t HashLoads(std::span<const Resource> loads) {
+  StateHasher h;
+  h.MixU64(loads.size());
+  for (const auto& r : loads) h.MixResource(r);
+  return h.digest();
+}
+
+std::uint64_t EpochStateHash::Combined() const {
+  StateHasher h;
+  h.MixI32(epoch);
+  h.MixU64(placement);
+  h.MixU64(loads);
+  h.MixU64(power);
+  h.MixU64(migration);
+  h.MixU64(rng);
+  return h.digest();
+}
+
+std::string EpochStateHash::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "epoch %4d: combined=%016llx placement=%016llx loads=%016llx "
+                "power=%016llx migration=%016llx rng=%016llx",
+                epoch, static_cast<unsigned long long>(Combined()),
+                static_cast<unsigned long long>(placement),
+                static_cast<unsigned long long>(loads),
+                static_cast<unsigned long long>(power),
+                static_cast<unsigned long long>(migration),
+                static_cast<unsigned long long>(rng));
+  return buf;
+}
+
+const char* FirstDivergentSubsystem(const EpochStateHash& a,
+                                    const EpochStateHash& b) {
+  if (a.epoch != b.epoch) return "epoch";
+  if (a.placement != b.placement) return "placement";
+  if (a.loads != b.loads) return "loads";
+  if (a.power != b.power) return "power";
+  if (a.migration != b.migration) return "migration";
+  if (a.rng != b.rng) return "rng";
+  return nullptr;
+}
+
+}  // namespace gl

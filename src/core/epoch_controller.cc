@@ -53,6 +53,28 @@ EpochDecision EpochController::Step(const Workload& workload,
     decision.containers_started = decision.containers_placed;
   }
 
+  if (hash_) {
+    EpochStateHash h;
+    h.epoch = epoch_;
+    h.placement = HashAssignment(decision.placement.server_of);
+    h.loads = HashLoads(
+        ServerLoads(decision.placement, demands, topo_.num_servers()));
+    StateHasher mig;
+    mig.MixU64(decision.plan.steps.size());
+    for (const auto& step : decision.plan.steps) {
+      mig.MixId(step.container);
+      mig.MixId(step.from);
+      mig.MixId(step.to);
+      mig.MixI32(step.phase);
+      mig.MixDouble(step.transfer_ms);
+    }
+    mig.MixDouble(decision.plan.makespan_ms);
+    mig.MixDouble(decision.plan.total_image_gb);
+    h.migration = mig.digest();
+    h.rng = scheduler_->StateDigest();
+    state_hashes_.push_back(h);
+  }
+
   if (audit_) {
     const InvariantAuditor auditor(audit_opts_);
     SystemView view;

@@ -14,8 +14,10 @@
 
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "analysis/invariant_auditor.h"
+#include "common/state_hash.h"
 #include "schedulers/scheduler.h"
 #include "sim/migration_planner.h"
 
@@ -51,6 +53,16 @@ class EpochController {
     return audit_report_;
   }
 
+  // Opt-in reproducibility gate (common/state_hash.h): every Step()
+  // additionally records a per-epoch digest of the placement, the implied
+  // server loads, the migration plan and the scheduler's RNG cursors. Two
+  // same-seed runs must yield identical streams; tools/gl_replay diffs them
+  // and names the first divergent epoch and subsystem.
+  void EnableStateHash() { hash_ = true; }
+  [[nodiscard]] const std::vector<EpochStateHash>& state_hashes() const {
+    return state_hashes_;
+  }
+
   [[nodiscard]] const Placement& current_placement() const {
     return current_;
   }
@@ -73,6 +85,8 @@ class EpochController {
   bool audit_fail_fast_ = false;
   AuditOptions audit_opts_;
   AuditReport audit_report_;
+  bool hash_ = false;
+  std::vector<EpochStateHash> state_hashes_;
 };
 
 }  // namespace gl

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "common/stable_map.h"
+#include "common/state_hash.h"
 #include "core/virtual_cluster.h"
 #include "graph/incremental.h"
 
@@ -127,6 +129,23 @@ GoldilocksScheduler::GoldilocksScheduler(GoldilocksOptions opts)
 
 GoldilocksScheduler::~GoldilocksScheduler() = default;
 
+std::uint64_t GoldilocksScheduler::StateDigest() const {
+  StateHasher h;
+  h.MixU64(cache_->active_hash);
+  h.MixI32(cache_->epochs_since_partition);
+  h.MixU64(cache_->groups.size());
+  for (const auto& group : cache_->groups) {
+    h.MixU64(group.size());
+    for (const auto c : group) h.MixId(c);
+  }
+  for (const auto& path : cache_->paths) {
+    h.MixU64(path.size());
+    for (const char ch : path) h.MixU64(static_cast<unsigned char>(ch));
+  }
+  for (const auto s : cache_->group_server) h.MixId(s);
+  return h.digest();
+}
+
 std::vector<std::vector<ContainerId>> GoldilocksScheduler::PartitionContainers(
     const SchedulerInput& input) {
   const auto& topo = *input.topology;
@@ -231,8 +250,12 @@ std::vector<std::vector<ContainerId>> GoldilocksScheduler::PartitionContainers(
     }
     paths.assign(static_cast<std::size_t>(repaired.num_groups), {});
     for (int gid = 0; gid < repaired.num_groups; ++gid) {
+      // Sorted snapshot: vote ties must resolve to the lowest old group id,
+      // not whichever hash bucket comes first.
       int best_old = -1, best_votes = 0;
-      for (const auto& [old, n] : votes[static_cast<std::size_t>(gid)]) {
+      const auto group_votes =
+          SortedItems(votes[static_cast<std::size_t>(gid)]);
+      for (const auto& [old, n] : group_votes) {
         if (n > best_votes) {
           best_votes = n;
           best_old = old;

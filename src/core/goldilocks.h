@@ -73,6 +73,9 @@ class GoldilocksScheduler final : public Scheduler {
 
   [[nodiscard]] const std::string& name() const override { return name_; }
   Placement Place(const SchedulerInput& input) override;
+  // Digest of the partition cache (grouping, recursion paths, group →
+  // server pins) — the mutable state that steers placements across epochs.
+  [[nodiscard]] std::uint64_t StateDigest() const override;
 
   // Grouping produced by the last Place() call (group id per ContainerId,
   // -1 for inactive) — exposed for the Fig. 7 visualisations and tests.

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/stable_map.h"
 
 namespace gl {
 
@@ -40,7 +41,9 @@ ContainerGraph BuildContainerGraph(const Workload& workload,
     if (!active[i] || !c.replica_set.valid()) continue;
     replica_sets[c.replica_set].push_back(cg.container_to_vertex[i]);
   }
-  for (const auto& [set_id, members] : replica_sets) {
+  // Sorted snapshot: edge insertion order shapes adjacency lists, which the
+  // partitioner's tie-breaking sees — it must not follow hash-bucket order.
+  for (const auto& [set_id, members] : SortedItems(replica_sets)) {
     (void)set_id;
     for (std::size_t i = 0; i < members.size(); ++i) {
       for (std::size_t j = i + 1; j < members.size(); ++j) {

@@ -1,0 +1,34 @@
+#include "core/scheduler_factory.h"
+
+#include "core/goldilocks.h"
+#include "schedulers/borg.h"
+#include "schedulers/e_pvm.h"
+#include "schedulers/mpp.h"
+#include "schedulers/random_scheduler.h"
+#include "schedulers/rc_informed.h"
+
+namespace gl {
+
+const std::vector<std::string>& NamedSchedulers() {
+  static const std::vector<std::string> kNames = {
+      "goldilocks", "mpp", "borg", "epvm", "rc", "random"};
+  return kNames;
+}
+
+std::unique_ptr<Scheduler> MakeNamedScheduler(const std::string& name,
+                                              double pee,
+                                              std::uint64_t seed) {
+  if (name == "goldilocks") {
+    GoldilocksOptions opts;
+    opts.pee_utilization = pee;
+    return std::make_unique<GoldilocksScheduler>(opts);
+  }
+  if (name == "mpp") return std::make_unique<MppScheduler>();
+  if (name == "borg") return std::make_unique<BorgScheduler>();
+  if (name == "epvm") return std::make_unique<EPvmScheduler>();
+  if (name == "rc") return std::make_unique<RcInformedScheduler>();
+  if (name == "random") return std::make_unique<RandomScheduler>(seed);
+  return nullptr;
+}
+
+}  // namespace gl

@@ -1,0 +1,25 @@
+// Name → Scheduler construction shared by the CLI tools (gl_audit,
+// gl_replay) and the seed-replay tests, so "every scheduler" means the same
+// set everywhere.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "schedulers/scheduler.h"
+
+namespace gl {
+
+// The recognised scheduler names, in canonical (bench) order:
+// goldilocks, mpp, borg, epvm, rc, random.
+[[nodiscard]] const std::vector<std::string>& NamedSchedulers();
+
+// Builds the named scheduler, or nullptr for an unknown name. `pee` is the
+// PEE packing ceiling for policies that honour one; `seed` feeds the
+// stochastic policies (Random).
+[[nodiscard]] std::unique_ptr<Scheduler> MakeNamedScheduler(
+    const std::string& name, double pee = 0.70, std::uint64_t seed = 0xfeed);
+
+}  // namespace gl

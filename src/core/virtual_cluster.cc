@@ -1,15 +1,11 @@
 #include "core/virtual_cluster.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/check.h"
 
 namespace gl {
-namespace {
-
-constexpr double kEps = 1e-6;
-
-}  // namespace
 
 VirtualClusterPlacer::VirtualClusterPlacer(const Topology& topo,
                                            VirtualClusterOptions opts)
@@ -63,7 +59,7 @@ bool VirtualClusterPlacer::TryFill(std::span<const ContainerId> containers,
 }
 
 double VirtualClusterPlacer::ReservationWith(
-    NodeId n, int g_extra, const std::unordered_map<int, double>& delta,
+    NodeId n, int g_extra, const std::map<int, double>& delta,
     double extra_total) const {
   const auto ni = static_cast<std::size_t>(n.value());
   // Updated aggregates if the tentative component lands.
@@ -110,7 +106,8 @@ double VirtualClusterPlacer::ReservationWith(
 bool VirtualClusterPlacer::BandwidthFeasible(
     int g, const Tentative& t, std::span<const Resource> demands) {
   // b_in deltas along every ancestor path of the tentative servers.
-  std::unordered_map<int, double> delta;
+  // Ordered so the per-node feasibility sweep below is deterministic.
+  std::map<int, double> delta;
   double extra_total = b_total_[static_cast<std::size_t>(g)];
   for (const auto& [c, s] : t.assignment) {
     const double bw = demands[static_cast<std::size_t>(c.value())].net_mbps;
@@ -124,7 +121,7 @@ bool VirtualClusterPlacer::BandwidthFeasible(
     const NodeId n{node_value};
     if (!topo_.node(n).parent.valid()) continue;  // root has no uplink
     const double need = ReservationWith(n, g, delta, extra_total);
-    if (need > topo_.uplink_capacity(n) + kEps) return false;
+    if (!WithinCap(need, topo_.uplink_capacity(n))) return false;
   }
   return true;
 }

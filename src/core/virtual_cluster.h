@@ -19,6 +19,7 @@
 // against each server's own capacity.
 #pragma once
 
+#include <map>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -69,10 +70,11 @@ class VirtualClusterPlacer {
                Tentative& out);
 
   // Reservation Σ_g R_g(n) on node n's uplink, with optional tentative
-  // deltas applied for group `g_extra` (b_in delta per node).
-  [[nodiscard]] double ReservationWith(
-      NodeId n, int g_extra, const std::unordered_map<int, double>& delta,
-      double extra_total) const;
+  // deltas applied for group `g_extra` (b_in delta per node). Ordered map
+  // for the same reason as node_groups_: deterministic summation order.
+  [[nodiscard]] double ReservationWith(NodeId n, int g_extra,
+                                       const std::map<int, double>& delta,
+                                       double extra_total) const;
 
   // True if committing `t` for group g keeps every affected uplink feasible.
   bool BandwidthFeasible(int g, const Tentative& t,
@@ -92,7 +94,9 @@ class VirtualClusterPlacer {
   double placed_total_bw_ = 0.0;                   // Σ b_total of touched
   std::vector<double> p_sum_;                      // per node: Σ placed b_in
   // node → (group → b_in). Sparse: only nodes on ancestor paths appear.
-  std::vector<std::unordered_map<int, double>> node_groups_;
+  // Ordered map: ReservationWith sums doubles over it, and floating-point
+  // summation order must not depend on hash buckets.
+  std::vector<std::map<int, double>> node_groups_;
   std::unordered_map<int, std::vector<ServerId>> servers_cache_;
 };
 

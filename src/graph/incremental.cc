@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <numeric>
 #include <unordered_map>
+#include <utility>
 
 #include "common/rng.h"
+#include "common/stable_map.h"
 
 namespace gl {
 namespace {
@@ -40,16 +42,18 @@ struct State {
 };
 
 // Attachment weight of v to each neighbouring group (positive edges pull,
-// negative anti-affinity edges push).
-std::unordered_map<int, double> NeighborGroups(const Graph& g,
-                                               const State& s,
-                                               VertexIndex v) {
+// negative anti-affinity edges push). Sorted by group id: the best-group
+// scans below break weight ties by taking the first candidate seen, so the
+// iteration order is part of the algorithm and must not be hash order.
+std::vector<std::pair<int, double>> NeighborGroups(const Graph& g,
+                                                   const State& s,
+                                                   VertexIndex v) {
   std::unordered_map<int, double> w;
   for (const auto& e : g.neighbors(v)) {
     const int ng = s.group_of[static_cast<std::size_t>(e.to)];
     if (ng >= 0) w[ng] += e.weight;
   }
-  return w;
+  return SortedItems(w);
 }
 
 }  // namespace
@@ -119,7 +123,7 @@ IncrementalResult IncrementalRepartition(const Graph& g,
       for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
         if (s.group_of[static_cast<std::size_t>(v)] != gid) continue;
         const auto neighbors = NeighborGroups(g, s, v);
-        const double own = neighbors.count(gid) ? neighbors.at(gid) : 0.0;
+        const double own = ValueOr(neighbors, gid, 0.0);
         for (const auto& [ng, w] : neighbors) {
           if (ng == gid) continue;
           cands.push_back({v, ng, w - own});
@@ -181,7 +185,7 @@ IncrementalResult IncrementalRepartition(const Graph& g,
       const int own = s.group_of[static_cast<std::size_t>(v)];
       if (s.count[static_cast<std::size_t>(own)] <= 1) continue;
       const auto neighbors = NeighborGroups(g, s, v);
-      const double own_w = neighbors.count(own) ? neighbors.at(own) : 0.0;
+      const double own_w = ValueOr(neighbors, own, 0.0);
       int best = -1;
       double best_gain = 1e-9;
       for (const auto& [ng, w] : neighbors) {

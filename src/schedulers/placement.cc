@@ -1,7 +1,6 @@
 #include "schedulers/placement.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "common/check.h"
 
@@ -16,11 +15,14 @@ int Placement::num_placed() const {
 }
 
 int Placement::NumActiveServers() const {
-  std::unordered_set<ServerId> servers;
+  std::vector<ServerId> servers;
+  servers.reserve(server_of.size());
   for (const auto s : server_of) {
-    if (s.valid()) servers.insert(s);
+    if (s.valid()) servers.push_back(s);
   }
-  return static_cast<int>(servers.size());
+  std::sort(servers.begin(), servers.end());
+  const auto end = std::unique(servers.begin(), servers.end());
+  return static_cast<int>(end - servers.begin());
 }
 
 int Placement::MigrationsFrom(const Placement& before) const {

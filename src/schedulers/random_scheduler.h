@@ -17,6 +17,9 @@ class RandomScheduler final : public Scheduler {
 
   [[nodiscard]] const std::string& name() const override { return name_; }
   Placement Place(const SchedulerInput& input) override;
+  [[nodiscard]] std::uint64_t StateDigest() const override {
+    return rng_.StateHash();
+  }
 
  private:
   std::string name_ = "Random";

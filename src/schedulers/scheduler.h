@@ -38,6 +38,12 @@ class Scheduler {
   // server capacity at their policy's packing ceiling; containers that fit
   // nowhere are left unplaced (callers treat that as an admission failure).
   virtual Placement Place(const SchedulerInput& input) = 0;
+
+  // Digest of any mutable policy state that influences future placements —
+  // RNG cursors, cached groupings. The reproducibility gate records it per
+  // epoch; two same-seed runs must produce identical digest streams.
+  // Stateless policies keep the default.
+  [[nodiscard]] virtual std::uint64_t StateDigest() const { return 0; }
 };
 
 }  // namespace gl

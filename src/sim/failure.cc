@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/stable_map.h"
 
 namespace gl {
 
@@ -38,14 +39,14 @@ FailureImpact InjectFailure(const Placement& placement,
       (lost ? lost_n : alive_n) += 1;
     }
   }
-  for (const auto& [set_id, counts] : sets) {
+  // Sorted snapshot: the replica-set partition into degraded/unavailable
+  // must come out in set-id order, not hash-bucket order.
+  for (const auto& [set_id, counts] : SortedItems(sets)) {
     const auto& [lost_n, alive_n] = counts;
     if (lost_n == 0) continue;  // untouched
     (alive_n > 0 ? impact.degraded_sets : impact.unavailable_sets)
         .push_back(set_id);
   }
-  std::sort(impact.degraded_sets.begin(), impact.degraded_sets.end());
-  std::sort(impact.unavailable_sets.begin(), impact.unavailable_sets.end());
   return impact;
 }
 

@@ -1,7 +1,6 @@
 #include "sim/migration_planner.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/check.h"
 
@@ -129,16 +128,18 @@ MigrationPlan PlanMigrations(const Placement& before, const Placement& after,
 
   // Makespan: phases are sequential; within a phase a server (as source or
   // destination) handles one image transfer at a time.
+  std::vector<double> busy(static_cast<std::size_t>(topo.num_servers()));
   for (int phase = 0; phase < plan.num_phases; ++phase) {
-    std::unordered_map<int, double> busy;
+    std::fill(busy.begin(), busy.end(), 0.0);
     double phase_span = 0.0;
     for (const auto& step : plan.steps) {
       if (step.phase != phase) continue;
-      const double start = std::max(busy[step.from.value()],
-                                    busy[step.to.value()]);
+      const auto from = static_cast<std::size_t>(step.from.value());
+      const auto to = static_cast<std::size_t>(step.to.value());
+      const double start = std::max(busy[from], busy[to]);
       const double end = start + step.transfer_ms;
-      busy[step.from.value()] = end;
-      busy[step.to.value()] = end;
+      busy[from] = end;
+      busy[to] = end;
       phase_span = std::max(phase_span, end);
     }
     plan.makespan_ms += phase_span;

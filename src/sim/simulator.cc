@@ -1,7 +1,5 @@
 #include "sim/simulator.h"
 
-#include <unordered_set>
-
 #include "common/check.h"
 #include "netsim/traffic.h"
 
@@ -174,6 +172,26 @@ ExperimentResult ExperimentRunner::Run(Scheduler& scheduler) const {
           previous, placement, workload, demands, opts_.migration);
       m.migrations = mig.migrations;
       m.migration_downtime_ms = mig.total_downtime_ms;
+    }
+
+    if (opts_.record_state_hashes) {
+      EpochStateHash h;
+      h.epoch = epoch;
+      h.placement = HashAssignment(placement.server_of);
+      h.loads = HashLoads(loads);
+      StateHasher power;
+      power.MixDouble(m.server_watts);
+      power.MixDouble(m.network_watts);
+      power.MixDouble(m.total_watts);
+      power.MixI32(m.active_servers);
+      power.MixI32(m.active_switches);
+      h.power = power.digest();
+      StateHasher mig;
+      mig.MixI32(m.migrations);
+      mig.MixDouble(m.migration_downtime_ms);
+      h.migration = mig.digest();
+      h.rng = scheduler.StateDigest();
+      result.state_hashes.push_back(h);
     }
 
     result.epochs.push_back(m);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/invariant_auditor.h"
+#include "common/state_hash.h"
 #include "power/dc_power.h"
 #include "power/server_power.h"
 #include "schedulers/scheduler.h"
@@ -50,6 +51,12 @@ struct RunnerOptions {
   bool audit = false;
   bool audit_fail_fast = false;
   AuditOptions audit_opts;
+  // Opt-in reproducibility gate (common/state_hash.h): record a per-epoch
+  // digest of the placement, server loads, power totals, migration cost and
+  // the scheduler's RNG cursors in ExperimentResult::state_hashes. Two
+  // same-seed runs must produce identical streams; tools/gl_replay diffs
+  // them and reports the first divergent epoch and subsystem.
+  bool record_state_hashes = false;
 };
 
 struct EpochMetrics {
@@ -79,6 +86,8 @@ struct ExperimentResult {
   std::vector<EpochMetrics> epochs;
   // Merged findings across all epochs (empty unless RunnerOptions::audit).
   AuditReport audit;
+  // One digest per epoch (empty unless RunnerOptions::record_state_hashes).
+  std::vector<EpochStateHash> state_hashes;
 
   [[nodiscard]] EpochMetrics Average() const;
 };

@@ -20,13 +20,8 @@
 
 #include "analysis/invariant_auditor.h"
 #include "core/epoch_controller.h"
-#include "core/goldilocks.h"
+#include "core/scheduler_factory.h"
 #include "power/server_power.h"
-#include "schedulers/borg.h"
-#include "schedulers/e_pvm.h"
-#include "schedulers/mpp.h"
-#include "schedulers/random_scheduler.h"
-#include "schedulers/rc_informed.h"
 #include "topology/topology.h"
 #include "workload/scenarios.h"
 
@@ -47,21 +42,6 @@ bool ParseFlag(const char* arg, const char* name, std::string& out) {
   if (std::strncmp(arg, name, n) != 0) return false;
   out = arg + n;
   return true;
-}
-
-std::unique_ptr<gl::Scheduler> MakeScheduler(const std::string& name,
-                                             double pee) {
-  if (name == "goldilocks") {
-    gl::GoldilocksOptions opts;
-    opts.pee_utilization = pee;
-    return std::make_unique<gl::GoldilocksScheduler>(opts);
-  }
-  if (name == "epvm") return std::make_unique<gl::EPvmScheduler>();
-  if (name == "mpp") return std::make_unique<gl::MppScheduler>();
-  if (name == "borg") return std::make_unique<gl::BorgScheduler>();
-  if (name == "rc") return std::make_unique<gl::RcInformedScheduler>();
-  if (name == "random") return std::make_unique<gl::RandomScheduler>();
-  return nullptr;
 }
 
 }  // namespace
@@ -124,7 +104,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto scheduler = MakeScheduler(args.scheduler, args.pee);
+  auto scheduler = gl::MakeNamedScheduler(args.scheduler, args.pee);
   if (scheduler == nullptr) {
     std::fprintf(stderr, "unknown scheduler: %s\n", args.scheduler.c_str());
     return 2;

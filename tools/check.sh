@@ -3,8 +3,9 @@
 # then the same suite under AddressSanitizer + UndefinedBehaviorSanitizer.
 # This is what CI runs; run it locally before sending a change.
 #
-#   tools/check.sh            # both stages
-#   tools/check.sh release    # Release stage only
+#   tools/check.sh            # lint + release + asan stages
+#   tools/check.sh lint       # determinism linter only (no build needed)
+#   tools/check.sh release    # Release stage + seed-replay gate only
 #   tools/check.sh asan       # ASan+UBSan stage only
 #   tools/check.sh tidy       # clang-tidy over src/ (needs clang-tidy)
 #
@@ -18,9 +19,9 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 STAGE="${1:-all}"
 
 case "${STAGE}" in
-  all|release|asan|tidy) ;;
+  all|lint|release|asan|tidy) ;;
   *)
-    echo "unknown stage: ${STAGE} (expected all, release, asan or tidy)" >&2
+    echo "unknown stage: ${STAGE} (expected all, lint, release, asan or tidy)" >&2
     exit 2
     ;;
 esac
@@ -36,9 +37,22 @@ run_stage() {
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
 }
 
+# Static half of the determinism contract (DESIGN.md §8): rule fixtures,
+# then a clean pass over the production tree.
+if [[ "${STAGE}" == "all" || "${STAGE}" == "lint" ]]; then
+  echo "==> gl_lint self-test"
+  python3 tools/gl_lint --self-test
+  echo "==> gl_lint src/"
+  python3 tools/gl_lint src
+fi
+
 if [[ "${STAGE}" == "all" || "${STAGE}" == "release" ]]; then
   run_stage "Release (-Werror)" build-check-release \
     -DCMAKE_BUILD_TYPE=Release -DGOLDILOCKS_WERROR=ON
+  # Runtime half of the determinism contract: every scheduler replayed twice
+  # from the same seed must produce bit-identical per-epoch state hashes.
+  echo "==> seed-replay gate"
+  ./build-check-release/tools/gl_replay --epochs=12
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "asan" ]]; then

@@ -1,0 +1,180 @@
+// Seed-replay reproducibility gate.
+//
+// Runs a scenario through the ExperimentRunner twice with identically-seeded
+// schedulers and diffs the per-epoch state-hash streams
+// (common/state_hash.h). Bit-identical streams are the determinism
+// contract's promise (DESIGN.md §8); any divergence is reported with the
+// first offending epoch and subsystem (placement, loads, power, migration,
+// rng) so the leak can be traced to a module.
+//
+//   gl_replay [--scenario=twitter|azure] [--scheduler=<name>|all]
+//             [--topology=testbed16|fattree4|leafspine] [--epochs=N]
+//             [--seed=N] [--estimated] [--verbose]
+//
+// --scheduler=all (the default) gates every policy: goldilocks, mpp, borg,
+// epvm, rc, random. --estimated replays with DemandEstimator predictions in
+// the loop, covering the estimator's state as well. Exit status 0 means
+// every replay was bit-identical; 1 means at least one divergence; 2 means
+// bad usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/state_hash.h"
+#include "core/scheduler_factory.h"
+#include "sim/simulator.h"
+#include "topology/topology.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+struct Args {
+  std::string scenario = "twitter";
+  std::string scheduler = "all";
+  std::string topology = "testbed16";
+  int epochs = -1;  // scenario default
+  std::uint64_t seed = 0xfeed;
+  bool estimated = false;
+  bool verbose = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string& out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  out = arg + n;
+  return true;
+}
+
+// One seeded run: fresh scheduler, fresh runner, hashed epochs.
+std::vector<gl::EpochStateHash> RunOnce(const std::string& scheduler_name,
+                                        const gl::Scenario& scenario,
+                                        const gl::Topology& topo,
+                                        const Args& args) {
+  auto scheduler = gl::MakeNamedScheduler(scheduler_name, 0.70, args.seed);
+  gl::RunnerOptions opts;
+  opts.record_state_hashes = true;
+  opts.use_estimated_demands = args.estimated;
+  const gl::ExperimentRunner runner(scenario, topo, opts);
+  return runner.Run(*scheduler).state_hashes;
+}
+
+// Returns true when the two same-seed runs agree bit-for-bit.
+bool ReplayScheduler(const std::string& scheduler_name,
+                     const gl::Scenario& scenario, const gl::Topology& topo,
+                     const Args& args) {
+  const auto first = RunOnce(scheduler_name, scenario, topo, args);
+  const auto second = RunOnce(scheduler_name, scenario, topo, args);
+
+  if (first.size() != second.size()) {
+    std::printf("%-10s FAIL: run lengths differ (%zu vs %zu epochs)\n",
+                scheduler_name.c_str(), first.size(), second.size());
+    return false;
+  }
+  for (std::size_t e = 0; e < first.size(); ++e) {
+    if (args.verbose) std::puts(first[e].ToString().c_str());
+    const char* diverged = gl::FirstDivergentSubsystem(first[e], second[e]);
+    if (diverged != nullptr) {
+      std::printf("%-10s FAIL: first divergence at epoch %zu in subsystem "
+                  "'%s'\n  run 1: %s\n  run 2: %s\n",
+                  scheduler_name.c_str(), e, diverged,
+                  first[e].ToString().c_str(), second[e].ToString().c_str());
+      return false;
+    }
+  }
+  const std::uint64_t digest =
+      first.empty() ? 0 : first.back().Combined();
+  std::printf("%-10s OK: %zu epochs bit-identical, final digest %016llx\n",
+              scheduler_name.c_str(), first.size(),
+              static_cast<unsigned long long>(digest));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--scenario=", args.scenario) ||
+        ParseFlag(argv[i], "--scheduler=", args.scheduler) ||
+        ParseFlag(argv[i], "--topology=", args.topology)) {
+      continue;
+    }
+    if (ParseFlag(argv[i], "--epochs=", value)) {
+      args.epochs = std::atoi(value.c_str());
+      continue;
+    }
+    if (ParseFlag(argv[i], "--seed=", value)) {
+      args.seed = std::strtoull(value.c_str(), nullptr, 0);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--estimated") == 0) {
+      args.estimated = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--verbose") == 0) {
+      args.verbose = true;
+      continue;
+    }
+    std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+    return 2;
+  }
+
+  gl::Topology topo;
+  if (args.topology == "testbed16") {
+    topo = gl::Topology::Testbed16();
+  } else if (args.topology == "fattree4") {
+    topo = gl::Topology::FatTree(
+        4, gl::Resource{.cpu = 3200, .mem_gb = 64, .net_mbps = 1000}, 1000.0);
+  } else if (args.topology == "leafspine") {
+    topo = gl::Topology::LeafSpine(
+        8, 4, 2, gl::Resource{.cpu = 3200, .mem_gb = 64, .net_mbps = 1000},
+        1000.0);
+  } else {
+    std::fprintf(stderr, "unknown topology: %s\n", args.topology.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<gl::Scenario> scenario;
+  if (args.scenario == "twitter") {
+    gl::TwitterScenarioOptions opts;
+    if (args.epochs > 0) opts.num_epochs = args.epochs;
+    scenario = gl::MakeTwitterCachingScenario(opts);
+  } else if (args.scenario == "azure") {
+    gl::AzureScenarioOptions opts;
+    if (args.epochs > 0) opts.num_epochs = args.epochs;
+    scenario = gl::MakeAzureMixScenario(opts);
+  } else {
+    std::fprintf(stderr, "unknown scenario: %s\n", args.scenario.c_str());
+    return 2;
+  }
+
+  std::vector<std::string> schedulers;
+  if (args.scheduler == "all") {
+    schedulers = gl::NamedSchedulers();
+  } else if (gl::MakeNamedScheduler(args.scheduler) != nullptr) {
+    schedulers.push_back(args.scheduler);
+  } else {
+    std::fprintf(stderr, "unknown scheduler: %s\n", args.scheduler.c_str());
+    return 2;
+  }
+
+  std::printf("seed-replay gate: scenario=%s topology=%s epochs=%d "
+              "demands=%s\n",
+              scenario->name().c_str(), args.topology.c_str(),
+              scenario->num_epochs(), args.estimated ? "estimated" : "oracle");
+  int failures = 0;
+  for (const auto& name : schedulers) {
+    failures += ReplayScheduler(name, *scenario, topo, args) ? 0 : 1;
+  }
+  if (failures > 0) {
+    std::printf("%d of %zu scheduler replays diverged\n", failures,
+                schedulers.size());
+    return 1;
+  }
+  std::printf("all %zu scheduler replays bit-identical\n", schedulers.size());
+  return 0;
+}
