@@ -3,6 +3,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -19,35 +21,38 @@ namespace gl::bench {
 
 struct PolicyRun {
   std::string name;
-  ExperimentResult result;
+  ExperimentResult result;  // result.wall_ms carries the per-policy timing
 };
 
+// Runs the paper's five policies over the scenario. With opts.threads > 1
+// the policies are evaluated concurrently (ExperimentRunner::RunMany);
+// results — state hashes included — are identical at every thread count.
 inline std::vector<PolicyRun> RunAllPolicies(
     const Scenario& scenario, const Topology& topo,
     const RunnerOptions& opts = {}, int goldilocks_repartition_interval = 1) {
   ExperimentRunner runner(scenario, topo, opts);
+  GoldilocksOptions gopts;
+  gopts.repartition_interval = goldilocks_repartition_interval;
+  // One knob for both fan-outs: the policies run concurrently and
+  // Goldilocks' recursive bipartitioning fans out internally.
+  gopts.partition.threads = opts.threads;
+
+  std::vector<std::unique_ptr<Scheduler>> schedulers;
+  schedulers.push_back(std::make_unique<EPvmScheduler>());
+  schedulers.push_back(std::make_unique<MppScheduler>());
+  schedulers.push_back(std::make_unique<BorgScheduler>());
+  schedulers.push_back(std::make_unique<RcInformedScheduler>());
+  schedulers.push_back(std::make_unique<GoldilocksScheduler>(gopts));
+
+  std::vector<Scheduler*> ptrs;
+  ptrs.reserve(schedulers.size());
+  for (const auto& s : schedulers) ptrs.push_back(s.get());
+  auto results = runner.RunMany(ptrs);
+
   std::vector<PolicyRun> runs;
-  {
-    EPvmScheduler s;
-    runs.push_back({s.name(), runner.Run(s)});
-  }
-  {
-    MppScheduler s;
-    runs.push_back({s.name(), runner.Run(s)});
-  }
-  {
-    BorgScheduler s;
-    runs.push_back({s.name(), runner.Run(s)});
-  }
-  {
-    RcInformedScheduler s;
-    runs.push_back({s.name(), runner.Run(s)});
-  }
-  {
-    GoldilocksOptions gopts;
-    gopts.repartition_interval = goldilocks_repartition_interval;
-    GoldilocksScheduler s(gopts);
-    runs.push_back({s.name(), runner.Run(s)});
+  runs.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    runs.push_back({schedulers[i]->name(), std::move(results[i])});
   }
   return runs;
 }
@@ -66,6 +71,64 @@ inline void PrintTimeSeries(const std::vector<PolicyRun>& runs, int stride,
     }
   }
   t.Print();
+}
+
+// One row of the machine-readable bench output (--json): what ran, how wide
+// the fan-out was, how long it took, and the resulting problem/solution
+// sizes (see EXPERIMENTS.md, "Machine-readable output").
+struct ScaleRecord {
+  std::string name;
+  int threads = 1;
+  double wall_ms = 0.0;
+  int containers = 0;
+  int servers = 0;
+};
+
+// Writes the records as a JSON array. Returns false (with a message on
+// stderr) if the file cannot be opened.
+inline bool WriteScaleJson(const char* path,
+                           const std::vector<ScaleRecord>& records) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"threads\": %d, \"wall_ms\": %.3f, "
+                 "\"containers\": %d, \"servers\": %d}%s\n",
+                 r.name.c_str(), r.threads, r.wall_ms, r.containers,
+                 r.servers, i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
+// Parses "--json out.json" / "--json=out.json" from argv; nullptr if absent.
+inline const char* JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return nullptr;
+}
+
+// Parses "--threads=N" / "--threads N" from argv; 1 if absent.
+inline int ThreadsFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      return std::atoi(argv[i] + 10);
+    }
+  }
+  return 1;
 }
 
 inline void PrintAverages(const std::vector<PolicyRun>& runs) {

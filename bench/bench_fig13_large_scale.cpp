@@ -10,13 +10,23 @@
 //
 // The full 88-epoch horizon runs in minutes; set GOLDILOCKS_FIG13_EPOCHS to
 // adjust (default 22 epochs = 4-hour sampling of the same 88-hour span).
+//
+//   bench_fig13_large_scale [--threads=N] [--json out.json]
+//
+// --threads fans the five policies out concurrently and parallelizes
+// Goldilocks' partitioner; results are bit-identical at every width
+// (DESIGN.md §9). --json writes per-policy {name, threads, wall_ms,
+// containers, servers} records (EXPERIMENTS.md, "Machine-readable output").
 #include <cstdlib>
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gl;
   using namespace gl::bench;
+
+  const char* json_path = JsonPathFromArgs(argc, argv);
+  const int threads = ThreadsFromArgs(argc, argv);
 
   int epochs = 22;
   double epoch_minutes = 240.0;
@@ -51,6 +61,7 @@ int main() {
   ropts.latency.per_hop_ms = 2.0;
   ropts.latency.burst_amplification = 0.05;
   ropts.latency.sla_ms = 100.0;
+  ropts.threads = threads;
 
   // Goldilocks re-partitions every 4 simulated hours; the grouping is reused
   // in between (the paper's epoch-based scheduling with low migration cost).
@@ -81,5 +92,16 @@ int main() {
       "saving, 0.85x TCT)\n",
       (1.0 - gold.total_watts / epvm.total_watts) * 100.0,
       gold.mean_tct_ms / epvm.mean_tct_ms);
+
+  if (json_path != nullptr) {
+    std::vector<ScaleRecord> records;
+    for (const auto& r : runs) {
+      records.push_back({r.name, threads, r.result.wall_ms,
+                         scenario->workload().size(),
+                         r.result.Average().active_servers});
+    }
+    if (!WriteScaleJson(json_path, records)) return 1;
+    std::printf("wrote %zu records to %s\n", records.size(), json_path);
+  }
   return 0;
 }

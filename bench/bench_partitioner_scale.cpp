@@ -4,8 +4,21 @@
 // argues that epoch lengths can therefore be short. These benchmarks track
 // our multilevel partitioner's cost across graph sizes, plus the unit
 // operations placement relies on (bisection, k-way, recursive-to-fit).
+//
+//   bench_partitioner_scale [--json out.json] [google-benchmark flags]
+//
+// --json switches to the thread-scaling sweep: RecursivePartition over the
+// workload-like graph at threads 1/2/4/8, one {name, threads, wall_ms,
+// containers, servers} record per configuration (EXPERIMENTS.md,
+// "Machine-readable output"). Results are bit-identical across widths
+// (DESIGN.md §9); only wall_ms varies.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
 #include "common/rng.h"
 #include "graph/partitioner.h"
 
@@ -85,7 +98,51 @@ void BM_CoarseningOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_CoarseningOnly);
 
+// The --json sweep: same partition at every thread count, best-of-3 wall
+// time per configuration.
+bool RunThreadScalingSweep(const char* json_path) {
+  const Resource ceiling{.cpu = 2240, .mem_gb = 57, .net_mbps = 700};
+  const auto fits = [&](const Resource& d, int) { return d.FitsIn(ceiling); };
+  std::vector<bench::ScaleRecord> records;
+  for (const int n : {2000, 10000}) {
+    const Graph g = MakeWorkloadLikeGraph(n, 7);
+    for (const int threads : {1, 2, 4, 8}) {
+      PartitionOptions opts;
+      opts.threads = threads;
+      double best_ms = 0.0;
+      int servers = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        // Wall timing only — never a seed.  gl-lint: allow(time-seed)
+        const auto start = std::chrono::steady_clock::now();
+        const auto r = RecursivePartition(g, fits, opts);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              // Wall timing only.  gl-lint: allow(time-seed)
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+        servers = r.num_groups;
+      }
+      records.push_back({"recursive_partition/n=" + std::to_string(n),
+                         threads, best_ms, n, servers});
+      std::printf("%-28s threads=%d  %8.2f ms  %d groups\n",
+                  records.back().name.c_str(), threads, best_ms, servers);
+    }
+  }
+  if (!bench::WriteScaleJson(json_path, records)) return false;
+  std::printf("wrote %zu records to %s\n", records.size(), json_path);
+  return true;
+}
+
 }  // namespace
 }  // namespace gl
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (const char* json_path = gl::bench::JsonPathFromArgs(argc, argv)) {
+    return gl::RunThreadScalingSweep(json_path) ? 0 : 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

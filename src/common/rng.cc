@@ -111,6 +111,13 @@ bool Rng::Chance(double p) { return NextDouble() < p; }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+Rng Rng::Fork(std::uint64_t stream_id) const {
+  // Golden-ratio odd multiplier keeps distinct ids at distinct seeds; the
+  // constructor's SplitMix64 stages decorrelate neighbouring ids. +1 keeps
+  // stream 0 from collapsing onto the bare state digest.
+  return Rng(StateHash() ^ ((stream_id + 1) * 0x9e3779b97f4a7c15ULL));
+}
+
 std::uint64_t Rng::StateHash() const {
   StateHasher h;
   for (const auto s : s_) h.MixU64(s);

@@ -48,8 +48,20 @@ class Rng {
   // Bernoulli trial.
   bool Chance(double p);
 
-  // Fork an independent stream (e.g., one per trace vertex).
+  // Fork an independent stream (e.g., one per trace vertex). Advances this
+  // generator by one draw, so successive calls yield distinct streams —
+  // which also means a Fork() on a generator reachable from two code paths
+  // perturbs both. Single-owner use only.
   Rng Fork();
+
+  // Keyed fork: the `stream_id`-th sub-stream of this generator's current
+  // state, derived WITHOUT advancing the parent. Same state + same id gives
+  // the same stream (replay-stable); distinct ids give statistically
+  // independent streams. This is the sanctioned way to hand randomness to
+  // parallel tasks (ThreadPool::ParallelForWithRng): the parent cursor — and
+  // therefore StateHash() and every replay digest — is untouched, and a
+  // const parent may be forked concurrently from any number of threads.
+  [[nodiscard]] Rng Fork(std::uint64_t stream_id) const;
 
   // Digest of the full generator state — stream position plus the cached
   // Gaussian spare. Two generators with equal digests produce identical

@@ -1,0 +1,56 @@
+// Compile-time race-safety annotations (Clang thread-safety analysis).
+//
+// The determinism contract (DESIGN.md §8) makes nondeterminism a build
+// failure; this header extends the same idea to data races. Every mutex in
+// the tree names the state it guards with GL_GUARDED_BY, every function
+// that needs a lock held declares it with GL_REQUIRES, and Clang's
+// -Wthread-safety (an error on Clang builds, see the top-level
+// CMakeLists.txt) proves at compile time that no annotated field is touched
+// without its lock. GCC compiles the macros away; the analysis runs in the
+// dedicated Clang CI job.
+//
+// Only the subset this codebase uses is defined. The vocabulary follows
+// Clang's capability model:
+//   GL_CAPABILITY      — marks a type as a lockable capability (mutexes).
+//   GL_GUARDED_BY(m)   — field may only be read/written with m held.
+//   GL_PT_GUARDED_BY(m)— pointee of a pointer field is guarded by m.
+//   GL_REQUIRES(m)     — caller must hold m before calling.
+//   GL_ACQUIRE(m)      — function acquires m and does not release it.
+//   GL_RELEASE(m)      — function releases m.
+//   GL_EXCLUDES(m)     — caller must NOT hold m (deadlock prevention).
+//   GL_SCOPED_CAPABILITY— RAII lock guard types.
+//   GL_RETURN_CAPABILITY(m) — function returns a reference to capability m.
+//   GL_NO_THREAD_SAFETY_ANALYSIS — sanctioned escape hatch; must carry a
+//                                  comment justifying why analysis is off.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define GL_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define GL_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define GL_CAPABILITY(x) GL_THREAD_ANNOTATION_(capability(x))
+#define GL_SCOPED_CAPABILITY GL_THREAD_ANNOTATION_(scoped_lockable)
+#define GL_GUARDED_BY(x) GL_THREAD_ANNOTATION_(guarded_by(x))
+#define GL_PT_GUARDED_BY(x) GL_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define GL_ACQUIRED_BEFORE(...) \
+  GL_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define GL_ACQUIRED_AFTER(...) \
+  GL_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define GL_REQUIRES(...) \
+  GL_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define GL_REQUIRES_SHARED(...) \
+  GL_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define GL_ACQUIRE(...) \
+  GL_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define GL_ACQUIRE_SHARED(...) \
+  GL_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define GL_RELEASE(...) \
+  GL_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define GL_RELEASE_SHARED(...) \
+  GL_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define GL_EXCLUDES(...) GL_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define GL_RETURN_CAPABILITY(x) GL_THREAD_ANNOTATION_(lock_returned(x))
+#define GL_NO_THREAD_SAFETY_ANALYSIS \
+  GL_THREAD_ANNOTATION_(no_thread_safety_analysis)

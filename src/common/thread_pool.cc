@@ -1,0 +1,86 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gl {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    MutexLock lock(mu_);
+    GOLDILOCKS_CHECK(fn_ == nullptr);  // no ParallelFor may be in flight
+    shutdown_ = true;
+  }
+  work_cv_.NotifyAll();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (num_threads_ == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  mu_.Lock();
+  GOLDILOCKS_CHECK(fn_ == nullptr);  // re-entrant use would deadlock
+  fn_ = &fn;
+  count_ = count;
+  next_ = 0;
+  in_flight_ = 0;
+  mu_.Unlock();
+  work_cv_.NotifyAll();
+
+  mu_.Lock();
+  RunBatchTasks();  // the calling thread participates
+  while (in_flight_ > 0) done_cv_.Wait(mu_);
+  fn_ = nullptr;
+  count_ = 0;
+  mu_.Unlock();
+}
+
+void ThreadPool::ParallelForWithRng(
+    std::size_t count, const Rng& base,
+    const std::function<void(std::size_t, Rng&)>& fn) {
+  ParallelFor(count, [&base, &fn](std::size_t i) {
+    Rng rng = base.Fork(static_cast<std::uint64_t>(i));
+    fn(i, rng);
+  });
+}
+
+void ThreadPool::WorkerLoop() {
+  mu_.Lock();
+  while (!shutdown_) {
+    if (fn_ != nullptr && next_ < count_) {
+      RunBatchTasks();
+    } else {
+      work_cv_.Wait(mu_);
+    }
+  }
+  mu_.Unlock();
+}
+
+void ThreadPool::RunBatchTasks() {
+  while (fn_ != nullptr && next_ < count_) {
+    const std::size_t i = next_++;
+    ++in_flight_;
+    const auto* fn = fn_;
+    mu_.Unlock();
+    (*fn)(i);
+    mu_.Lock();
+    --in_flight_;
+    if (in_flight_ == 0 && next_ >= count_) done_cv_.NotifyAll();
+  }
+}
+
+}  // namespace gl

@@ -1,0 +1,84 @@
+// Fixed-size thread pool with deterministic, index-slotted parallel loops.
+//
+// Parallelism in this tree must never change results (DESIGN.md §9): the
+// same seed has to produce bit-identical epochs at threads=1 and threads=N.
+// The pool's only primitive is therefore ParallelFor(count, fn): task i is
+// fn(i), every index is claimed exactly once, and each task writes only its
+// own caller-owned result slot. Merging happens on the calling thread, in
+// index order, after the loop — so the output never depends on which worker
+// ran which index or in what order tasks finished.
+//
+// Stochastic tasks take their randomness from a keyed sub-stream,
+// base.Fork(i) (common/rng.h): the parent cursor is never advanced, so
+// replay hashes are unchanged and no Rng is ever shared across threads.
+//
+// The pool owns num_threads-1 workers; the calling thread participates in
+// every loop, so ThreadPool(1) spawns nothing and runs inline — the serial
+// path and the parallel path are the same code. Tasks must not throw
+// (failures in this codebase abort via GOLDILOCKS_CHECK) and must not call
+// ParallelFor on the same pool re-entrantly; create a nested pool instead.
+//
+// This file is the sanctioned home for raw std::thread (gl_lint GL006):
+// everything else fans out through a ThreadPool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/thread_annotations.h"
+
+namespace gl {
+
+class ThreadPool {
+ public:
+  // Clamped to >= 1. The pool spawns num_threads-1 workers; a pool of one
+  // is a plain loop with no threads, locks or queues touched.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int num_threads() const { return num_threads_; }
+
+  // Runs fn(0) .. fn(count-1), each index exactly once, and returns when
+  // all calls have finished. The calling thread executes tasks too. fn must
+  // be safe to invoke concurrently from multiple threads for distinct
+  // indices; writes should go to per-index slots owned by the caller.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& fn)
+      GL_EXCLUDES(mu_);
+
+  // ParallelFor that hands task i the replay-stable sub-stream base.Fork(i).
+  // `base` is read-only: forking is keyed and does not advance the parent.
+  void ParallelForWithRng(std::size_t count, const Rng& base,
+                          const std::function<void(std::size_t, Rng&)>& fn)
+      GL_EXCLUDES(mu_);
+
+ private:
+  void WorkerLoop() GL_EXCLUDES(mu_);
+  // Claims and runs tasks of the current batch until none remain unclaimed.
+  // Drops the lock around each fn(i) call.
+  void RunBatchTasks() GL_REQUIRES(mu_);
+
+  const int num_threads_;
+
+  Mutex mu_;
+  CondVar work_cv_;  // signalled when a batch is posted or on shutdown
+  CondVar done_cv_;  // signalled when the last in-flight task finishes
+
+  // One batch at a time: the active loop's bounds and claim cursor.
+  const std::function<void(std::size_t)>* fn_ GL_GUARDED_BY(mu_) = nullptr;
+  std::size_t count_ GL_GUARDED_BY(mu_) = 0;
+  std::size_t next_ GL_GUARDED_BY(mu_) = 0;       // first unclaimed index
+  std::size_t in_flight_ GL_GUARDED_BY(mu_) = 0;  // claimed, not yet done
+  bool shutdown_ GL_GUARDED_BY(mu_) = false;
+
+  // Only touched by the owning thread (constructor / destructor).
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gl

@@ -16,11 +16,12 @@ const std::vector<std::string>& NamedSchedulers() {
 }
 
 std::unique_ptr<Scheduler> MakeNamedScheduler(const std::string& name,
-                                              double pee,
-                                              std::uint64_t seed) {
+                                              double pee, std::uint64_t seed,
+                                              int partition_threads) {
   if (name == "goldilocks") {
     GoldilocksOptions opts;
     opts.pee_utilization = pee;
+    opts.partition.threads = partition_threads;
     return std::make_unique<GoldilocksScheduler>(opts);
   }
   if (name == "mpp") return std::make_unique<MppScheduler>();

@@ -18,8 +18,11 @@ namespace gl {
 
 // Builds the named scheduler, or nullptr for an unknown name. `pee` is the
 // PEE packing ceiling for policies that honour one; `seed` feeds the
-// stochastic policies (Random).
+// stochastic policies (Random). `partition_threads` fans out Goldilocks'
+// recursive bipartitioning (1 = serial; results are bit-identical at every
+// value — DESIGN.md §9); other policies ignore it.
 [[nodiscard]] std::unique_ptr<Scheduler> MakeNamedScheduler(
-    const std::string& name, double pee = 0.70, std::uint64_t seed = 0xfeed);
+    const std::string& name, double pee = 0.70, std::uint64_t seed = 0xfeed,
+    int partition_threads = 1);
 
 }  // namespace gl

@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace gl {
 namespace {
@@ -574,36 +575,56 @@ bool HasNegativeInternalEdge(const Graph& g) {
   return false;
 }
 
-void FitRecurse(const Graph& g, std::span<const VertexIndex> global_ids,
-                const std::string& path, const FitPredicate& fits,
-                const CapacityUnitsFn& units, const PartitionOptions& opts,
-                std::uint64_t seed, RecursivePartitionResult& out) {
+// One pending sub-problem of the fit recursion: an induced subgraph, the
+// global ids of its vertices, its recursion-tree path and the seed that
+// steers its bisections. Nodes are self-contained, so disjoint subtrees can
+// be solved on different threads and merged by position.
+struct FitNode {
+  Graph graph;
+  std::vector<VertexIndex> ids;
+  std::string path;
+  std::uint64_t seed = 0;
+};
+
+bool FitTerminal(const Graph& g, const FitPredicate& fits) {
+  const int count = g.num_vertices();
+  return (fits(g.total_demand(), count) && !HasNegativeInternalEdge(g)) ||
+         count == 1;
+}
+
+void RecordFitLeaf(const Graph& g, std::span<const VertexIndex> global_ids,
+                   const std::string& path, const FitPredicate& fits,
+                   RecursivePartitionResult& out) {
   const Resource demand = g.total_demand();
   const int count = g.num_vertices();
-  if (count == 0) return;
-  if ((fits(demand, count) && !HasNegativeInternalEdge(g)) || count == 1) {
-    const int gid = out.num_groups++;
-    for (const auto id : global_ids) {
-      out.group_of[static_cast<std::size_t>(id)] = gid;
-    }
-    out.group_path.push_back(path);
-    out.group_demand.push_back(demand);
-    out.group_size.push_back(count);
-    if (!fits(demand, count)) out.oversized_groups.push_back(gid);
-    return;
+  const int gid = out.num_groups++;
+  for (const auto id : global_ids) {
+    out.group_of[static_cast<std::size_t>(id)] = gid;
   }
+  out.group_path.push_back(path);
+  out.group_demand.push_back(demand);
+  out.group_size.push_back(count);
+  if (!fits(demand, count)) out.oversized_groups.push_back(gid);
+}
 
+// Bisects a non-terminal node into its two children exactly as the serial
+// recursion would (same seed chain, same degenerate-split fallback) and
+// returns the bisection's cut weight.
+double SplitFit(const Graph& g, std::span<const VertexIndex> global_ids,
+                const std::string& path, std::uint64_t seed,
+                const CapacityUnitsFn& units, const PartitionOptions& opts,
+                FitNode& left_out, FitNode& right_out) {
+  const int count = g.num_vertices();
   PartitionOptions sub = opts;
   sub.seed = seed;
   // Proportional split target: carve off whole server-units so leaves fill
   // servers tightly instead of landing at ~50-70% from plain halving.
   double fraction = 0.5;
   if (units) {
-    const double u = std::max(1.0 + 1e-9, units(demand));
+    const double u = std::max(1.0 + 1e-9, units(g.total_demand()));
     fraction = std::clamp(std::ceil(u / 2.0) / u, 0.25, 0.75);
   }
   const auto bis = Bisect(g, sub, fraction);
-  out.cut_weight += bis.cut_weight;
 
   std::vector<VertexIndex> left, right;
   for (VertexIndex v = 0; v < count; ++v) {
@@ -628,15 +649,179 @@ void FitRecurse(const Graph& g, std::span<const VertexIndex> global_ids,
     }
     return ids;
   };
-  const auto left_ids = globalize(left);
-  const auto right_ids = globalize(right);
-  const Graph gl_sub = g.InducedSubgraph(left);
-  const Graph gr_sub = g.InducedSubgraph(right);
+  left_out.ids = globalize(left);
+  right_out.ids = globalize(right);
+  left_out.graph = g.InducedSubgraph(left);
+  right_out.graph = g.InducedSubgraph(right);
+  left_out.path = path + '0';
+  right_out.path = path + '1';
   Rng salt(seed);
-  const auto s1 = salt.NextU64();
-  const auto s2 = salt.NextU64();
-  FitRecurse(gl_sub, left_ids, path + '0', fits, units, opts, s1, out);
-  FitRecurse(gr_sub, right_ids, path + '1', fits, units, opts, s2, out);
+  left_out.seed = salt.NextU64();
+  right_out.seed = salt.NextU64();
+  return bis.cut_weight;
+}
+
+// Serial recursion. Cut contributions are appended to `cuts` in preorder
+// (node before its subtrees) instead of summed in place, so the final
+// left-fold reproduces one canonical summation order no matter how the
+// subtrees were scheduled across threads.
+void FitRecurse(const Graph& g, std::span<const VertexIndex> global_ids,
+                const std::string& path, const FitPredicate& fits,
+                const CapacityUnitsFn& units, const PartitionOptions& opts,
+                std::uint64_t seed, RecursivePartitionResult& out,
+                std::vector<double>& cuts) {
+  if (g.num_vertices() == 0) return;
+  if (FitTerminal(g, fits)) {
+    RecordFitLeaf(g, global_ids, path, fits, out);
+    return;
+  }
+  FitNode l, r;
+  cuts.push_back(SplitFit(g, global_ids, path, seed, units, opts, l, r));
+  FitRecurse(l.graph, l.ids, l.path, fits, units, opts, l.seed, out, cuts);
+  FitRecurse(r.graph, r.ids, r.path, fits, units, opts, r.seed, out, cuts);
+}
+
+// Parallel driver: expands the top of the recursion tree breadth-first —
+// splitting every non-terminal frontier node, each level's splits running
+// concurrently — until the frontier carries at least opts.threads
+// sub-problems, then solves each frontier subtree serially on the pool and
+// merges the per-task results in preorder. Preorder merging reproduces the
+// serial group numbering exactly, and the preorder cut fold reproduces the
+// serial summation order, so the result is bit-identical at every thread
+// count.
+RecursivePartitionResult RecursivePartitionParallel(
+    const Graph& g, const FitPredicate& fits, const PartitionOptions& opts,
+    const CapacityUnitsFn& units, RecursivePartitionResult out) {
+  struct ExpandNode {
+    FitNode task;
+    double cut = 0.0;
+    int left = -1;  // < 0: unexpanded (frontier task or terminal)
+    int right = -1;
+  };
+
+  ThreadPool pool(opts.threads);
+
+  // Root is split in place from the caller's graph (no copy).
+  std::vector<ExpandNode> tree(3);
+  {
+    std::vector<VertexIndex> ids(static_cast<std::size_t>(g.num_vertices()));
+    std::iota(ids.begin(), ids.end(), 0);
+    FitNode l, r;
+    tree[0].cut = SplitFit(g, ids, "", opts.seed, units, opts, l, r);
+    tree[0].left = 1;
+    tree[0].right = 2;
+    tree[1].task = std::move(l);
+    tree[2].task = std::move(r);
+  }
+  std::vector<int> frontier = {1, 2};
+
+  while (static_cast<int>(frontier.size()) < opts.threads) {
+    std::vector<int> splittable;
+    for (const int idx : frontier) {
+      const auto& t = tree[static_cast<std::size_t>(idx)].task;
+      if (t.graph.num_vertices() > 1 && !FitTerminal(t.graph, fits)) {
+        splittable.push_back(idx);
+      }
+    }
+    if (splittable.empty()) break;
+
+    struct SplitOut {
+      double cut = 0.0;
+      FitNode l, r;
+    };
+    std::vector<SplitOut> splits(splittable.size());
+    pool.ParallelFor(splittable.size(), [&](std::size_t k) {
+      const auto& t = tree[static_cast<std::size_t>(splittable[k])].task;
+      splits[k].cut = SplitFit(t.graph, t.ids, t.path, t.seed, units, opts,
+                               splits[k].l, splits[k].r);
+    });
+
+    // Graft the children in, preserving the frontier's DFS order.
+    std::vector<int> next_frontier;
+    std::size_t k = 0;
+    for (const int idx : frontier) {
+      if (k < splittable.size() && splittable[k] == idx) {
+        const int left = static_cast<int>(tree.size());
+        const int right = left + 1;
+        {
+          // Scoped: push_back below may reallocate and dangle this reference.
+          auto& nd = tree[static_cast<std::size_t>(idx)];
+          nd.cut = splits[k].cut;
+          nd.left = left;
+          nd.right = right;
+          nd.task = FitNode{};  // children own the data now
+        }
+        tree.push_back({std::move(splits[k].l), 0.0, -1, -1});
+        tree.push_back({std::move(splits[k].r), 0.0, -1, -1});
+        next_frontier.push_back(left);
+        next_frontier.push_back(right);
+        ++k;
+      } else {
+        next_frontier.push_back(idx);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+
+  // Solve each frontier subtree serially, into task-local results.
+  struct TaskResult {
+    RecursivePartitionResult out;
+    std::vector<double> cuts;
+  };
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<TaskResult> results(frontier.size());
+  pool.ParallelFor(frontier.size(), [&](std::size_t k) {
+    const auto& t = tree[static_cast<std::size_t>(frontier[k])].task;
+    results[k].out.group_of.assign(n, -1);
+    FitRecurse(t.graph, t.ids, t.path, fits, units, opts, t.seed,
+               results[k].out, results[k].cuts);
+  });
+
+  // Preorder merge on the calling thread: group ids, paths and cut terms
+  // land in exactly the order the serial recursion would have produced.
+  std::vector<int> task_of(tree.size(), -1);
+  for (std::size_t k = 0; k < frontier.size(); ++k) {
+    task_of[static_cast<std::size_t>(frontier[k])] = static_cast<int>(k);
+  }
+  double cut_weight = 0.0;
+  // Explicit stack; the expansion tree is only ~log2(threads) deep but the
+  // iterative form costs nothing.
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    const int idx = stack.back();
+    stack.pop_back();
+    const auto& nd = tree[static_cast<std::size_t>(idx)];
+    if (nd.left < 0) {
+      const auto& tr =
+          results[static_cast<std::size_t>(task_of[static_cast<std::size_t>(idx)])];
+      const int base = out.num_groups;
+      for (const auto id : nd.task.ids) {
+        const int local = tr.out.group_of[static_cast<std::size_t>(id)];
+        if (local >= 0) {
+          out.group_of[static_cast<std::size_t>(id)] = base + local;
+        }
+      }
+      out.num_groups += tr.out.num_groups;
+      out.group_path.insert(out.group_path.end(), tr.out.group_path.begin(),
+                            tr.out.group_path.end());
+      out.group_demand.insert(out.group_demand.end(),
+                              tr.out.group_demand.begin(),
+                              tr.out.group_demand.end());
+      out.group_size.insert(out.group_size.end(), tr.out.group_size.begin(),
+                            tr.out.group_size.end());
+      for (const int og : tr.out.oversized_groups) {
+        out.oversized_groups.push_back(base + og);
+      }
+      for (const double c : tr.cuts) cut_weight += c;
+      continue;
+    }
+    cut_weight += nd.cut;
+    // Right pushed first so the left subtree is visited first (preorder).
+    stack.push_back(nd.right);
+    stack.push_back(nd.left);
+  }
+  out.cut_weight = cut_weight;
+  return out;
 }
 
 }  // namespace
@@ -647,9 +832,16 @@ RecursivePartitionResult RecursivePartition(const Graph& g,
                                             const CapacityUnitsFn& units) {
   RecursivePartitionResult out;
   out.group_of.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  if (opts.threads > 1 && g.num_vertices() > 1 && !FitTerminal(g, fits)) {
+    return RecursivePartitionParallel(g, fits, opts, units, std::move(out));
+  }
   std::vector<VertexIndex> ids(static_cast<std::size_t>(g.num_vertices()));
   std::iota(ids.begin(), ids.end(), 0);
-  FitRecurse(g, ids, "", fits, units, opts, opts.seed, out);
+  std::vector<double> cuts;
+  FitRecurse(g, ids, "", fits, units, opts, opts.seed, out, cuts);
+  double cut_weight = 0.0;
+  for (const double c : cuts) cut_weight += c;
+  out.cut_weight = cut_weight;
   return out;
 }
 

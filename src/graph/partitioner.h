@@ -47,6 +47,10 @@ struct PartitionOptions {
   // KWayPartition (0 = off).
   int kway_refine_passes = 2;
   std::uint64_t seed = 0x5eed;
+  // Worker threads for RecursivePartition's fan-out (1 = serial). Results
+  // are bit-identical for every value: sub-partitions are seeded from the
+  // recursion path and merged in child-index (preorder) order.
+  int threads = 1;
 };
 
 struct Bisection {

@@ -1,6 +1,9 @@
 #include "sim/simulator.h"
 
+#include <chrono>
+
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "netsim/traffic.h"
 
 namespace gl {
@@ -60,6 +63,9 @@ ExperimentRunner::ExperimentRunner(const Scenario& scenario,
 }
 
 ExperimentResult ExperimentRunner::Run(Scheduler& scheduler) const {
+  // Wall timing only: wall_ms is informational and never feeds a decision
+  // or a hash.  gl-lint: allow(time-seed)
+  const auto wall_start = std::chrono::steady_clock::now();
   ExperimentResult result;
   result.scheduler = scheduler.name();
   result.scenario = scenario_.name();
@@ -197,7 +203,24 @@ ExperimentResult ExperimentRunner::Run(Scheduler& scheduler) const {
     result.epochs.push_back(m);
     previous = placement;
   }
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       // Wall timing only.  gl-lint: allow(time-seed)
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
   return result;
+}
+
+std::vector<ExperimentResult> ExperimentRunner::RunMany(
+    const std::vector<Scheduler*>& schedulers) const {
+  std::vector<ExperimentResult> results(schedulers.size());
+  ThreadPool pool(opts_.threads);
+  // Each task touches only its own scheduler and result slot; the runner
+  // itself is read-only during Run().
+  pool.ParallelFor(schedulers.size(), [&](std::size_t i) {
+    GOLDILOCKS_CHECK(schedulers[i] != nullptr);
+    results[i] = Run(*schedulers[i]);
+  });
+  return results;
 }
 
 }  // namespace gl

@@ -57,6 +57,11 @@ struct RunnerOptions {
   // same-seed runs must produce identical streams; tools/gl_replay diffs
   // them and reports the first divergent epoch and subsystem.
   bool record_state_hashes = false;
+  // Worker threads for RunMany's scheduler fan-out (1 = serial). Each
+  // scheduler's run is fully independent — shared state (scenario, topology,
+  // options) is read-only — so every thread count produces bit-identical
+  // results, state hashes included (DESIGN.md §9).
+  int threads = 1;
 };
 
 struct EpochMetrics {
@@ -88,6 +93,9 @@ struct ExperimentResult {
   AuditReport audit;
   // One digest per epoch (empty unless RunnerOptions::record_state_hashes).
   std::vector<EpochStateHash> state_hashes;
+  // Wall-clock duration of this run. Informational only — never hashed, so
+  // it does not participate in the determinism contract.
+  double wall_ms = 0.0;
 
   [[nodiscard]] EpochMetrics Average() const;
 };
@@ -98,6 +106,13 @@ class ExperimentRunner {
                    RunnerOptions opts = {});
 
   ExperimentResult Run(Scheduler& scheduler) const;
+
+  // Runs every scheduler over the same scenario/topology, fanning out over
+  // RunnerOptions::threads, and returns results in input order. Each entry
+  // must point at a distinct scheduler object (schedulers are stateful);
+  // results are bit-identical to calling Run() on each in sequence.
+  std::vector<ExperimentResult> RunMany(
+      const std::vector<Scheduler*>& schedulers) const;
 
  private:
   const Scenario& scenario_;

@@ -199,6 +199,48 @@ TEST(Rng, ForkIndependence) {
   EXPECT_LT(equal, 2);
 }
 
+TEST(Rng, KeyedForkDoesNotAdvanceParent) {
+  Rng forked(43), untouched(43);
+  const auto before = forked.StateHash();
+  (void)forked.Fork(0);
+  (void)forked.Fork(17);
+  EXPECT_EQ(forked.StateHash(), before);
+  // The forked parent's future stream is byte-for-byte the untouched one's.
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(forked.NextU64(), untouched.NextU64());
+}
+
+TEST(Rng, KeyedForkIsReplayStable) {
+  Rng parent(47);
+  Rng a = parent.Fork(5);
+  Rng b = parent.Fork(5);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, KeyedForkStreamsAreIndependent) {
+  Rng parent(53);
+  // Pairwise: neighbouring ids, id 0 vs parent, and a far-apart pair.
+  const std::uint64_t ids[] = {0, 1, 2, 1ULL << 40};
+  std::vector<std::vector<std::uint64_t>> streams;
+  for (const auto id : ids) {
+    Rng s = parent.Fork(id);
+    std::vector<std::uint64_t> draws;
+    for (int i = 0; i < 64; ++i) draws.push_back(s.NextU64());
+    streams.push_back(std::move(draws));
+  }
+  std::vector<std::uint64_t> parent_draws;
+  for (int i = 0; i < 64; ++i) parent_draws.push_back(parent.NextU64());
+  streams.push_back(std::move(parent_draws));
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    for (std::size_t j = i + 1; j < streams.size(); ++j) {
+      int equal = 0;
+      for (int k = 0; k < 64; ++k) {
+        if (streams[i][k] == streams[j][k]) ++equal;
+      }
+      EXPECT_LT(equal, 2) << "streams " << i << " and " << j;
+    }
+  }
+}
+
 // --- stats ---------------------------------------------------------------------
 
 TEST(RunningStats, Basics) {

@@ -1,0 +1,110 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gl {
+namespace {
+
+TEST(ThreadPool, ClampsToAtLeastOneThread) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.num_threads(), 4);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.ParallelFor(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, EmptyLoopIsANoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ResultSlotsMatchSerialAtAnyThreadCount) {
+  constexpr std::size_t kCount = 257;
+  auto task = [](std::size_t i) {
+    return static_cast<std::uint64_t>(i) * 2654435761u + 17;
+  };
+  std::vector<std::uint64_t> expected(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) expected[i] = task(i);
+
+  for (const int threads : {1, 3, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> got(kCount, 0);
+    pool.ParallelFor(kCount, [&](std::size_t i) { got[i] = task(i); });
+    EXPECT_EQ(got, expected) << "threads " << threads;
+  }
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossBatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.ParallelFor(10, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 45) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, ParallelForWithRngMatchesKeyedForks) {
+  const Rng base(0x5eed);
+  constexpr std::size_t kCount = 64;
+  // Expected: task i draws from base.Fork(i), regardless of thread count.
+  std::vector<std::uint64_t> expected(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    Rng sub = base.Fork(i);
+    expected[i] = sub.NextU64();
+  }
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> got(kCount, 0);
+    pool.ParallelForWithRng(kCount, base, [&](std::size_t i, Rng& rng) {
+      got[i] = rng.NextU64();
+    });
+    EXPECT_EQ(got, expected) << "threads " << threads;
+  }
+}
+
+TEST(ThreadPool, ParallelForWithRngLeavesBaseUntouched) {
+  Rng base(0xabc);
+  const auto before = base.StateHash();
+  ThreadPool pool(4);
+  pool.ParallelForWithRng(100, base, [](std::size_t, Rng& rng) {
+    (void)rng.NextDouble();
+  });
+  EXPECT_EQ(base.StateHash(), before);
+}
+
+TEST(ThreadPool, ManyMoreTasksThanThreads) {
+  ThreadPool pool(2);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::uint8_t> hit(kCount, 0);
+  pool.ParallelFor(kCount, [&](std::size_t i) { hit[i] = 1; });
+  const auto total = std::accumulate(hit.begin(), hit.end(), std::size_t{0});
+  EXPECT_EQ(total, kCount);
+}
+
+}  // namespace
+}  // namespace gl

@@ -7,10 +7,11 @@
 #   tools/check.sh lint       # determinism linter only (no build needed)
 #   tools/check.sh release    # Release stage + seed-replay gate only
 #   tools/check.sh asan       # ASan+UBSan stage only
+#   tools/check.sh tsan       # ThreadSanitizer stage (parallel paths)
 #   tools/check.sh tidy       # clang-tidy over src/ (needs clang-tidy)
 #
-# Build trees go to build-check-release/ and build-check-asan/ so they never
-# collide with the default build/ directory.
+# Build trees go to build-check-<stage>/ so they never collide with the
+# default build/ directory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,9 +20,9 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 STAGE="${1:-all}"
 
 case "${STAGE}" in
-  all|lint|release|asan|tidy) ;;
+  all|lint|release|asan|tsan|tidy) ;;
   *)
-    echo "unknown stage: ${STAGE} (expected all, lint, release, asan or tidy)" >&2
+    echo "unknown stage: ${STAGE} (expected all, lint, release, asan, tsan or tidy)" >&2
     exit 2
     ;;
 esac
@@ -65,10 +66,30 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "asan" ]]; then
     "-DGOLDILOCKS_SANITIZE=address;undefined"
 fi
 
+if [[ "${STAGE}" == "tsan" ]]; then
+  # Dynamic half of the concurrency contract (DESIGN.md §9): the thread
+  # pool, the parallel partitioner and RunMany raced under TSan. The
+  # parallel determinism tests drive every parallel path at threads up to 8,
+  # so a data race fails this stage even when it happens not to corrupt the
+  # state hashes.
+  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+  run_stage "TSan" build-check-tsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOLDILOCKS_WERROR=ON \
+    "-DGOLDILOCKS_SANITIZE=thread"
+  echo "==> seed-replay gate (parallel, under TSan)"
+  ./build-check-tsan/tools/gl_replay --epochs=8 --threads=8
+fi
+
 if [[ "${STAGE}" == "tidy" ]]; then
   if ! command -v clang-tidy >/dev/null; then
-    echo "clang-tidy not found on PATH" >&2
-    exit 1
+    # Local machines often lack clang-tidy; warn and move on. CI installs
+    # it, and there the absence must stay a hard failure.
+    if [[ "${CI:-}" == "true" ]]; then
+      echo "clang-tidy not found on PATH" >&2
+      exit 1
+    fi
+    echo "warning: clang-tidy not found on PATH; skipping tidy stage" >&2
+    exit 0
   fi
   cmake -B build-check-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   # Headers are covered via the .cc files that include them.

@@ -9,13 +9,16 @@
 //
 //   gl_replay [--scenario=twitter|azure] [--scheduler=<name>|all]
 //             [--topology=testbed16|fattree4|leafspine] [--epochs=N]
-//             [--seed=N] [--estimated] [--verbose]
+//             [--seed=N] [--threads=N] [--estimated] [--verbose]
 //
 // --scheduler=all (the default) gates every policy: goldilocks, mpp, borg,
 // epvm, rc, random. --estimated replays with DemandEstimator predictions in
-// the loop, covering the estimator's state as well. Exit status 0 means
-// every replay was bit-identical; 1 means at least one divergence; 2 means
-// bad usage.
+// the loop, covering the estimator's state as well. --threads=N runs the
+// *second* replay with Goldilocks' partitioner fanned out over N threads
+// while the first stays serial, so the gate also checks the concurrency
+// contract (DESIGN.md §9): parallel execution must be bit-identical to
+// serial. Exit status 0 means every replay was bit-identical; 1 means at
+// least one divergence; 2 means bad usage.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +40,7 @@ struct Args {
   std::string topology = "testbed16";
   int epochs = -1;  // scenario default
   std::uint64_t seed = 0xfeed;
+  int threads = 1;  // partitioner fan-out for the second replay
   bool estimated = false;
   bool verbose = false;
 };
@@ -52,8 +56,9 @@ bool ParseFlag(const char* arg, const char* name, std::string& out) {
 std::vector<gl::EpochStateHash> RunOnce(const std::string& scheduler_name,
                                         const gl::Scenario& scenario,
                                         const gl::Topology& topo,
-                                        const Args& args) {
-  auto scheduler = gl::MakeNamedScheduler(scheduler_name, 0.70, args.seed);
+                                        const Args& args, int threads) {
+  auto scheduler =
+      gl::MakeNamedScheduler(scheduler_name, 0.70, args.seed, threads);
   gl::RunnerOptions opts;
   opts.record_state_hashes = true;
   opts.use_estimated_demands = args.estimated;
@@ -61,12 +66,15 @@ std::vector<gl::EpochStateHash> RunOnce(const std::string& scheduler_name,
   return runner.Run(*scheduler).state_hashes;
 }
 
-// Returns true when the two same-seed runs agree bit-for-bit.
+// Returns true when the two same-seed runs agree bit-for-bit. The first run
+// is always serial; the second uses args.threads, so --threads>1 also gates
+// serial-vs-parallel equivalence.
 bool ReplayScheduler(const std::string& scheduler_name,
                      const gl::Scenario& scenario, const gl::Topology& topo,
                      const Args& args) {
-  const auto first = RunOnce(scheduler_name, scenario, topo, args);
-  const auto second = RunOnce(scheduler_name, scenario, topo, args);
+  const auto first = RunOnce(scheduler_name, scenario, topo, args, 1);
+  const auto second =
+      RunOnce(scheduler_name, scenario, topo, args, args.threads);
 
   if (first.size() != second.size()) {
     std::printf("%-10s FAIL: run lengths differ (%zu vs %zu epochs)\n",
@@ -109,6 +117,10 @@ int main(int argc, char** argv) {
     }
     if (ParseFlag(argv[i], "--seed=", value)) {
       args.seed = std::strtoull(value.c_str(), nullptr, 0);
+      continue;
+    }
+    if (ParseFlag(argv[i], "--threads=", value)) {
+      args.threads = std::atoi(value.c_str());
       continue;
     }
     if (std::strcmp(argv[i], "--estimated") == 0) {
@@ -163,9 +175,10 @@ int main(int argc, char** argv) {
   }
 
   std::printf("seed-replay gate: scenario=%s topology=%s epochs=%d "
-              "demands=%s\n",
+              "demands=%s threads=1-vs-%d\n",
               scenario->name().c_str(), args.topology.c_str(),
-              scenario->num_epochs(), args.estimated ? "estimated" : "oracle");
+              scenario->num_epochs(), args.estimated ? "estimated" : "oracle",
+              args.threads);
   int failures = 0;
   for (const auto& name : schedulers) {
     failures += ReplayScheduler(name, *scenario, topo, args) ? 0 : 1;
