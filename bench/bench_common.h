@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "common/table.h"
 #include "core/goldilocks.h"
 #include "schedulers/borg.h"
@@ -84,8 +85,9 @@ struct ScaleRecord {
   int servers = 0;
 };
 
-// Writes the records as a JSON array. Returns false (with a message on
-// stderr) if the file cannot be opened.
+// Writes the records as a JSON array via the shared writer (one escaping
+// implementation for benches, RunLogger and the trace exporter). Returns
+// false (with a message on stderr) if the file cannot be opened.
 inline bool WriteScaleJson(const char* path,
                            const std::vector<ScaleRecord>& records) {
   std::FILE* f = std::fopen(path, "w");
@@ -93,18 +95,28 @@ inline bool WriteScaleJson(const char* path,
     std::fprintf(stderr, "cannot open %s for writing\n", path);
     return false;
   }
-  std::fprintf(f, "[\n");
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const auto& r = records[i];
-    std::fprintf(f,
-                 "  {\"name\": \"%s\", \"threads\": %d, \"wall_ms\": %.3f, "
-                 "\"containers\": %d, \"servers\": %d}%s\n",
-                 r.name.c_str(), r.threads, r.wall_ms, r.containers,
-                 r.servers, i + 1 < records.size() ? "," : "");
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginArray();
+  for (const auto& r : records) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(r.name);
+    w.Key("threads");
+    w.Int(r.threads);
+    w.Key("wall_ms");
+    w.Double(r.wall_ms);
+    w.Key("containers");
+    w.Int(r.containers);
+    w.Key("servers");
+    w.Int(r.servers);
+    w.EndObject();
   }
-  std::fprintf(f, "]\n");
+  w.EndArray();
+  out.push_back('\n');
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
   std::fclose(f);
-  return true;
+  return ok;
 }
 
 // Parses "--json out.json" / "--json=out.json" from argv; nullptr if absent.

@@ -14,13 +14,13 @@
 // (DESIGN.md §9); only wall_ms varies.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/rng.h"
 #include "graph/partitioner.h"
+#include "obs/clock.h"
 
 namespace gl {
 namespace {
@@ -112,13 +112,9 @@ bool RunThreadScalingSweep(const char* json_path) {
       double best_ms = 0.0;
       int servers = 0;
       for (int rep = 0; rep < 3; ++rep) {
-        // Wall timing only — never a seed.  gl-lint: allow(time-seed)
-        const auto start = std::chrono::steady_clock::now();
+        const obs::WallTimer timer;  // wall timing only — never a seed
         const auto r = RecursivePartition(g, fits, opts);
-        const double ms = std::chrono::duration<double, std::milli>(
-                              // Wall timing only.  gl-lint: allow(time-seed)
-                              std::chrono::steady_clock::now() - start)
-                              .count();
+        const double ms = timer.ElapsedMs();
         if (rep == 0 || ms < best_ms) best_ms = ms;
         servers = r.num_groups;
       }

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/stable_map.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gl {
 
@@ -133,6 +135,7 @@ void AuditReport::Append(const AuditReport& other) {
 InvariantAuditor::InvariantAuditor(AuditOptions opts) : opts_(opts) {}
 
 AuditReport InvariantAuditor::AuditAll(const SystemView& view) const {
+  obs::TraceSpan span("audit.all");
   AuditReport report;
   if (view.topology != nullptr) {
     AuditTopology(*view.topology, report);
@@ -153,6 +156,15 @@ AuditReport InvariantAuditor::AuditAll(const SystemView& view) const {
   }
   if (view.server_power != nullptr) {
     AuditPowerModel(*view.server_power, report);
+  }
+  // One deterministic counter per invariant class; the class name is part
+  // of the metric name so gl_report can break findings down by family.
+  for (const auto& f : report.findings) {
+    std::string name = "audit.findings.";
+    name += AuditClassName(f.invariant);
+    obs::MetricsRegistry::Global()
+        .GetCounter(name, obs::MetricKind::kDeterministic)
+        .Increment();
   }
   return report;
 }

@@ -1,0 +1,162 @@
+// Minimal streaming JSON writer (header-only, no dependencies).
+//
+// One escaping implementation for everything in the tree that emits JSON:
+// the obs RunLogger (JSONL epoch records), the Chrome-trace exporter, and
+// the --json bench records that previously hand-rolled fprintf emission in
+// bench_common.h. The writer appends to a caller-owned std::string; commas
+// and key/value alternation are handled internally, so call sites read as a
+// flat sequence of Key()/value calls.
+//
+// Doubles are written with %.17g (shortest form that round-trips an IEEE
+// double), so a deterministic value serializes identically on every run —
+// a requirement for the byte-identical JSONL streams DESIGN.md §10 promises.
+// Non-finite doubles have no JSON representation and are emitted as null.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gl {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out) : out_(out) {
+    GOLDILOCKS_CHECK(out != nullptr);
+  }
+
+  void BeginObject() {
+    Separate();
+    out_->push_back('{');
+    first_.push_back(true);
+  }
+  void EndObject() { Close('}'); }
+  void BeginArray() {
+    Separate();
+    out_->push_back('[');
+    first_.push_back(true);
+  }
+  void EndArray() { Close(']'); }
+
+  // Must alternate with a value inside an object.
+  void Key(std::string_view k) {
+    Separate();
+    AppendQuoted(k);
+    out_->push_back(':');
+    pending_key_ = true;
+  }
+
+  void String(std::string_view v) {
+    Separate();
+    AppendQuoted(v);
+  }
+  void Int(std::int64_t v) {
+    Separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    out_->append(buf);
+  }
+  void UInt(std::uint64_t v) {
+    Separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out_->append(buf);
+  }
+  void Double(double v) {
+    Separate();
+    if (v != v || v > 1.7976931348623157e308 || v < -1.7976931348623157e308) {
+      out_->append("null");  // NaN / ±inf have no JSON spelling
+      return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_->append(buf);
+  }
+  void Bool(bool v) {
+    Separate();
+    out_->append(v ? "true" : "false");
+  }
+  void Null() {
+    Separate();
+    out_->append("null");
+  }
+
+  // 64-bit hash as a fixed-width hex string (JSON numbers are doubles and
+  // cannot carry 64 bits losslessly).
+  void Hex64(std::uint64_t v) {
+    Separate();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "\"%016" PRIx64 "\"", v);
+    out_->append(buf);
+  }
+
+  static void AppendEscaped(std::string* out, std::string_view sv) {
+    for (const char c : sv) {
+      switch (c) {
+        case '"':
+          out->append("\\\"");
+          break;
+        case '\\':
+          out->append("\\\\");
+          break;
+        case '\n':
+          out->append("\\n");
+          break;
+        case '\r':
+          out->append("\\r");
+          break;
+        case '\t':
+          out->append("\\t");
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out->append(buf);
+          } else {
+            out->push_back(c);
+          }
+      }
+    }
+  }
+
+ private:
+  // Emits the separating comma for the current container, unless this value
+  // completes a pending "key":.
+  void Separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (first_.empty()) return;  // top-level value
+    if (first_.back()) {
+      first_.back() = false;
+    } else {
+      out_->push_back(',');
+    }
+  }
+
+  void Close(char c) {
+    GOLDILOCKS_CHECK(!first_.empty());
+    first_.pop_back();
+    out_->push_back(c);
+  }
+
+  void AppendQuoted(std::string_view s) {
+    out_->push_back('"');
+    AppendEscaped(out_, s);
+    out_->push_back('"');
+  }
+
+  std::string* out_;
+  std::vector<bool> first_;   // per open container: no element emitted yet
+  bool pending_key_ = false;  // a Key() awaits its value
+};
+
+}  // namespace gl

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace gl {
 
@@ -24,6 +25,7 @@ void EpochController::EnableAudit(AuditOptions opts, bool fail_fast) {
 EpochDecision EpochController::Step(const Workload& workload,
                                     std::span<const Resource> demands,
                                     std::span<const std::uint8_t> active) {
+  obs::TraceSpan span("controller.step", epoch_);
   EpochDecision decision;
   decision.epoch = epoch_;
 

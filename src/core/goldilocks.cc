@@ -11,9 +11,17 @@
 #include "common/state_hash.h"
 #include "core/virtual_cluster.h"
 #include "graph/incremental.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gl {
 namespace {
+
+obs::Counter& PeeCapRejections() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "goldilocks.pee_cap_rejections", obs::MetricKind::kDeterministic);
+  return c;
+}
 
 // Per-dimension packing ceiling: CPU and network stop at the PEE point,
 // memory at its own headroom ceiling.
@@ -177,10 +185,16 @@ std::vector<std::vector<ContainerId>> GoldilocksScheduler::PartitionContainers(
       }
     }
     if (acceptable) {
+      static obs::Counter& hits = obs::MetricsRegistry::Global().GetCounter(
+          "goldilocks.partition_cache_hits", obs::MetricKind::kDeterministic);
+      hits.Increment();
       ++cache_->epochs_since_partition;
       return cache_->groups;
     }
   }
+  obs::TraceSpan span("goldilocks.partition",
+                      static_cast<std::int64_t>(
+                          input.workload->containers.size()));
 
   // --- full re-partition -----------------------------------------------------
   const ContainerGraph cg = BuildContainerGraph(
@@ -192,7 +206,11 @@ std::vector<std::vector<ContainerId>> GoldilocksScheduler::PartitionContainers(
   relaxed.net_mbps *= kPartitionNetRelax;
   const auto fits = [&relaxed](const Resource& demand, int count) {
     (void)count;
-    return demand.FitsIn(relaxed);
+    const bool ok = demand.FitsIn(relaxed);
+    // Every "group too big for the PEE-capped ceiling" verdict forces
+    // another bisection level — the count explains recursion depth.
+    if (!ok) PeeCapRejections().Increment();
+    return ok;
   };
   // Server-capacity units of a group: how many ceiling-fulls its demand is
   // worth (network relaxed as above). Guides proportional splits so the
@@ -308,6 +326,9 @@ std::vector<std::vector<ContainerId>> GoldilocksScheduler::PartitionContainers(
   // --- refinement: enforce the exact ceiling on *effective* demand -----------
   // A group that passed the relaxed partition check may still exceed the
   // NIC (or, after demand growth, CPU) once colocated; bisect it further.
+  static obs::Counter& refine_bisects =
+      obs::MetricsRegistry::Global().GetCounter(
+          "goldilocks.refine_bisections", obs::MetricKind::kDeterministic);
   for (std::size_t gi = 0; gi < groups.size();) {
     const Resource eff =
         EffectiveGroupDemand(groups[gi], input.demands, adj, stamp);
@@ -333,6 +354,7 @@ std::vector<std::vector<ContainerId>> GoldilocksScheduler::PartitionContainers(
     const double fraction =
         std::clamp(std::ceil(over / 2.0) / std::max(over, 1.0 + 1e-9), 0.25,
                    0.75);
+    refine_bisects.Increment();
     const Bisection bis = Bisect(sub, popts, fraction);
     std::vector<ContainerId> left, right;
     for (std::size_t v = 0; v < groups[gi].size(); ++v) {
@@ -401,6 +423,9 @@ std::vector<std::vector<ContainerId>> GoldilocksScheduler::PartitionContainers(
                  .FitsIn(group_ceiling)) {
           continue;
         }
+        static obs::Counter& merges = obs::MetricsRegistry::Global().GetCounter(
+            "goldilocks.sibling_merges", obs::MetricKind::kDeterministic);
+        merges.Increment();
         groups[i] = std::move(combined);
         paths[i] = pa.substr(0, pa.size() - 1);
         groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(i) + 1);
@@ -599,6 +624,8 @@ Placement GoldilocksScheduler::Place(const SchedulerInput& input) {
   }
 
   if (opts_.use_virtual_clusters) {
+    obs::TraceSpan vc_span("goldilocks.vc_reserve",
+                           static_cast<std::int64_t>(groups.size()));
     VirtualClusterOptions vc_opts;
     vc_opts.pee_utilization = opts_.pee_utilization;
     vc_opts.memory_ceiling = opts_.memory_ceiling;
@@ -606,6 +633,8 @@ Placement GoldilocksScheduler::Place(const SchedulerInput& input) {
     return placer.PlaceGroups(groups, input.demands,
                               input.workload->containers.size());
   }
+  obs::TraceSpan assign_span("goldilocks.assign_symmetric",
+                             static_cast<std::int64_t>(groups.size()));
   return AssignGroupsSymmetric(input, groups);
 }
 

@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "common/stable_map.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gl {
 
@@ -14,6 +16,8 @@ ContainerGraph BuildContainerGraph(const Workload& workload,
                                    const ContainerGraphOptions& opts) {
   GOLDILOCKS_CHECK(demands.size() == workload.containers.size());
   GOLDILOCKS_CHECK(active.size() == workload.containers.size());
+  obs::TraceSpan span("graph.build",
+                      static_cast<std::int64_t>(workload.containers.size()));
   ContainerGraph cg;
   cg.container_to_vertex.assign(workload.containers.size(), -1);
 
@@ -43,14 +47,22 @@ ContainerGraph BuildContainerGraph(const Workload& workload,
   }
   // Sorted snapshot: edge insertion order shapes adjacency lists, which the
   // partitioner's tie-breaking sees — it must not follow hash-bucket order.
+  std::uint64_t anti_affinity_edges = 0;
   for (const auto& [set_id, members] : SortedItems(replica_sets)) {
     (void)set_id;
     for (std::size_t i = 0; i < members.size(); ++i) {
       for (std::size_t j = i + 1; j < members.size(); ++j) {
         cg.graph.AddEdge(members[i], members[j], opts.replica_anti_affinity);
+        ++anti_affinity_edges;
       }
     }
   }
+  static obs::Counter& vertices = obs::MetricsRegistry::Global().GetCounter(
+      "graph.vertices_built", obs::MetricKind::kDeterministic);
+  static obs::Counter& edges = obs::MetricsRegistry::Global().GetCounter(
+      "graph.anti_affinity_edges", obs::MetricKind::kDeterministic);
+  vertices.Add(static_cast<std::uint64_t>(cg.graph.num_vertices()));
+  edges.Add(anti_affinity_edges);
   return cg;
 }
 

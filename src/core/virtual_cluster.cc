@@ -4,6 +4,8 @@
 #include <map>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gl {
 
@@ -152,6 +154,8 @@ void VirtualClusterPlacer::Commit(int g, const Tentative& t,
 Placement VirtualClusterPlacer::PlaceGroups(
     const std::vector<std::vector<ContainerId>>& groups,
     std::span<const Resource> demands, std::size_t num_containers) {
+  obs::TraceSpan span("vc.place_groups",
+                      static_cast<std::int64_t>(groups.size()));
   Placement placement;
   placement.server_of.assign(num_containers, ServerId::invalid());
 
@@ -213,6 +217,15 @@ Placement VirtualClusterPlacer::PlaceGroups(
       // A container that fits nowhere even capacity-wise stays unplaced.
     }
   }
+  static obs::Counter& whole = obs::MetricsRegistry::Global().GetCounter(
+      "vc.groups_placed_whole", obs::MetricKind::kDeterministic);
+  static obs::Counter& split = obs::MetricsRegistry::Global().GetCounter(
+      "vc.groups_split", obs::MetricKind::kDeterministic);
+  static obs::Counter& bw = obs::MetricsRegistry::Global().GetCounter(
+      "vc.bandwidth_violations", obs::MetricKind::kDeterministic);
+  whole.Add(static_cast<std::uint64_t>(stats_.groups_placed_whole));
+  split.Add(static_cast<std::uint64_t>(stats_.groups_split));
+  bw.Add(static_cast<std::uint64_t>(stats_.bandwidth_violations));
   return placement;
 }
 

@@ -8,9 +8,32 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gl {
 namespace {
+
+// Deterministic decision counters (DESIGN.md §10). Totals are exact at any
+// thread count — addition commutes — and hot loops batch into locals so the
+// atomic is touched once per call, not per edge.
+obs::Counter& CutEdgesCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "partition.cut_edges_evaluated", obs::MetricKind::kDeterministic);
+  return c;
+}
+
+obs::Counter& FmRejectionsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "partition.bisection_rejections", obs::MetricKind::kDeterministic);
+  return c;
+}
+
+obs::Counter& DegenerateSplitsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "partition.degenerate_splits", obs::MetricKind::kDeterministic);
+  return c;
+}
 
 // ---------------------------------------------------------------------------
 // Lazy max-heap keyed by double priority. Entries are (priority, vertex);
@@ -250,6 +273,8 @@ void FmRefine(const Graph& g, const BalanceBounds& bounds,
               const PartitionOptions& opts, FmState& state) {
   const auto n = g.num_vertices();
   std::vector<double> gain(static_cast<std::size_t>(n), 0.0);
+  std::uint64_t edges_evaluated = 0;
+  std::uint64_t moves_rejected = 0;
 
   for (int pass = 0; pass < opts.refine_passes; ++pass) {
     // (Re)compute all gains for this pass.
@@ -259,6 +284,7 @@ void FmRefine(const Graph& g, const BalanceBounds& bounds,
         const bool cross = state.side[static_cast<std::size_t>(v)] !=
                            state.side[static_cast<std::size_t>(e.to)];
         gv += cross ? e.weight : -e.weight;
+        ++edges_evaluated;
       }
       gain[static_cast<std::size_t>(v)] = gv;
     }
@@ -290,7 +316,10 @@ void FmRefine(const Graph& g, const BalanceBounds& bounds,
       const double new_violation = bounds.Violation(new_w0);
       // Permit the move if it stays feasible, or strictly improves an
       // infeasible balance (restoration mode).
-      if (new_violation > 1e-12 && new_violation >= cur_violation) continue;
+      if (new_violation > 1e-12 && new_violation >= cur_violation) {
+        ++moves_rejected;
+        continue;
+      }
 
       moved[static_cast<std::size_t>(v)] = 1;
       move_seq.push_back(v);
@@ -306,6 +335,7 @@ void FmRefine(const Graph& g, const BalanceBounds& bounds,
         gain[static_cast<std::size_t>(e.to)] +=
             cross ? 2.0 * e.weight : -2.0 * e.weight;
         heap.Push(e.to, gain[static_cast<std::size_t>(e.to)]);
+        ++edges_evaluated;
       }
 
       const double violation = bounds.Violation(w0);
@@ -337,6 +367,8 @@ void FmRefine(const Graph& g, const BalanceBounds& bounds,
     state.w0 = w0;
     if (!improved) break;
   }
+  CutEdgesCounter().Add(edges_evaluated);
+  FmRejectionsCounter().Add(moves_rejected);
 }
 
 double SideWeight0(const Graph& g, std::span<const std::uint8_t> side) {
@@ -614,6 +646,9 @@ double SplitFit(const Graph& g, std::span<const VertexIndex> global_ids,
                 const std::string& path, std::uint64_t seed,
                 const CapacityUnitsFn& units, const PartitionOptions& opts,
                 FitNode& left_out, FitNode& right_out) {
+  // One span per recursion level; arg = depth in the recursion tree.
+  obs::TraceSpan split_span("partition.split",
+                            static_cast<std::int64_t>(path.size()));
   const int count = g.num_vertices();
   PartitionOptions sub = opts;
   sub.seed = seed;
@@ -634,6 +669,7 @@ double SplitFit(const Graph& g, std::span<const VertexIndex> global_ids,
   // happen with pathological weights), force an arbitrary split so the
   // recursion always terminates.
   if (left.empty() || right.empty()) {
+    DegenerateSplitsCounter().Increment();
     left.clear();
     right.clear();
     for (VertexIndex v = 0; v < count; ++v) {
@@ -692,6 +728,8 @@ void FitRecurse(const Graph& g, std::span<const VertexIndex> global_ids,
 RecursivePartitionResult RecursivePartitionParallel(
     const Graph& g, const FitPredicate& fits, const PartitionOptions& opts,
     const CapacityUnitsFn& units, RecursivePartitionResult out) {
+  obs::TraceSpan span("partition.parallel",
+                      static_cast<std::int64_t>(g.num_vertices()));
   struct ExpandNode {
     FitNode task;
     double cut = 0.0;
@@ -771,6 +809,9 @@ RecursivePartitionResult RecursivePartitionParallel(
   const auto n = static_cast<std::size_t>(g.num_vertices());
   std::vector<TaskResult> results(frontier.size());
   pool.ParallelFor(frontier.size(), [&](std::size_t k) {
+    // Per-worker subtree span; arg = frontier slot (stable across runs).
+    obs::TraceSpan worker_span("partition.worker",
+                               static_cast<std::int64_t>(k));
     const auto& t = tree[static_cast<std::size_t>(frontier[k])].task;
     results[k].out.group_of.assign(n, -1);
     FitRecurse(t.graph, t.ids, t.path, fits, units, opts, t.seed,
@@ -830,6 +871,8 @@ RecursivePartitionResult RecursivePartition(const Graph& g,
                                             const FitPredicate& fits,
                                             const PartitionOptions& opts,
                                             const CapacityUnitsFn& units) {
+  obs::TraceSpan span("partition.recursive",
+                      static_cast<std::int64_t>(g.num_vertices()));
   RecursivePartitionResult out;
   out.group_of.assign(static_cast<std::size_t>(g.num_vertices()), -1);
   if (opts.threads > 1 && g.num_vertices() > 1 && !FitTerminal(g, fits)) {

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gl {
 
@@ -157,6 +159,9 @@ void FlowSimulator::ComputeMaxMinRates() {
 }
 
 void FlowSimulator::RunToCompletion(double intra_server_ms) {
+  obs::TraceSpan span("flowsim.run",
+                      static_cast<std::int64_t>(flows_.size()));
+  std::uint64_t rounds = 0;
   std::vector<double> remaining_bytes(flows_.size());
   std::vector<int> live;
   for (std::size_t i = 0; i < flows_.size(); ++i) {
@@ -172,6 +177,7 @@ void FlowSimulator::RunToCompletion(double intra_server_ms) {
 
   double now_ms = 0.0;
   while (!live.empty()) {
+    ++rounds;
     AllocateRates(live);
     // Time to the next completion.
     double dt_ms = std::numeric_limits<double>::infinity();
@@ -196,6 +202,9 @@ void FlowSimulator::RunToCompletion(double intra_server_ms) {
     }
     live = std::move(still_live);
   }
+  static obs::Counter& round_counter = obs::MetricsRegistry::Global().GetCounter(
+      "flowsim.rounds", obs::MetricKind::kDeterministic);
+  round_counter.Add(rounds);
 }
 
 double FlowSimulator::PeakUplinkUtilization(NodeId node) const {

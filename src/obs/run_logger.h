@@ -1,0 +1,122 @@
+// Structured run logs: one JSONL record per epoch ("gl.epoch.v1").
+//
+// The RunLogger is the third observability pillar: a streaming sink that the
+// ExperimentRunner feeds one EpochRecord per epoch when RunnerOptions::obs
+// points at a logger. Each record is a single JSON line with four sections:
+//
+//   top-level   — schema, scheduler, scenario, epoch  (deterministic)
+//   "metrics"   — power / TCT / placement numbers     (deterministic)
+//   "counters"  — per-epoch deltas of the deterministic counters
+//   "hash"      — the §8 EpochStateHash subsystem digests (when recorded)
+//   "timings"   — wall_ms and per-phase span times    (informational ONLY)
+//
+// Everything outside "timings" must be byte-identical across two same-seed
+// runs — that is what `gl_report --check` and the replay gate diff. The
+// "timings" section is excluded from every comparison and never hashed.
+//
+// Per-epoch counter deltas attribute to the right epoch only when epochs run
+// serially (RunnerOptions::threads == 1); under a parallel RunMany the
+// registry is shared across concurrent experiments, so the runner skips the
+// counters section and only totals remain meaningful (DESIGN.md §10).
+//
+// The logger is thread-safe: each WriteEpoch serializes and appends one
+// whole line under a mutex, so concurrent runs interleave *lines*, never
+// bytes within a line.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+
+namespace gl::obs {
+
+// One phase's wall time within an epoch. Informational only.
+struct PhaseTime {
+  std::string name;
+  double ms = 0.0;
+};
+
+// Flattened per-epoch record. Plain fields only — gl_obs sits below sim/ in
+// the link order, so the runner copies from EpochMetrics/EpochStateHash
+// rather than this header depending on them.
+struct EpochRecord {
+  static constexpr const char* kSchema = "gl.epoch.v1";
+
+  std::string scheduler;
+  std::string scenario;
+  int epoch = 0;
+
+  // Deterministic epoch metrics (a subset of sim EpochMetrics).
+  int active_servers = 0;
+  int active_switches = 0;
+  double server_watts = 0.0;
+  double network_watts = 0.0;
+  double total_watts = 0.0;
+  double mean_tct_ms = 0.0;
+  double p99_tct_ms = 0.0;
+  double energy_per_request_j = 0.0;
+  int migrations = 0;
+  int placed_containers = 0;
+  int unplaced_containers = 0;
+  int audit_findings = 0;
+
+  // Deterministic-counter deltas for this epoch (empty when unavailable,
+  // e.g. parallel RunMany).
+  std::vector<CounterValue> counters;
+
+  // §8 subsystem digests; present when the runner records state hashes.
+  bool has_hash = false;
+  std::uint64_t hash_placement = 0;
+  std::uint64_t hash_loads = 0;
+  std::uint64_t hash_power = 0;
+  std::uint64_t hash_migration = 0;
+  std::uint64_t hash_rng = 0;
+
+  // ---- informational section ("timings") — never hashed, never diffed ----
+  double wall_ms = 0.0;
+  std::vector<PhaseTime> phases;
+};
+
+class RunLogger;
+
+// Knob block embedded in sim RunnerOptions. A struct (not a bare pointer)
+// so later PRs can add obs knobs without touching the runner's signature.
+struct ObsOptions {
+  RunLogger* logger = nullptr;  // per-epoch JSONL sink; nullptr = disabled
+};
+
+class RunLogger {
+ public:
+  // Streams lines to a file (created/truncated). ok() reports open failure.
+  explicit RunLogger(const std::string& path);
+  // Streams lines into a caller-owned string (tests, gl_report round-trip).
+  explicit RunLogger(std::string* sink);
+  ~RunLogger();
+  RunLogger(const RunLogger&) = delete;
+  RunLogger& operator=(const RunLogger&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr || sink_ != nullptr; }
+
+  // Serializes the record and appends it as one line. Thread-safe.
+  void WriteEpoch(const EpochRecord& rec);
+
+  [[nodiscard]] std::uint64_t lines_written() const;
+
+  // Pure serialization (no trailing newline) — what WriteEpoch emits, kept
+  // separate so tests can assert on exact bytes.
+  [[nodiscard]] static std::string EpochLine(const EpochRecord& rec);
+
+ private:
+  std::FILE* file_ = nullptr;  // owned when non-null
+  std::string* sink_ = nullptr;
+
+  mutable Mutex mu_;
+  std::uint64_t lines_ GL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace gl::obs

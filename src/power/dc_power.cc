@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace gl {
 namespace {
 
@@ -72,6 +75,7 @@ NetworkPowerResult ComputeNetworkPower(
     std::span<const double> node_traffic_mbps,
     std::span<const SwitchPowerModel> level_models,
     const GatingOptions& opts) {
+  obs::TraceSpan span("power.network");
   GOLDILOCKS_CHECK(server_active.size() ==
                    static_cast<std::size_t>(topo.num_servers()));
   GOLDILOCKS_CHECK_GE(static_cast<int>(level_models.size()),
@@ -158,6 +162,10 @@ NetworkPowerResult ComputeNetworkPower(
     result.watts += active * model.Power(1.0);
     result.active_switches += active;
   }
+  static obs::Counter& gated = obs::MetricsRegistry::Global().GetCounter(
+      "power.switches_gated", obs::MetricKind::kDeterministic);
+  gated.Add(static_cast<std::uint64_t>(
+      std::max(0, result.total_switches - result.active_switches)));
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gl {
 namespace {
@@ -28,6 +30,7 @@ MigrationPlan PlanMigrations(const Placement& before, const Placement& after,
                              std::span<const Resource> demands,
                              const Topology& topo,
                              const MigrationPlannerOptions& opts) {
+  obs::TraceSpan span("migration.plan");
   MigrationPlan plan;
   const std::size_t n =
       std::min({before.server_of.size(), after.server_of.size(),
@@ -144,6 +147,15 @@ MigrationPlan PlanMigrations(const Placement& before, const Placement& after,
     }
     plan.makespan_ms += phase_span;
   }
+  static obs::Counter& planned = obs::MetricsRegistry::Global().GetCounter(
+      "migration.steps_planned", obs::MetricKind::kDeterministic);
+  static obs::Counter& bounces = obs::MetricsRegistry::Global().GetCounter(
+      "migration.bounces", obs::MetricKind::kDeterministic);
+  static obs::Counter& stuck = obs::MetricsRegistry::Global().GetCounter(
+      "migration.stuck", obs::MetricKind::kDeterministic);
+  planned.Add(plan.steps.size());
+  bounces.Add(static_cast<std::uint64_t>(plan.bounced_containers));
+  stuck.Add(plan.stuck.size());
   return plan;
 }
 

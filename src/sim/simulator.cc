@@ -1,10 +1,11 @@
 #include "sim/simulator.h"
 
-#include <chrono>
-
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "netsim/traffic.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gl {
 
@@ -30,6 +31,7 @@ EpochMetrics ExperimentResult::Average() const {
     avg.placed_containers += e.placed_containers;
     avg.unplaced_containers += e.unplaced_containers;
     avg.audit_findings += e.audit_findings;
+    avg.wall_ms += e.wall_ms;
   }
   avg.active_servers = static_cast<int>(avg.active_servers / n);
   avg.active_switches = static_cast<int>(avg.active_switches / n);
@@ -48,6 +50,7 @@ EpochMetrics ExperimentResult::Average() const {
   avg.placed_containers = static_cast<int>(avg.placed_containers / n);
   avg.unplaced_containers = static_cast<int>(avg.unplaced_containers / n);
   avg.audit_findings = static_cast<int>(avg.audit_findings / n);
+  avg.wall_ms /= n;
   return avg;
 }
 
@@ -64,8 +67,13 @@ ExperimentRunner::ExperimentRunner(const Scenario& scenario,
 
 ExperimentResult ExperimentRunner::Run(Scheduler& scheduler) const {
   // Wall timing only: wall_ms is informational and never feeds a decision
-  // or a hash.  gl-lint: allow(time-seed)
-  const auto wall_start = std::chrono::steady_clock::now();
+  // or a hash (the obs clock is the sanctioned home for steady_clock).
+  const obs::WallTimer run_timer;
+  obs::TraceSpan run_span("runner.run");
+  // Per-epoch counter deltas only attribute correctly when this run has the
+  // process-wide registry to itself (DESIGN.md §10).
+  const bool log_counters =
+      opts_.obs.logger != nullptr && opts_.threads <= 1;
   ExperimentResult result;
   result.scheduler = scheduler.name();
   result.scenario = scenario_.name();
@@ -83,6 +91,20 @@ ExperimentResult ExperimentRunner::Run(Scheduler& scheduler) const {
   }
 
   for (int epoch = 0; epoch < scenario_.num_epochs(); ++epoch) {
+    const obs::WallTimer epoch_timer;
+    obs::TraceSpan epoch_span("runner.epoch", epoch);
+    std::vector<obs::CounterValue> counters_before;
+    if (log_counters) {
+      counters_before = obs::MetricsRegistry::Global().SnapshotCounters(
+          obs::MetricKind::kDeterministic);
+    }
+    double schedule_ms = 0.0;
+    double audit_ms = 0.0;
+    double power_ms = 0.0;
+    double network_ms = 0.0;
+    double tct_ms = 0.0;
+    double migration_ms = 0.0;
+
     const auto demands = scenario_.DemandsAt(epoch);
     const auto active = scenario_.ActiveAt(epoch);
     // What the scheduler believes: the oracle, or predictions from history.
@@ -99,13 +121,21 @@ ExperimentResult ExperimentRunner::Run(Scheduler& scheduler) const {
     input.topology = &topo_;
     input.previous = previous.server_of.empty() ? nullptr : &previous;
 
-    const Placement placement = scheduler.Place(input);
+    Placement placement;
+    {
+      obs::TraceSpan span("epoch.schedule");
+      const obs::WallTimer t;
+      placement = scheduler.Place(input);
+      schedule_ms = t.ElapsedMs();
+    }
     if (opts_.use_estimated_demands) estimator.Observe(demands);
 
     EpochMetrics m;
     m.epoch = epoch;
 
     if (opts_.audit) {
+      obs::TraceSpan span("epoch.audit");
+      const obs::WallTimer t;
       const InvariantAuditor auditor(opts_.audit_opts);
       SystemView view;
       view.topology = &topo_;
@@ -122,6 +152,7 @@ ExperimentResult ExperimentRunner::Run(Scheduler& scheduler) const {
         GOLDILOCKS_CHECK_MSG(false, report.ToString().c_str());
       }
       result.audit.Append(report);
+      audit_ms = t.ElapsedMs();
     }
 
     // Placement accounting.
@@ -131,53 +162,71 @@ ExperimentResult ExperimentRunner::Run(Scheduler& scheduler) const {
     m.unplaced_containers = expected - m.placed_containers;
 
     // Server power.
-    const auto loads =
-        ServerLoads(placement, demands, topo_.num_servers());
+    std::vector<Resource> loads;
     std::vector<std::uint8_t> server_active(
         static_cast<std::size_t>(topo_.num_servers()), 0);
-    double util_sum = 0.0;
-    for (int s = 0; s < topo_.num_servers(); ++s) {
-      const auto si = static_cast<std::size_t>(s);
-      const bool on = !loads[si].IsZero();
-      server_active[si] = on || !opts_.power_off_idle_servers;
-      if (!server_active[si]) continue;
-      const auto& cap = topo_.server_capacity(ServerId{s});
-      const double cpu_util = cap.cpu > 0.0 ? loads[si].cpu / cap.cpu : 0.0;
-      m.server_watts += opts_.server_power.Power(cpu_util);
-      if (on) {
-        ++m.active_servers;
-        util_sum += loads[si].DominantShare(cap);
+    {
+      obs::TraceSpan span("epoch.server_power");
+      const obs::WallTimer t;
+      loads = ServerLoads(placement, demands, topo_.num_servers());
+      double util_sum = 0.0;
+      for (int s = 0; s < topo_.num_servers(); ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        const bool on = !loads[si].IsZero();
+        server_active[si] = on || !opts_.power_off_idle_servers;
+        if (!server_active[si]) continue;
+        const auto& cap = topo_.server_capacity(ServerId{s});
+        const double cpu_util = cap.cpu > 0.0 ? loads[si].cpu / cap.cpu : 0.0;
+        m.server_watts += opts_.server_power.Power(cpu_util);
+        if (on) {
+          ++m.active_servers;
+          util_sum += loads[si].DominantShare(cap);
+        }
       }
+      m.avg_active_utilization =
+          m.active_servers > 0 ? util_sum / m.active_servers : 0.0;
+      power_ms = t.ElapsedMs();
     }
-    m.avg_active_utilization =
-        m.active_servers > 0 ? util_sum / m.active_servers : 0.0;
 
     // Network traffic, gating and power.
-    const TrafficEstimate traffic =
-        EstimateTraffic(workload, placement, demands, active, topo_);
-    const NetworkPowerResult net = ComputeNetworkPower(
-        topo_, server_active, traffic.node_uplink_mbps, opts_.switch_models,
-        opts_.gating);
-    m.network_watts = net.watts;
-    m.active_switches = net.active_switches;
-    m.total_watts = m.server_watts + m.network_watts;
+    TrafficEstimate traffic;
+    {
+      obs::TraceSpan span("epoch.network");
+      const obs::WallTimer t;
+      traffic = EstimateTraffic(workload, placement, demands, active, topo_);
+      const NetworkPowerResult net = ComputeNetworkPower(
+          topo_, server_active, traffic.node_uplink_mbps, opts_.switch_models,
+          opts_.gating);
+      m.network_watts = net.watts;
+      m.active_switches = net.active_switches;
+      m.total_watts = m.server_watts + m.network_watts;
+      network_ms = t.ElapsedMs();
+    }
 
     // Task completion time and energy per request.
-    const TctResult tct =
-        latency.ComputeTct(workload, placement, demands, active, traffic);
-    m.mean_tct_ms = tct.mean_ms;
-    m.p99_tct_ms = tct.p99_ms;
-    m.sla_violation_rate = tct.sla_violation_rate;
-    m.rps = scenario_.TotalRpsAt(epoch);
-    m.energy_per_request_j = (m.total_watts / 1000.0) * m.mean_tct_ms;
-    m.watts_per_krps = m.rps > 0.0 ? m.total_watts / (m.rps / 1000.0) : 0.0;
+    {
+      obs::TraceSpan span("epoch.tct");
+      const obs::WallTimer t;
+      const TctResult tct =
+          latency.ComputeTct(workload, placement, demands, active, traffic);
+      m.mean_tct_ms = tct.mean_ms;
+      m.p99_tct_ms = tct.p99_ms;
+      m.sla_violation_rate = tct.sla_violation_rate;
+      m.rps = scenario_.TotalRpsAt(epoch);
+      m.energy_per_request_j = (m.total_watts / 1000.0) * m.mean_tct_ms;
+      m.watts_per_krps = m.rps > 0.0 ? m.total_watts / (m.rps / 1000.0) : 0.0;
+      tct_ms = t.ElapsedMs();
+    }
 
     // Migration cost vs the previous epoch.
     if (!previous.server_of.empty()) {
+      obs::TraceSpan span("epoch.migration");
+      const obs::WallTimer t;
       const MigrationCost mig = ComputeMigrationCost(
           previous, placement, workload, demands, opts_.migration);
       m.migrations = mig.migrations;
       m.migration_downtime_ms = mig.total_downtime_ms;
+      migration_ms = t.ElapsedMs();
     }
 
     if (opts_.record_state_hashes) {
@@ -200,18 +249,57 @@ ExperimentResult ExperimentRunner::Run(Scheduler& scheduler) const {
       result.state_hashes.push_back(h);
     }
 
+    m.wall_ms = epoch_timer.ElapsedMs();
     result.epochs.push_back(m);
+
+    if (opts_.obs.logger != nullptr) {
+      obs::EpochRecord rec;
+      rec.scheduler = result.scheduler;
+      rec.scenario = result.scenario;
+      rec.epoch = m.epoch;
+      rec.active_servers = m.active_servers;
+      rec.active_switches = m.active_switches;
+      rec.server_watts = m.server_watts;
+      rec.network_watts = m.network_watts;
+      rec.total_watts = m.total_watts;
+      rec.mean_tct_ms = m.mean_tct_ms;
+      rec.p99_tct_ms = m.p99_tct_ms;
+      rec.energy_per_request_j = m.energy_per_request_j;
+      rec.migrations = m.migrations;
+      rec.placed_containers = m.placed_containers;
+      rec.unplaced_containers = m.unplaced_containers;
+      rec.audit_findings = m.audit_findings;
+      if (log_counters) {
+        rec.counters = obs::MetricsRegistry::DeltaCounters(
+            counters_before, obs::MetricsRegistry::Global().SnapshotCounters(
+                                 obs::MetricKind::kDeterministic));
+      }
+      if (opts_.record_state_hashes) {
+        const EpochStateHash& h = result.state_hashes.back();
+        rec.has_hash = true;
+        rec.hash_placement = h.placement;
+        rec.hash_loads = h.loads;
+        rec.hash_power = h.power;
+        rec.hash_migration = h.migration;
+        rec.hash_rng = h.rng;
+      }
+      rec.wall_ms = m.wall_ms;
+      rec.phases = {{"schedule", schedule_ms}, {"audit", audit_ms},
+                    {"server_power", power_ms}, {"network", network_ms},
+                    {"tct", tct_ms},           {"migration", migration_ms}};
+      opts_.obs.logger->WriteEpoch(rec);
+    }
+
     previous = placement;
   }
-  result.wall_ms = std::chrono::duration<double, std::milli>(
-                       // Wall timing only.  gl-lint: allow(time-seed)
-                       std::chrono::steady_clock::now() - wall_start)
-                       .count();
+  result.wall_ms = run_timer.ElapsedMs();
   return result;
 }
 
 std::vector<ExperimentResult> ExperimentRunner::RunMany(
     const std::vector<Scheduler*>& schedulers) const {
+  obs::TraceSpan span("runner.run_many",
+                      static_cast<std::int64_t>(schedulers.size()));
   std::vector<ExperimentResult> results(schedulers.size());
   ThreadPool pool(opts_.threads);
   // Each task touches only its own scheduler and result slot; the runner

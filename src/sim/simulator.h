@@ -16,6 +16,7 @@
 
 #include "analysis/invariant_auditor.h"
 #include "common/state_hash.h"
+#include "obs/run_logger.h"
 #include "power/dc_power.h"
 #include "power/server_power.h"
 #include "schedulers/scheduler.h"
@@ -57,6 +58,15 @@ struct RunnerOptions {
   // same-seed runs must produce identical streams; tools/gl_replay diffs
   // them and reports the first divergent epoch and subsystem.
   bool record_state_hashes = false;
+  // Opt-in observability (src/obs): when obs.logger is set the runner
+  // streams one "gl.epoch.v1" JSONL record per epoch — metrics, per-epoch
+  // deterministic-counter deltas, state hashes (when recorded) and phase
+  // timings. Purely additive: enabling it changes no simulation state, no
+  // placement, and no EpochStateHash (tested by obs_test). Counter deltas
+  // are attributed per epoch only when threads == 1; a parallel RunMany
+  // shares the process-wide registry across experiments, so the runner
+  // omits the counters section rather than log cross-contaminated deltas.
+  obs::ObsOptions obs;
   // Worker threads for RunMany's scheduler fan-out (1 = serial). Each
   // scheduler's run is fully independent — shared state (scenario, topology,
   // options) is read-only — so every thread count produces bit-identical
@@ -83,6 +93,10 @@ struct EpochMetrics {
   int placed_containers = 0;
   int unplaced_containers = 0;
   int audit_findings = 0;  // 0 unless RunnerOptions::audit is set
+  // Wall-clock duration of this epoch's control-loop iteration.
+  // Informational only: never hashed, never averaged into decisions — it
+  // exists so gl_report can plot epoch-time trends (ISSUE-4 satellite).
+  double wall_ms = 0.0;
 };
 
 struct ExperimentResult {

@@ -54,6 +54,21 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "release" ]]; then
   # from the same seed must produce bit-identical per-epoch state hashes.
   echo "==> seed-replay gate"
   ./build-check-release/tools/gl_replay --epochs=12
+  # Observability smoke (DESIGN.md §10): an instrumented two-policy run must
+  # produce a valid JSONL stream and a Chrome trace, a second same-seed run
+  # must match byte-for-byte outside the "timings" sections, and the replay
+  # gate with --obs proves enabling observability changes no state hash.
+  echo "==> observability smoke (gl_report + obs-neutral replay)"
+  OBS_DIR=build-check-release/obs-smoke
+  mkdir -p "${OBS_DIR}"
+  ./build-check-release/tools/gl_report run --epochs=8 \
+    --jsonl="${OBS_DIR}/run1.jsonl" --trace="${OBS_DIR}/trace.json"
+  ./build-check-release/tools/gl_report run --epochs=8 \
+    --jsonl="${OBS_DIR}/run2.jsonl" > /dev/null
+  ./build-check-release/tools/gl_report check \
+    "${OBS_DIR}/run1.jsonl" "${OBS_DIR}/run2.jsonl"
+  ./build-check-release/tools/gl_replay --scheduler=goldilocks --epochs=8 \
+    --obs="${OBS_DIR}/replay.jsonl"
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "asan" ]]; then

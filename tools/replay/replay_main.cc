@@ -10,6 +10,7 @@
 //   gl_replay [--scenario=twitter|azure] [--scheduler=<name>|all]
 //             [--topology=testbed16|fattree4|leafspine] [--epochs=N]
 //             [--seed=N] [--threads=N] [--estimated] [--verbose]
+//             [--obs=run.jsonl] [--trace=trace.json]
 //
 // --scheduler=all (the default) gates every policy: goldilocks, mpp, borg,
 // epvm, rc, random. --estimated replays with DemandEstimator predictions in
@@ -17,8 +18,12 @@
 // *second* replay with Goldilocks' partitioner fanned out over N threads
 // while the first stays serial, so the gate also checks the concurrency
 // contract (DESIGN.md §9): parallel execution must be bit-identical to
-// serial. Exit status 0 means every replay was bit-identical; 1 means at
-// least one divergence; 2 means bad usage.
+// serial. --obs= streams JSONL epoch records from the *second* replay only
+// while the first stays obs-off — identical hash streams then also prove
+// the observability layer is simulation-neutral (DESIGN.md §10). --trace=
+// collects spans across the whole gate and writes a Chrome trace. Exit
+// status 0 means every replay was bit-identical; 1 means at least one
+// divergence; 2 means bad usage.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +33,8 @@
 
 #include "common/state_hash.h"
 #include "core/scheduler_factory.h"
+#include "obs/run_logger.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "topology/topology.h"
 #include "workload/scenarios.h"
@@ -43,6 +50,8 @@ struct Args {
   int threads = 1;  // partitioner fan-out for the second replay
   bool estimated = false;
   bool verbose = false;
+  std::string obs_jsonl;   // JSONL sink for the second replay ("" = off)
+  std::string trace_path;  // Chrome trace for the second replay ("" = off)
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string& out) {
@@ -52,29 +61,34 @@ bool ParseFlag(const char* arg, const char* name, std::string& out) {
   return true;
 }
 
-// One seeded run: fresh scheduler, fresh runner, hashed epochs.
+// One seeded run: fresh scheduler, fresh runner, hashed epochs. `logger`
+// (may be null) attaches the observability sink to this run only.
 std::vector<gl::EpochStateHash> RunOnce(const std::string& scheduler_name,
                                         const gl::Scenario& scenario,
                                         const gl::Topology& topo,
-                                        const Args& args, int threads) {
+                                        const Args& args, int threads,
+                                        gl::obs::RunLogger* logger) {
   auto scheduler =
       gl::MakeNamedScheduler(scheduler_name, 0.70, args.seed, threads);
   gl::RunnerOptions opts;
   opts.record_state_hashes = true;
   opts.use_estimated_demands = args.estimated;
+  opts.obs.logger = logger;
   const gl::ExperimentRunner runner(scenario, topo, opts);
   return runner.Run(*scheduler).state_hashes;
 }
 
 // Returns true when the two same-seed runs agree bit-for-bit. The first run
-// is always serial; the second uses args.threads, so --threads>1 also gates
-// serial-vs-parallel equivalence.
+// is always serial and obs-off; the second uses args.threads and carries
+// any observability sinks, so --threads>1 also gates serial-vs-parallel
+// equivalence and --obs/--trace gate obs-neutrality.
 bool ReplayScheduler(const std::string& scheduler_name,
                      const gl::Scenario& scenario, const gl::Topology& topo,
-                     const Args& args) {
-  const auto first = RunOnce(scheduler_name, scenario, topo, args, 1);
+                     const Args& args, gl::obs::RunLogger* logger) {
+  const auto first =
+      RunOnce(scheduler_name, scenario, topo, args, 1, nullptr);
   const auto second =
-      RunOnce(scheduler_name, scenario, topo, args, args.threads);
+      RunOnce(scheduler_name, scenario, topo, args, args.threads, logger);
 
   if (first.size() != second.size()) {
     std::printf("%-10s FAIL: run lengths differ (%zu vs %zu epochs)\n",
@@ -121,6 +135,10 @@ int main(int argc, char** argv) {
     }
     if (ParseFlag(argv[i], "--threads=", value)) {
       args.threads = std::atoi(value.c_str());
+      continue;
+    }
+    if (ParseFlag(argv[i], "--obs=", args.obs_jsonl) ||
+        ParseFlag(argv[i], "--trace=", args.trace_path)) {
       continue;
     }
     if (std::strcmp(argv[i], "--estimated") == 0) {
@@ -179,9 +197,30 @@ int main(int argc, char** argv) {
               scenario->name().c_str(), args.topology.c_str(),
               scenario->num_epochs(), args.estimated ? "estimated" : "oracle",
               args.threads);
+  std::unique_ptr<gl::obs::RunLogger> logger;
+  if (!args.obs_jsonl.empty()) {
+    logger = std::make_unique<gl::obs::RunLogger>(args.obs_jsonl);
+    if (!logger->ok()) return 2;
+  }
+  gl::obs::Trace trace;
+  if (!args.trace_path.empty()) trace.Activate();
+
   int failures = 0;
   for (const auto& name : schedulers) {
-    failures += ReplayScheduler(name, *scenario, topo, args) ? 0 : 1;
+    failures +=
+        ReplayScheduler(name, *scenario, topo, args, logger.get()) ? 0 : 1;
+  }
+
+  if (!args.trace_path.empty()) {
+    trace.Deactivate();
+    if (trace.WriteChromeJson(args.trace_path)) {
+      std::printf("wrote Chrome trace to %s\n", args.trace_path.c_str());
+    }
+  }
+  if (logger != nullptr) {
+    std::printf("wrote %llu JSONL records to %s\n",
+                static_cast<unsigned long long>(logger->lines_written()),
+                args.obs_jsonl.c_str());
   }
   if (failures > 0) {
     std::printf("%d of %zu scheduler replays diverged\n", failures,

@@ -1,0 +1,399 @@
+// Observability report tool for "gl.epoch.v1" JSONL run logs.
+//
+//   gl_report run   [--scenario=twitter|azure] [--schedulers=a,b,...]
+//                   [--epochs=N] [--seed=N] [--jsonl=PATH] [--trace=PATH]
+//   gl_report tables FILE.jsonl
+//   gl_report check  A.jsonl B.jsonl
+//
+// `run` executes the named policies (default: goldilocks,borg) over the
+// scenario with observability enabled: it streams one JSONL record per
+// epoch, collects a trace of every instrumented phase, prints the flat
+// per-phase timing table plus per-policy averages, and — with --trace= —
+// writes a Chrome trace loadable at chrome://tracing.
+//
+// `tables` re-derives the timing and counter tables from an existing JSONL
+// file, so a logged run can be summarized later without re-running it.
+//
+// `check` diffs two JSONL streams under the determinism contract: every
+// byte outside the informational "timings" section must match (DESIGN.md
+// §10). It also validates the schema tag on every line. Exit 0 = identical,
+// 1 = divergent/invalid, 2 = bad usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/scheduler_factory.h"
+#include "obs/run_logger.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "topology/topology.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+constexpr const char* kTimingsMarker = ",\"timings\":";
+constexpr const char* kSchemaPrefix = "{\"schema\":\"gl.epoch.v1\"";
+
+bool ParseFlag(const char* arg, const char* name, std::string& out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  out = arg + n;
+  return true;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) parts.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+bool ReadLines(const std::string& path, std::vector<std::string>& lines) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "gl_report: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return true;
+}
+
+// --- mini extractors for the fixed "gl.epoch.v1" line layout ---------------
+// The emitter is our own JsonWriter with a fixed key order, so targeted
+// substring scans are exact — this is not a general JSON parser.
+
+// Value of a `"key":"string"` pair, or "" when absent.
+std::string ExtractString(const std::string& line, const char* key) {
+  std::string pat = "\"";
+  pat += key;
+  pat += "\":\"";
+  const std::size_t at = line.find(pat);
+  if (at == std::string::npos) return "";
+  const std::size_t begin = at + pat.size();
+  const std::size_t end = line.find('"', begin);
+  if (end == std::string::npos) return "";
+  return line.substr(begin, end - begin);
+}
+
+// Value of a `"key":number` pair at/after `from`, or fallback when absent.
+double ExtractNumber(const std::string& line, const char* key, double fallback,
+                     std::size_t from = 0) {
+  std::string pat = "\"";
+  pat += key;
+  pat += "\":";
+  const std::size_t at = line.find(pat, from);
+  if (at == std::string::npos) return fallback;
+  return std::strtod(line.c_str() + at + pat.size(), nullptr);
+}
+
+// All `"name":number` pairs of the flat object following `"section":{`.
+std::vector<std::pair<std::string, double>> ExtractSection(
+    const std::string& line, const char* section) {
+  std::vector<std::pair<std::string, double>> pairs;
+  std::string pat = "\"";
+  pat += section;
+  pat += "\":{";
+  std::size_t at = line.find(pat);
+  if (at == std::string::npos) return pairs;
+  at += pat.size();
+  while (at < line.size() && line[at] != '}') {
+    if (line[at] == ',') {
+      ++at;
+      continue;
+    }
+    if (line[at] != '"') break;
+    const std::size_t name_end = line.find('"', at + 1);
+    if (name_end == std::string::npos || name_end + 1 >= line.size() ||
+        line[name_end + 1] != ':') {
+      break;
+    }
+    char* after = nullptr;
+    const double v = std::strtod(line.c_str() + name_end + 2, &after);
+    pairs.emplace_back(line.substr(at + 1, name_end - at - 1), v);
+    at = static_cast<std::size_t>(after - line.c_str());
+  }
+  return pairs;
+}
+
+// --- check -----------------------------------------------------------------
+
+// The deterministic prefix of a record: everything before the trailing
+// ,"timings":{...} section, re-closed. Empty string = malformed line.
+std::string DeterministicPrefix(const std::string& line) {
+  const std::size_t at = line.find(kTimingsMarker);
+  if (at == std::string::npos || line.back() != '}') return "";
+  return line.substr(0, at) + "}";
+}
+
+int Check(const std::string& path_a, const std::string& path_b) {
+  std::vector<std::string> a, b;
+  if (!ReadLines(path_a, a) || !ReadLines(path_b, b)) return 1;
+  if (a.size() != b.size()) {
+    std::printf("CHECK FAIL: %s has %zu records, %s has %zu\n", path_a.c_str(),
+                a.size(), path_b.c_str(), b.size());
+    return 1;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (const auto* line : {&a[i], &b[i]}) {
+      if (line->rfind(kSchemaPrefix, 0) != 0) {
+        std::printf("CHECK FAIL: record %zu is not a gl.epoch.v1 line\n", i);
+        return 1;
+      }
+    }
+    const std::string na = DeterministicPrefix(a[i]);
+    const std::string nb = DeterministicPrefix(b[i]);
+    if (na.empty() || nb.empty()) {
+      std::printf("CHECK FAIL: record %zu has no timings section\n", i);
+      return 1;
+    }
+    if (na != nb) {
+      std::printf("CHECK FAIL: record %zu differs outside timings\n  a: %s\n"
+                  "  b: %s\n",
+                  i, na.c_str(), nb.c_str());
+      return 1;
+    }
+  }
+  std::printf("CHECK OK: %zu records, deterministic sections byte-identical "
+              "(timings ignored)\n",
+              a.size());
+  return 0;
+}
+
+// --- tables ----------------------------------------------------------------
+
+void PrintTables(const std::vector<std::string>& lines) {
+  struct PerScheduler {
+    int epochs = 0;
+    double wall_ms = 0.0;
+    std::map<std::string, double> phase_ms;
+    std::map<std::string, double> counters;
+  };
+  std::map<std::string, PerScheduler> by_scheduler;
+  for (const auto& line : lines) {
+    if (line.rfind(kSchemaPrefix, 0) != 0) continue;
+    auto& agg = by_scheduler[ExtractString(line, "scheduler")];
+    ++agg.epochs;
+    const std::size_t timings_at = line.find(kTimingsMarker);
+    agg.wall_ms += ExtractNumber(line, "wall_ms", 0.0,
+                                 timings_at == std::string::npos ? 0
+                                                                 : timings_at);
+    for (const auto& [name, ms] : ExtractSection(line, "phases")) {
+      agg.phase_ms[name] += ms;
+    }
+    for (const auto& [name, v] : ExtractSection(line, "counters")) {
+      agg.counters[name] += v;
+    }
+  }
+  if (by_scheduler.empty()) {
+    std::printf("no gl.epoch.v1 records found\n");
+    return;
+  }
+
+  gl::PrintBanner("per-policy epoch phase timings (total ms, informational)");
+  for (const auto& [scheduler, agg] : by_scheduler) {
+    gl::Table t({"phase", "total ms", "ms/epoch", "share"});
+    for (const auto& [name, ms] : agg.phase_ms) {
+      t.AddRow({name, gl::Table::Num(ms, 2),
+                gl::Table::Num(ms / agg.epochs, 3),
+                gl::Table::Pct(agg.wall_ms > 0 ? ms / agg.wall_ms : 0.0)});
+    }
+    t.AddRow({"(epoch wall)", gl::Table::Num(agg.wall_ms, 2),
+              gl::Table::Num(agg.wall_ms / agg.epochs, 3), ""});
+    std::printf("%s — %d epochs\n", scheduler.c_str(), agg.epochs);
+    t.Print();
+  }
+
+  gl::PrintBanner("deterministic counter totals (sum of per-epoch deltas)");
+  for (const auto& [scheduler, agg] : by_scheduler) {
+    if (agg.counters.empty()) {
+      std::printf("%s: no counters section (parallel run?)\n",
+                  scheduler.c_str());
+      continue;
+    }
+    gl::Table t({"counter", "total"});
+    for (const auto& [name, v] : agg.counters) {
+      t.AddRow({name, gl::Table::Int(static_cast<long long>(v))});
+    }
+    std::printf("%s\n", scheduler.c_str());
+    t.Print();
+  }
+}
+
+// --- run -------------------------------------------------------------------
+
+struct RunArgs {
+  std::string scenario = "twitter";
+  std::string schedulers = "goldilocks,borg";
+  int epochs = -1;
+  std::uint64_t seed = 0xfeed;
+  std::string jsonl;  // empty = keep in memory only
+  std::string trace;  // empty = no Chrome trace file
+};
+
+int Run(const RunArgs& args) {
+  std::unique_ptr<gl::Scenario> scenario;
+  if (args.scenario == "twitter") {
+    gl::TwitterScenarioOptions opts;
+    if (args.epochs > 0) opts.num_epochs = args.epochs;
+    scenario = gl::MakeTwitterCachingScenario(opts);
+  } else if (args.scenario == "azure") {
+    gl::AzureScenarioOptions opts;
+    if (args.epochs > 0) opts.num_epochs = args.epochs;
+    scenario = gl::MakeAzureMixScenario(opts);
+  } else {
+    std::fprintf(stderr, "unknown scenario: %s\n", args.scenario.c_str());
+    return 2;
+  }
+  const auto names = SplitCommas(args.schedulers);
+  if (names.empty()) {
+    std::fprintf(stderr, "no schedulers given\n");
+    return 2;
+  }
+  for (const auto& name : names) {
+    if (gl::MakeNamedScheduler(name) == nullptr) {
+      std::fprintf(stderr, "unknown scheduler: %s\n", name.c_str());
+      return 2;
+    }
+  }
+
+  std::string sink;
+  std::unique_ptr<gl::obs::RunLogger> logger;
+  if (args.jsonl.empty()) {
+    logger = std::make_unique<gl::obs::RunLogger>(&sink);
+  } else {
+    logger = std::make_unique<gl::obs::RunLogger>(args.jsonl);
+  }
+  if (!logger->ok()) return 1;
+
+  gl::obs::Trace trace;
+  trace.Activate();
+
+  const gl::Topology topo = gl::Topology::Testbed16();
+  gl::RunnerOptions opts;
+  opts.record_state_hashes = true;
+  opts.obs.logger = logger.get();
+  const gl::ExperimentRunner runner(*scenario, topo, opts);
+
+  std::printf("gl_report run: scenario=%s epochs=%d schedulers=%s\n",
+              scenario->name().c_str(), scenario->num_epochs(),
+              args.schedulers.c_str());
+  std::vector<gl::ExperimentResult> results;
+  for (const auto& name : names) {
+    auto scheduler = gl::MakeNamedScheduler(name, 0.70, args.seed);
+    results.push_back(runner.Run(*scheduler));
+  }
+  trace.Deactivate();
+
+  gl::PrintBanner("per-policy averages");
+  gl::Table avg({"policy", "servers", "power W", "TCT ms", "J/req",
+                 "epoch ms"});
+  for (const auto& r : results) {
+    const auto m = r.Average();
+    avg.AddRow({r.scheduler, gl::Table::Int(m.active_servers),
+                gl::Table::Num(m.total_watts, 0),
+                gl::Table::Num(m.mean_tct_ms, 2),
+                gl::Table::Num(m.energy_per_request_j, 4),
+                gl::Table::Num(m.wall_ms, 3)});
+  }
+  avg.Print();
+
+  gl::PrintBanner("trace phase summary (inclusive ms, informational)");
+  gl::Table phases({"span", "count", "total ms", "max ms"});
+  for (const auto& s : trace.Summary()) {
+    phases.AddRow({s.name, gl::Table::Int(static_cast<long long>(s.count)),
+                   gl::Table::Num(s.total_ms, 2), gl::Table::Num(s.max_ms, 3)});
+  }
+  phases.Print();
+
+  if (args.jsonl.empty()) {
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < sink.size()) {
+      const std::size_t nl = sink.find('\n', start);
+      const std::size_t end = nl == std::string::npos ? sink.size() : nl;
+      if (end > start) lines.push_back(sink.substr(start, end - start));
+      start = end + 1;
+    }
+    PrintTables(lines);
+  } else {
+    std::printf("wrote %llu JSONL records to %s\n",
+                static_cast<unsigned long long>(logger->lines_written()),
+                args.jsonl.c_str());
+  }
+  if (!args.trace.empty()) {
+    if (!trace.WriteChromeJson(args.trace)) return 1;
+    std::printf("wrote Chrome trace to %s (load at chrome://tracing)\n",
+                args.trace.c_str());
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  gl_report run   [--scenario=twitter|azure] [--schedulers=a,b,...]\n"
+      "                  [--epochs=N] [--seed=N] [--jsonl=PATH] "
+      "[--trace=PATH]\n"
+      "  gl_report tables FILE.jsonl\n"
+      "  gl_report check  A.jsonl B.jsonl\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string mode = argv[1];
+
+  if (mode == "check") {
+    if (argc != 4) return Usage();
+    return Check(argv[2], argv[3]);
+  }
+  if (mode == "tables") {
+    if (argc != 3) return Usage();
+    std::vector<std::string> lines;
+    if (!ReadLines(argv[2], lines)) return 1;
+    PrintTables(lines);
+    return 0;
+  }
+  if (mode == "run") {
+    RunArgs args;
+    for (int i = 2; i < argc; ++i) {
+      std::string value;
+      if (ParseFlag(argv[i], "--scenario=", args.scenario) ||
+          ParseFlag(argv[i], "--schedulers=", args.schedulers) ||
+          ParseFlag(argv[i], "--jsonl=", args.jsonl) ||
+          ParseFlag(argv[i], "--trace=", args.trace)) {
+        continue;
+      }
+      if (ParseFlag(argv[i], "--epochs=", value)) {
+        args.epochs = std::atoi(value.c_str());
+        continue;
+      }
+      if (ParseFlag(argv[i], "--seed=", value)) {
+        args.seed = std::strtoull(value.c_str(), nullptr, 0);
+        continue;
+      }
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+    return Run(args);
+  }
+  return Usage();
+}
