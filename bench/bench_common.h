@@ -2,6 +2,7 @@
 // the paper over a scenario and print the paper's time series and averages.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -76,14 +77,28 @@ inline void PrintTimeSeries(const std::vector<PolicyRun>& runs, int stride,
 
 // One row of the machine-readable bench output (--json): what ran, how wide
 // the fan-out was, how long it took, and the resulting problem/solution
-// sizes (see EXPERIMENTS.md, "Machine-readable output").
+// sizes (see EXPERIMENTS.md, "Machine-readable output"). wall_ms is the
+// minimum over the repeats; median_wall_ms is the noise-resistant number
+// perf tracking compares (tools/perf_check.py).
 struct ScaleRecord {
   std::string name;
   int threads = 1;
   double wall_ms = 0.0;
   int containers = 0;
   int servers = 0;
+  double median_wall_ms = 0.0;
+  int repeats = 1;
 };
+
+// Median of the samples (averages the middle pair for even counts).
+// Sorts a copy; sample vectors here are tiny.
+inline double MedianOf(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t mid = samples.size() / 2;
+  if (samples.size() % 2 == 1) return samples[mid];
+  return 0.5 * (samples[mid - 1] + samples[mid]);
+}
 
 // Writes the records as a JSON array via the shared writer (one escaping
 // implementation for benches, RunLogger and the trace exporter). Returns
@@ -106,6 +121,10 @@ inline bool WriteScaleJson(const char* path,
     w.Int(r.threads);
     w.Key("wall_ms");
     w.Double(r.wall_ms);
+    w.Key("median_wall_ms");
+    w.Double(r.median_wall_ms);
+    w.Key("repeats");
+    w.Int(r.repeats);
     w.Key("containers");
     w.Int(r.containers);
     w.Key("servers");
@@ -128,6 +147,21 @@ inline const char* JsonPathFromArgs(int argc, char** argv) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
   }
   return nullptr;
+}
+
+// Parses "--repeat=N" / "--repeat N" from argv; `fallback` (default 5) if
+// absent. Benches run each timed configuration N times and report median +
+// min, so one background hiccup cannot shift the perf trajectory.
+inline int RepeatFromArgs(int argc, char** argv, int fallback = 5) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      return std::max(1, std::atoi(argv[i + 1]));
+    }
+    if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      return std::max(1, std::atoi(argv[i] + 9));
+    }
+  }
+  return fallback;
 }
 
 // Parses "--threads=N" / "--threads N" from argv; 1 if absent.

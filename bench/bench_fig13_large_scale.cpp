@@ -96,9 +96,11 @@ int main(int argc, char** argv) {
   if (json_path != nullptr) {
     std::vector<ScaleRecord> records;
     for (const auto& r : runs) {
+      // A single timed run: wall_ms doubles as the median, repeats = 1.
       records.push_back({r.name, threads, r.result.wall_ms,
                          scenario->workload().size(),
-                         r.result.Average().active_servers});
+                         r.result.Average().active_servers,
+                         r.result.wall_ms, 1});
     }
     if (!WriteScaleJson(json_path, records)) return 1;
     std::printf("wrote %zu records to %s\n", records.size(), json_path);

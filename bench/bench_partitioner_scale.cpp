@@ -14,7 +14,9 @@
 // (DESIGN.md §9); only wall_ms varies.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -98,30 +100,38 @@ void BM_CoarseningOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_CoarseningOnly);
 
-// The --json sweep: same partition at every thread count, best-of-3 wall
-// time per configuration.
-bool RunThreadScalingSweep(const char* json_path) {
+// The --json sweep: same partition at every thread count, `repeat` timed
+// runs per configuration, median + min reported (the committed perf
+// baseline in BENCH_partitioner.json compares medians; see
+// tools/perf_check.py). n=50000 is the "largest configuration" the perf
+// trajectory tracks; it runs at threads 1 and 8 only to bound sweep time.
+bool RunThreadScalingSweep(const char* json_path, int repeat) {
   const Resource ceiling{.cpu = 2240, .mem_gb = 57, .net_mbps = 700};
   const auto fits = [&](const Resource& d, int) { return d.FitsIn(ceiling); };
   std::vector<bench::ScaleRecord> records;
-  for (const int n : {2000, 10000}) {
+  for (const int n : {2000, 10000, 50000}) {
     const Graph g = MakeWorkloadLikeGraph(n, 7);
-    for (const int threads : {1, 2, 4, 8}) {
+    const std::vector<int> widths =
+        n >= 50000 ? std::vector<int>{1, 8} : std::vector<int>{1, 2, 4, 8};
+    for (const int threads : widths) {
       PartitionOptions opts;
       opts.threads = threads;
-      double best_ms = 0.0;
+      std::vector<double> samples;
+      samples.reserve(static_cast<std::size_t>(repeat));
       int servers = 0;
-      for (int rep = 0; rep < 3; ++rep) {
+      for (int rep = 0; rep < repeat; ++rep) {
         const obs::WallTimer timer;  // wall timing only — never a seed
         const auto r = RecursivePartition(g, fits, opts);
-        const double ms = timer.ElapsedMs();
-        if (rep == 0 || ms < best_ms) best_ms = ms;
+        samples.push_back(timer.ElapsedMs());
         servers = r.num_groups;
       }
+      const double best_ms = *std::min_element(samples.begin(), samples.end());
+      const double median_ms = bench::MedianOf(samples);
       records.push_back({"recursive_partition/n=" + std::to_string(n),
-                         threads, best_ms, n, servers});
-      std::printf("%-28s threads=%d  %8.2f ms  %d groups\n",
-                  records.back().name.c_str(), threads, best_ms, servers);
+                         threads, best_ms, n, servers, median_ms, repeat});
+      std::printf("%-28s threads=%d  median %8.2f ms  min %8.2f ms  %d groups\n",
+                  records.back().name.c_str(), threads, median_ms, best_ms,
+                  servers);
     }
   }
   if (!bench::WriteScaleJson(json_path, records)) return false;
@@ -134,7 +144,8 @@ bool RunThreadScalingSweep(const char* json_path) {
 
 int main(int argc, char** argv) {
   if (const char* json_path = gl::bench::JsonPathFromArgs(argc, argv)) {
-    return gl::RunThreadScalingSweep(json_path) ? 0 : 1;
+    const int repeat = gl::bench::RepeatFromArgs(argc, argv);
+    return gl::RunThreadScalingSweep(json_path, repeat) ? 0 : 1;
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

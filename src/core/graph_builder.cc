@@ -1,9 +1,10 @@
 #include "core/graph_builder.h"
 
-#include <unordered_map>
+#include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
-#include "common/stable_map.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -20,6 +21,8 @@ ContainerGraph BuildContainerGraph(const Workload& workload,
                       static_cast<std::int64_t>(workload.containers.size()));
   ContainerGraph cg;
   cg.container_to_vertex.assign(workload.containers.size(), -1);
+  cg.graph.Reserve(static_cast<VertexIndex>(workload.containers.size()));
+  cg.vertex_to_container.reserve(workload.containers.size());
 
   for (const auto& c : workload.containers) {
     const auto i = static_cast<std::size_t>(c.id.value());
@@ -38,24 +41,37 @@ ContainerGraph BuildContainerGraph(const Workload& workload,
     if (va >= 0 && vb >= 0) cg.graph.AddEdge(va, vb, e.flows);
   }
 
-  // Replica anti-affinity: one negative clique per replica set.
-  std::unordered_map<GroupId, std::vector<VertexIndex>> replica_sets;
+  // Replica anti-affinity: one negative clique per replica set. Flat
+  // (set, vertex) pairs, stably sorted by set id: edge insertion order
+  // shapes adjacency lists, which the partitioner's tie-breaking sees — it
+  // must not follow hash-bucket order, and the stable sort keeps members in
+  // container order within each set, same as the sorted-map snapshot this
+  // replaces.
+  std::vector<std::pair<GroupId, VertexIndex>> replica_members;
   for (const auto& c : workload.containers) {
     const auto i = static_cast<std::size_t>(c.id.value());
     if (!active[i] || !c.replica_set.valid()) continue;
-    replica_sets[c.replica_set].push_back(cg.container_to_vertex[i]);
+    replica_members.emplace_back(c.replica_set, cg.container_to_vertex[i]);
   }
-  // Sorted snapshot: edge insertion order shapes adjacency lists, which the
-  // partitioner's tie-breaking sees — it must not follow hash-bucket order.
+  std::stable_sort(replica_members.begin(), replica_members.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
   std::uint64_t anti_affinity_edges = 0;
-  for (const auto& [set_id, members] : SortedItems(replica_sets)) {
-    (void)set_id;
-    for (std::size_t i = 0; i < members.size(); ++i) {
-      for (std::size_t j = i + 1; j < members.size(); ++j) {
-        cg.graph.AddEdge(members[i], members[j], opts.replica_anti_affinity);
+  for (std::size_t lo = 0; lo < replica_members.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < replica_members.size() &&
+           replica_members[hi].first == replica_members[lo].first) {
+      ++hi;
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j = i + 1; j < hi; ++j) {
+        cg.graph.AddEdge(replica_members[i].second, replica_members[j].second,
+                         opts.replica_anti_affinity);
         ++anti_affinity_edges;
       }
     }
+    lo = hi;
   }
   static obs::Counter& vertices = obs::MetricsRegistry::Global().GetCounter(
       "graph.vertices_built", obs::MetricKind::kDeterministic);

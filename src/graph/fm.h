@@ -1,0 +1,103 @@
+// Incremental-gain engine for Fiduccia–Mattheyses refinement
+// (DESIGN.md §11).
+//
+// gain(v) = (cut weight removed by moving v to the other side) =
+// sum over neighbors u of: +w(v,u) if u is across the cut, -w(v,u) if not.
+// The engine computes all gains once at Attach (O(arcs)) and then maintains
+// them under Flip with delta updates on the moved vertex's neighborhood
+// only — the refiner stops paying an O(arcs) recompute per pass.
+//
+// Flip's updates are algebraically involutive: Flip(v); Flip(v) restores
+// every gain exactly when the arc weights sum without rounding (integer
+// weights — what the unit tests use), and to a deterministic
+// ULP-neighborhood otherwise. Determinism is unaffected either way: the
+// same move sequence always produces bit-identical gains
+// (tests/csr_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "graph/csr.h"
+
+namespace gl {
+
+class FmEngine {
+ public:
+  // Binds to a graph, a side assignment, and a gain buffer (all owned by
+  // the caller's scratch arena) and computes every gain in O(arcs).
+  void Attach(const CsrGraph& g, std::vector<std::uint8_t>* side,
+              std::vector<double>* gain) {
+    g_ = &g;
+    side_ = side;
+    gain_ = gain;
+    const auto n = static_cast<std::size_t>(g.num_vertices());
+    GOLDILOCKS_CHECK_EQ(side->size(), n);
+    gain->assign(n, 0.0);
+    // gain(v) + degree(v) = 2 * (v's cross-cut weight), so the same scan
+    // that fills the gains also yields the starting cut: half the summed
+    // cross weight (each cut edge is seen from both endpoints). Callers
+    // read it via initial_cut() instead of paying a separate O(arcs)
+    // CutWeight pass.
+    double cross_total = 0.0;
+    for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
+      const double gv = RecomputeGain(v);
+      (*gain)[static_cast<std::size_t>(v)] = gv;
+      cross_total += gv + g.degree_weight(v);
+    }
+    initial_cut_ = cross_total / 4.0;
+    arcs_scanned_ += g.num_arcs();
+  }
+
+  [[nodiscard]] double gain(VertexIndex v) const {
+    return (*gain_)[static_cast<std::size_t>(v)];
+  }
+
+  // Cut weight of the side assignment as of the last Attach.
+  [[nodiscard]] double initial_cut() const { return initial_cut_; }
+
+  // Moves v to the other side and delta-updates the gains of v and its
+  // unlocked-or-not neighbors (the caller decides which neighbors to
+  // re-push into its heap; the gains themselves are always kept exact).
+  void Flip(VertexIndex v) {
+    const auto sv = static_cast<std::size_t>(v);
+    (*gain_)[sv] = -(*gain_)[sv];
+    const auto [to, ws] = g_->arc_range(v);
+    const std::uint8_t v_side = (*side_)[sv];
+    for (std::size_t i = 0; i < to.size(); ++i) {
+      const auto su = static_cast<std::size_t>(to[i]);
+      // The edge's cut status flips: if it was cross before the move it
+      // becomes internal (u loses 2w of gain), else it becomes cross
+      // (u gains 2w).
+      (*gain_)[su] += (*side_)[su] != v_side ? -2.0 * ws[i] : 2.0 * ws[i];
+    }
+    (*side_)[sv] ^= 1;
+    arcs_scanned_ += to.size();
+  }
+
+  // O(degree) from-scratch gain, for tests and audits.
+  [[nodiscard]] double RecomputeGain(VertexIndex v) const {
+    const auto [to, ws] = g_->arc_range(v);
+    double gv = 0.0;
+    for (std::size_t i = 0; i < to.size(); ++i) {
+      const bool cross = (*side_)[static_cast<std::size_t>(v)] !=
+                         (*side_)[static_cast<std::size_t>(to[i])];
+      gv += cross ? ws[i] : -ws[i];
+    }
+    return gv;
+  }
+
+  // Arcs touched since construction — feeds the deterministic
+  // partition.cut_edges_evaluated counter in one batched Add.
+  [[nodiscard]] std::uint64_t arcs_scanned() const { return arcs_scanned_; }
+
+ private:
+  const CsrGraph* g_ = nullptr;
+  std::vector<std::uint8_t>* side_ = nullptr;
+  std::vector<double>* gain_ = nullptr;
+  double initial_cut_ = 0.0;
+  std::uint64_t arcs_scanned_ = 0;
+};
+
+}  // namespace gl

@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace gl {
+
+void Graph::Reserve(VertexIndex expected_vertices) {
+  const auto n = static_cast<std::size_t>(
+      expected_vertices > 0 ? expected_vertices : 0);
+  demands_.reserve(n);
+  balance_.reserve(n);
+  adj_.reserve(n);
+}
 
 VertexIndex Graph::AddVertex(const Resource& demand, double balance_weight) {
   demands_.push_back(demand);
@@ -81,8 +91,15 @@ double Graph::CutWeightKWay(std::span<const int> group) const {
 
 Graph Graph::InducedSubgraph(std::span<const VertexIndex> vertices,
                              std::vector<VertexIndex>* old_to_new) const {
+  // The partitioner's recursion works on zero-copy CSR views and must never
+  // land here; the scratch-arena test pins this counter at zero across
+  // RecursivePartition (DESIGN.md §11).
+  static obs::Counter& builds = obs::MetricsRegistry::Global().GetCounter(
+      "graph.induced_subgraph_builds", obs::MetricKind::kDeterministic);
+  builds.Increment();
   std::vector<VertexIndex> map(static_cast<std::size_t>(num_vertices()), -1);
   Graph sub;
+  sub.Reserve(static_cast<VertexIndex>(vertices.size()));
   for (const auto v : vertices) {
     map[Checked(v)] = sub.AddVertex(demand(v), balance_weight(v));
   }

@@ -39,6 +39,10 @@ class Graph {
   // merged (weights summed). Self-loops are ignored.
   void AddEdge(VertexIndex u, VertexIndex v, double weight);
 
+  // Pre-sizes the per-vertex arrays for `expected_vertices` AddVertex calls
+  // (the adjacency rows still grow per edge).
+  void Reserve(VertexIndex expected_vertices);
+
   [[nodiscard]] VertexIndex num_vertices() const {
     return static_cast<VertexIndex>(demands_.size());
   }

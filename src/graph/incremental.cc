@@ -6,7 +6,7 @@
 #include <utility>
 
 #include "common/rng.h"
-#include "common/stable_map.h"
+#include "graph/scratch.h"
 
 namespace gl {
 namespace {
@@ -42,18 +42,19 @@ struct State {
 };
 
 // Attachment weight of v to each neighbouring group (positive edges pull,
-// negative anti-affinity edges push). Sorted by group id: the best-group
-// scans below break weight ties by taking the first candidate seen, so the
-// iteration order is part of the algorithm and must not be hash order.
-std::vector<std::pair<int, double>> NeighborGroups(const Graph& g,
-                                                   const State& s,
-                                                   VertexIndex v) {
-  std::unordered_map<int, double> w;
+// negative anti-affinity edges push), accumulated into the caller's flat
+// timestamped scratch (graph/scratch.h): O(deg) with an O(1) reset, no hash
+// map, no sort. The best-group scans below break weight ties by taking the
+// first candidate seen, so the iteration order is part of the algorithm —
+// first-touch order follows the adjacency list, which is deterministic by
+// construction.
+void AccumulateNeighborGroups(const Graph& g, const State& s, VertexIndex v,
+                              GroupAccumulator& acc) {
+  acc.Reset(s.demand.size());
   for (const auto& e : g.neighbors(v)) {
     const int ng = s.group_of[static_cast<std::size_t>(e.to)];
-    if (ng >= 0) w[ng] += e.weight;
+    if (ng >= 0) acc.Add(ng, e.weight);
   }
-  return SortedItems(w);
 }
 
 }  // namespace
@@ -81,12 +82,14 @@ IncrementalResult IncrementalRepartition(const Graph& g,
   }
 
   // --- place vertices that are new this epoch --------------------------------
+  GroupAccumulator acc;  // reused for every attachment scan below
   for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
     if (s.group_of[static_cast<std::size_t>(v)] >= 0) continue;
-    const auto neighbors = NeighborGroups(g, s, v);
+    AccumulateNeighborGroups(g, s, v, acc);
     int best = -1;
     double best_w = 0.0;
-    for (const auto& [ng, w] : neighbors) {
+    for (const int ng : acc.touched()) {
+      const double w = acc.Get(ng);
       if (w <= best_w) continue;
       const Resource after = s.demand[static_cast<std::size_t>(ng)] +
                              g.demand(v);
@@ -122,11 +125,11 @@ IncrementalResult IncrementalRepartition(const Graph& g,
       std::vector<Candidate> cands;
       for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
         if (s.group_of[static_cast<std::size_t>(v)] != gid) continue;
-        const auto neighbors = NeighborGroups(g, s, v);
-        const double own = ValueOr(neighbors, gid, 0.0);
-        for (const auto& [ng, w] : neighbors) {
+        AccumulateNeighborGroups(g, s, v, acc);
+        const double own = acc.Get(gid);
+        for (const int ng : acc.touched()) {
           if (ng == gid) continue;
-          cands.push_back({v, ng, w - own});
+          cands.push_back({v, ng, acc.Get(ng) - own});
         }
       }
       std::sort(cands.begin(), cands.end(),
@@ -184,13 +187,13 @@ IncrementalResult IncrementalRepartition(const Graph& g,
       if (refinement_moves >= budget) break;
       const int own = s.group_of[static_cast<std::size_t>(v)];
       if (s.count[static_cast<std::size_t>(own)] <= 1) continue;
-      const auto neighbors = NeighborGroups(g, s, v);
-      const double own_w = ValueOr(neighbors, own, 0.0);
+      AccumulateNeighborGroups(g, s, v, acc);
+      const double own_w = acc.Get(own);
       int best = -1;
       double best_gain = 1e-9;
-      for (const auto& [ng, w] : neighbors) {
+      for (const int ng : acc.touched()) {
         if (ng == own) continue;
-        const double gain = w - own_w;
+        const double gain = acc.Get(ng) - own_w;
         if (gain <= best_gain) continue;
         const Resource after =
             s.demand[static_cast<std::size_t>(ng)] + g.demand(v);

@@ -1,15 +1,27 @@
 #include "graph/partitioner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
-#include <limits>
-#include <queue>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "graph/csr.h"
+#include "graph/fm.h"
+#include "graph/scratch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+
+// The kernel runs entirely on flat CSR storage (graph/csr.h) with reusable
+// scratch arenas (graph/scratch.h): coarse levels are written into arena
+// storage, the recursion partitions index ranges of one global permutation
+// instead of materializing InducedSubgraph copies, and FM maintains gains
+// incrementally across passes (graph/fm.h). DESIGN.md §11 documents the
+// layout and why determinism survives the rewrite.
 
 namespace gl {
 namespace {
@@ -35,136 +47,91 @@ obs::Counter& DegenerateSplitsCounter() {
   return c;
 }
 
-// ---------------------------------------------------------------------------
-// Lazy max-heap keyed by double priority. Entries are (priority, vertex);
-// stale entries (whose priority no longer matches current[v]) are skipped on
-// pop. Simple and fast enough for the graph sizes Goldilocks handles.
-// ---------------------------------------------------------------------------
-class LazyMaxHeap {
- public:
-  explicit LazyMaxHeap(std::size_t n) : current_(n, kAbsent) {}
-
-  void Push(VertexIndex v, double priority) {
-    current_[static_cast<std::size_t>(v)] = priority;
-    heap_.push({priority, v});
-  }
-
-  void Invalidate(VertexIndex v) {
-    current_[static_cast<std::size_t>(v)] = kAbsent;
-  }
-
-  [[nodiscard]] bool Contains(VertexIndex v) const {
-    return current_[static_cast<std::size_t>(v)] != kAbsent;
-  }
-
-  // Pops the highest-priority live entry; returns false if empty.
-  bool Pop(VertexIndex& v_out, double& priority_out) {
-    while (!heap_.empty()) {
-      const auto [p, v] = heap_.top();
-      heap_.pop();
-      if (current_[static_cast<std::size_t>(v)] == p) {
-        current_[static_cast<std::size_t>(v)] = kAbsent;
-        v_out = v;
-        priority_out = p;
-        return true;
-      }
-    }
-    return false;
-  }
-
- private:
-  static constexpr double kAbsent = -std::numeric_limits<double>::infinity();
-  struct Entry {
-    double priority;
-    VertexIndex v;
-    bool operator<(const Entry& o) const { return priority < o.priority; }
-  };
-  std::vector<double> current_;
-  std::priority_queue<Entry> heap_;
-};
+// Zero-copy subgraph views extracted into scratch (one per recursion split);
+// the recursion path builds no Graph objects at all, which the arena test
+// checks against graph.induced_subgraph_builds.
+obs::Counter& SubgraphViewsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "partition.subgraph_views", obs::MetricKind::kDeterministic);
+  return c;
+}
 
 // ---------------------------------------------------------------------------
 // Coarsening: heavy-edge matching. Only positive edges are contracted —
 // contracting an anti-affinity (negative) edge would glue replicas together
-// and make them inseparable at finer levels.
+// and make them inseparable at finer levels. The coarse graph is written
+// straight into arena CSR storage; coarse rows are emitted in coarse-id
+// order with parallel edges merged in first-seen order, so the build is
+// deterministic and allocation-free once the arena is warm.
+//
+// Coarse levels carry only balance weights: refinement never reads Resource
+// demands, and group demands are summed from the original graph at leaf
+// emission.
 // ---------------------------------------------------------------------------
-struct Level {
-  Graph graph;
-  // Maps each vertex of the *finer* graph to its coarse vertex. Empty for
-  // the finest (original) level.
-  std::vector<VertexIndex> fine_to_coarse;
-};
-
-Graph CoarsenOnce(const Graph& g, Rng& rng,
-                  std::vector<VertexIndex>& fine_to_coarse) {
-  const auto n = g.num_vertices();
-  std::vector<VertexIndex> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-  for (std::size_t i = order.size(); i > 1; --i) {
-    std::swap(order[i - 1], order[rng.NextBelow(i)]);
+void CoarsenOnce(const CsrGraph& fine, Rng& rng, CsrGraph& coarse,
+                 std::vector<VertexIndex>& fine_to_coarse,
+                 PartitionScratch& s) {
+  const auto n = fine.num_vertices();
+  const auto sn = static_cast<std::size_t>(n);
+  s.order.resize(sn);
+  std::iota(s.order.begin(), s.order.end(), 0);
+  for (std::size_t i = sn; i > 1; --i) {
+    std::swap(s.order[i - 1], s.order[rng.NextBelow(i)]);
   }
 
-  std::vector<VertexIndex> match(static_cast<std::size_t>(n), -1);
-  for (const auto v : order) {
-    if (match[static_cast<std::size_t>(v)] >= 0) continue;
+  s.match.assign(sn, -1);
+  for (const auto v : s.order) {
+    if (s.match[static_cast<std::size_t>(v)] >= 0) continue;
     VertexIndex best = -1;
     double best_w = 0.0;
-    for (const auto& e : g.neighbors(v)) {
-      if (e.weight > best_w && match[static_cast<std::size_t>(e.to)] < 0) {
-        best = e.to;
-        best_w = e.weight;
+    const auto [to, ws] = fine.arc_range(v);
+    for (std::size_t i = 0; i < to.size(); ++i) {
+      if (ws[i] > best_w && s.match[static_cast<std::size_t>(to[i])] < 0) {
+        best = to[i];
+        best_w = ws[i];
       }
     }
     if (best >= 0) {
-      match[static_cast<std::size_t>(v)] = best;
-      match[static_cast<std::size_t>(best)] = v;
+      s.match[static_cast<std::size_t>(v)] = best;
+      s.match[static_cast<std::size_t>(best)] = v;
     } else {
-      match[static_cast<std::size_t>(v)] = v;  // stays a singleton
+      s.match[static_cast<std::size_t>(v)] = v;  // stays a singleton
     }
   }
 
-  fine_to_coarse.assign(static_cast<std::size_t>(n), -1);
-  Graph coarse;
+  fine_to_coarse.assign(sn, -1);
+  VertexIndex nc = 0;
   for (VertexIndex v = 0; v < n; ++v) {
-    const auto m = match[static_cast<std::size_t>(v)];
     if (fine_to_coarse[static_cast<std::size_t>(v)] >= 0) continue;
-    Resource demand = g.demand(v);
-    double bw = g.balance_weight(v);
-    if (m != v) {
-      demand += g.demand(m);
-      bw += g.balance_weight(m);
-    }
-    const auto c = coarse.AddVertex(demand, bw);
-    fine_to_coarse[static_cast<std::size_t>(v)] = c;
-    if (m != v) fine_to_coarse[static_cast<std::size_t>(m)] = c;
+    const auto m = s.match[static_cast<std::size_t>(v)];
+    fine_to_coarse[static_cast<std::size_t>(v)] = nc;
+    if (m != v) fine_to_coarse[static_cast<std::size_t>(m)] = nc;
+    ++nc;
   }
-  for (VertexIndex v = 0; v < n; ++v) {
-    const auto cv = fine_to_coarse[static_cast<std::size_t>(v)];
-    for (const auto& e : g.neighbors(v)) {
-      if (e.to <= v) continue;  // visit each fine edge once
-      const auto cu = fine_to_coarse[static_cast<std::size_t>(e.to)];
-      if (cu != cv) coarse.AddEdge(cv, cu, e.weight);
-    }
-  }
-  return coarse;
-}
 
-std::vector<Level> BuildHierarchy(const Graph& g,
-                                  const PartitionOptions& opts, Rng& rng) {
-  std::vector<Level> levels;
-  levels.push_back({g, {}});
-  while (levels.back().graph.num_vertices() > opts.coarsen_target) {
-    std::vector<VertexIndex> map;
-    Graph coarse = CoarsenOnce(levels.back().graph, rng, map);
-    // Stop if matching stalled (e.g. star graphs): coarsening must shrink
-    // meaningfully or refinement costs outweigh the benefit.
-    if (coarse.num_vertices() >
-        static_cast<VertexIndex>(0.95 * levels.back().graph.num_vertices())) {
-      break;
+  coarse.BeginBuild(nc, fine.num_arcs());
+  for (VertexIndex v = 0; v < n; ++v) {
+    const auto m = s.match[static_cast<std::size_t>(v)];
+    if (m < v) continue;  // already emitted with its earlier partner
+    double bw = fine.balance_weight(v);
+    if (m != v) bw += fine.balance_weight(m);
+    coarse.BeginRow(bw);
+    const auto c = fine_to_coarse[static_cast<std::size_t>(v)];
+    s.coarse_arcs.Reset(static_cast<std::size_t>(nc));
+    const auto emit = [&](VertexIndex x) {
+      const auto [to, ws] = fine.arc_range(x);
+      for (std::size_t i = 0; i < to.size(); ++i) {
+        const auto cu = fine_to_coarse[static_cast<std::size_t>(to[i])];
+        if (cu != c) s.coarse_arcs.Add(cu, ws[i]);
+      }
+    };
+    emit(v);
+    if (m != v) emit(m);
+    for (const int cu : s.coarse_arcs.touched()) {
+      coarse.PushArc(static_cast<VertexIndex>(cu), s.coarse_arcs.Get(cu));
     }
-    levels.push_back({std::move(coarse), std::move(map)});
   }
-  return levels;
+  coarse.EndBuild();
 }
 
 // ---------------------------------------------------------------------------
@@ -202,115 +169,130 @@ struct BalanceBounds {
 // from a random seed, always absorbing the frontier vertex that most reduces
 // the eventual cut, until side 0 reaches its target weight.
 // ---------------------------------------------------------------------------
-std::vector<std::uint8_t> GrowInitialPartition(const Graph& g,
-                                               const BalanceBounds& bounds,
-                                               Rng& rng) {
+// Reports the grown region's balance weight through `w0_out` (summed in
+// absorption order), so callers skip an O(n) SideWeight0 rescan per trial.
+void GrowInitialPartition(const CsrGraph& g, const BalanceBounds& bounds,
+                          Rng& rng, PartitionScratch& s,
+                          std::vector<std::uint8_t>& side, double* w0_out) {
   const auto n = g.num_vertices();
-  std::vector<std::uint8_t> side(static_cast<std::size_t>(n), 1);
-  if (n == 0) return side;
+  const auto sn = static_cast<std::size_t>(n);
+  side.assign(sn, 1);
+  *w0_out = 0.0;
+  if (n == 0) return;
 
-  LazyMaxHeap frontier(static_cast<std::size_t>(n));
-  std::vector<double> key(static_cast<std::size_t>(n), 0.0);
-  std::vector<std::uint8_t> in_region(static_cast<std::size_t>(n), 0);
+  s.heap.Reset(sn);
+  s.in_region.assign(sn, 0);
+  s.grow_key.resize(sn);
   double w0 = 0.0;
 
-  auto absorb = [&](VertexIndex v) {
-    in_region[static_cast<std::size_t>(v)] = 1;
+  const auto absorb = [&](VertexIndex v) {
+    s.in_region[static_cast<std::size_t>(v)] = 1;
     side[static_cast<std::size_t>(v)] = 0;
     w0 += g.balance_weight(v);
-    frontier.Invalidate(v);
-    for (const auto& e : g.neighbors(v)) {
-      if (in_region[static_cast<std::size_t>(e.to)]) continue;
-      // Edge e flips from region-external to region-internal for e.to.
-      key[static_cast<std::size_t>(e.to)] += 2.0 * e.weight;
-      frontier.Push(e.to, key[static_cast<std::size_t>(e.to)]);
+    s.heap.Invalidate(v);
+    const auto [to, ws] = g.arc_range(v);
+    for (std::size_t i = 0; i < to.size(); ++i) {
+      const auto u = static_cast<std::size_t>(to[i]);
+      if (s.in_region[u]) continue;
+      // Edge i flips from region-external to region-internal for to[i].
+      s.grow_key[u] += 2.0 * ws[i];
+      s.heap.Push(to[i], s.grow_key[u]);
     }
   };
 
-  auto seed_new_component = [&]() -> bool {
+  const auto seed_new_component = [&]() -> bool {
     // All frontier exhausted: jump to a random vertex outside the region.
-    std::vector<VertexIndex> outside;
+    s.outside.clear();
     for (VertexIndex v = 0; v < n; ++v) {
-      if (!in_region[static_cast<std::size_t>(v)]) outside.push_back(v);
+      if (!s.in_region[static_cast<std::size_t>(v)]) s.outside.push_back(v);
     }
-    if (outside.empty()) return false;
-    absorb(outside[rng.NextBelow(outside.size())]);
+    if (s.outside.empty()) return false;
+    absorb(s.outside[rng.NextBelow(s.outside.size())]);
     return true;
   };
 
   // Initial gain of v if absorbed = -(its total external weight); seed with
   // that so the heap ordering is correct from the start.
   for (VertexIndex v = 0; v < n; ++v) {
-    key[static_cast<std::size_t>(v)] = -g.degree_weight(v);
+    s.grow_key[static_cast<std::size_t>(v)] = -g.degree_weight(v);
   }
 
-  if (!seed_new_component()) return side;
+  if (!seed_new_component()) return;
   while (w0 < bounds.target0) {
     VertexIndex v;
     double priority;
-    if (frontier.Pop(v, priority)) {
-      if (in_region[static_cast<std::size_t>(v)]) continue;
+    if (s.heap.Pop(&v, &priority)) {
+      if (s.in_region[static_cast<std::size_t>(v)]) continue;
       absorb(v);
     } else if (!seed_new_component()) {
       break;
     }
   }
-  return side;
+  *w0_out = w0;
 }
 
 // ---------------------------------------------------------------------------
 // Fiduccia–Mattheyses refinement with rollback to the best prefix. Also
 // restores balance when the incoming partition is infeasible (moves that
 // reduce the balance violation are allowed regardless of gain).
+//
+// Gains are computed once (FmEngine::Attach, O(arcs)) and maintained
+// incrementally from then on: each move delta-updates only the moved
+// vertex's neighborhood, and the rollback replays Flip in reverse, which
+// restores the prefix-state gains — so later passes start from maintained
+// gains instead of an O(arcs) recompute.
 // ---------------------------------------------------------------------------
-struct FmState {
-  std::vector<std::uint8_t> side;
-  double cut = 0.0;
-  double w0 = 0.0;
-};
-
-void FmRefine(const Graph& g, const BalanceBounds& bounds,
-              const PartitionOptions& opts, FmState& state) {
+void FmRefine(const CsrGraph& g, const BalanceBounds& bounds,
+              const PartitionOptions& opts, std::vector<std::uint8_t>& side,
+              double& cut, double& w0, PartitionScratch& s) {
   const auto n = g.num_vertices();
-  std::vector<double> gain(static_cast<std::size_t>(n), 0.0);
-  std::uint64_t edges_evaluated = 0;
+  const auto sn = static_cast<std::size_t>(n);
+  FmEngine engine;
+  engine.Attach(g, &side, &s.gain);
+  // The Attach scan prices the incoming assignment; the caller's stale (or
+  // carried) value is replaced wholesale, which also re-canonicalizes any
+  // accumulated rounding drift once per level.
+  cut = engine.initial_cut();
   std::uint64_t moves_rejected = 0;
 
+  // Cost controls engage only above the coarsening threshold: small graphs
+  // are cheap enough to explore exhaustively, and their relative cut swings
+  // are large enough that cutting exploration short costs real quality.
+  const bool big = n > 2 * opts.coarsen_target;
+
   for (int pass = 0; pass < opts.refine_passes; ++pass) {
-    // (Re)compute all gains for this pass.
+    // Boundary seeding: when the balance is feasible, only candidates with
+    // positive gain or cut adjacency are worth queueing — the classic
+    // boundary-FM move set. A vertex with cross-cut weight has
+    // gain(v) + degree(v) = 2*w_cross > 0; one whose move strictly improves
+    // the cut has gain(v) > 0. Everything else is interior with nothing to
+    // offer at seed time — it enters the heap the moment a neighbor's move
+    // makes it relevant. An infeasible balance needs arbitrary vertices to
+    // restore it, so restoration passes seed everyone.
+    const bool seed_all = bounds.Violation(w0) > 1e-12;
+    s.heap.Reset(sn);
     for (VertexIndex v = 0; v < n; ++v) {
-      double gv = 0.0;
-      for (const auto& e : g.neighbors(v)) {
-        const bool cross = state.side[static_cast<std::size_t>(v)] !=
-                           state.side[static_cast<std::size_t>(e.to)];
-        gv += cross ? e.weight : -e.weight;
-        ++edges_evaluated;
+      const double gv = engine.gain(v);
+      if (seed_all || gv > 1e-12 || gv + g.degree_weight(v) > 1e-12) {
+        s.heap.Push(v, gv);
       }
-      gain[static_cast<std::size_t>(v)] = gv;
     }
 
-    LazyMaxHeap heap(static_cast<std::size_t>(n));
-    for (VertexIndex v = 0; v < n; ++v) {
-      heap.Push(v, gain[static_cast<std::size_t>(v)]);
-    }
-
-    std::vector<std::uint8_t> moved(static_cast<std::size_t>(n), 0);
-    std::vector<VertexIndex> move_seq;
-    move_seq.reserve(static_cast<std::size_t>(n));
-    double best_cut = state.cut;
-    double best_violation = bounds.Violation(state.w0);
+    s.moved.assign(sn, 0);
+    s.move_seq.clear();
+    const double pass_cut = cut;
+    const double pass_w0 = w0;
+    double best_cut = cut;
+    double best_violation = bounds.Violation(w0);
     std::size_t best_prefix = 0;
     int stall = 0;
 
-    double cut = state.cut;
-    double w0 = state.w0;
-
     VertexIndex v;
     double priority;
-    while (heap.Pop(v, priority)) {
-      if (moved[static_cast<std::size_t>(v)]) continue;
+    while (s.heap.Pop(&v, &priority)) {
+      if (s.moved[static_cast<std::size_t>(v)]) continue;
       const double bw = g.balance_weight(v);
-      const bool from0 = state.side[static_cast<std::size_t>(v)] == 0;
+      const bool from0 = side[static_cast<std::size_t>(v)] == 0;
       const double new_w0 = from0 ? w0 - bw : w0 + bw;
       const double cur_violation = bounds.Violation(w0);
       const double new_violation = bounds.Violation(new_w0);
@@ -321,21 +303,20 @@ void FmRefine(const Graph& g, const BalanceBounds& bounds,
         continue;
       }
 
-      moved[static_cast<std::size_t>(v)] = 1;
-      move_seq.push_back(v);
-      const double gv = gain[static_cast<std::size_t>(v)];
-      cut -= gv;
+      s.moved[static_cast<std::size_t>(v)] = 1;
+      s.move_seq.push_back(v);
+      cut -= engine.gain(v);
       w0 = new_w0;
-      state.side[static_cast<std::size_t>(v)] ^= 1;
+      engine.Flip(v);
 
-      for (const auto& e : g.neighbors(v)) {
-        if (moved[static_cast<std::size_t>(e.to)]) continue;
-        const bool cross = state.side[static_cast<std::size_t>(v)] !=
-                           state.side[static_cast<std::size_t>(e.to)];
-        gain[static_cast<std::size_t>(e.to)] +=
-            cross ? 2.0 * e.weight : -2.0 * e.weight;
-        heap.Push(e.to, gain[static_cast<std::size_t>(e.to)]);
-        ++edges_evaluated;
+      // Re-queue the unlocked neighbors at their updated gains; locked
+      // neighbors keep exact gains too (Flip maintains them all) but stay
+      // out of the heap for this pass.
+      const auto to = g.arcs(v);
+      for (std::size_t i = 0; i < to.size(); ++i) {
+        if (!s.moved[static_cast<std::size_t>(to[i])]) {
+          s.heap.Push(to[i], engine.gain(to[i]));
+        }
       }
 
       const double violation = bounds.Violation(w0);
@@ -345,38 +326,153 @@ void FmRefine(const Graph& g, const BalanceBounds& bounds,
       if (better) {
         best_cut = cut;
         best_violation = violation;
-        best_prefix = move_seq.size();
+        best_prefix = s.move_seq.size();
         stall = 0;
-      } else if (++stall > opts.fm_stall_limit) {
+      } else if (++stall > opts.fm_stall_limit ||
+                 (violation <= best_violation + 1e-12 &&
+                  cut > best_cut + (big ? 0.10 : 0.35) *
+                                       (std::abs(best_cut) + 1.0))) {
+        // Give up on a hill-climb that has either stalled or dug itself too
+        // far above the best cut seen — prefixes that deep essentially never
+        // recover within the stall budget, and every probe move costs a Flip
+        // now and another at rollback. Small graphs get a looser leash
+        // (their relative cut swings are larger and exploring them is
+        // cheap); large graphs cut off at 10%.
         break;
       }
     }
 
-    // Roll back everything after the best prefix.
-    for (std::size_t i = move_seq.size(); i > best_prefix; --i) {
-      const auto u = move_seq[i - 1];
+    // Roll back everything after the best prefix; reverse-order Flips
+    // restore the prefix gains, so the next pass needs no recompute.
+    for (std::size_t i = s.move_seq.size(); i > best_prefix; --i) {
+      const auto u = s.move_seq[i - 1];
       const double bw = g.balance_weight(u);
-      w0 += state.side[static_cast<std::size_t>(u)] == 0 ? -bw : bw;
-      state.side[static_cast<std::size_t>(u)] ^= 1;
+      w0 += side[static_cast<std::size_t>(u)] == 0 ? -bw : bw;
+      engine.Flip(u);
     }
-    // w0 after rollback equals the prefix value; recompute cut from scratch
-    // is O(E) — instead track it: cut at best prefix is best_cut.
-    const bool improved = best_cut < state.cut - 1e-12 ||
-                          best_violation < bounds.Violation(state.w0) - 1e-12;
-    state.cut = best_cut;
-    state.w0 = w0;
+    cut = best_cut;
+    const bool improved = best_cut < pass_cut - 1e-12 ||
+                          best_violation < bounds.Violation(pass_w0) - 1e-12;
     if (!improved) break;
   }
-  CutEdgesCounter().Add(edges_evaluated);
+  CutEdgesCounter().Add(engine.arcs_scanned());
   FmRejectionsCounter().Add(moves_rejected);
 }
 
-double SideWeight0(const Graph& g, std::span<const std::uint8_t> side) {
+// ---------------------------------------------------------------------------
+// Multilevel bisection on a CSR graph, entirely in arena storage: coarsen
+// into s.levels, grow + refine on the coarsest, project back through the
+// level maps refining at every level. Writes the finest-level sides into
+// `side_out` (any scratch buffer other than s.side).
+// ---------------------------------------------------------------------------
+struct CsrBisection {
+  double cut_weight = 0.0;
   double w0 = 0.0;
-  for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
-    if (side[static_cast<std::size_t>(v)] == 0) w0 += g.balance_weight(v);
+  bool balanced = false;
+};
+
+CsrBisection BisectCsr(const CsrGraph& g, const PartitionOptions& opts,
+                       double target_fraction, PartitionScratch& s,
+                       std::vector<std::uint8_t>& side_out) {
+  const auto n = g.num_vertices();
+  CsrBisection out;
+  side_out.assign(static_cast<std::size_t>(n), 0);
+  if (n <= 1) {
+    out.w0 = g.total_balance_weight();
+    out.balanced = true;
+    return out;
   }
-  return w0;
+
+  Rng rng(opts.seed);
+
+  // Coarsen until the target size or the matching stalls (e.g. star graphs):
+  // coarsening must shrink meaningfully or refinement costs outweigh the
+  // benefit. Levels live in the arena deque, so pointers into it are stable
+  // while it grows and storage is reused across calls.
+  std::vector<const CsrGraph*> levels = {&g};
+  std::size_t li = 0;
+  while (levels.back()->num_vertices() > opts.coarsen_target) {
+    if (s.levels.size() <= li) {
+      s.levels.emplace_back();
+      s.level_maps.emplace_back();
+    }
+    CsrGraph& coarse = s.levels[li];
+    CoarsenOnce(*levels.back(), rng, coarse, s.level_maps[li], s);
+    if (coarse.num_vertices() >
+        static_cast<VertexIndex>(0.95 * levels.back()->num_vertices())) {
+      break;
+    }
+    levels.push_back(&coarse);
+    ++li;
+  }
+
+  // Several growing trials on the coarsest graph; keep the best after a
+  // quick refinement.
+  const CsrGraph& coarsest = *levels.back();
+  const BalanceBounds coarse_bounds(coarsest.total_balance_weight(),
+                                    target_fraction, opts.balance_tolerance);
+  PartitionOptions quick = opts;
+  quick.refine_passes = 2;
+  // Trials only rank starting points — the projection sweep below does the
+  // real refinement — so cap their hill-climb: on a coarsest graph of ~100
+  // vertices a stall budget of 256 means every pass churns the whole graph
+  // and rolls most of it back. Never raises the caller's limit.
+  quick.fm_stall_limit = std::min(quick.fm_stall_limit, 16);
+  double best_cut = 0.0;
+  double best_w0 = 0.0;
+  bool have_best = false;
+  for (int t = 0; t < std::max(1, opts.initial_trials); ++t) {
+    double w0 = 0.0;
+    GrowInitialPartition(coarsest, coarse_bounds, rng, s, s.trial_side, &w0);
+    double cut = 0.0;  // FmRefine derives it from the Attach scan
+    FmRefine(coarsest, coarse_bounds, quick, s.trial_side, cut, w0, s);
+    const bool better =
+        !have_best ||
+        coarse_bounds.Violation(w0) < coarse_bounds.Violation(best_w0) - 1e-12 ||
+        (coarse_bounds.Violation(w0) <=
+             coarse_bounds.Violation(best_w0) + 1e-12 &&
+         cut < best_cut - 1e-12);
+    if (better) {
+      s.best_side.swap(s.trial_side);
+      best_cut = cut;
+      best_w0 = w0;
+      have_best = true;
+    }
+  }
+
+  // Project through the hierarchy, refining at every level.
+  s.side.assign(s.best_side.begin(), s.best_side.end());
+  double cut = best_cut;
+  double w0 = best_w0;
+  for (std::size_t lvl = levels.size() - 1; lvl > 0; --lvl) {
+    const CsrGraph& fine = *levels[lvl - 1];
+    const auto& map = s.level_maps[lvl - 1];
+    const auto fn = static_cast<std::size_t>(fine.num_vertices());
+    s.fine_side.resize(fn);
+    for (std::size_t v = 0; v < fn; ++v) {
+      s.fine_side[v] = s.side[static_cast<std::size_t>(map[v])];
+    }
+    s.side.swap(s.fine_side);
+    // Projection preserves both tracked quantities algebraically (coarse
+    // balance and arc weights are sums of fine ones), so carry them instead
+    // of recomputing O(arcs) per level; the final per-bisection recompute
+    // below re-canonicalizes the reported numbers.
+    const BalanceBounds bounds(fine.total_balance_weight(), target_fraction,
+                               opts.balance_tolerance);
+    FmRefine(fine, bounds, opts, s.side, cut, w0, s);
+  }
+
+  const BalanceBounds bounds(g.total_balance_weight(), target_fraction,
+                             opts.balance_tolerance);
+  side_out.assign(s.side.begin(), s.side.end());
+  // The tracked values are exact up to summation order: FM maintains both
+  // incrementally and re-prices the cut from a full scan at every level's
+  // Attach, so a final O(n + arcs) recompute would only reorder the same
+  // sums. Tests compare against from-scratch recomputes with tolerances.
+  out.cut_weight = cut;
+  out.w0 = w0;
+  out.balanced = bounds.Feasible(out.w0);
+  return out;
 }
 
 }  // namespace
@@ -393,307 +489,175 @@ Bisection Bisect(const Graph& g, const PartitionOptions& opts,
     return result;
   }
 
-  Rng rng(opts.seed);
-  const auto levels = BuildHierarchy(g, opts, rng);
-  const Graph& coarsest = levels.back().graph;
-  const BalanceBounds coarse_bounds(coarsest.total_balance_weight(),
-                                    target_fraction, opts.balance_tolerance);
-
-  // Several growing trials on the coarsest graph; keep the best after a
-  // quick refinement.
-  FmState best;
-  bool have_best = false;
-  for (int t = 0; t < std::max(1, opts.initial_trials); ++t) {
-    FmState s;
-    s.side = GrowInitialPartition(coarsest, coarse_bounds, rng);
-    s.w0 = SideWeight0(coarsest, s.side);
-    s.cut = coarsest.CutWeight(s.side);
-    PartitionOptions quick = opts;
-    quick.refine_passes = 2;
-    FmRefine(coarsest, coarse_bounds, quick, s);
-    const bool better =
-        !have_best ||
-        coarse_bounds.Violation(s.w0) <
-            coarse_bounds.Violation(best.w0) - 1e-12 ||
-        (coarse_bounds.Violation(s.w0) <=
-             coarse_bounds.Violation(best.w0) + 1e-12 &&
-         s.cut < best.cut - 1e-12);
-    if (better) {
-      best = std::move(s);
-      have_best = true;
-    }
-  }
-
-  // Project through the hierarchy, refining at every level.
-  FmState state = std::move(best);
-  for (std::size_t li = levels.size() - 1; li > 0; --li) {
-    const Graph& fine = levels[li - 1].graph;
-    const auto& map = levels[li].fine_to_coarse;
-    std::vector<std::uint8_t> fine_side(
-        static_cast<std::size_t>(fine.num_vertices()));
-    for (VertexIndex v = 0; v < fine.num_vertices(); ++v) {
-      fine_side[static_cast<std::size_t>(v)] =
-          state.side[static_cast<std::size_t>(
-              map[static_cast<std::size_t>(v)])];
-    }
-    state.side = std::move(fine_side);
-    state.w0 = SideWeight0(fine, state.side);
-    state.cut = fine.CutWeight(state.side);
-    const BalanceBounds bounds(fine.total_balance_weight(), target_fraction,
-                               opts.balance_tolerance);
-    FmRefine(fine, bounds, opts, state);
-  }
-
-  const BalanceBounds bounds(g.total_balance_weight(), target_fraction,
-                             opts.balance_tolerance);
-  result.side = std::move(state.side);
-  result.cut_weight = g.CutWeight(result.side);
-  result.side_weight[0] = SideWeight0(g, result.side);
-  result.side_weight[1] = g.total_balance_weight() - result.side_weight[0];
-  result.balanced = bounds.Feasible(result.side_weight[0]);
+  CsrGraph csr;
+  csr.BuildFrom(g);
+  PartitionScratch scratch;
+  const auto bis = BisectCsr(csr, opts, target_fraction, scratch, result.side);
+  result.cut_weight = bis.cut_weight;
+  result.side_weight[0] = bis.w0;
+  result.side_weight[1] = g.total_balance_weight() - bis.w0;
+  result.balanced = bis.balanced;
   return result;
 }
 
 namespace {
 
-void KWayRecurse(const Graph& g, std::span<const VertexIndex> global_ids,
-                 int k, int first_group, const PartitionOptions& opts,
-                 std::uint64_t seed, KWayResult& out) {
-  if (k == 1 || g.num_vertices() <= 1) {
-    for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
-      out.group_of[static_cast<std::size_t>(
-          global_ids[static_cast<std::size_t>(v)])] = first_group;
-    }
-    return;
-  }
-  const int k0 = (k + 1) / 2;
-  PartitionOptions sub = opts;
-  sub.seed = seed;
-  const auto bis =
-      Bisect(g, sub, static_cast<double>(k0) / static_cast<double>(k));
-  out.cut_weight += bis.cut_weight;
+// ---------------------------------------------------------------------------
+// Zero-copy recursion: one global permutation instead of subgraph copies.
+//
+// `perm` maps position → vertex id and `where` maps vertex id → position;
+// a sub-problem is a contiguous position range [lo, hi). Splitting a range
+// stable-partitions its slice of `perm` by bisection side, so a child range
+// preserves its parent's relative order — the same vertex order the old
+// InducedSubgraph chain produced. CSR views of a range are extracted into
+// scratch only for the bisection itself and recycled immediately.
+//
+// `where` is the one array read across range boundaries (the membership
+// test for neighbors), so under the parallel driver it is written by one
+// task while others read it. The entries are relaxed atomics: concurrent
+// writers only ever move a vertex within their own disjoint range, so a
+// racing reader gets either the old or the new position — both on the same
+// side of the membership test — and results stay bit-identical at every
+// thread count (DESIGN.md §9).
+// ---------------------------------------------------------------------------
+struct RangeCtx {
+  const Graph* g = nullptr;       // demands for leaf emission
+  const CsrGraph* csr = nullptr;  // topology for everything else
+  const PartitionOptions* opts = nullptr;
+  const FitPredicate* fits = nullptr;
+  const CapacityUnitsFn* units = nullptr;
+  std::vector<VertexIndex> perm;
+  std::vector<std::atomic<VertexIndex>> where;
 
-  std::vector<VertexIndex> left, right;
-  for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
-    (bis.side[static_cast<std::size_t>(v)] == 0 ? left : right).push_back(v);
+  [[nodiscard]] VertexIndex PositionOf(VertexIndex v) const {
+    return where[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
   }
-  auto globalize = [&](const std::vector<VertexIndex>& local) {
-    std::vector<VertexIndex> ids;
-    ids.reserve(local.size());
-    for (const auto v : local) {
-      ids.push_back(global_ids[static_cast<std::size_t>(v)]);
+  void Place(VertexIndex v, std::size_t pos) {
+    perm[pos] = v;
+    where[static_cast<std::size_t>(v)].store(static_cast<VertexIndex>(pos),
+                                             std::memory_order_relaxed);
+  }
+};
+
+// CSR view of a position range, extracted into scratch. Local id = position
+// - lo, so local order is the range's (stable) order. No Graph objects, no
+// per-row allocations once the arena is warm.
+void ExtractSub(const RangeCtx& ctx, std::size_t lo, std::size_t hi,
+                CsrGraph& sub) {
+  sub.BeginBuild(static_cast<VertexIndex>(hi - lo), 0);
+  for (std::size_t pos = lo; pos < hi; ++pos) {
+    const auto v = ctx.perm[pos];
+    sub.BeginRow(ctx.csr->balance_weight(v));
+    const auto [to, ws] = ctx.csr->arc_range(v);
+    for (std::size_t i = 0; i < to.size(); ++i) {
+      const auto p = static_cast<std::size_t>(ctx.PositionOf(to[i]));
+      if (p >= lo && p < hi) {
+        sub.PushArc(static_cast<VertexIndex>(p - lo), ws[i]);
+      }
     }
-    return ids;
-  };
-  const auto left_ids = globalize(left);
-  const auto right_ids = globalize(right);
-  const Graph gl_sub = g.InducedSubgraph(left);
-  const Graph gr_sub = g.InducedSubgraph(right);
-  Rng salt(seed);
-  const auto s1 = salt.NextU64();
-  const auto s2 = salt.NextU64();
-  KWayRecurse(gl_sub, left_ids, k0, first_group, opts, s1, out);
-  KWayRecurse(gr_sub, right_ids, k - k0, first_group + k0, opts, s2, out);
+  }
+  sub.EndBuild();
+  SubgraphViewsCounter().Increment();
 }
 
-}  // namespace
-
-KWayResult KWayPartition(const Graph& g, int k, const PartitionOptions& opts) {
-  GOLDILOCKS_CHECK_GE(k, 1);
-  KWayResult out;
-  out.num_groups = k;
-  out.group_of.assign(static_cast<std::size_t>(g.num_vertices()), 0);
-  std::vector<VertexIndex> ids(static_cast<std::size_t>(g.num_vertices()));
-  std::iota(ids.begin(), ids.end(), 0);
-  KWayRecurse(g, ids, k, 0, opts, opts.seed, out);
-  if (opts.kway_refine_passes > 0 && k > 1) {
-    RefineKWay(g, out.group_of, k, opts);
-    out.cut_weight = g.CutWeightKWay(out.group_of);
+// Demand of a range, summed in position order — the same order the old
+// induced-subgraph construction accumulated it in.
+Resource RangeDemand(const RangeCtx& ctx, std::size_t lo, std::size_t hi) {
+  Resource d;
+  for (std::size_t pos = lo; pos < hi; ++pos) {
+    d += ctx.g->demand(ctx.perm[pos]);
   }
-  return out;
+  return d;
 }
-
-double RefineKWay(const Graph& g, std::vector<int>& group_of, int k,
-                  const PartitionOptions& opts) {
-  GOLDILOCKS_CHECK(group_of.size() ==
-                   static_cast<std::size_t>(g.num_vertices()));
-  if (k <= 1 || g.num_vertices() == 0) return 0.0;
-
-  // Balance bookkeeping: each group may carry up to (1 + tol) of its
-  // proportional share, and no move may empty a group.
-  std::vector<double> weight(static_cast<std::size_t>(k), 0.0);
-  std::vector<int> count(static_cast<std::size_t>(k), 0);
-  for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
-    const int gid = group_of[static_cast<std::size_t>(v)];
-    GOLDILOCKS_CHECK(gid >= 0 && gid < k);
-    weight[static_cast<std::size_t>(gid)] += g.balance_weight(v);
-    ++count[static_cast<std::size_t>(gid)];
-  }
-  double max_bw = 0.0;
-  for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
-    max_bw = std::max(max_bw, g.balance_weight(v));
-  }
-  // One-vertex slack on top of the tolerance: without it, greedy single
-  // moves can never perform the two-step swaps FM achieves via rollback.
-  const double cap = g.total_balance_weight() / k *
-                         (1.0 + opts.balance_tolerance) +
-                     max_bw;
-
-  Rng rng(opts.seed ^ 0x4b57);
-  std::vector<VertexIndex> order(static_cast<std::size_t>(g.num_vertices()));
-  std::iota(order.begin(), order.end(), 0);
-
-  double improvement = 0.0;
-  std::vector<double> attach(static_cast<std::size_t>(k), 0.0);
-  std::vector<int> touched;
-  for (int pass = 0; pass < opts.kway_refine_passes; ++pass) {
-    for (std::size_t i = order.size(); i > 1; --i) {
-      std::swap(order[i - 1], order[rng.NextBelow(i)]);
-    }
-    bool moved_any = false;
-    for (const auto v : order) {
-      const int own = group_of[static_cast<std::size_t>(v)];
-      if (count[static_cast<std::size_t>(own)] <= 1) continue;
-      // Attachment of v to each adjacent group (sparse accumulation).
-      touched.clear();
-      for (const auto& e : g.neighbors(v)) {
-        const int ng = group_of[static_cast<std::size_t>(e.to)];
-        if (attach[static_cast<std::size_t>(ng)] == 0.0) {
-          touched.push_back(ng);
-        }
-        attach[static_cast<std::size_t>(ng)] += e.weight;
-      }
-      const double own_w = attach[static_cast<std::size_t>(own)];
-      int best = -1;
-      double best_gain = 1e-9;
-      for (const int ng : touched) {
-        if (ng == own) continue;
-        const double gain = attach[static_cast<std::size_t>(ng)] - own_w;
-        if (gain > best_gain &&
-            weight[static_cast<std::size_t>(ng)] + g.balance_weight(v) <=
-                cap) {
-          best = ng;
-          best_gain = gain;
-        }
-      }
-      for (const int ng : touched) {
-        attach[static_cast<std::size_t>(ng)] = 0.0;
-      }
-      if (best >= 0) {
-        group_of[static_cast<std::size_t>(v)] = best;
-        weight[static_cast<std::size_t>(own)] -= g.balance_weight(v);
-        weight[static_cast<std::size_t>(best)] += g.balance_weight(v);
-        --count[static_cast<std::size_t>(own)];
-        ++count[static_cast<std::size_t>(best)];
-        improvement += best_gain;
-        moved_any = true;
-      }
-    }
-    if (!moved_any) break;
-  }
-  return improvement;
-}
-
-namespace {
 
 // A group may only become terminal if it contains no anti-affinity
 // (negative) edge: replicas must end up in different groups (Sec. IV-C).
-bool HasNegativeInternalEdge(const Graph& g) {
-  for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
-    for (const auto& e : g.neighbors(v)) {
-      if (e.to > v && e.weight < 0.0) return true;
+bool HasNegativeInternalEdge(const RangeCtx& ctx, std::size_t lo,
+                             std::size_t hi) {
+  for (std::size_t pos = lo; pos < hi; ++pos) {
+    const auto v = ctx.perm[pos];
+    const auto [to, ws] = ctx.csr->arc_range(v);
+    for (std::size_t i = 0; i < to.size(); ++i) {
+      if (ws[i] >= 0.0) continue;
+      const auto p = static_cast<std::size_t>(ctx.PositionOf(to[i]));
+      if (p >= lo && p < hi) return true;
     }
   }
   return false;
 }
 
-// One pending sub-problem of the fit recursion: an induced subgraph, the
-// global ids of its vertices, its recursion-tree path and the seed that
-// steers its bisections. Nodes are self-contained, so disjoint subtrees can
-// be solved on different threads and merged by position.
-struct FitNode {
-  Graph graph;
-  std::vector<VertexIndex> ids;
-  std::string path;
-  std::uint64_t seed = 0;
-};
-
-bool FitTerminal(const Graph& g, const FitPredicate& fits) {
-  const int count = g.num_vertices();
-  return (fits(g.total_demand(), count) && !HasNegativeInternalEdge(g)) ||
+bool FitTerminal(const RangeCtx& ctx, std::size_t lo, std::size_t hi,
+                 const Resource& demand) {
+  const int count = static_cast<int>(hi - lo);
+  return ((*ctx.fits)(demand, count) && !HasNegativeInternalEdge(ctx, lo, hi)) ||
          count == 1;
 }
 
-void RecordFitLeaf(const Graph& g, std::span<const VertexIndex> global_ids,
-                   const std::string& path, const FitPredicate& fits,
+void RecordFitLeaf(const RangeCtx& ctx, std::size_t lo, std::size_t hi,
+                   const Resource& demand, const std::string& path,
                    RecursivePartitionResult& out) {
-  const Resource demand = g.total_demand();
-  const int count = g.num_vertices();
+  const int count = static_cast<int>(hi - lo);
   const int gid = out.num_groups++;
-  for (const auto id : global_ids) {
-    out.group_of[static_cast<std::size_t>(id)] = gid;
+  for (std::size_t pos = lo; pos < hi; ++pos) {
+    out.group_of[static_cast<std::size_t>(ctx.perm[pos])] = gid;
   }
   out.group_path.push_back(path);
   out.group_demand.push_back(demand);
   out.group_size.push_back(count);
-  if (!fits(demand, count)) out.oversized_groups.push_back(gid);
+  if (!(*ctx.fits)(demand, count)) out.oversized_groups.push_back(gid);
 }
 
-// Bisects a non-terminal node into its two children exactly as the serial
-// recursion would (same seed chain, same degenerate-split fallback) and
-// returns the bisection's cut weight.
-double SplitFit(const Graph& g, std::span<const VertexIndex> global_ids,
-                const std::string& path, std::uint64_t seed,
-                const CapacityUnitsFn& units, const PartitionOptions& opts,
-                FitNode& left_out, FitNode& right_out) {
+// Bisects a range in place: extracts its CSR view, bisects it, then
+// stable-partitions the range's slice of `perm` by side. Returns the
+// bisection's cut weight; `*mid` is the start of the side-1 child and
+// `child_seeds` the children's seed chain (same chain as always).
+double SplitRange(RangeCtx& ctx, std::size_t lo, std::size_t hi,
+                  const Resource& demand, std::size_t depth,
+                  std::uint64_t seed, PartitionScratch& s,
+                  std::uint64_t child_seeds[2], std::size_t* mid) {
   // One span per recursion level; arg = depth in the recursion tree.
   obs::TraceSpan split_span("partition.split",
-                            static_cast<std::int64_t>(path.size()));
-  const int count = g.num_vertices();
-  PartitionOptions sub = opts;
+                            static_cast<std::int64_t>(depth));
+  const std::size_t count = hi - lo;
+  PartitionOptions sub = *ctx.opts;
   sub.seed = seed;
   // Proportional split target: carve off whole server-units so leaves fill
   // servers tightly instead of landing at ~50-70% from plain halving.
   double fraction = 0.5;
-  if (units) {
-    const double u = std::max(1.0 + 1e-9, units(g.total_demand()));
+  if (*ctx.units) {
+    const double u = std::max(1.0 + 1e-9, (*ctx.units)(demand));
     fraction = std::clamp(std::ceil(u / 2.0) / u, 0.25, 0.75);
   }
-  const auto bis = Bisect(g, sub, fraction);
+  ExtractSub(ctx, lo, hi, s.sub);
+  const auto bis = BisectCsr(s.sub, sub, fraction, s, s.node_side);
 
-  std::vector<VertexIndex> left, right;
-  for (VertexIndex v = 0; v < count; ++v) {
-    (bis.side[static_cast<std::size_t>(v)] == 0 ? left : right).push_back(v);
+  s.split_zero.clear();
+  s.split_one.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    (s.node_side[i] == 0 ? s.split_zero : s.split_one)
+        .push_back(ctx.perm[lo + i]);
   }
   // Defensive: if the bisection degenerated (all vertices one side — can
   // happen with pathological weights), force an arbitrary split so the
   // recursion always terminates.
-  if (left.empty() || right.empty()) {
+  if (s.split_zero.empty() || s.split_one.empty()) {
     DegenerateSplitsCounter().Increment();
-    left.clear();
-    right.clear();
-    for (VertexIndex v = 0; v < count; ++v) {
-      (v < count / 2 ? left : right).push_back(v);
+    s.split_zero.clear();
+    s.split_one.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      (i < count / 2 ? s.split_zero : s.split_one)
+          .push_back(ctx.perm[lo + i]);
     }
   }
 
-  auto globalize = [&](const std::vector<VertexIndex>& local) {
-    std::vector<VertexIndex> ids;
-    ids.reserve(local.size());
-    for (const auto v : local) {
-      ids.push_back(global_ids[static_cast<std::size_t>(v)]);
-    }
-    return ids;
-  };
-  left_out.ids = globalize(left);
-  right_out.ids = globalize(right);
-  left_out.graph = g.InducedSubgraph(left);
-  right_out.graph = g.InducedSubgraph(right);
-  left_out.path = path + '0';
-  right_out.path = path + '1';
+  std::size_t pos = lo;
+  for (const auto v : s.split_zero) ctx.Place(v, pos++);
+  for (const auto v : s.split_one) ctx.Place(v, pos++);
+  *mid = lo + s.split_zero.size();
+
   Rng salt(seed);
-  left_out.seed = salt.NextU64();
-  right_out.seed = salt.NextU64();
+  child_seeds[0] = salt.NextU64();
+  child_seeds[1] = salt.NextU64();
   return bis.cut_weight;
 }
 
@@ -701,37 +665,45 @@ double SplitFit(const Graph& g, std::span<const VertexIndex> global_ids,
 // (node before its subtrees) instead of summed in place, so the final
 // left-fold reproduces one canonical summation order no matter how the
 // subtrees were scheduled across threads.
-void FitRecurse(const Graph& g, std::span<const VertexIndex> global_ids,
-                const std::string& path, const FitPredicate& fits,
-                const CapacityUnitsFn& units, const PartitionOptions& opts,
-                std::uint64_t seed, RecursivePartitionResult& out,
+void FitRecurse(RangeCtx& ctx, std::size_t lo, std::size_t hi,
+                const std::string& path, std::uint64_t seed,
+                PartitionScratch& s, RecursivePartitionResult& out,
                 std::vector<double>& cuts) {
-  if (g.num_vertices() == 0) return;
-  if (FitTerminal(g, fits)) {
-    RecordFitLeaf(g, global_ids, path, fits, out);
+  if (lo == hi) return;
+  const Resource demand = RangeDemand(ctx, lo, hi);
+  if (FitTerminal(ctx, lo, hi, demand)) {
+    RecordFitLeaf(ctx, lo, hi, demand, path, out);
     return;
   }
-  FitNode l, r;
-  cuts.push_back(SplitFit(g, global_ids, path, seed, units, opts, l, r));
-  FitRecurse(l.graph, l.ids, l.path, fits, units, opts, l.seed, out, cuts);
-  FitRecurse(r.graph, r.ids, r.path, fits, units, opts, r.seed, out, cuts);
+  std::size_t mid = lo;
+  std::uint64_t child_seeds[2];
+  cuts.push_back(
+      SplitRange(ctx, lo, hi, demand, path.size(), seed, s, child_seeds, &mid));
+  FitRecurse(ctx, lo, mid, path + '0', child_seeds[0], s, out, cuts);
+  FitRecurse(ctx, mid, hi, path + '1', child_seeds[1], s, out, cuts);
 }
 
 // Parallel driver: expands the top of the recursion tree breadth-first —
 // splitting every non-terminal frontier node, each level's splits running
-// concurrently — until the frontier carries at least opts.threads
-// sub-problems, then solves each frontier subtree serially on the pool and
-// merges the per-task results in preorder. Preorder merging reproduces the
-// serial group numbering exactly, and the preorder cut fold reproduces the
-// serial summation order, so the result is bit-identical at every thread
-// count.
+// concurrently on disjoint position ranges — until the frontier carries at
+// least opts.threads sub-problems, then solves each frontier subtree
+// serially on the pool and merges the per-task results in preorder.
+// Preorder merging reproduces the serial group numbering exactly, and the
+// preorder cut fold reproduces the serial summation order, so the result is
+// bit-identical at every thread count. Every concurrent unit gets its own
+// scratch arena; results don't depend on arena history (DESIGN.md §11).
 RecursivePartitionResult RecursivePartitionParallel(
-    const Graph& g, const FitPredicate& fits, const PartitionOptions& opts,
-    const CapacityUnitsFn& units, RecursivePartitionResult out) {
-  obs::TraceSpan span("partition.parallel",
-                      static_cast<std::int64_t>(g.num_vertices()));
+    RangeCtx& ctx, const Resource& root_demand,
+    RecursivePartitionResult out) {
+  const auto n = static_cast<std::size_t>(ctx.csr->num_vertices());
+  obs::TraceSpan span("partition.parallel", static_cast<std::int64_t>(n));
+  const PartitionOptions& opts = *ctx.opts;
   struct ExpandNode {
-    FitNode task;
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    std::string path;
+    std::uint64_t seed = 0;
+    Resource demand;
     double cut = 0.0;
     int left = -1;  // < 0: unexpanded (frontier task or terminal)
     int right = -1;
@@ -739,25 +711,32 @@ RecursivePartitionResult RecursivePartitionParallel(
 
   ThreadPool pool(opts.threads);
 
-  // Root is split in place from the caller's graph (no copy).
+  // Root is split in place on the calling thread.
   std::vector<ExpandNode> tree(3);
   {
-    std::vector<VertexIndex> ids(static_cast<std::size_t>(g.num_vertices()));
-    std::iota(ids.begin(), ids.end(), 0);
-    FitNode l, r;
-    tree[0].cut = SplitFit(g, ids, "", opts.seed, units, opts, l, r);
+    PartitionScratch s;
+    std::size_t mid = 0;
+    std::uint64_t child_seeds[2];
+    tree[0].lo = 0;
+    tree[0].hi = n;
+    tree[0].seed = opts.seed;
+    tree[0].demand = root_demand;
+    tree[0].cut = SplitRange(ctx, 0, n, root_demand, 0, opts.seed, s,
+                             child_seeds, &mid);
     tree[0].left = 1;
     tree[0].right = 2;
-    tree[1].task = std::move(l);
-    tree[2].task = std::move(r);
+    tree[1] = {0,   mid, "0", child_seeds[0], RangeDemand(ctx, 0, mid),
+               0.0, -1,  -1};
+    tree[2] = {mid, n,   "1", child_seeds[1], RangeDemand(ctx, mid, n),
+               0.0, -1,  -1};
   }
   std::vector<int> frontier = {1, 2};
 
   while (static_cast<int>(frontier.size()) < opts.threads) {
     std::vector<int> splittable;
     for (const int idx : frontier) {
-      const auto& t = tree[static_cast<std::size_t>(idx)].task;
-      if (t.graph.num_vertices() > 1 && !FitTerminal(t.graph, fits)) {
+      const auto& nd = tree[static_cast<std::size_t>(idx)];
+      if (nd.hi - nd.lo > 1 && !FitTerminal(ctx, nd.lo, nd.hi, nd.demand)) {
         splittable.push_back(idx);
       }
     }
@@ -765,13 +744,16 @@ RecursivePartitionResult RecursivePartitionParallel(
 
     struct SplitOut {
       double cut = 0.0;
-      FitNode l, r;
+      std::size_t mid = 0;
+      std::uint64_t child_seeds[2] = {0, 0};
     };
     std::vector<SplitOut> splits(splittable.size());
+    std::vector<PartitionScratch> scratch(splittable.size());
     pool.ParallelFor(splittable.size(), [&](std::size_t k) {
-      const auto& t = tree[static_cast<std::size_t>(splittable[k])].task;
-      splits[k].cut = SplitFit(t.graph, t.ids, t.path, t.seed, units, opts,
-                               splits[k].l, splits[k].r);
+      const auto& nd = tree[static_cast<std::size_t>(splittable[k])];
+      splits[k].cut =
+          SplitRange(ctx, nd.lo, nd.hi, nd.demand, nd.path.size(), nd.seed,
+                     scratch[k], splits[k].child_seeds, &splits[k].mid);
     });
 
     // Graft the children in, preserving the frontier's DFS order.
@@ -781,16 +763,24 @@ RecursivePartitionResult RecursivePartitionParallel(
       if (k < splittable.size() && splittable[k] == idx) {
         const int left = static_cast<int>(tree.size());
         const int right = left + 1;
+        std::size_t lo = 0;
+        std::size_t hi = 0;
+        std::string path;
         {
           // Scoped: push_back below may reallocate and dangle this reference.
           auto& nd = tree[static_cast<std::size_t>(idx)];
           nd.cut = splits[k].cut;
           nd.left = left;
           nd.right = right;
-          nd.task = FitNode{};  // children own the data now
+          lo = nd.lo;
+          hi = nd.hi;
+          path = nd.path;
         }
-        tree.push_back({std::move(splits[k].l), 0.0, -1, -1});
-        tree.push_back({std::move(splits[k].r), 0.0, -1, -1});
+        const std::size_t mid = splits[k].mid;
+        tree.push_back({lo,  mid, path + '0', splits[k].child_seeds[0],
+                        RangeDemand(ctx, lo, mid), 0.0, -1, -1});
+        tree.push_back({mid, hi,  path + '1', splits[k].child_seeds[1],
+                        RangeDemand(ctx, mid, hi), 0.0, -1, -1});
         next_frontier.push_back(left);
         next_frontier.push_back(right);
         ++k;
@@ -806,15 +796,15 @@ RecursivePartitionResult RecursivePartitionParallel(
     RecursivePartitionResult out;
     std::vector<double> cuts;
   };
-  const auto n = static_cast<std::size_t>(g.num_vertices());
   std::vector<TaskResult> results(frontier.size());
+  std::vector<PartitionScratch> scratch(frontier.size());
   pool.ParallelFor(frontier.size(), [&](std::size_t k) {
     // Per-worker subtree span; arg = frontier slot (stable across runs).
     obs::TraceSpan worker_span("partition.worker",
                                static_cast<std::int64_t>(k));
-    const auto& t = tree[static_cast<std::size_t>(frontier[k])].task;
+    const auto& nd = tree[static_cast<std::size_t>(frontier[k])];
     results[k].out.group_of.assign(n, -1);
-    FitRecurse(t.graph, t.ids, t.path, fits, units, opts, t.seed,
+    FitRecurse(ctx, nd.lo, nd.hi, nd.path, nd.seed, scratch[k],
                results[k].out, results[k].cuts);
   });
 
@@ -833,14 +823,13 @@ RecursivePartitionResult RecursivePartitionParallel(
     stack.pop_back();
     const auto& nd = tree[static_cast<std::size_t>(idx)];
     if (nd.left < 0) {
-      const auto& tr =
-          results[static_cast<std::size_t>(task_of[static_cast<std::size_t>(idx)])];
+      const auto& tr = results[static_cast<std::size_t>(
+          task_of[static_cast<std::size_t>(idx)])];
       const int base = out.num_groups;
-      for (const auto id : nd.task.ids) {
-        const int local = tr.out.group_of[static_cast<std::size_t>(id)];
-        if (local >= 0) {
-          out.group_of[static_cast<std::size_t>(id)] = base + local;
-        }
+      for (std::size_t pos = nd.lo; pos < nd.hi; ++pos) {
+        const auto id = static_cast<std::size_t>(ctx.perm[pos]);
+        const int local = tr.out.group_of[id];
+        if (local >= 0) out.group_of[id] = base + local;
       }
       out.num_groups += tr.out.num_groups;
       out.group_path.insert(out.group_path.end(), tr.out.group_path.begin(),
@@ -865,7 +854,156 @@ RecursivePartitionResult RecursivePartitionParallel(
   return out;
 }
 
+void InitRangeCtx(RangeCtx& ctx, const Graph& g, const CsrGraph& csr,
+                  const PartitionOptions& opts) {
+  ctx.g = &g;
+  ctx.csr = &csr;
+  ctx.opts = &opts;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  ctx.perm.resize(n);
+  std::iota(ctx.perm.begin(), ctx.perm.end(), 0);
+  ctx.where = std::vector<std::atomic<VertexIndex>>(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    ctx.where[v].store(static_cast<VertexIndex>(v),
+                       std::memory_order_relaxed);
+  }
+}
+
+void KWayRecurse(RangeCtx& ctx, std::size_t lo, std::size_t hi, int k,
+                 int first_group, std::uint64_t seed, PartitionScratch& s,
+                 KWayResult& out) {
+  if (k == 1 || hi - lo <= 1) {
+    for (std::size_t pos = lo; pos < hi; ++pos) {
+      out.group_of[static_cast<std::size_t>(ctx.perm[pos])] = first_group;
+    }
+    return;
+  }
+  const int k0 = (k + 1) / 2;
+  PartitionOptions sub = *ctx.opts;
+  sub.seed = seed;
+  ExtractSub(ctx, lo, hi, s.sub);
+  const auto bis =
+      BisectCsr(s.sub, sub, static_cast<double>(k0) / static_cast<double>(k),
+                s, s.node_side);
+  out.cut_weight += bis.cut_weight;
+
+  s.split_zero.clear();
+  s.split_one.clear();
+  const std::size_t count = hi - lo;
+  for (std::size_t i = 0; i < count; ++i) {
+    (s.node_side[i] == 0 ? s.split_zero : s.split_one)
+        .push_back(ctx.perm[lo + i]);
+  }
+  std::size_t pos = lo;
+  for (const auto v : s.split_zero) ctx.Place(v, pos++);
+  for (const auto v : s.split_one) ctx.Place(v, pos++);
+  const std::size_t mid = lo + s.split_zero.size();
+
+  Rng salt(seed);
+  const auto s1 = salt.NextU64();
+  const auto s2 = salt.NextU64();
+  KWayRecurse(ctx, lo, mid, k0, first_group, s1, s, out);
+  KWayRecurse(ctx, mid, hi, k - k0, first_group + k0, s2, s, out);
+}
+
 }  // namespace
+
+KWayResult KWayPartition(const Graph& g, int k, const PartitionOptions& opts) {
+  GOLDILOCKS_CHECK_GE(k, 1);
+  KWayResult out;
+  out.num_groups = k;
+  out.group_of.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  CsrGraph csr;
+  csr.BuildFrom(g);
+  RangeCtx ctx;
+  InitRangeCtx(ctx, g, csr, opts);
+  PartitionScratch scratch;
+  KWayRecurse(ctx, 0, static_cast<std::size_t>(g.num_vertices()), k, 0,
+              opts.seed, scratch, out);
+  if (opts.kway_refine_passes > 0 && k > 1) {
+    RefineKWay(g, out.group_of, k, opts);
+    out.cut_weight = g.CutWeightKWay(out.group_of);
+  }
+  return out;
+}
+
+double RefineKWay(const Graph& g, std::vector<int>& group_of, int k,
+                  const PartitionOptions& opts) {
+  GOLDILOCKS_CHECK(group_of.size() ==
+                   static_cast<std::size_t>(g.num_vertices()));
+  if (k <= 1 || g.num_vertices() == 0) return 0.0;
+
+  CsrGraph csr;
+  csr.BuildFrom(g);
+
+  // Balance bookkeeping: each group may carry up to (1 + tol) of its
+  // proportional share, and no move may empty a group.
+  std::vector<double> weight(static_cast<std::size_t>(k), 0.0);
+  std::vector<int> count(static_cast<std::size_t>(k), 0);
+  for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
+    const int gid = group_of[static_cast<std::size_t>(v)];
+    GOLDILOCKS_CHECK(gid >= 0 && gid < k);
+    weight[static_cast<std::size_t>(gid)] += csr.balance_weight(v);
+    ++count[static_cast<std::size_t>(gid)];
+  }
+  double max_bw = 0.0;
+  for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
+    max_bw = std::max(max_bw, csr.balance_weight(v));
+  }
+  // One-vertex slack on top of the tolerance: without it, greedy single
+  // moves can never perform the two-step swaps FM achieves via rollback.
+  const double cap = csr.total_balance_weight() / k *
+                         (1.0 + opts.balance_tolerance) +
+                     max_bw;
+
+  Rng rng(opts.seed ^ 0x4b57);
+  std::vector<VertexIndex> order(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(order.begin(), order.end(), 0);
+
+  double improvement = 0.0;
+  // Attachment of v to each adjacent group: flat timestamped accumulation,
+  // visited in first-touch order — no clearing loop, no sort.
+  GroupAccumulator attach;
+  for (int pass = 0; pass < opts.kway_refine_passes; ++pass) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBelow(i)]);
+    }
+    bool moved_any = false;
+    for (const auto v : order) {
+      const int own = group_of[static_cast<std::size_t>(v)];
+      if (count[static_cast<std::size_t>(own)] <= 1) continue;
+      attach.Reset(static_cast<std::size_t>(k));
+      const auto [to, ws] = csr.arc_range(v);
+      for (std::size_t i = 0; i < to.size(); ++i) {
+        attach.Add(group_of[static_cast<std::size_t>(to[i])], ws[i]);
+      }
+      const double own_w = attach.Get(own);
+      int best = -1;
+      double best_gain = 1e-9;
+      for (const int ng : attach.touched()) {
+        if (ng == own) continue;
+        const double gain = attach.Get(ng) - own_w;
+        if (gain > best_gain &&
+            weight[static_cast<std::size_t>(ng)] + csr.balance_weight(v) <=
+                cap) {
+          best = ng;
+          best_gain = gain;
+        }
+      }
+      if (best >= 0) {
+        group_of[static_cast<std::size_t>(v)] = best;
+        weight[static_cast<std::size_t>(own)] -= csr.balance_weight(v);
+        weight[static_cast<std::size_t>(best)] += csr.balance_weight(v);
+        --count[static_cast<std::size_t>(own)];
+        ++count[static_cast<std::size_t>(best)];
+        improvement += best_gain;
+        moved_any = true;
+      }
+    }
+    if (!moved_any) break;
+  }
+  return improvement;
+}
 
 RecursivePartitionResult RecursivePartition(const Graph& g,
                                             const FitPredicate& fits,
@@ -874,14 +1012,24 @@ RecursivePartitionResult RecursivePartition(const Graph& g,
   obs::TraceSpan span("partition.recursive",
                       static_cast<std::int64_t>(g.num_vertices()));
   RecursivePartitionResult out;
-  out.group_of.assign(static_cast<std::size_t>(g.num_vertices()), -1);
-  if (opts.threads > 1 && g.num_vertices() > 1 && !FitTerminal(g, fits)) {
-    return RecursivePartitionParallel(g, fits, opts, units, std::move(out));
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  out.group_of.assign(n, -1);
+  if (n == 0) return out;
+
+  CsrGraph csr;
+  csr.BuildFrom(g);
+  RangeCtx ctx;
+  InitRangeCtx(ctx, g, csr, opts);
+  ctx.fits = &fits;
+  ctx.units = &units;
+
+  const Resource root_demand = RangeDemand(ctx, 0, n);
+  if (opts.threads > 1 && n > 1 && !FitTerminal(ctx, 0, n, root_demand)) {
+    return RecursivePartitionParallel(ctx, root_demand, std::move(out));
   }
-  std::vector<VertexIndex> ids(static_cast<std::size_t>(g.num_vertices()));
-  std::iota(ids.begin(), ids.end(), 0);
+  PartitionScratch scratch;
   std::vector<double> cuts;
-  FitRecurse(g, ids, "", fits, units, opts, opts.seed, out, cuts);
+  FitRecurse(ctx, 0, n, "", opts.seed, scratch, out, cuts);
   double cut_weight = 0.0;
   for (const double c : cuts) cut_weight += c;
   out.cut_weight = cut_weight;

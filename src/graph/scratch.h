@@ -1,0 +1,197 @@
+// Reusable scratch arenas for the partitioning kernel (DESIGN.md §11).
+//
+// Every buffer the multilevel partitioner needs — matchings, coarse levels,
+// gain arrays, heaps, move logs, subgraph views — lives in one
+// PartitionScratch arena that is allocated once and reused across levels,
+// recursion nodes, and epochs. Each helper re-initializes the portion it
+// uses (assign/Reset) before reading it, so results never depend on what a
+// previous subproblem left behind: a fresh arena and a warm arena produce
+// bit-identical partitions. That property is what lets the parallel
+// recursion driver hand each worker its own arena without changing results
+// (DESIGN.md §9).
+//
+// Nothing here is thread-safe; an arena belongs to exactly one thread at a
+// time. The parallel driver enforces that by construction (one arena per
+// ParallelFor slot).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "graph/csr.h"
+
+namespace gl {
+
+// Max-heap with lazy deletion and reusable storage. Push records the
+// priority as current; stale entries (pushed before a later Push or
+// Invalidate for the same vertex) are skipped at Pop. Priorities compare on
+// value only, so ties pop in heap order — deterministic for a given push
+// sequence, which is all the FM contract requires (DESIGN.md §8).
+class LazyMaxHeap {
+ public:
+  // Prepares for a universe of n vertices; keeps capacity.
+  void Reset(std::size_t n) {
+    current_.assign(n, kAbsent);
+    heap_.clear();
+  }
+
+  void Push(VertexIndex v, double priority) {
+    current_[static_cast<std::size_t>(v)] = priority;
+    heap_.push_back(Entry{priority, v});
+    SiftUp(heap_.size() - 1);
+  }
+
+  void Invalidate(VertexIndex v) {
+    current_[static_cast<std::size_t>(v)] = kAbsent;
+  }
+
+  [[nodiscard]] bool Contains(VertexIndex v) const {
+    return !std::isnan(current_[static_cast<std::size_t>(v)]);
+  }
+
+  // Pops the highest-priority live entry; false when only stale entries (or
+  // nothing) remain. Popping consumes the vertex: it reads as absent until
+  // pushed again.
+  bool Pop(VertexIndex* v, double* priority) {
+    while (!heap_.empty()) {
+      const Entry top = heap_.front();
+      heap_.front() = heap_.back();
+      heap_.pop_back();
+      if (!heap_.empty()) SiftDown(0);
+      if (current_[static_cast<std::size_t>(top.v)] == top.priority) {
+        current_[static_cast<std::size_t>(top.v)] = kAbsent;
+        *v = top.v;
+        *priority = top.priority;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct Entry {
+    double priority;
+    VertexIndex v;
+  };
+
+  // NaN sentinel compares unequal to everything, including itself — no
+  // finite priority can collide with it.
+  static constexpr double kAbsent = std::numeric_limits<double>::quiet_NaN();
+
+  void SiftUp(std::size_t i) {
+    while (i > 0) {
+      const std::size_t p = (i - 1) / 2;
+      if (heap_[p].priority >= heap_[i].priority) break;
+      std::swap(heap_[p], heap_[i]);
+      i = p;
+    }
+  }
+
+  void SiftDown(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t largest = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && heap_[l].priority > heap_[largest].priority) largest = l;
+      if (r < n && heap_[r].priority > heap_[largest].priority) largest = r;
+      if (largest == i) break;
+      std::swap(heap_[i], heap_[largest]);
+      i = largest;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<double> current_;
+};
+
+// Flat timestamped accumulator keyed by small integer ids: Add() sums
+// weights per id in O(1), touched() returns the ids in first-touch order —
+// deterministic by construction when the caller's scan order is, so no sort
+// is needed. Reset is O(1) (epoch bump); storage grows to the largest
+// universe seen and is then reused.
+class GroupAccumulator {
+ public:
+  void Reset(std::size_t num_ids) {
+    if (num_ids > sum_.size()) {
+      sum_.resize(num_ids, 0.0);
+      stamp_.resize(num_ids, 0);
+    }
+    touched_.clear();
+    if (++epoch_ == 0) {  // wrapped: stamps from the old era could collide
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  void Add(int id, double w) {
+    const auto i = static_cast<std::size_t>(id);
+    GOLDILOCKS_CHECK_LT(i, sum_.size());
+    if (stamp_[i] != epoch_) {
+      stamp_[i] = epoch_;
+      sum_[i] = w;
+      touched_.push_back(id);
+    } else {
+      sum_[i] += w;
+    }
+  }
+
+  [[nodiscard]] double Get(int id) const {
+    const auto i = static_cast<std::size_t>(id);
+    GOLDILOCKS_CHECK_LT(i, sum_.size());
+    return stamp_[i] == epoch_ ? sum_[i] : 0.0;
+  }
+
+  // Ids seen this epoch, in first-touch order.
+  [[nodiscard]] std::span<const int> touched() const { return touched_; }
+
+ private:
+  std::vector<double> sum_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<int> touched_;
+  std::uint32_t epoch_ = 0;
+};
+
+// The partitioner's working memory. One arena serves a whole serial
+// recursive partition; the parallel driver gives each concurrently-solved
+// subtree its own. Buffers are grouped by the phase that owns them; phases
+// never overlap, so none alias.
+struct PartitionScratch {
+  // Multilevel hierarchy: coarse level i lives in levels[i] and maps fine
+  // vertex v of the level below to level_maps[i][v]. A deque so growing the
+  // hierarchy never moves (and never invalidates pointers to) built levels.
+  std::deque<CsrGraph> levels;
+  std::deque<std::vector<VertexIndex>> level_maps;
+
+  // Coarsening.
+  std::vector<VertexIndex> match;
+  std::vector<VertexIndex> order;
+  GroupAccumulator coarse_arcs;
+
+  // Initial partition growth + FM refinement.
+  LazyMaxHeap heap;
+  std::vector<double> gain;
+  std::vector<double> grow_key;
+  std::vector<std::uint8_t> side;
+  std::vector<std::uint8_t> fine_side;
+  std::vector<std::uint8_t> best_side;
+  std::vector<std::uint8_t> trial_side;
+  std::vector<std::uint8_t> in_region;
+  std::vector<std::uint8_t> moved;
+  std::vector<VertexIndex> move_seq;
+  std::vector<VertexIndex> outside;
+
+  // Zero-copy recursion over index ranges (partitioner.cc): the CSR view of
+  // the current range plus the stable split buffers.
+  CsrGraph sub;
+  std::vector<VertexIndex> split_zero;
+  std::vector<VertexIndex> split_one;
+  std::vector<std::uint8_t> node_side;
+};
+
+}  // namespace gl

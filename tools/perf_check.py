@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""perf_check -- compare a fresh bench run against BENCH_partitioner.json.
+
+CI's perf-smoke job runs bench_partitioner_scale --json on the PR build and
+feeds the result here together with the committed reference at the repo
+root. Each fresh record is matched to the reference's "current" records by
+(name, threads) and the medians are compared. A median more than
+--threshold (default 15%) slower than the reference emits a GitHub Actions
+::warning:: annotation -- CI runners are shared and noisy, so a regression
+warns rather than fails; a real regression shows up as a persistent warning
+across pushes and is investigated by re-measuring locally (EXPERIMENTS.md,
+"Partitioner scalability").
+
+Exit status is always 0 unless the inputs are unreadable or no records
+matched (exit 2), so the job cannot silently pass on a malformed run.
+
+Usage:
+    tools/perf_check.py --reference BENCH_partitioner.json \
+                        --fresh fresh.json [--threshold 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path, *, reference):
+    """Returns {(name, threads): record} from either file shape.
+
+    The committed reference wraps its records under current.records; a raw
+    bench --json output is a flat list.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if reference:
+        records = doc["current"]["records"]
+    else:
+        records = doc
+    return {(r["name"], r["threads"]): r for r in records}
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--reference", required=True,
+                    help="committed BENCH_partitioner.json")
+    ap.add_argument("--fresh", required=True,
+                    help="bench_partitioner_scale --json output to check")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="warn when fresh median exceeds reference by this "
+                         "fraction (default 0.15)")
+    args = ap.parse_args(argv)
+
+    try:
+        ref = load_records(args.reference, reference=True)
+        fresh = load_records(args.fresh, reference=False)
+    except (OSError, KeyError, json.JSONDecodeError) as e:
+        print(f"perf_check: cannot load inputs: {e}", file=sys.stderr)
+        return 2
+
+    matched = 0
+    regressions = 0
+    for key, fr in sorted(fresh.items()):
+        rr = ref.get(key)
+        if rr is None:
+            print(f"perf_check: no reference for {key[0]} threads={key[1]}; "
+                  "skipping")
+            continue
+        matched += 1
+        ref_med = rr["median_wall_ms"]
+        fresh_med = fr["median_wall_ms"]
+        ratio = fresh_med / ref_med if ref_med > 0 else float("inf")
+        line = (f"{key[0]} threads={key[1]}: median {fresh_med:.1f} ms "
+                f"vs reference {ref_med:.1f} ms ({ratio:.2f}x)")
+        if ratio > 1.0 + args.threshold:
+            regressions += 1
+            print(f"::warning title=partitioner perf regression::{line}")
+        else:
+            print(f"perf_check: OK {line}")
+
+    if matched == 0:
+        print("perf_check: no records matched the reference", file=sys.stderr)
+        return 2
+    print(f"perf_check: {matched} configs checked, "
+          f"{regressions} above threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
