@@ -389,7 +389,9 @@ CsrBisection BisectCsr(const CsrGraph& g, const PartitionOptions& opts,
   // coarsening must shrink meaningfully or refinement costs outweigh the
   // benefit. Levels live in the arena deque, so pointers into it are stable
   // while it grows and storage is reused across calls.
-  std::vector<const CsrGraph*> levels = {&g};
+  auto& levels = s.level_chain;
+  levels.clear();
+  levels.push_back(&g);
   std::size_t li = 0;
   while (levels.back()->num_vertices() > opts.coarsen_target) {
     if (s.levels.size() <= li) {

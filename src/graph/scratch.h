@@ -168,6 +168,12 @@ struct PartitionScratch {
   std::deque<CsrGraph> levels;
   std::deque<std::vector<VertexIndex>> level_maps;
 
+  // Pointer chain from the finest graph through the built levels, rebuilt by
+  // every bisection. Lives here (not as a BisectCsr local) so the steady
+  // state allocates nothing: capacity from the deepest hierarchy seen is
+  // reused by every later call (DESIGN.md §11).
+  std::vector<const CsrGraph*> level_chain;
+
   // Coarsening.
   std::vector<VertexIndex> match;
   std::vector<VertexIndex> order;

@@ -1,0 +1,376 @@
+// Tests for gl_analyze (tools/analyze/): the lexer, the fixture corpus, the
+// cross-file GL010 reachability, the baseline machinery, SARIF shape, and
+// the incremental cache's invalidation behavior.
+//
+// The fixture corpus itself is exercised two ways: RunSelfTest (the same
+// code path `gl_analyze --self-test` uses) and per-fixture assertions that
+// positives fire exactly their rule and negatives stay clean.
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analysis.h"
+#include "analyze/facts.h"
+#include "analyze/lexer.h"
+#include "gtest/gtest.h"
+
+namespace gl::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef GL_ANALYZE_FIXTURES_DIR
+#error "tests/CMakeLists.txt must define GL_ANALYZE_FIXTURES_DIR"
+#endif
+
+std::string FixturesDir() { return GL_ANALYZE_FIXTURES_DIR; }
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out << content;
+}
+
+std::set<std::string> FiredRules(const std::string& path) {
+  const std::string source = ReadFileOrDie(path);
+  const std::vector<FileFacts> facts = {ExtractFacts(path, source)};
+  std::set<std::string> fired;
+  for (const Finding& f : Analyze(facts, AnalysisOptions{})) {
+    fired.insert(f.rule_id);
+  }
+  return fired;
+}
+
+// A scratch directory unique to this test binary run.
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("gl_analyze_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  fs::path dir_;
+};
+
+// --- lexer -----------------------------------------------------------------
+
+TEST(Lexer, RawStringsAndCommentsAreSingleTokens) {
+  const std::vector<Token> toks = Lex(
+      "auto s = R\"x(push_back( // not a comment)x\";\n"
+      "// a real comment with new in it\n"
+      "int n = 1'000'000;\n");
+  int strings = 0;
+  int comments = 0;
+  int numbers = 0;
+  for (const Token& t : toks) {
+    strings += t.kind == TokKind::kString ? 1 : 0;
+    comments += t.kind == TokKind::kComment ? 1 : 0;
+    numbers += t.kind == TokKind::kNumber ? 1 : 0;
+  }
+  EXPECT_EQ(strings, 1);
+  EXPECT_EQ(comments, 1);
+  EXPECT_EQ(numbers, 1);  // digit separators stay inside one number token
+  // Nothing inside the raw string or the comment leaks out as an ident.
+  for (const Token& t : toks) {
+    EXPECT_NE(t.text, "push_back");
+    if (t.kind == TokKind::kIdent) {
+      EXPECT_NE(t.text, "new");
+    }
+  }
+}
+
+TEST(Lexer, PreprocessorContinuationsFoldIntoOneToken) {
+  const std::vector<Token> toks = Lex(
+      "#define GROW(v) \\\n  (v).push_back(0)\nint x;\n");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks[0].kind, TokKind::kPreprocessor);
+  EXPECT_NE(toks[0].text.find("push_back"), std::string::npos);
+  // The macro body never reads as structural tokens.
+  const FileFacts facts = ExtractFacts("m.cc", "#define GROW(v) \\\n  (v).push_back(0)\nint x;\n");
+  EXPECT_TRUE(facts.allocs.empty());
+}
+
+TEST(Lexer, TracksLinesAcrossMultilineTokens) {
+  const std::vector<Token> toks = Lex("/* a\n b */\nint x;\n");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokKind::kComment);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].text, "int");
+  EXPECT_EQ(toks[1].line, 3);
+}
+
+// --- fixture corpus --------------------------------------------------------
+
+TEST(Fixtures, SelfTestPasses) {
+  std::ostringstream out;
+  const int failures = RunSelfTest(FixturesDir(), AnalysisOptions{}, out);
+  EXPECT_EQ(failures, 0) << out.str();
+}
+
+TEST(Fixtures, PositivesFireExactlyTheirRule) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"gl010_pos.cc", "GL010"},
+      {"gl011_pos.cc", "GL011"},
+      {"gl012_pos.cc", "GL012"},
+      {"gl013_pos.cc", "GL013"},
+  };
+  for (const auto& [file, rule] : cases) {
+    const std::set<std::string> fired =
+        FiredRules(FixturesDir() + "/" + file);
+    EXPECT_EQ(fired, std::set<std::string>{rule}) << file;
+  }
+}
+
+TEST(Fixtures, NegativesAreClean) {
+  for (const char* file :
+       {"gl010_neg.cc", "gl011_neg.cc", "gl012_neg.cc", "gl013_neg.cc"}) {
+    EXPECT_TRUE(FiredRules(FixturesDir() + std::string("/") + file).empty())
+        << file;
+  }
+}
+
+// --- cross-file reachability (GL010) ---------------------------------------
+
+TEST(HotPath, AllocationReachableAcrossFilesIsFound) {
+  // Root in one file, allocation two hops away in another.
+  const std::string a =
+      "namespace x {\n"
+      "void Helper(int n);\n"
+      "int Bisect(int n) { Helper(n); return n; }\n"
+      "}  // namespace x\n";
+  const std::string b =
+      "#include <vector>\n"
+      "namespace x {\n"
+      "void Leaf(int n) { std::vector<int> v(n, 0); (void)v; }\n"
+      "void Helper(int n) { Leaf(n); }\n"
+      "}  // namespace x\n";
+  const std::vector<FileFacts> facts = {ExtractFacts("a.cc", a),
+                                        ExtractFacts("b.cc", b)};
+  const std::vector<Finding> findings = Analyze(facts, AnalysisOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "GL010");
+  EXPECT_EQ(findings[0].path, "b.cc");
+  // The message carries the whole chain from the root.
+  EXPECT_NE(findings[0].message.find("Bisect -> Helper -> Leaf"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(HotPath, FileLocalDefinitionShadowsForeignNameCollision) {
+  // a.cc's root calls its own file-local Step(); c.cc has an unrelated
+  // allocating Step(). Scoped resolution must not fuse the two graphs.
+  const std::string a =
+      "namespace x {\n"
+      "void Step(int) {}\n"
+      "int Bisect(int n) { Step(n); return n; }\n"
+      "}  // namespace x\n";
+  const std::string c =
+      "#include <vector>\n"
+      "namespace y {\n"
+      "void Step(int n) { std::vector<int> v(n, 1); (void)v; }\n"
+      "}  // namespace y\n";
+  const std::vector<FileFacts> facts = {ExtractFacts("a.cc", a),
+                                        ExtractFacts("c.cc", c)};
+  EXPECT_TRUE(Analyze(facts, AnalysisOptions{}).empty());
+}
+
+TEST(HotPath, CustomRootSpecs) {
+  const std::string src =
+      "#include <vector>\n"
+      "struct Engine {\n"
+      "  void Run(int n) { std::vector<int> v(n, 0); (void)v; }\n"
+      "};\n";
+  AnalysisOptions opts;
+  opts.hot_roots = {"Engine::"};
+  const std::vector<FileFacts> facts = {ExtractFacts("e.cc", src)};
+  const std::vector<Finding> findings = Analyze(facts, opts);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "GL010");
+}
+
+// --- baseline --------------------------------------------------------------
+
+TEST(Baseline, SuppressesByFingerprintAndReportsStale) {
+  const std::string fixture = FixturesDir() + "/gl010_pos.cc";
+  const std::vector<FileFacts> facts = {
+      ExtractFacts(fixture, ReadFileOrDie(fixture))};
+  const std::vector<Finding> all = Analyze(facts, AnalysisOptions{});
+  ASSERT_GT(all.size(), 1u);
+
+  // Baseline the first finding by its (rule, line text) fingerprint with a
+  // bare-filename path — the finding carries the full fixture path, so this
+  // exercises the '/'-boundary suffix match and the absence of line numbers
+  // from the key. The second entry matches nothing and must come back stale.
+  TempDir tmp;
+  const std::string bl = tmp.Path("baseline.txt");
+  WriteFileOrDie(bl, "# justification\n" + all[0].rule_id + "|gl010_pos.cc|" +
+                         all[0].line_text +
+                         "\nGL010|some/other/file.cc|int* p = new int;\n");
+  Baseline baseline;
+  std::string err;
+  ASSERT_TRUE(LoadBaseline(bl, &baseline, &err)) << err;
+  ASSERT_EQ(baseline.entries.size(), 2u);
+
+  const BaselineResult r = ApplyBaseline(all, baseline);
+  EXPECT_EQ(r.suppressed, 1);
+  EXPECT_EQ(r.fresh.size(), all.size() - 1);
+  ASSERT_EQ(r.stale.size(), 1u);
+  EXPECT_EQ(r.stale[0].path, "some/other/file.cc");
+}
+
+TEST(Baseline, MalformedLinesAreRejected) {
+  TempDir tmp;
+  const std::string bl = tmp.Path("bad.txt");
+  WriteFileOrDie(bl, "GL010 no pipes here\n");
+  Baseline baseline;
+  std::string err;
+  EXPECT_FALSE(LoadBaseline(bl, &baseline, &err));
+  EXPECT_NE(err.find("malformed"), std::string::npos);
+}
+
+// --- SARIF -----------------------------------------------------------------
+
+TEST(Sarif, CarriesRuleIdsAndLocations) {
+  const std::string fixture = FixturesDir() + "/gl011_pos.cc";
+  const std::vector<FileFacts> facts = {
+      ExtractFacts(fixture, ReadFileOrDie(fixture))};
+  const std::string sarif = ToSarif(Analyze(facts, AnalysisOptions{}));
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\":\"GL011\""), std::string::npos);
+  EXPECT_NE(sarif.find("gl011_pos.cc"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":"), std::string::npos);
+  // All four rules are declared in the driver even when fewer fire.
+  for (const RuleInfo& r : Rules()) {
+    EXPECT_NE(sarif.find(r.id), std::string::npos);
+  }
+}
+
+// --- facts serialization round-trip ----------------------------------------
+
+TEST(Facts, SerializationRoundTrips) {
+  const std::string fixture = FixturesDir() + "/gl010_pos.cc";
+  const FileFacts facts = ExtractFacts(fixture, ReadFileOrDie(fixture));
+  std::string blob;
+  SerializeFacts(facts, &blob);
+  FileFacts back;
+  ASSERT_TRUE(DeserializeFacts(blob, &back));
+  std::string blob2;
+  SerializeFacts(back, &blob2);
+  EXPECT_EQ(blob, blob2);
+  EXPECT_EQ(back.functions.size(), facts.functions.size());
+  EXPECT_EQ(back.allocs.size(), facts.allocs.size());
+  EXPECT_EQ(back.calls.size(), facts.calls.size());
+}
+
+TEST(Facts, DeserializeRejectsGarbage) {
+  FileFacts f;
+  EXPECT_FALSE(DeserializeFacts("Z\tnot\ta\trecord\n", &f));
+  EXPECT_FALSE(DeserializeFacts("F\tonly_two\tcols\n", &f));
+}
+
+// --- incremental cache -----------------------------------------------------
+
+TEST(Cache, WarmRunReusesFactsAndEditInvalidates) {
+  TempDir tmp;
+  const std::string src_path = tmp.Path("unit.cc");
+  const std::string cache = tmp.Path("cache");
+  WriteFileOrDie(src_path,
+                 "#include <vector>\n"
+                 "int Bisect(int n) { std::vector<int> v(n, 0); return n; }\n");
+
+  CacheStats cold;
+  std::string err;
+  std::vector<FileFacts> facts =
+      LoadFacts({src_path}, cache, &cold, &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(cold.files_lexed, 1);
+  EXPECT_EQ(cold.files_cached, 0);
+  EXPECT_EQ(Analyze(facts, AnalysisOptions{}).size(), 1u);
+
+  CacheStats warm;
+  facts = LoadFacts({src_path}, cache, &warm, &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(warm.files_lexed, 0);
+  EXPECT_EQ(warm.files_cached, 1);
+  EXPECT_EQ(Analyze(facts, AnalysisOptions{}).size(), 1u);
+
+  // Touch without change: rewriting identical bytes bumps the mtime, but
+  // the content hash rescues the cache entry.
+  WriteFileOrDie(src_path,
+                 "#include <vector>\n"
+                 "int Bisect(int n) { std::vector<int> v(n, 0); return n; }\n");
+  CacheStats touched;
+  facts = LoadFacts({src_path}, cache, &touched, &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(touched.files_lexed, 0);
+  EXPECT_EQ(touched.files_cached, 1);
+
+  // Content edit: the hash changes, the entry is re-extracted, and the new
+  // facts reflect the fix.
+  WriteFileOrDie(src_path,
+                 "#include <vector>\n"
+                 "int Bisect(int n) { std::vector<int> w; (void)w; return n; }\n");
+  CacheStats edited;
+  facts = LoadFacts({src_path}, cache, &edited, &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(edited.files_lexed, 1);
+  EXPECT_TRUE(Analyze(facts, AnalysisOptions{}).empty());
+}
+
+TEST(Cache, MissingFileIsReportedNotFatal) {
+  TempDir tmp;
+  CacheStats stats;
+  std::string err;
+  const std::vector<FileFacts> facts =
+      LoadFacts({tmp.Path("nope.cc")}, "", &stats, &err);
+  EXPECT_TRUE(facts.empty());
+  EXPECT_NE(err.find("nope.cc"), std::string::npos);
+}
+
+// --- GL013 trigger evaluation on real-shaped code --------------------------
+
+TEST(StaleSuppression, LoadBearingAllowIsKeptDeadAllowIsFlagged) {
+  const std::string src =
+      "#include <unordered_map>\n"
+      "namespace x {\n"
+      "double Total(const std::unordered_map<int, double>& m) {\n"
+      "  double t = 0.0;\n"
+      "  // gl-lint: allow(unordered-iter)\n"
+      "  for (const auto& [k, v] : m) t += v;\n"
+      "  // gl-lint: allow(adhoc-rng)\n"
+      "  t += 1.0;\n"
+      "  return t;\n"
+      "}\n"
+      "}  // namespace x\n";
+  const std::vector<FileFacts> facts = {ExtractFacts("s.cc", src)};
+  const std::vector<Finding> findings = Analyze(facts, AnalysisOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "GL013");
+  EXPECT_NE(findings[0].message.find("adhoc-rng"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gl::analyze

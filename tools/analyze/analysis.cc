@@ -1,0 +1,687 @@
+#include "analyze/analysis.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/json_writer.h"
+
+namespace gl::analyze {
+namespace {
+
+constexpr char kRuleAlloc[] = "GL010";
+constexpr char kRuleGuard[] = "GL011";
+constexpr char kRuleFold[] = "GL012";
+constexpr char kRuleStale[] = "GL013";
+
+[[nodiscard]] std::string AllocKindLabel(AllocKind kind) {
+  switch (kind) {
+    case AllocKind::kNew:
+      return "new expression";
+    case AllocKind::kAllocCall:
+      return "allocator call";
+    case AllocKind::kInducedSubgraph:
+      return "materializes an induced subgraph";
+    case AllocKind::kLocalInit:
+      return "local container constructed with contents";
+    case AllocKind::kLocalGrowth:
+      return "growth of a local container";
+  }
+  return "allocation";
+}
+
+// True when one path is a '/'-boundary suffix of the other. Findings carry
+// whatever path the invoker passed (absolute under ctest, relative under
+// check.sh), baseline entries are committed repo-relative; suffix matching
+// makes them agree.
+[[nodiscard]] bool PathSuffixMatch(const std::string& a,
+                                   const std::string& b) {
+  if (a == b) return true;
+  const std::string& longer = a.size() > b.size() ? a : b;
+  const std::string& shorter = a.size() > b.size() ? b : a;
+  return longer.size() > shorter.size() + 1 &&
+         longer.ends_with(shorter) &&
+         longer[longer.size() - shorter.size() - 1] == '/';
+}
+
+// Global function id: (file index, function index within that file).
+struct FuncRef {
+  int file = -1;
+  int func = -1;
+  bool operator==(const FuncRef& o) const {
+    return file == o.file && func == o.func;
+  }
+};
+struct FuncRefHash {
+  std::size_t operator()(const FuncRef& r) const {
+    return static_cast<std::size_t>(r.file) * 1000003u +
+           static_cast<std::size_t>(r.func);
+  }
+};
+
+void AnalyzeHotPath(const std::vector<FileFacts>& files,
+                    const AnalysisOptions& opts,
+                    std::vector<Finding>* out) {
+  // Symbol index: bare name -> all definitions with that name, plus scoped
+  // variants. Call edges resolve the way C++ name lookup leans: a method of
+  // the caller's own class shadows everything, then file-local definitions,
+  // then the global name set. Without receiver types this is still an
+  // over-approximation, but the scoping keeps an incidental name collision
+  // (two unrelated classes both defining Place) from fusing their call
+  // graphs.
+  std::unordered_map<std::string, std::vector<FuncRef>> by_name;
+  std::unordered_map<std::string, std::vector<FuncRef>> by_class;
+  std::unordered_map<std::string, std::vector<FuncRef>> by_class_method;
+  std::unordered_map<std::string, std::vector<FuncRef>> by_file_name;
+  for (int fi = 0; fi < static_cast<int>(files.size()); ++fi) {
+    const FileFacts& f = files[static_cast<std::size_t>(fi)];
+    for (int gi = 0; gi < static_cast<int>(f.functions.size()); ++gi) {
+      const FunctionDef& d = f.functions[static_cast<std::size_t>(gi)];
+      by_name[d.name].push_back({fi, gi});
+      by_file_name[std::to_string(fi) + "/" + d.name].push_back({fi, gi});
+      if (!d.class_name.empty()) {
+        by_class[d.class_name].push_back({fi, gi});
+        by_class_method[d.class_name + "::" + d.name].push_back({fi, gi});
+      }
+    }
+  }
+
+  const auto def_of = [&](const FuncRef& r) -> const FunctionDef& {
+    return files[static_cast<std::size_t>(r.file)]
+        .functions[static_cast<std::size_t>(r.func)];
+  };
+  const auto display = [&](const FuncRef& r) {
+    const FunctionDef& d = def_of(r);
+    return d.class_name.empty() ? d.name : d.class_name + "::" + d.name;
+  };
+
+  // BFS from the hot roots over name-matched call edges, recording each
+  // function's BFS parent so findings can print the call chain.
+  std::unordered_map<FuncRef, FuncRef, FuncRefHash> parent;
+  std::unordered_set<FuncRef, FuncRefHash> reached;
+  std::vector<FuncRef> queue;
+  const auto seed = [&](const FuncRef& r) {
+    if (reached.insert(r).second) {
+      parent[r] = FuncRef{};  // root sentinel
+      queue.push_back(r);
+    }
+  };
+  for (const std::string& spec : opts.hot_roots) {
+    if (spec.ends_with("::")) {
+      const std::string cls = spec.substr(0, spec.size() - 2);
+      const auto it = by_class.find(cls);
+      if (it != by_class.end()) {
+        for (const FuncRef& r : it->second) seed(r);
+      }
+    } else {
+      const auto it = by_name.find(spec);
+      if (it != by_name.end()) {
+        for (const FuncRef& r : it->second) seed(r);
+      }
+    }
+  }
+  const auto resolve = [&](const FuncRef& caller, const std::string& callee)
+      -> const std::vector<FuncRef>* {
+    const FunctionDef& d = def_of(caller);
+    if (!d.class_name.empty()) {
+      const auto it = by_class_method.find(d.class_name + "::" + callee);
+      if (it != by_class_method.end()) return &it->second;
+    }
+    const auto fit =
+        by_file_name.find(std::to_string(caller.file) + "/" + callee);
+    if (fit != by_file_name.end()) return &fit->second;
+    const auto it = by_name.find(callee);
+    return it != by_name.end() ? &it->second : nullptr;
+  };
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const FuncRef cur = queue[head];
+    const FileFacts& f = files[static_cast<std::size_t>(cur.file)];
+    for (const CallSite& c : f.calls) {
+      if (c.func != cur.func) continue;
+      const std::vector<FuncRef>* targets = resolve(cur, c.callee);
+      if (targets == nullptr) continue;
+      for (const FuncRef& callee : *targets) {
+        if (reached.insert(callee).second) {
+          parent[callee] = cur;
+          queue.push_back(callee);
+        }
+      }
+    }
+  }
+
+  for (int fi = 0; fi < static_cast<int>(files.size()); ++fi) {
+    const FileFacts& f = files[static_cast<std::size_t>(fi)];
+    for (const AllocSite& a : f.allocs) {
+      const FuncRef ref{fi, a.func};
+      if (!reached.count(ref)) continue;
+      // Chain from the allocating function back to its root.
+      std::vector<std::string> chain;
+      FuncRef walk = ref;
+      while (walk.file >= 0 && chain.size() < 32) {
+        chain.push_back(display(walk));
+        walk = parent.at(walk);
+      }
+      std::string via;
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        if (!via.empty()) via += " -> ";
+        via += *it;
+      }
+      Finding fd;
+      fd.rule_id = kRuleAlloc;
+      fd.rule_name = "alloc-in-hot-path";
+      fd.path = f.path;
+      fd.line = a.line;
+      fd.line_text = a.line_text;
+      fd.message = AllocKindLabel(a.kind) + " (" + a.detail +
+                   ") on the hot path: " + via;
+      out->push_back(std::move(fd));
+    }
+  }
+}
+
+[[nodiscard]] std::string ReadWholeFile(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return "";
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *ok = true;
+  return ss.str();
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {kRuleAlloc, "alloc-in-hot-path",
+       "allocation reachable from the partitioner hot path (DESIGN.md §11: "
+       "zero-allocation steady state)"},
+      {kRuleGuard, "unguarded-shared-member",
+       "mutable member of a mutex-owning class lacks GL_GUARDED_BY "
+       "(DESIGN.md §9)"},
+      {kRuleFold, "nondet-float-fold",
+       "float accumulation inside a ParallelFor body is schedule-dependent "
+       "(DESIGN.md §8: fold in canonical index order)"},
+      {kRuleStale, "stale-suppression",
+       "gl-lint allow(...) names a rule that no longer fires on the covered "
+       "lines"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> Analyze(const std::vector<FileFacts>& files,
+                             const AnalysisOptions& opts) {
+  std::vector<Finding> out;
+  AnalyzeHotPath(files, opts, &out);
+
+  for (const FileFacts& f : files) {
+    for (const UnguardedMember& m : f.unguarded) {
+      Finding fd;
+      fd.rule_id = kRuleGuard;
+      fd.rule_name = "unguarded-shared-member";
+      fd.path = f.path;
+      fd.line = m.line;
+      fd.line_text = m.line_text;
+      fd.message = "member '" + m.member + "' of mutex-owning class '" +
+                   m.class_name +
+                   "' has no GL_GUARDED_BY annotation; annotate it or mark "
+                   "why it needs none in the baseline";
+      out.push_back(std::move(fd));
+    }
+    for (const FloatFold& x : f.float_folds) {
+      Finding fd;
+      fd.rule_id = kRuleFold;
+      fd.rule_name = "nondet-float-fold";
+      fd.path = f.path;
+      fd.line = x.line;
+      fd.line_text = x.line_text;
+      fd.message = "float accumulation into captured '" + x.var +
+                   "' inside a ParallelFor body in '" + x.function +
+                   "' depends on worker schedule; write per-index slots and "
+                   "fold in canonical order";
+      out.push_back(std::move(fd));
+    }
+    for (const Suppression& s : f.suppressions) {
+      for (const SuppressedRule& r : s.rules) {
+        if (r.known && r.triggered) continue;
+        Finding fd;
+        fd.rule_id = kRuleStale;
+        fd.rule_name = "stale-suppression";
+        fd.path = f.path;
+        fd.line = s.line;
+        fd.line_text = s.line_text;
+        fd.message =
+            r.known
+                ? "suppression for '" + r.rule +
+                      "' is stale: the rule no longer fires on the covered "
+                      "lines; delete the allow() comment"
+                : "suppression names unknown rule '" + r.rule + "'";
+        out.push_back(std::move(fd));
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule_id != b.rule_id) return a.rule_id < b.rule_id;
+              return a.message < b.message;
+            });
+  // Exact duplicates happen when one source line matches a pattern twice
+  // (e.g. nested vector<vector<T>> declarations); report each once.
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Finding& a, const Finding& b) {
+                          return a.path == b.path && a.line == b.line &&
+                                 a.rule_id == b.rule_id &&
+                                 a.message == b.message;
+                        }),
+            out.end());
+  return out;
+}
+
+// --- baseline --------------------------------------------------------------
+
+bool LoadBaseline(const std::string& path, Baseline* out, std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    *err = "cannot open baseline file: " + path;
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const std::size_t p1 = line.find('|');
+    const std::size_t p2 = p1 == std::string::npos ? p1 : line.find('|', p1 + 1);
+    if (p2 == std::string::npos) {
+      *err = path + ":" + std::to_string(lineno) +
+             ": malformed baseline entry (want RULE|path|line text)";
+      return false;
+    }
+    Baseline::Entry e;
+    e.rule_id = line.substr(0, p1);
+    e.path = line.substr(p1 + 1, p2 - p1 - 1);
+    e.line_text = line.substr(p2 + 1);
+    e.file_line = lineno;
+    out->entries.push_back(std::move(e));
+  }
+  return true;
+}
+
+BaselineResult ApplyBaseline(const std::vector<Finding>& all,
+                             const Baseline& baseline) {
+  BaselineResult r;
+  std::vector<bool> hit(baseline.entries.size(), false);
+  for (const Finding& f : all) {
+    bool matched = false;
+    for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+      const Baseline::Entry& e = baseline.entries[i];
+      if (e.rule_id == f.rule_id && e.line_text == f.line_text &&
+          PathSuffixMatch(e.path, f.path)) {
+        hit[i] = true;
+        matched = true;
+      }
+    }
+    if (matched) {
+      ++r.suppressed;
+    } else {
+      r.fresh.push_back(f);
+    }
+  }
+  for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+    if (!hit[i]) r.stale.push_back(baseline.entries[i]);
+  }
+  return r;
+}
+
+std::string FormatBaseline(const std::vector<Finding>& all) {
+  std::string out =
+      "# gl_analyze baseline: accepted findings, one per line.\n"
+      "# Format: RULE|repo-relative/path|trimmed source line\n"
+      "# An entry suppresses every finding with the same rule, path suffix,\n"
+      "# and line text. Keep a justification comment above each entry.\n";
+  for (const Finding& f : all) {
+    out += f.rule_id;
+    out.push_back('|');
+    out += f.path;
+    out.push_back('|');
+    out += f.line_text;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+// --- SARIF -----------------------------------------------------------------
+
+std::string ToSarif(const std::vector<Finding>& findings) {
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.Key("$schema");
+  w.String(
+      "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json");
+  w.Key("version");
+  w.String("2.1.0");
+  w.Key("runs");
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("tool");
+  w.BeginObject();
+  w.Key("driver");
+  w.BeginObject();
+  w.Key("name");
+  w.String("gl_analyze");
+  w.Key("informationUri");
+  w.String("DESIGN.md");
+  w.Key("version");
+  w.String("1.0.0");
+  w.Key("rules");
+  w.BeginArray();
+  for (const RuleInfo& r : Rules()) {
+    w.BeginObject();
+    w.Key("id");
+    w.String(r.id);
+    w.Key("name");
+    w.String(r.name);
+    w.Key("shortDescription");
+    w.BeginObject();
+    w.Key("text");
+    w.String(r.summary);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();  // driver
+  w.EndObject();  // tool
+  w.Key("results");
+  w.BeginArray();
+  for (const Finding& f : findings) {
+    w.BeginObject();
+    w.Key("ruleId");
+    w.String(f.rule_id);
+    w.Key("level");
+    w.String("error");
+    w.Key("message");
+    w.BeginObject();
+    w.Key("text");
+    w.String(f.message);
+    w.EndObject();
+    w.Key("locations");
+    w.BeginArray();
+    w.BeginObject();
+    w.Key("physicalLocation");
+    w.BeginObject();
+    w.Key("artifactLocation");
+    w.BeginObject();
+    w.Key("uri");
+    w.String(f.path);
+    w.EndObject();
+    w.Key("region");
+    w.BeginObject();
+    w.Key("startLine");
+    w.Int(f.line > 0 ? f.line : 1);
+    w.EndObject();
+    w.EndObject();  // physicalLocation
+    w.EndObject();  // location
+    w.EndArray();
+    w.EndObject();  // result
+  }
+  w.EndArray();
+  w.EndObject();  // run
+  w.EndArray();
+  w.EndObject();
+  out.push_back('\n');
+  return out;
+}
+
+// --- incremental cache -----------------------------------------------------
+
+namespace {
+
+struct CacheEntry {
+  std::int64_t mtime_ns = 0;
+  std::uint64_t size = 0;
+  std::uint64_t hash = 0;
+  std::string blob;  // serialized FileFacts
+};
+
+[[nodiscard]] bool StatFile(const std::string& path, std::int64_t* mtime_ns,
+                            std::uint64_t* size) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return false;
+  *mtime_ns = static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+              st.st_mtim.tv_nsec;
+  *size = static_cast<std::uint64_t>(st.st_size);
+  return true;
+}
+
+// Cache file format:
+//   glcache v1
+//   file <path>\t<mtime_ns>\t<size>\t<hash hex>
+//   <serialized facts lines>
+//   end
+void ParseCacheFile(const std::string& path,
+                    std::unordered_map<std::string, CacheEntry>* out) {
+  bool ok = false;
+  const std::string blob = ReadWholeFile(path, &ok);
+  if (!ok) return;
+  std::size_t pos = 0;
+  const auto next_line = [&](std::string* line) {
+    if (pos >= blob.size()) return false;
+    std::size_t nl = blob.find('\n', pos);
+    if (nl == std::string::npos) nl = blob.size();
+    line->assign(blob, pos, nl - pos);
+    pos = nl + 1;
+    return true;
+  };
+  std::string line;
+  if (!next_line(&line) || line != "glcache v1") return;
+  while (next_line(&line)) {
+    if (!line.starts_with("file ")) return;  // malformed: drop the rest
+    const std::string header = line.substr(5);
+    std::vector<std::string> cols;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= header.size(); ++i) {
+      if (i == header.size() || header[i] == '\t') {
+        cols.push_back(header.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    if (cols.size() != 4) return;
+    CacheEntry e;
+    char* end = nullptr;
+    e.mtime_ns = std::strtoll(cols[1].c_str(), &end, 10);
+    e.size = std::strtoull(cols[2].c_str(), &end, 10);
+    e.hash = std::strtoull(cols[3].c_str(), &end, 16);
+    while (next_line(&line) && line != "end") {
+      e.blob += line;
+      e.blob.push_back('\n');
+    }
+    (*out)[cols[0]] = std::move(e);
+  }
+}
+
+}  // namespace
+
+std::vector<FileFacts> LoadFacts(const std::vector<std::string>& paths,
+                                 const std::string& cache_path,
+                                 CacheStats* stats, std::string* err) {
+  std::unordered_map<std::string, CacheEntry> cache;
+  if (!cache_path.empty()) ParseCacheFile(cache_path, &cache);
+
+  std::vector<FileFacts> out;
+  std::unordered_map<std::string, CacheEntry> fresh_cache;
+  for (const std::string& path : paths) {
+    ++stats->files_total;
+    std::int64_t mtime_ns = 0;
+    std::uint64_t size = 0;
+    if (!StatFile(path, &mtime_ns, &size)) {
+      if (!err->empty()) err->push_back('\n');
+      *err += "cannot stat: " + path;
+      continue;
+    }
+    const auto it = cache.find(path);
+    FileFacts facts;
+    bool reused = false;
+    if (it != cache.end() && it->second.mtime_ns == mtime_ns &&
+        it->second.size == size && DeserializeFacts(it->second.blob, &facts)) {
+      reused = true;  // stat match: facts reused without reading the file
+      fresh_cache[path] = it->second;
+    } else {
+      bool ok = false;
+      const std::string source = ReadWholeFile(path, &ok);
+      if (!ok) {
+        if (!err->empty()) err->push_back('\n');
+        *err += "cannot read: " + path;
+        continue;
+      }
+      const std::uint64_t hash = HashBytes(source);
+      if (it != cache.end() && it->second.hash == hash &&
+          DeserializeFacts(it->second.blob, &facts)) {
+        reused = true;  // touched but unchanged: rehash rescued the entry
+        CacheEntry e = it->second;
+        e.mtime_ns = mtime_ns;
+        e.size = size;
+        fresh_cache[path] = std::move(e);
+      } else {
+        facts = ExtractFacts(path, source);
+        CacheEntry e;
+        e.mtime_ns = mtime_ns;
+        e.size = size;
+        e.hash = hash;
+        SerializeFacts(facts, &e.blob);
+        fresh_cache[path] = std::move(e);
+      }
+    }
+    facts.path = path;  // cached blobs may carry a stale path spelling
+    ++(reused ? stats->files_cached : stats->files_lexed);
+    out.push_back(std::move(facts));
+  }
+
+  if (!cache_path.empty()) {
+    std::string blob = "glcache v1\n";
+    // Deterministic order: sort by path.
+    std::map<std::string, const CacheEntry*> ordered;
+    for (const auto& [p, e] : fresh_cache) ordered[p] = &e;
+    for (const auto& [p, e] : ordered) {
+      blob += "file " + p + "\t" + std::to_string(e->mtime_ns) + "\t" +
+              std::to_string(e->size) + "\t";
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(e->hash));
+      blob += buf;
+      blob.push_back('\n');
+      blob += e->blob;
+      blob += "end\n";
+    }
+    std::ofstream outf(cache_path, std::ios::binary | std::ios::trunc);
+    if (outf) outf << blob;
+  }
+  return out;
+}
+
+// --- fixture self-test -----------------------------------------------------
+
+int RunSelfTest(const std::string& fixtures_dir, const AnalysisOptions& opts,
+                std::ostream& os) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(fixtures_dir, ec)) {
+    if (entry.path().extension() == ".cc") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    os << "FAIL cannot list fixtures dir: " << fixtures_dir << "\n";
+    return 1;
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    os << "FAIL no fixtures found in " << fixtures_dir << "\n";
+    return 1;
+  }
+
+  int failures = 0;
+  for (const std::string& path : paths) {
+    const std::string base = fs::path(path).filename().string();
+    bool ok = false;
+    const std::string source = ReadWholeFile(path, &ok);
+    if (!ok) {
+      os << "FAIL " << base << ": unreadable\n";
+      ++failures;
+      continue;
+    }
+    // Expectation header: the first "// gl-analyze-expect:" comment.
+    std::set<std::string> expected;
+    bool have_header = false;
+    {
+      const std::size_t at = source.find("gl-analyze-expect:");
+      if (at != std::string::npos) {
+        have_header = true;
+        std::size_t eol = source.find('\n', at);
+        if (eol == std::string::npos) eol = source.size();
+        std::string list = source.substr(at + 18, eol - at - 18);
+        std::size_t pos = 0;
+        while (pos <= list.size()) {
+          std::size_t comma = list.find(',', pos);
+          if (comma == std::string::npos) comma = list.size();
+          std::string item = list.substr(pos, comma - pos);
+          const auto b = item.find_first_not_of(" \t\r");
+          const auto e = item.find_last_not_of(" \t\r");
+          if (b != std::string::npos) {
+            item = item.substr(b, e - b + 1);
+            if (item != "clean") expected.insert(item);
+          }
+          pos = comma + 1;
+        }
+      }
+    }
+    if (!have_header) {
+      os << "FAIL " << base << ": missing // gl-analyze-expect: header\n";
+      ++failures;
+      continue;
+    }
+
+    const std::vector<FileFacts> facts = {ExtractFacts(path, source)};
+    const std::vector<Finding> findings = Analyze(facts, opts);
+    std::set<std::string> fired;
+    for (const Finding& f : findings) fired.insert(f.rule_id);
+
+    const auto join = [](const std::set<std::string>& s) {
+      if (s.empty()) return std::string("clean");
+      std::string j;
+      for (const std::string& x : s) {
+        if (!j.empty()) j += ",";
+        j += x;
+      }
+      return j;
+    };
+    if (fired == expected) {
+      os << "PASS " << base << " (" << join(expected) << ")\n";
+    } else {
+      os << "FAIL " << base << ": expected " << join(expected) << ", got "
+         << join(fired) << "\n";
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+}  // namespace gl::analyze

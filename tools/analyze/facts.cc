@@ -1,0 +1,872 @@
+#include "analyze/facts.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace gl::analyze {
+namespace {
+
+// Structural view: comments and preprocessor directives removed, but the
+// original token (with its line) still reachable.
+struct SView {
+  std::vector<const Token*> toks;
+
+  [[nodiscard]] std::size_t size() const { return toks.size(); }
+  [[nodiscard]] const std::string& text(std::size_t i) const {
+    return i < toks.size() ? toks[i]->text : kEmpty;
+  }
+  [[nodiscard]] TokKind kind(std::size_t i) const {
+    return i < toks.size() ? toks[i]->kind : TokKind::kPunct;
+  }
+  [[nodiscard]] int line(std::size_t i) const {
+    return i < toks.size() ? toks[i]->line : 0;
+  }
+  [[nodiscard]] bool is(std::size_t i, std::string_view s) const {
+    return i < toks.size() && toks[i]->text == s;
+  }
+  [[nodiscard]] bool IsIdent(std::size_t i) const {
+    return kind(i) == TokKind::kIdent;
+  }
+
+  static const std::string kEmpty;
+};
+const std::string SView::kEmpty;
+
+// Index just past the token matching the opener at `i` ("{...}" or "(...)").
+std::size_t MatchGroup(const SView& t, std::size_t i, std::string_view open,
+                       std::string_view close) {
+  int depth = 0;
+  for (std::size_t k = i; k < t.size(); ++k) {
+    if (t.is(k, open)) ++depth;
+    if (t.is(k, close) && --depth == 0) return k + 1;
+  }
+  return t.size();
+}
+
+// If t[i] opens a template argument list, returns the index just past its
+// closing '>'; otherwise returns i. Heuristic: bails (no template) when a
+// ';' or brace interrupts, or after 400 tokens.
+std::size_t SkipTemplateArgs(const SView& t, std::size_t i) {
+  if (!t.is(i, "<")) return i;
+  int depth = 0;
+  for (std::size_t k = i; k < t.size() && k < i + 400; ++k) {
+    const std::string& s = t.text(k);
+    if (s == "<") ++depth;
+    else if (s == ">") --depth;
+    else if (s == ">>") depth -= 2;
+    else if (s == "(") { k = MatchGroup(t, k, "(", ")") - 1; continue; }
+    else if (s == ";" || s == "{" || s == "}") return i;
+    if (depth <= 0) return k + 1;
+  }
+  return i;
+}
+
+const std::unordered_set<std::string_view> kOwningContainers = {
+    "vector", "deque", "list", "string", "basic_string", "map", "set",
+    "multimap", "multiset", "unordered_map", "unordered_set",
+    "unordered_multimap", "unordered_multiset", "queue", "stack",
+    "priority_queue"};
+
+const std::unordered_set<std::string_view> kAllocCalls = {
+    "make_unique", "make_shared", "malloc", "calloc", "realloc", "strdup",
+    "aligned_alloc"};
+
+const std::unordered_set<std::string_view> kGrowthCalls = {
+    "push_back", "emplace_back", "emplace", "insert", "append", "push_front",
+    "resize", "reserve", "assign"};
+
+const std::unordered_set<std::string_view> kMutexTypes = {
+    "Mutex", "mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+    "recursive_timed_mutex"};
+
+const std::unordered_set<std::string_view> kCondVarTypes = {
+    "CondVar", "condition_variable", "condition_variable_any"};
+
+const std::unordered_set<std::string_view> kBodyIntroducers = {
+    "const", "noexcept", "override", "final", "mutable", "try"};
+
+// ---------------------------------------------------------------------------
+// Extraction context.
+// ---------------------------------------------------------------------------
+struct Extractor {
+  const SView& t;
+  const std::vector<std::string>& lines;  // 0-based source lines
+  FileFacts& out;
+
+  [[nodiscard]] std::string LineText(int line) const {
+    if (line < 1 || line > static_cast<int>(lines.size())) return "";
+    std::string s = lines[static_cast<std::size_t>(line - 1)];
+    const auto b = s.find_first_not_of(" \t");
+    const auto e = s.find_last_not_of(" \t\r");
+    if (b == std::string::npos) return "";
+    return s.substr(b, e - b + 1);
+  }
+
+  // --- function bodies -----------------------------------------------------
+
+  void ScanBody(int fidx, std::size_t begin, std::size_t end) {
+    // Local owning containers (name -> declaration token index).
+    std::unordered_set<std::string> locals;
+    CollectLocalContainers(fidx, begin, end, &locals);
+
+    for (std::size_t k = begin; k < end; ++k) {
+      // Call sites + allocator calls + new expressions.
+      if (t.IsIdent(k)) {
+        const std::string& s = t.text(k);
+        if (s == "new") {
+          out.allocs.push_back({fidx, AllocKind::kNew, "new", t.line(k),
+                                LineText(t.line(k))});
+          continue;
+        }
+        if (s == "InducedSubgraph") {
+          out.allocs.push_back({fidx, AllocKind::kInducedSubgraph,
+                                "InducedSubgraph", t.line(k),
+                                LineText(t.line(k))});
+          continue;
+        }
+        const bool called = t.is(k + 1, "(") ||
+                            (t.is(k + 1, "<") &&
+                             SkipTemplateArgs(t, k + 1) != k + 1 &&
+                             t.is(SkipTemplateArgs(t, k + 1), "("));
+        if (kAllocCalls.count(s) && called) {
+          out.allocs.push_back({fidx, AllocKind::kAllocCall, s, t.line(k),
+                                LineText(t.line(k))});
+          continue;
+        }
+        if (t.is(k + 1, "(") && !IsReservedWord(s) && !t.is(k - 1, "new")) {
+          out.calls.push_back({fidx, s, t.line(k)});
+        }
+        // Growth call on a local container: NAME . grow ( ...
+        if (t.is(k + 1, ".") && t.IsIdent(k + 2) && t.is(k + 3, "(") &&
+            kGrowthCalls.count(t.text(k + 2)) && locals.count(s) &&
+            !(k > begin && (t.is(k - 1, ".") || t.is(k - 1, "->") ||
+                            t.is(k - 1, ")") || t.is(k - 1, "]")))) {
+          out.allocs.push_back({fidx, AllocKind::kLocalGrowth,
+                                s + "." + t.text(k + 2), t.line(k),
+                                LineText(t.line(k))});
+        }
+      }
+    }
+    ScanParallelForFolds(fidx, begin, end);
+  }
+
+  // Declarations of local owning containers; records kLocalInit sites for
+  // the ones constructed with contents.
+  void CollectLocalContainers(int fidx, std::size_t begin, std::size_t end,
+                              std::unordered_set<std::string>* locals) {
+    std::size_t stmt_start = begin;
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::string& s = t.text(k);
+      if (s == ";" || s == "{" || s == "}") {
+        stmt_start = k + 1;
+        continue;
+      }
+      if (!t.IsIdent(k) || !kOwningContainers.count(s)) continue;
+      // Reject member/qualified accesses (x.vector nonsense) but allow a
+      // leading std::.
+      if (t.is(k - 1, ".") || t.is(k - 1, "->")) continue;
+      if (t.is(k - 1, "::") && !t.is(k - 2, "std")) continue;
+      // `static` locals allocate once per process, not per call.
+      bool is_static = false;
+      for (std::size_t b = stmt_start; b < k; ++b) {
+        if (t.is(b, "static")) is_static = true;
+      }
+      std::size_t p = SkipTemplateArgs(t, k + 1);
+      if (p == k + 1 && t.is(k + 1, "<")) continue;  // unparsable args
+      if (t.is(p, "&") || t.is(p, "*")) continue;    // reference / pointer
+      if (!t.IsIdent(p) || IsReservedWord(t.text(p))) continue;
+      const std::string name = t.text(p);
+      const std::string& nxt = t.text(p + 1);
+      bool init = false;
+      if (nxt == "=") {
+        init = true;
+      } else if (nxt == "{") {
+        init = !t.is(p + 2, "}");
+      } else if (nxt == "(") {
+        if (t.is(p + 2, ")")) continue;  // function declaration
+        init = true;
+      } else if (nxt != ";" && nxt != ",") {
+        continue;
+      }
+      if (is_static) continue;
+      locals->insert(name);
+      if (init) {
+        out.allocs.push_back({fidx, AllocKind::kLocalInit,
+                              t.text(k) + " " + name, t.line(p),
+                              LineText(t.line(p))});
+      }
+    }
+  }
+
+  // GL012: float accumulation into captured enclosing-scope locals inside
+  // ParallelFor lambda bodies.
+  void ScanParallelForFolds(int fidx, std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      if (!t.IsIdent(k) ||
+          (t.text(k) != "ParallelFor" && t.text(k) != "ParallelForWithRng") ||
+          !t.is(k + 1, "(")) {
+        continue;
+      }
+      const std::size_t args_end = MatchGroup(t, k + 1, "(", ")");
+      // Find the lambda: first '[' inside the argument list.
+      std::size_t lb = k + 2;
+      while (lb < args_end && !t.is(lb, "[")) ++lb;
+      if (lb >= args_end) continue;
+      std::size_t p = MatchGroup(t, lb, "[", "]");
+      if (t.is(p, "(")) p = MatchGroup(t, p, "(", ")");
+      while (p < args_end && !t.is(p, "{") && p < lb + 64) ++p;  // specifiers
+      if (!t.is(p, "{")) continue;
+      const std::size_t body_end = MatchGroup(t, p, "{", "}");
+
+      // double/float locals declared outside vs inside the lambda body.
+      std::unordered_set<std::string> outer;
+      std::unordered_set<std::string> inner;
+      for (std::size_t d = begin; d < end; ++d) {
+        if (!t.IsIdent(d) ||
+            (t.text(d) != "double" && t.text(d) != "float") ||
+            !t.IsIdent(d + 1) || IsReservedWord(t.text(d + 1))) {
+          continue;
+        }
+        const std::string& after = t.text(d + 2);
+        if (after != "=" && after != ";" && after != "{" && after != ",") {
+          continue;
+        }
+        (d > p && d < body_end ? inner : outer).insert(t.text(d + 1));
+      }
+
+      for (std::size_t q = p; q < body_end; ++q) {
+        const std::string& op = t.text(q);
+        if (op != "+=" && op != "-=" && op != "*=" && op != "/=") continue;
+        if (!t.IsIdent(q - 1)) continue;  // excludes arr[i] += (prev is ']')
+        if (t.is(q - 2, ".") || t.is(q - 2, "->") || t.is(q - 2, "]") ||
+            t.is(q - 2, ")")) {
+          continue;  // member/element target, not a captured scalar
+        }
+        const std::string& var = t.text(q - 1);
+        if (outer.count(var) && !inner.count(var)) {
+          const std::string fn =
+              fidx >= 0 ? out.functions[static_cast<std::size_t>(fidx)].name
+                        : std::string("?");
+          out.float_folds.push_back(
+              {var, fn, t.line(q), LineText(t.line(q))});
+        }
+      }
+      k = args_end - 1;
+    }
+  }
+
+  // --- class members (GL011) ----------------------------------------------
+
+  struct MemberInfo {
+    std::string name;
+    int line = 0;
+    bool annotated = false;
+    bool exempt = false;    // const / atomic / sync primitive / reference
+    bool is_mutex = false;  // owning mutex member
+  };
+
+  struct ClassCtx {
+    std::string name;
+    std::vector<MemberInfo> members;
+    bool owns_mutex = false;
+  };
+
+  void ProcessMemberStatement(const std::vector<std::size_t>& head,
+                              ClassCtx* cls) {
+    if (head.empty()) return;
+    bool annotated = false;
+    bool exempt = false;
+    bool is_mutex = false;
+    bool is_ref = false;
+    int angle = 0;
+    std::size_t name_tok = t.size();
+    for (std::size_t hi = 0; hi < head.size(); ++hi) {
+      const std::size_t k = head[hi];
+      const std::string& s = t.text(k);
+      if (s == "<" && hi > 0 && t.IsIdent(head[hi - 1])) { ++angle; continue; }
+      if (s == ">" && angle > 0) { --angle; continue; }
+      if (s == ">>" && angle > 0) { angle = std::max(0, angle - 2); continue; }
+      if (angle > 0) continue;
+      if (s == "using" || s == "typedef" || s == "friend" || s == "static" ||
+          s == "template" || s == "static_assert" || s == "operator" ||
+          s == "enum" || s == "class" || s == "struct" || s == "union" ||
+          s == ":") {
+        return;  // not an instance data member (':' = bit-field / base)
+      }
+      if (s == "GL_GUARDED_BY" || s == "GL_PT_GUARDED_BY") {
+        annotated = true;
+        // Skip the annotation's argument list.
+        if (hi + 1 < head.size() && t.is(head[hi + 1], "(")) {
+          int d = 0;
+          while (hi < head.size()) {
+            if (t.is(head[hi], "(")) ++d;
+            if (t.is(head[hi], ")") && --d == 0) break;
+            ++hi;
+          }
+        }
+        continue;
+      }
+      if (s == "(") {
+        // A top-level call-ish paren group that is not an annotation:
+        // member function declaration (incl. function-pointer members).
+        return;
+      }
+      if (s == "const" || s == "constexpr") exempt = true;
+      if (s == "atomic") exempt = true;
+      if (s == "&") is_ref = true;
+      if (t.IsIdent(k) && kCondVarTypes.count(s)) { exempt = true; }
+      if (t.IsIdent(k) && kMutexTypes.count(s)) is_mutex = true;
+      if (s == "=" || s == "[" || s == "{") break;
+      if (t.IsIdent(k) && !IsReservedWord(s)) name_tok = k;
+    }
+    if (name_tok == t.size()) return;
+    if (is_mutex && is_ref) {
+      is_mutex = false;  // borrowed mutex (e.g. MutexLock), not ownership
+      exempt = true;
+    }
+    if (is_mutex) cls->owns_mutex = true;
+    cls->members.push_back({t.text(name_tok), t.line(name_tok), annotated,
+                            exempt, is_mutex});
+  }
+
+  void FinalizeClass(const ClassCtx& cls) {
+    if (!cls.owns_mutex) return;
+    for (const MemberInfo& m : cls.members) {
+      if (m.is_mutex || m.exempt || m.annotated) continue;
+      out.unguarded.push_back(
+          {cls.name, m.name, m.line, LineText(m.line)});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Scope machine: walks namespace/class scope, indexes function definitions,
+// skips (and scans) their bodies wholesale.
+// ---------------------------------------------------------------------------
+void WalkStructure(Extractor& ex) {
+  const SView& t = ex.t;
+  enum class ScopeType { kNamespace, kClass, kBlock };
+  struct Scope {
+    ScopeType type;
+    Extractor::ClassCtx cls;
+  };
+  std::vector<Scope> scopes;
+  std::vector<std::size_t> head;
+
+  const auto current_class = [&]() -> Extractor::ClassCtx* {
+    return !scopes.empty() && scopes.back().type == ScopeType::kClass
+               ? &scopes.back().cls
+               : nullptr;
+  };
+
+  std::size_t i = 0;
+  while (i < t.size()) {
+    const std::string& s = t.text(i);
+
+    if (t.IsIdent(i) && s == "namespace" && head.empty()) {
+      std::size_t j = i + 1;
+      while (j < t.size() && !t.is(j, "{") && !t.is(j, ";") && !t.is(j, "=")) {
+        ++j;
+      }
+      if (t.is(j, "{")) {
+        scopes.push_back({ScopeType::kNamespace, {}});
+        i = j + 1;
+      } else if (t.is(j, "=")) {  // namespace alias
+        while (j < t.size() && !t.is(j, ";")) ++j;
+        i = j + 1;
+      } else {
+        i = j + 1;
+      }
+      head.clear();
+      continue;
+    }
+
+    if (t.IsIdent(i) && s == "enum") {
+      std::size_t j = i + 1;
+      while (j < t.size() && !t.is(j, "{") && !t.is(j, ";")) ++j;
+      i = t.is(j, "{") ? MatchGroup(t, j, "{", "}") : j + 1;
+      head.clear();
+      continue;
+    }
+
+    if (t.IsIdent(i) && (s == "class" || s == "struct" || s == "union")) {
+      // Scan ahead for '{' (definition) or ';' (declaration / member).
+      std::size_t j = i + 1;
+      std::string name;
+      bool in_bases = false;
+      while (j < t.size() && !t.is(j, "{") && !t.is(j, ";")) {
+        if (t.is(j, "(")) { j = MatchGroup(t, j, "(", ")"); continue; }
+        if (t.is(j, ":") && !t.is(j + 1, ":") && !t.is(j - 1, ":")) {
+          in_bases = true;
+        }
+        if (!in_bases && t.IsIdent(j) && !IsReservedWord(t.text(j)) &&
+            t.text(j) != "final" && !t.text(j).starts_with("GL_")) {
+          name = t.text(j);
+        }
+        ++j;
+      }
+      if (t.is(j, "{")) {
+        Scope sc{ScopeType::kClass, {}};
+        sc.cls.name = name;
+        scopes.push_back(std::move(sc));
+        i = j + 1;
+      } else {
+        i = j + 1;  // forward declaration or `struct X*` member — skip
+      }
+      head.clear();
+      continue;
+    }
+
+    if (t.IsIdent(i) &&
+        (s == "public" || s == "private" || s == "protected") &&
+        t.is(i + 1, ":") && current_class() != nullptr) {
+      i += 2;
+      head.clear();
+      continue;
+    }
+
+    if (s == "{") {
+      // extern "C" { ... } keeps namespace-like scope.
+      if (head.size() == 2 && t.is(head[0], "extern") &&
+          t.kind(head[1]) == TokKind::kString) {
+        scopes.push_back({ScopeType::kNamespace, {}});
+        ++i;
+        head.clear();
+        continue;
+      }
+      // Function body vs brace initializer: a body's '{' follows ')', '}',
+      // '>', a reserved type word, or a specifier; an initializer's '{'
+      // follows the variable name, '=', ',' or '('.
+      const std::string& last = head.empty() ? SView::kEmpty
+                                             : t.text(head.back());
+      const bool init_like =
+          !head.empty() &&
+          (last == "=" || last == "," || last == "(" || last == "[" ||
+           (t.IsIdent(head.back()) && !IsReservedWord(last) &&
+            !kBodyIntroducers.count(last)));
+      if (head.empty() || init_like) {
+        // Brace initializer (member/global init) — consume, keep statement
+        // open. An empty head is a stray block; skip it the same way.
+        const std::size_t close = MatchGroup(t, i, "{", "}");
+        if (!head.empty()) head.push_back(close - 1);  // '}' marker
+        i = close;
+        continue;
+      }
+      // Function definition: name = identifier before the first top-level
+      // paren group; Class::Name qualification wins over lexical scope.
+      std::string fname;
+      std::string fclass;
+      int fline = t.line(i);
+      int angle = 0;
+      for (std::size_t hi = 0; hi < head.size(); ++hi) {
+        const std::size_t k = head[hi];
+        const std::string& hs = t.text(k);
+        if (hs == "<" && hi > 0 && t.IsIdent(head[hi - 1])) { ++angle; continue; }
+        if (hs == ">" && angle > 0) { --angle; continue; }
+        if (hs == ">>" && angle > 0) { angle = std::max(0, angle - 2); continue; }
+        if (angle > 0) continue;
+        if (hs == "(" && hi > 0 && t.IsIdent(head[hi - 1]) &&
+            !t.text(head[hi - 1]).starts_with("GL_")) {
+          fname = t.text(head[hi - 1]);
+          fline = t.line(head[hi - 1]);
+          if (hi >= 3 && t.is(head[hi - 2], "::") &&
+              t.IsIdent(head[hi - 3])) {
+            fclass = t.text(head[hi - 3]);
+          }
+          break;
+        }
+        if (hs == "operator") {
+          fname = "operator";
+          break;
+        }
+      }
+      if (fclass.empty()) {
+        const Extractor::ClassCtx* cc = current_class();
+        if (cc != nullptr) fclass = cc->name;
+      }
+      const std::size_t body_end = MatchGroup(t, i, "{", "}");
+      if (!fname.empty()) {
+        const int fidx = static_cast<int>(ex.out.functions.size());
+        ex.out.functions.push_back({fname, fclass, fline});
+        ex.ScanBody(fidx, i + 1, body_end - 1);
+      }
+      i = body_end;
+      head.clear();
+      continue;
+    }
+
+    if (s == ";") {
+      Extractor::ClassCtx* cc = current_class();
+      if (cc != nullptr) ex.ProcessMemberStatement(head, cc);
+      head.clear();
+      ++i;
+      continue;
+    }
+
+    if (s == "}") {
+      if (!scopes.empty()) {
+        if (scopes.back().type == ScopeType::kClass) {
+          ex.FinalizeClass(scopes.back().cls);
+        }
+        scopes.pop_back();
+      }
+      head.clear();
+      ++i;
+      continue;
+    }
+
+    head.push_back(i);
+    ++i;
+  }
+  // Unterminated class at EOF (truncated file): still report what we saw.
+  while (!scopes.empty()) {
+    if (scopes.back().type == ScopeType::kClass) {
+      ex.FinalizeClass(scopes.back().cls);
+    }
+    scopes.pop_back();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GL013: suppression comments and their per-rule trigger verdicts.
+// ---------------------------------------------------------------------------
+const std::unordered_set<std::string_view> kAnalyzerRuleNames = {
+    "alloc-in-hot-path", "unguarded-shared-member", "nondet-float-fold",
+    "stale-suppression"};
+
+bool RuleTriggers(const std::string& rule, const SView& t,
+                  const std::vector<std::size_t>& span) {
+  const auto has_ident = [&](const std::unordered_set<std::string_view>& set) {
+    for (const std::size_t k : span) {
+      if (t.IsIdent(k) && set.count(t.text(k))) return true;
+    }
+    return false;
+  };
+  const auto has_text = [&](std::string_view s) {
+    for (const std::size_t k : span) {
+      if (t.text(k) == s) return true;
+    }
+    return false;
+  };
+
+  if (rule == "unordered-iter") {
+    if (has_text("for") || has_text("begin") || has_text("cbegin")) {
+      return true;
+    }
+    for (const std::size_t k : span) {
+      if (t.IsIdent(k) && t.text(k).starts_with("unordered_")) return true;
+    }
+    return false;
+  }
+  if (rule == "adhoc-rng") {
+    static const std::unordered_set<std::string_view> kRng = {
+        "rand", "srand", "mt19937", "mt19937_64", "minstd_rand",
+        "minstd_rand0", "default_random_engine", "random_device", "drand48",
+        "lrand48", "random_shuffle"};
+    if (has_ident(kRng)) return true;
+    for (const std::size_t k : span) {
+      if (t.IsIdent(k) && t.text(k).ends_with("_distribution")) return true;
+    }
+    return false;
+  }
+  if (rule == "time-seed") {
+    static const std::unordered_set<std::string_view> kTime = {
+        "time", "gettimeofday", "clock_gettime", "getpid", "clock", "now"};
+    return has_ident(kTime);
+  }
+  if (rule == "raw-clock") {
+    static const std::unordered_set<std::string_view> kClock = {
+        "steady_clock", "high_resolution_clock"};
+    return has_ident(kClock);
+  }
+  if (rule == "pointer-key") {
+    static const std::unordered_set<std::string_view> kAssoc = {
+        "map", "set", "multimap", "multiset", "unordered_map",
+        "unordered_set"};
+    return has_ident(kAssoc) && has_text("*");
+  }
+  if (rule == "float-eq") {
+    static const std::unordered_set<std::string_view> kFields = {
+        "cpu", "mem_gb", "net_mbps"};
+    return (has_text("==") || has_text("!=")) && has_ident(kFields);
+  }
+  if (rule == "raw-thread") {
+    static const std::unordered_set<std::string_view> kThread = {
+        "thread", "jthread", "async", "pthread_create", "detach"};
+    return has_ident(kThread);
+  }
+  if (rule == "global-state") {
+    if (span.empty()) return false;
+    static const std::unordered_set<std::string_view> kConst = {
+        "const", "constexpr", "constinit"};
+    return (has_text(";") || has_text("=")) && !has_ident(kConst);
+  }
+  if (rule == "unguarded-mutex") {
+    return has_ident(kMutexTypes);
+  }
+  // Analyzer rule names never suppress via allow() (the baseline file is
+  // their mechanism), so such a comment is always dead weight.
+  return false;
+}
+
+void ScanSuppressions(const std::vector<Token>& all, const SView& structural,
+                      Extractor& ex) {
+  static const std::unordered_set<std::string_view> kKnown = {
+      "unordered-iter", "adhoc-rng", "time-seed", "pointer-key", "float-eq",
+      "raw-thread", "global-state", "unguarded-mutex", "raw-clock"};
+  for (const Token& tok : all) {
+    if (tok.kind != TokKind::kComment) continue;
+    const std::string& c = tok.text;
+    const std::size_t at = c.find("gl-lint:");
+    if (at == std::string::npos) continue;
+    const std::size_t open = c.find("allow(", at);
+    if (open == std::string::npos) continue;
+    const std::size_t close = c.find(')', open);
+    if (close == std::string::npos) continue;
+
+    Suppression sup;
+    sup.line = tok.line;
+    sup.line_text = ex.LineText(tok.line);
+
+    // Structural tokens on the comment's line and the next line.
+    std::vector<std::size_t> span;
+    for (std::size_t k = 0; k < structural.size(); ++k) {
+      const int l = structural.line(k);
+      if (l == tok.line || l == tok.line + 1) span.push_back(k);
+      if (l > tok.line + 1) break;
+    }
+
+    std::string list = c.substr(open + 6, close - open - 6);
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      std::size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      std::string rule = list.substr(pos, comma - pos);
+      const auto b = rule.find_first_not_of(" \t");
+      const auto e = rule.find_last_not_of(" \t");
+      if (b != std::string::npos) {
+        rule = rule.substr(b, e - b + 1);
+        SuppressedRule sr;
+        sr.rule = rule;
+        sr.known = kKnown.count(rule) > 0 || kAnalyzerRuleNames.count(rule) > 0;
+        sr.triggered = RuleTriggers(rule, structural, span);
+        sup.rules.push_back(std::move(sr));
+      }
+      pos = comma + 1;
+    }
+    if (!sup.rules.empty()) ex.out.suppressions.push_back(std::move(sup));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization (cache format; one escaped record per line).
+// ---------------------------------------------------------------------------
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (const char c : s) {
+    if (c == '\\') out->append("\\\\");
+    else if (c == '\t') out->append("\\t");
+    else if (c == '\n') out->append("\\n");
+    else out->push_back(c);
+  }
+}
+
+[[nodiscard]] std::string Unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      const char n = s[++i];
+      out.push_back(n == 't' ? '\t' : n == 'n' ? '\n' : n);
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+void AppendRecord(std::string* out, std::initializer_list<std::string> cols) {
+  bool first = true;
+  for (const std::string& c : cols) {
+    if (!first) out->push_back('\t');
+    first = false;
+    AppendEscaped(c, out);
+  }
+  out->push_back('\n');
+}
+
+[[nodiscard]] std::vector<std::string> SplitRecord(std::string_view line) {
+  std::vector<std::string> cols;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    const bool end = i == line.size();
+    // A field separator is an unescaped tab; escaped tabs are "\t" pairs.
+    if (end || (line[i] == '\t')) {
+      cols.push_back(Unescape(line.substr(start, i - start)));
+      start = i + 1;
+    } else if (line[i] == '\\') {
+      ++i;
+    }
+  }
+  return cols;
+}
+
+}  // namespace
+
+std::uint64_t HashBytes(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+FileFacts ExtractFacts(const std::string& path, std::string_view source) {
+  FileFacts facts;
+  facts.path = path;
+
+  const std::vector<Token> all = Lex(source);
+  SView structural;
+  structural.toks.reserve(all.size());
+  for (const Token& tok : all) {
+    if (tok.kind != TokKind::kComment && tok.kind != TokKind::kPreprocessor) {
+      structural.toks.push_back(&tok);
+    }
+  }
+
+  std::vector<std::string> lines;
+  {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= source.size(); ++i) {
+      if (i == source.size() || source[i] == '\n') {
+        lines.emplace_back(source.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+  }
+
+  Extractor ex{structural, lines, facts};
+  WalkStructure(ex);
+  ScanSuppressions(all, structural, ex);
+  return facts;
+}
+
+void SerializeFacts(const FileFacts& f, std::string* out) {
+  AppendRecord(out, {"P", f.path});
+  for (const FunctionDef& d : f.functions) {
+    AppendRecord(out, {"F", d.name, d.class_name, std::to_string(d.line)});
+  }
+  for (const CallSite& c : f.calls) {
+    AppendRecord(out, {"C", std::to_string(c.func), c.callee,
+                       std::to_string(c.line)});
+  }
+  for (const AllocSite& a : f.allocs) {
+    AppendRecord(out, {"A", std::to_string(a.func),
+                       std::to_string(static_cast<int>(a.kind)), a.detail,
+                       std::to_string(a.line), a.line_text});
+  }
+  for (const UnguardedMember& m : f.unguarded) {
+    AppendRecord(out, {"M", m.class_name, m.member, std::to_string(m.line),
+                       m.line_text});
+  }
+  for (const FloatFold& x : f.float_folds) {
+    AppendRecord(out, {"X", x.var, x.function, std::to_string(x.line),
+                       x.line_text});
+  }
+  for (const Suppression& s : f.suppressions) {
+    std::string rules;
+    for (const SuppressedRule& r : s.rules) {
+      if (!rules.empty()) rules.push_back(',');
+      rules += r.rule;
+      rules.push_back(r.known ? 'k' : 'u');
+      rules.push_back(r.triggered ? 't' : 'f');
+    }
+    AppendRecord(out, {"S", std::to_string(s.line), s.line_text, rules});
+  }
+}
+
+bool DeserializeFacts(std::string_view blob, FileFacts* f) {
+  *f = FileFacts{};
+  std::size_t start = 0;
+  const auto to_int = [](const std::string& s, int* v) {
+    char* end = nullptr;
+    const long parsed = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0') return false;
+    *v = static_cast<int>(parsed);
+    return true;
+  };
+  while (start < blob.size()) {
+    std::size_t nl = blob.find('\n', start);
+    if (nl == std::string_view::npos) nl = blob.size();
+    const std::string_view line = blob.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    const std::vector<std::string> c = SplitRecord(line);
+    if (c.empty()) return false;
+    if (c[0] == "P" && c.size() == 2) {
+      f->path = c[1];
+    } else if (c[0] == "F" && c.size() == 4) {
+      FunctionDef d;
+      d.name = c[1];
+      d.class_name = c[2];
+      if (!to_int(c[3], &d.line)) return false;
+      f->functions.push_back(std::move(d));
+    } else if (c[0] == "C" && c.size() == 4) {
+      CallSite cs;
+      if (!to_int(c[1], &cs.func) || !to_int(c[3], &cs.line)) return false;
+      cs.callee = c[2];
+      f->calls.push_back(std::move(cs));
+    } else if (c[0] == "A" && c.size() == 6) {
+      AllocSite a;
+      int kind = 0;
+      if (!to_int(c[1], &a.func) || !to_int(c[2], &kind) ||
+          !to_int(c[4], &a.line)) {
+        return false;
+      }
+      a.kind = static_cast<AllocKind>(kind);
+      a.detail = c[3];
+      a.line_text = c[5];
+      f->allocs.push_back(std::move(a));
+    } else if (c[0] == "M" && c.size() == 5) {
+      UnguardedMember m;
+      m.class_name = c[1];
+      m.member = c[2];
+      if (!to_int(c[3], &m.line)) return false;
+      m.line_text = c[4];
+      f->unguarded.push_back(std::move(m));
+    } else if (c[0] == "X" && c.size() == 5) {
+      FloatFold x;
+      x.var = c[1];
+      x.function = c[2];
+      if (!to_int(c[3], &x.line)) return false;
+      x.line_text = c[4];
+      f->float_folds.push_back(std::move(x));
+    } else if (c[0] == "S" && c.size() == 4) {
+      Suppression s;
+      if (!to_int(c[1], &s.line)) return false;
+      s.line_text = c[2];
+      std::size_t pos = 0;
+      const std::string& rules = c[3];
+      while (pos < rules.size()) {
+        std::size_t comma = rules.find(',', pos);
+        if (comma == std::string::npos) comma = rules.size();
+        const std::string item = rules.substr(pos, comma - pos);
+        if (item.size() < 3) return false;
+        SuppressedRule r;
+        r.rule = item.substr(0, item.size() - 2);
+        r.known = item[item.size() - 2] == 'k';
+        r.triggered = item[item.size() - 1] == 't';
+        s.rules.push_back(std::move(r));
+        pos = comma + 1;
+      }
+      f->suppressions.push_back(std::move(s));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gl::analyze

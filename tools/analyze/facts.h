@@ -1,0 +1,117 @@
+// Per-file fact extraction for gl_analyze (DESIGN.md §12).
+//
+// One pass over the token stream of a single translation unit produces a
+// FileFacts record: everything the cross-file analysis needs, and nothing
+// else. Facts are self-contained and serializable, which is what makes the
+// mtime+hash incremental cache possible — a warm run deserializes facts
+// instead of re-lexing, and only the (cheap) cross-file phase re-runs.
+//
+// Extracted facts:
+//   * function definitions (bare name, enclosing/qualifying class, body
+//     span) — free functions, methods defined inside class bodies, and
+//     out-of-line Class::Method definitions all land in the index;
+//   * call sites (caller function → callee name) — receiver types are not
+//     resolved, so a call edge is an over-approximation by name, which is
+//     the conservative direction for reachability rules;
+//   * allocation sites inside function bodies (GL010 raw material): new
+//     expressions, allocator calls, InducedSubgraph uses, and local owning
+//     containers that are constructed with contents or grown;
+//   * per-class member audits (GL011, resolved per file): classes owning a
+//     mutex, and their mutable members lacking GL_GUARDED_BY;
+//   * float accumulation into captured locals inside ParallelFor lambda
+//     bodies (GL012, resolved per file);
+//   * gl-lint allow(...) suppression comments together with a per-rule
+//     "does the suppressed rule still trigger here" verdict (GL013).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyze/lexer.h"
+
+namespace gl::analyze {
+
+struct FunctionDef {
+  std::string name;        // bare name ("Bisect", "Attach")
+  std::string class_name;  // "FmEngine" for methods, "" for free functions
+  int line = 0;
+};
+
+struct CallSite {
+  int func = -1;       // index into FileFacts::functions (the caller)
+  std::string callee;  // bare callee name
+  int line = 0;
+};
+
+enum class AllocKind {
+  kNew,             // new expression
+  kAllocCall,       // make_unique / make_shared / malloc family
+  kInducedSubgraph, // materializes a Graph copy (what PR 5 eliminated)
+  kLocalInit,       // local owning container constructed with contents
+  kLocalGrowth,     // growth call on a local owning container
+};
+
+struct AllocSite {
+  int func = -1;  // index into FileFacts::functions
+  AllocKind kind = AllocKind::kNew;
+  std::string detail;  // token or "name.push_back" style description
+  int line = 0;
+  std::string line_text;  // trimmed source line (baseline fingerprint)
+};
+
+// A mutable member of a mutex-owning class with no GL_GUARDED_BY.
+struct UnguardedMember {
+  std::string class_name;
+  std::string member;
+  int line = 0;
+  std::string line_text;
+};
+
+// Float accumulation into a captured enclosing-scope local inside a
+// ParallelFor lambda.
+struct FloatFold {
+  std::string var;
+  std::string function;  // enclosing function, for the message
+  int line = 0;
+  std::string line_text;
+};
+
+// One rule named by a gl-lint allow(...) comment, and whether that rule
+// still has anything to suppress on the covered lines.
+struct SuppressedRule {
+  std::string rule;      // rule *name* as written (e.g. "unordered-iter")
+  bool known = false;    // names a rule the checkers understand
+  bool triggered = false;
+};
+
+struct Suppression {
+  int line = 0;           // line of the allow(...) comment
+  std::string line_text;  // trimmed source line carrying the comment
+  std::vector<SuppressedRule> rules;
+};
+
+struct FileFacts {
+  std::string path;
+  std::vector<FunctionDef> functions;
+  std::vector<CallSite> calls;
+  std::vector<AllocSite> allocs;
+  std::vector<UnguardedMember> unguarded;
+  std::vector<FloatFold> float_folds;
+  std::vector<Suppression> suppressions;
+};
+
+// Lexes + extracts in one go. `path` is recorded verbatim.
+[[nodiscard]] FileFacts ExtractFacts(const std::string& path,
+                                     std::string_view source);
+
+// Cache serialization: one line per record, tab-separated, text fields
+// escaped (\t, \n, \\). Deserialize returns false on any malformed line —
+// the caller falls back to re-extraction.
+void SerializeFacts(const FileFacts& facts, std::string* out);
+[[nodiscard]] bool DeserializeFacts(std::string_view blob, FileFacts* facts);
+
+// FNV-1a over file bytes, the cache's content fingerprint.
+[[nodiscard]] std::uint64_t HashBytes(std::string_view bytes);
+
+}  // namespace gl::analyze

@@ -1,0 +1,39 @@
+// gl-analyze-expect: clean
+//
+// The same call shape as gl010_pos.cc, but every allocation lives outside
+// the hot set: the allocating helper is only called from Setup(), which no
+// hot root reaches, and the hot root itself only reuses preallocated
+// scratch (bare declarations without contents are tracked but never
+// flagged, and member containers are exempt — the receiver owns them).
+
+#include <vector>
+
+namespace fixture {
+
+struct Graph {
+  int n = 0;
+};
+
+struct Scratch {
+  std::vector<int> order;
+  void Reset(int n) {
+    order.assign(n, 0);  // member growth: receiver is not a local
+  }
+};
+
+std::vector<int> BuildOrder(int n) {
+  std::vector<int> order(n, 0);  // allocation, but not reachable from a root
+  return order;
+}
+
+void Setup(const Graph& g) { BuildOrder(g.n); }
+
+int Bisect(const Graph& g, Scratch& scratch) {
+  scratch.Reset(g.n);
+  std::vector<int> tmp;  // bare local declaration: no contents, never grown
+  int acc = 0;
+  for (int i = 0; i < g.n; ++i) acc += i;
+  return acc + static_cast<int>(tmp.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// gl-analyze-expect: GL010
+//
+// Allocation reachable from a hot root through a two-hop call chain:
+// Bisect -> RefineLevel -> BuildOrder, where BuildOrder constructs a local
+// vector with contents and grows it. Also exercises the direct forms (new,
+// make_unique, InducedSubgraph) inside a hot root itself.
+
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Graph {
+  int n = 0;
+};
+
+std::vector<int> BuildOrder(int n) {
+  std::vector<int> order(n, 0);  // kLocalInit: constructed with contents
+  order.push_back(n);            // kLocalGrowth on a local container
+  return order;
+}
+
+void RefineLevel(const Graph& g) { BuildOrder(g.n); }
+
+int Bisect(const Graph& g) {
+  RefineLevel(g);                      // chain into the allocating helper
+  auto scratch = std::make_unique<Graph>();  // kAllocCall in the root itself
+  int* raw = new int(g.n);                   // kNew in the root itself
+  const int v = *raw;
+  delete raw;
+  return v + scratch->n;
+}
+
+}  // namespace fixture

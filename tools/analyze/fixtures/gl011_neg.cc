@@ -1,0 +1,50 @@
+// gl-analyze-expect: clean
+//
+// Mutex-owning classes where every member is accounted for: annotated,
+// const, atomic, a sync primitive, or a borrowed (reference) mutex. Also a
+// mutex-free class whose members need no annotations at all.
+
+#include <atomic>
+
+#define GL_GUARDED_BY(x)
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class CondVar {};
+
+class Registry {
+ public:
+  void Set(int v);
+
+ private:
+  Mutex mu_;
+  CondVar cv_;                              // sync primitive: exempt
+  int guarded_ GL_GUARDED_BY(mu_) = 0;      // annotated
+  const int limit_ = 16;                    // immutable: exempt
+  std::atomic<int> hits_{0};                // atomics synchronize themselves
+};
+
+// Holds a borrowed mutex by reference (the MutexLock shape): this class
+// does not *own* the mutex, so its members are not audited.
+class Lock {
+ public:
+  explicit Lock(Mutex& mu);
+
+ private:
+  Mutex& mu_;
+  bool engaged_ = false;
+};
+
+class PlainData {
+ private:
+  int a_ = 0;
+  double b_ = 0.0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// gl-analyze-expect: GL011
+//
+// A class owning a mutex with a mutable member that carries no
+// GL_GUARDED_BY annotation. The analyzer only sees tokens, so the
+// annotation macros are declared locally (the real ones live in
+// src/common/thread_annotations.h).
+
+#define GL_GUARDED_BY(x)
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class Registry {
+ public:
+  void Set(int v);
+
+ private:
+  Mutex mu_;
+  int guarded_ GL_GUARDED_BY(mu_) = 0;
+  int unguarded_ = 0;  // <-- GL011: shared mutable state, no annotation
+};
+
+}  // namespace fixture

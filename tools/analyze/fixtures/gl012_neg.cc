@@ -1,0 +1,26 @@
+// gl-analyze-expect: clean
+//
+// The deterministic counterparts: workers write disjoint per-index slots
+// (folded in canonical order afterwards, on one thread), lambda-local
+// accumulators never escape a worker, and sequential accumulation outside
+// any ParallelFor body is inherently ordered.
+
+namespace fixture {
+
+struct Pool {
+  template <typename F>
+  void ParallelFor(int n, F fn);
+};
+
+double SumWeights(Pool& pool, int n, const double* w, double* partial) {
+  pool.ParallelFor(n, [&](int i) {
+    double local = 0.0;   // lambda-local: confined to one worker
+    local += w[i];
+    partial[i] = local;   // per-index slot, no cross-worker order
+  });
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += partial[i];  // canonical order
+  return total;
+}
+
+}  // namespace fixture

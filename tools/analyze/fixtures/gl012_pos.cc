@@ -1,0 +1,22 @@
+// gl-analyze-expect: GL012
+//
+// Float accumulation into a captured enclosing-scope local inside a
+// ParallelFor lambda: the per-worker interleaving decides the fold order,
+// so the sum is schedule-dependent (DESIGN.md §8 forbids this).
+
+namespace fixture {
+
+struct Pool {
+  template <typename F>
+  void ParallelFor(int n, F fn);
+};
+
+double SumWeights(Pool& pool, int n, const double* w) {
+  double total = 0.0;
+  pool.ParallelFor(n, [&](int i) {
+    total += w[i];  // <-- GL012: captured float fold, order not canonical
+  });
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// gl-analyze-expect: clean
+//
+// Load-bearing suppressions: each allow() sits on a line where the named
+// rule genuinely fires, so deleting the comment would trip gl_lint. Both
+// comment placements (line above, same line) are exercised.
+
+#include <unordered_map>
+
+namespace fixture {
+
+double Total(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  // gl-lint: allow(unordered-iter)
+  for (const auto& [key, w] : weights) total += w;
+  return total;
+}
+
+int Roll() {
+  return rand();  // gl-lint: allow(adhoc-rng)
+}
+
+}  // namespace fixture

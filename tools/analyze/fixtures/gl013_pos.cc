@@ -1,0 +1,21 @@
+// gl-analyze-expect: GL013
+//
+// Two dead suppressions: one names a rule that has nothing to suppress on
+// the covered lines (the RNG use it once excused is gone), one names a rule
+// that does not exist at all.
+
+#include <vector>
+
+namespace fixture {
+
+int Sum(const std::vector<int>& xs) {
+  int total = 0;
+  // gl-lint: allow(adhoc-rng)
+  for (const int x : xs) total += x;
+  return total;
+}
+
+// gl-lint: allow(no-such-rule)
+int Twice(int v) { return 2 * v; }
+
+}  // namespace fixture

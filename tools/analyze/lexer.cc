@@ -1,0 +1,237 @@
+#include "analyze/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <unordered_set>
+
+namespace gl::analyze {
+namespace {
+
+[[nodiscard]] bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+[[nodiscard]] bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+[[nodiscard]] int CountNewlines(std::string_view s) {
+  int n = 0;
+  for (const char c : s) n += c == '\n' ? 1 : 0;
+  return n;
+}
+
+// Longest-match punctuation, longest first within each leading character.
+constexpr std::array<std::string_view, 26> kPunct3Plus = {
+    "<<=", ">>=", "<=>", "...", "->*",
+    // 2-char from here on (scanned after the 3-char ones miss);
+    // 1-char punctuation is the fallthrough.
+    "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", "&&", "||", "++", "--", "##"};
+
+// Encoding prefixes that may precede a string/char literal.
+[[nodiscard]] bool IsLiteralPrefix(std::string_view p) {
+  return p == "u8" || p == "u" || p == "U" || p == "L";
+}
+
+}  // namespace
+
+bool IsReservedWord(std::string_view ident) {
+  static const std::unordered_set<std::string_view> kWords = {
+      "alignas",      "alignof",      "and",          "asm",
+      "auto",         "bool",         "break",        "case",
+      "catch",        "char",         "class",        "co_await",
+      "co_return",    "co_yield",     "concept",      "const",
+      "const_cast",   "consteval",    "constexpr",    "constinit",
+      "continue",     "decltype",     "default",      "delete",
+      "do",           "double",       "dynamic_cast", "else",
+      "enum",         "explicit",     "export",       "extern",
+      "false",        "float",        "for",          "friend",
+      "goto",         "if",           "inline",       "int",
+      "long",         "mutable",      "namespace",    "new",
+      "noexcept",     "not",          "nullptr",      "operator",
+      "or",           "private",      "protected",    "public",
+      "register",     "reinterpret_cast", "requires", "return",
+      "short",        "signed",       "sizeof",       "static",
+      "static_assert","static_cast",  "struct",       "switch",
+      "template",     "this",         "thread_local", "throw",
+      "true",         "try",          "typedef",      "typeid",
+      "typename",     "union",        "unsigned",     "using",
+      "virtual",      "void",         "volatile",     "while",
+  };
+  return kWords.count(ident) > 0;
+}
+
+std::vector<Token> Lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  const auto push = [&](TokKind kind, std::size_t begin, std::size_t end) {
+    out.push_back(Token{kind, std::string(src.substr(begin, end - begin)),
+                        line});
+    line += CountNewlines(src.substr(begin, end - begin));
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on its line; swallow continuations.
+    if (c == '#' && at_line_start) {
+      std::size_t j = i;
+      while (j < n) {
+        if (src[j] == '\n') {
+          // A backslash (optionally with trailing spaces) continues the
+          // directive onto the next line.
+          std::size_t k = j;
+          while (k > i && (src[k - 1] == ' ' || src[k - 1] == '\t' ||
+                           src[k - 1] == '\r')) {
+            --k;
+          }
+          if (k > i && src[k - 1] == '\\') {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        ++j;
+      }
+      push(TokKind::kPreprocessor, i, j);
+      i = j;
+      at_line_start = true;  // we stopped at (or ran past) a newline
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      push(TokKind::kComment, i, j);
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) ++j;
+      j = j + 1 < n ? j + 2 : n;
+      push(TokKind::kComment, i, j);
+      i = j;
+      continue;
+    }
+
+    // Identifier — possibly a literal prefix (u8R"(...)", L"...", u'x').
+    if (IsIdentStart(c)) {
+      std::size_t j = i + 1;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      const std::string_view word = src.substr(i, j - i);
+      if (j < n) {
+        const bool raw = word.size() >= 1 && word.back() == 'R' &&
+                         (word.size() == 1 ||
+                          IsLiteralPrefix(word.substr(0, word.size() - 1)));
+        if (raw && src[j] == '"') {
+          // Raw string: R"delim( ... )delim".
+          std::size_t d = j + 1;
+          while (d < n && src[d] != '(' && src[d] != '"' && src[d] != '\n') {
+            ++d;
+          }
+          std::string closer;
+          closer.reserve(d - j + 1);
+          closer += ')';
+          closer += src.substr(j + 1, d - (j + 1));
+          closer += '"';
+          const std::size_t stop = src.find(closer, d);
+          const std::size_t end =
+              stop == std::string_view::npos ? n : stop + closer.size();
+          push(TokKind::kString, i, end);
+          i = end;
+          continue;
+        }
+        if (IsLiteralPrefix(word) && (src[j] == '"' || src[j] == '\'')) {
+          // Fall through to the quoted-literal scanner below, keeping the
+          // prefix attached.
+          const char quote = src[j];
+          std::size_t k = j + 1;
+          while (k < n && src[k] != quote && src[k] != '\n') {
+            k += src[k] == '\\' ? 2 : 1;
+          }
+          if (k < n && src[k] == quote) ++k;
+          push(quote == '"' ? TokKind::kString : TokKind::kChar, i, k);
+          i = k;
+          continue;
+        }
+      }
+      push(TokKind::kIdent, i, j);
+      i = j;
+      continue;
+    }
+
+    // Number (pp-number): digits, hex/binary, digit separators, exponents,
+    // suffixes, and a leading dot as in .5f.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = src[j];
+        if (IsIdentChar(d) || d == '.') {
+          // Exponent signs belong to the number: 1e+9, 0x1p-3.
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') && j + 1 < n &&
+              (src[j + 1] == '+' || src[j + 1] == '-')) {
+            j += 2;
+            continue;
+          }
+          ++j;
+          continue;
+        }
+        if (d == '\'' && j + 1 < n && IsIdentChar(src[j + 1])) {
+          j += 2;  // digit separator
+          continue;
+        }
+        break;
+      }
+      push(TokKind::kNumber, i, j);
+      i = j;
+      continue;
+    }
+
+    // Plain string / char literal.
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != c && src[j] != '\n') {
+        j += src[j] == '\\' ? 2 : 1;
+      }
+      if (j < n && src[j] == c) ++j;
+      push(c == '"' ? TokKind::kString : TokKind::kChar, i, j);
+      i = j;
+      continue;
+    }
+
+    // Punctuation, maximal munch.
+    std::size_t len = 1;
+    for (const std::string_view p : kPunct3Plus) {
+      if (!p.empty() && src.substr(i, p.size()) == p) {
+        len = p.size();
+        break;
+      }
+    }
+    push(TokKind::kPunct, i, i + len);
+    i += len;
+  }
+  return out;
+}
+
+}  // namespace gl::analyze

@@ -5,6 +5,7 @@
 #
 #   tools/check.sh            # lint + release + asan stages
 #   tools/check.sh lint       # determinism linter only (no build needed)
+#   tools/check.sh analyze    # gl_analyze contract checker (builds the tool)
 #   tools/check.sh release    # Release stage + seed-replay gate only
 #   tools/check.sh asan       # ASan+UBSan stage only
 #   tools/check.sh tsan       # ThreadSanitizer stage (parallel paths)
@@ -20,9 +21,9 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 STAGE="${1:-all}"
 
 case "${STAGE}" in
-  all|lint|release|asan|tsan|tidy) ;;
+  all|lint|analyze|release|asan|tsan|tidy) ;;
   *)
-    echo "unknown stage: ${STAGE} (expected all, lint, release, asan, tsan or tidy)" >&2
+    echo "unknown stage: ${STAGE} (expected all, lint, analyze, release, asan, tsan or tidy)" >&2
     exit 2
     ;;
 esac
@@ -45,6 +46,21 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "lint" ]]; then
   python3 tools/gl_lint --self-test
   echo "==> gl_lint src/"
   python3 tools/gl_lint src
+fi
+
+# Token-aware cross-file contract checker (DESIGN.md §12): fixture corpus,
+# then src/ must be clean modulo the committed baseline.
+if [[ "${STAGE}" == "all" || "${STAGE}" == "analyze" ]]; then
+  echo "==> build gl_analyze"
+  cmake -B build-check-analyze -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-check-analyze -j "${JOBS}" --target gl_analyze
+  echo "==> gl_analyze self-test"
+  ./build-check-analyze/tools/analyze/gl_analyze --self-test
+  echo "==> gl_analyze src/"
+  ./build-check-analyze/tools/analyze/gl_analyze \
+    --baseline=tools/analyze/baseline.txt \
+    --cache=build-check-analyze/gl_analyze.cache \
+    src
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "release" ]]; then
@@ -107,8 +123,10 @@ if [[ "${STAGE}" == "tidy" ]]; then
     exit 0
   fi
   cmake -B build-check-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
-  # Headers are covered via the .cc files that include them.
-  find src tools -name '*.cc' -print0 |
+  # Headers are covered via the .cc files that include them. The analyzer
+  # fixture corpus is token-stream test data, not production code; some
+  # fixtures do not even compile.
+  find src tools -name '*.cc' -not -path 'tools/analyze/fixtures/*' -print0 |
     xargs -0 -P "${JOBS}" -n 8 clang-tidy -p build-check-tidy --quiet
 fi
 

@@ -11,17 +11,52 @@ warns rather than fails; a real regression shows up as a persistent warning
 across pushes and is investigated by re-measuring locally (EXPERIMENTS.md,
 "Partitioner scalability").
 
-Exit status is always 0 unless the inputs are unreadable or no records
-matched (exit 2), so the job cannot silently pass on a malformed run.
+Exit status is always 0 unless the inputs are unreadable, malformed, or no
+records matched (exit 2), so the job cannot silently pass on a broken run.
+Malformed inputs -- wrong top-level shape, records that are not objects,
+missing or non-numeric fields -- produce a one-line error naming the file
+and the offending record, never a traceback.
 
 Usage:
     tools/perf_check.py --reference BENCH_partitioner.json \
                         --fresh fresh.json [--threshold 0.15]
+    tools/perf_check.py --self-test
 """
 
 import argparse
 import json
+import numbers
+import os
 import sys
+import tempfile
+
+
+class MalformedInput(Exception):
+    """Input file exists and is JSON, but not bench-record shaped."""
+
+
+def _validate_records(records, path):
+    """Returns {(name, threads): record}; raises MalformedInput otherwise."""
+    if not isinstance(records, list):
+        raise MalformedInput(f"{path}: records are {type(records).__name__}, "
+                             "expected a list")
+    if not records:
+        raise MalformedInput(f"{path}: record list is empty")
+    out = {}
+    for i, r in enumerate(records):
+        if not isinstance(r, dict):
+            raise MalformedInput(f"{path}: record #{i} is "
+                                 f"{type(r).__name__}, expected an object")
+        for field in ("name", "threads", "median_wall_ms"):
+            if field not in r:
+                raise MalformedInput(f"{path}: record #{i} lacks '{field}'")
+        if not isinstance(r["median_wall_ms"], numbers.Real) or \
+                isinstance(r["median_wall_ms"], bool):
+            raise MalformedInput(
+                f"{path}: record #{i} ('{r['name']}') has non-numeric "
+                f"median_wall_ms: {r['median_wall_ms']!r}")
+        out[(r["name"], r["threads"])] = r
+    return out
 
 
 def load_records(path, *, reference):
@@ -33,13 +68,18 @@ def load_records(path, *, reference):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     if reference:
+        if not isinstance(doc, dict) or \
+                not isinstance(doc.get("current"), dict) or \
+                "records" not in doc["current"]:
+            raise MalformedInput(f"{path}: reference file lacks the "
+                                 "current.records structure")
         records = doc["current"]["records"]
     else:
         records = doc
-    return {(r["name"], r["threads"]): r for r in records}
+    return _validate_records(records, path)
 
 
-def main(argv):
+def run(argv):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--reference", required=True,
                     help="committed BENCH_partitioner.json")
@@ -53,7 +93,7 @@ def main(argv):
     try:
         ref = load_records(args.reference, reference=True)
         fresh = load_records(args.fresh, reference=False)
-    except (OSError, KeyError, json.JSONDecodeError) as e:
+    except (OSError, json.JSONDecodeError, MalformedInput) as e:
         print(f"perf_check: cannot load inputs: {e}", file=sys.stderr)
         return 2
 
@@ -83,6 +123,68 @@ def main(argv):
     print(f"perf_check: {matched} configs checked, "
           f"{regressions} above threshold")
     return 0
+
+
+def self_test():
+    """End-to-end checks through run(): good inputs pass, each malformed
+    shape exits 2 with a message instead of a traceback."""
+    good_rec = {"name": "bench", "threads": 1, "median_wall_ms": 10.0}
+    good_ref = {"current": {"records": [good_rec]}}
+
+    cases = [
+        ("matching inputs pass", good_ref, [good_rec], 0),
+        ("regressed fresh still exits 0 (warn-only)", good_ref,
+         [dict(good_rec, median_wall_ms=100.0)], 0),
+        ("empty fresh list", good_ref, [], 2),
+        ("fresh is an object, not a list", good_ref, {"oops": 1}, 2),
+        ("fresh record is not an object", good_ref, ["oops"], 2),
+        ("fresh record lacks median", good_ref,
+         [{"name": "bench", "threads": 1}], 2),
+        ("fresh median is a string", good_ref,
+         [dict(good_rec, median_wall_ms="fast")], 2),
+        ("reference lacks current.records", {"current": {}}, [good_rec], 2),
+        ("no key overlap", good_ref,
+         [dict(good_rec, name="other")], 2),
+    ]
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="perf_check_selftest_") as tmp:
+        bad_json = os.path.join(tmp, "bad.json")
+        with open(bad_json, "w", encoding="utf-8") as f:
+            f.write("{not json")
+        ref_path = os.path.join(tmp, "ref.json")
+        fresh_path = os.path.join(tmp, "fresh.json")
+
+        for label, ref_doc, fresh_doc, want in cases:
+            with open(ref_path, "w", encoding="utf-8") as f:
+                json.dump(ref_doc, f)
+            with open(fresh_path, "w", encoding="utf-8") as f:
+                json.dump(fresh_doc, f)
+            got = run(["--reference", ref_path, "--fresh", fresh_path])
+            status = "PASS" if got == want else "FAIL"
+            failures += got != want
+            print(f"{status} {label} (exit {got}, want {want})")
+
+        for label, argv, want in [
+            ("fresh file missing", ["--reference", ref_path, "--fresh",
+                                    os.path.join(tmp, "nope.json")], 2),
+            ("fresh file is not JSON", ["--reference", ref_path, "--fresh",
+                                        bad_json], 2),
+        ]:
+            got = run(argv)
+            status = "PASS" if got == want else "FAIL"
+            failures += got != want
+            print(f"{status} {label} (exit {got}, want {want})")
+
+    if failures == 0:
+        print("perf_check self-test: all cases pass")
+    return 0 if failures == 0 else 1
+
+
+def main(argv):
+    if argv and argv[0] == "--self-test":
+        return self_test()
+    return run(argv)
 
 
 if __name__ == "__main__":
