@@ -18,7 +18,7 @@ namespace {
 // gl::WithinCap (common/resource.h) — the auditor must accept exactly what
 // Resource::FitsIn accepts, or the checker and the checked code drift apart.
 
-[[nodiscard]] bool FiniteNonNegative(double v) {
+[[nodiscard]] bool FiniteNonNegative(double v GL_UNITS(any)) {
   return std::isfinite(v) && v >= 0.0;
 }
 

@@ -16,6 +16,21 @@
 
 #include "common/check.h"
 
+// Dimension annotation for gl_analyze's GL014 unit-confusion rule
+// (DESIGN.md §13). Compiles to nothing; the analyzer's token scanner reads
+// it off declarations to seed the dimension lattice:
+//
+//   double budget_w GL_UNITS(watts) = 0.0;   // local or member
+//   double Power(double u GL_UNITS(dimensionless)) GL_UNITS(watts);
+//
+// Recognized dimensions: cores, bytes, bits_per_sec, watts, ms, epochs,
+// count, dimensionless. The special dimension `any` marks a deliberately
+// polymorphic value (a tolerance helper or statistic over arbitrary
+// series): every incoming dimension is accepted without conflict.
+#ifndef GL_UNITS
+#define GL_UNITS(dim)
+#endif
+
 namespace gl {
 
 // Shared floating-point tolerance for resource arithmetic. Demands and loads
@@ -27,21 +42,23 @@ inline constexpr double kResourceEps = 1e-6;
 
 // Sanctioned epsilon comparison: value <= cap with kResourceEps relative
 // (scaled by cap) plus kResourceEps absolute slack.
-[[nodiscard]] constexpr bool WithinCap(double value, double cap) {
+[[nodiscard]] constexpr bool WithinCap(double value GL_UNITS(any),
+                                       double cap GL_UNITS(any)) {
   return value <= cap * (1.0 + kResourceEps) + kResourceEps;
 }
 
 // Sanctioned epsilon equality for accumulated doubles.
-[[nodiscard]] constexpr bool ApproxEq(double a, double b) {
+[[nodiscard]] constexpr bool ApproxEq(double a GL_UNITS(any),
+                                      double b GL_UNITS(any)) {
   const double diff = a < b ? b - a : a - b;
   const double mag = std::max(a < 0.0 ? -a : a, b < 0.0 ? -b : b);
   return diff <= mag * kResourceEps + kResourceEps;
 }
 
 struct Resource {
-  double cpu = 0.0;
-  double mem_gb = 0.0;
-  double net_mbps = 0.0;
+  double cpu GL_UNITS(cores) = 0.0;
+  double mem_gb GL_UNITS(bytes) = 0.0;
+  double net_mbps GL_UNITS(bits_per_sec) = 0.0;
 
   constexpr Resource& operator+=(const Resource& o) {
     cpu += o.cpu;
@@ -79,8 +96,9 @@ struct Resource {
 
   // Largest utilization fraction across dimensions when placed on `cap`.
   // Dimensions with zero capacity contribute only if demanded.
-  [[nodiscard]] double DominantShare(const Resource& cap) const {
-    double worst = 0.0;
+  [[nodiscard]] double DominantShare(const Resource& cap) const
+      GL_UNITS(dimensionless) {
+    double worst GL_UNITS(dimensionless) = 0.0;
     auto dim = [&worst](double demand, double capacity) {
       if (capacity > 0.0) {
         worst = std::max(worst, demand / capacity);
@@ -97,8 +115,9 @@ struct Resource {
   // Scalar magnitude used for size-ordering in FFD-style packers (mPP).
   // Uses the L1 norm of the demand normalised by a reference capacity so the
   // three dimensions are commensurable.
-  [[nodiscard]] double NormalizedL1(const Resource& ref) const {
-    double s = 0.0;
+  [[nodiscard]] double NormalizedL1(const Resource& ref) const
+      GL_UNITS(dimensionless) {
+    double s GL_UNITS(dimensionless) = 0.0;
     if (ref.cpu > 0) s += cpu / ref.cpu;
     if (ref.mem_gb > 0) s += mem_gb / ref.mem_gb;
     if (ref.net_mbps > 0) s += net_mbps / ref.net_mbps;

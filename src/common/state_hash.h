@@ -41,7 +41,7 @@ class StateHasher {
   void MixI32(std::int32_t v) {
     MixU64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
   }
-  void MixDouble(double v) {
+  void MixDouble(double v GL_UNITS(any)) {
     if (v == 0.0) v = 0.0;  // canonicalise -0.0
     MixU64(std::bit_cast<std::uint64_t>(v));
   }

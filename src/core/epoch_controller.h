@@ -79,8 +79,8 @@ class EpochController {
   MigrationPlannerOptions planner_opts_;
   Placement current_;
   int epoch_ = 0;
-  double total_makespan_ms_ = 0.0;
-  double total_image_gb_ = 0.0;
+  double total_makespan_ms_ GL_UNITS(ms) = 0.0;
+  double total_image_gb_ GL_UNITS(bytes) = 0.0;
   bool audit_ = false;
   bool audit_fail_fast_ = false;
   AuditOptions audit_opts_;

@@ -52,7 +52,7 @@ std::uint64_t HashActiveMask(std::span<const std::uint8_t> active) {
 struct FlowAdjacency {
   // peers[c] = (peer container id, positive flow weight).
   std::vector<std::vector<std::pair<int, double>>> peers;
-  std::vector<double> total_flows;
+  std::vector<double> total_flows GL_UNITS(count);
 };
 
 FlowAdjacency BuildFlowAdjacency(const Workload& workload) {
@@ -106,12 +106,12 @@ Resource EffectiveGroupDemand(std::span<const ContainerId> members,
     const Resource& d = demands[ci];
     out.cpu += d.cpu;
     out.mem_gb += d.mem_gb;
-    const double total = adj.total_flows[ci];
+    const double total GL_UNITS(count) = adj.total_flows[ci];
     if (total <= 0.0) {
       out.net_mbps += d.net_mbps;
       continue;
     }
-    double external = 0.0;
+    double external GL_UNITS(count) = 0.0;
     for (const auto& [peer, flows] : adj.peers[ci]) {
       if (!stamp.Contains(peer)) external += flows;
     }

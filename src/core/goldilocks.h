@@ -39,7 +39,7 @@ struct GoldilocksOptions {
   // Groups are formed against ceiling × (1 - group_headroom) so a cached
   // grouping survives epoch-to-epoch demand growth (the reuse check and the
   // final placement still enforce the full ceiling).
-  double group_headroom = 0.10;
+  double group_headroom GL_UNITS(dimensionless) = 0.10;
   // A group stays on its current server while the server remains below
   // this fraction of *full* capacity (CPU/network): moderate drift is
   // absorbed by the PEE headroom instead of triggering migration; beyond

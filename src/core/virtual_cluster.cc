@@ -62,37 +62,40 @@ bool VirtualClusterPlacer::TryFill(std::span<const ContainerId> containers,
 
 double VirtualClusterPlacer::ReservationWith(
     NodeId n, int g_extra, const std::map<int, double>& delta,
-    double extra_total) const {
+    double extra_total GL_UNITS(bits_per_sec)) const GL_UNITS(bits_per_sec) {
   const auto ni = static_cast<std::size_t>(n.value());
   // Updated aggregates if the tentative component lands.
   const auto dit = delta.find(n.value());
-  const double d_in = dit != delta.end() ? dit->second : 0.0;
+  const double d_in GL_UNITS(bits_per_sec) =
+      dit != delta.end() ? dit->second : 0.0;
   const bool extra_new = g_extra >= 0 && !group_touched_[
       static_cast<std::size_t>(g_extra)];
-  const double p_sum = p_sum_[ni] + d_in;
-  const double placed_total = placed_total_bw_ + (extra_new ? extra_total : 0.0);
-  const double pending_total =
+  const double p_sum GL_UNITS(bits_per_sec) = p_sum_[ni] + d_in;
+  const double placed_total GL_UNITS(bits_per_sec) =
+      placed_total_bw_ + (extra_new ? extra_total : 0.0);
+  const double pending_total GL_UNITS(bits_per_sec) =
       pending_total_bw_ - (extra_new ? extra_total : 0.0);
 
-  auto r_for = [&](int g, double b_in) {
-    const double b_tot =
+  auto r_for = [&](int g, double b_in GL_UNITS(bits_per_sec)) {
+    const double b_tot GL_UNITS(bits_per_sec) =
         g == g_extra && extra_new ? extra_total
                                   : b_total_[static_cast<std::size_t>(g)];
     // Eq. (5): traffic crossing this uplink on behalf of group g is at most
     // the group's inside bandwidth, and at most its own outside component
     // plus everything the other groups keep outside (placed groups'
     // component b, pending groups in full).
-    const double outside_own = b_tot - b_in;
-    const double outside_others = (placed_total - b_tot) - (p_sum - b_in);
-    const double need = outside_own + std::max(0.0, outside_others) +
-                        pending_total;
+    const double outside_own GL_UNITS(bits_per_sec) = b_tot - b_in;
+    const double outside_others GL_UNITS(bits_per_sec) =
+        (placed_total - b_tot) - (p_sum - b_in);
+    const double need GL_UNITS(bits_per_sec) =
+        outside_own + std::max(0.0, outside_others) + pending_total;
     return std::min(b_in, need);
   };
 
-  double total = 0.0;
+  double total GL_UNITS(bits_per_sec) = 0.0;
   bool g_extra_counted = false;
   for (const auto& [g, b_in] : node_groups_[ni]) {
-    double b = b_in;
+    double b GL_UNITS(bits_per_sec) = b_in;
     if (g == g_extra) {
       b += d_in;
       g_extra_counted = true;
@@ -109,10 +112,12 @@ bool VirtualClusterPlacer::BandwidthFeasible(
     int g, const Tentative& t, std::span<const Resource> demands) {
   // b_in deltas along every ancestor path of the tentative servers.
   // Ordered so the per-node feasibility sweep below is deterministic.
-  std::map<int, double> delta;
-  double extra_total = b_total_[static_cast<std::size_t>(g)];
+  std::map<int, double> delta GL_UNITS(bits_per_sec);
+  double extra_total GL_UNITS(bits_per_sec) =
+      b_total_[static_cast<std::size_t>(g)];
   for (const auto& [c, s] : t.assignment) {
-    const double bw = demands[static_cast<std::size_t>(c.value())].net_mbps;
+    const double bw GL_UNITS(bits_per_sec) =
+        demands[static_cast<std::size_t>(c.value())].net_mbps;
     for (NodeId n = topo_.server_node(s); n.valid();
          n = topo_.node(n).parent) {
       delta[n.value()] += bw;
@@ -122,7 +127,8 @@ bool VirtualClusterPlacer::BandwidthFeasible(
     (void)d_in;
     const NodeId n{node_value};
     if (!topo_.node(n).parent.valid()) continue;  // root has no uplink
-    const double need = ReservationWith(n, g, delta, extra_total);
+    const double need GL_UNITS(bits_per_sec) =
+        ReservationWith(n, g, delta, extra_total);
     if (!WithinCap(need, topo_.uplink_capacity(n))) return false;
   }
   return true;
@@ -141,7 +147,7 @@ void VirtualClusterPlacer::Commit(int g, const Tentative& t,
     const auto ci = static_cast<std::size_t>(c.value());
     loads_[static_cast<std::size_t>(s.value())] += demands[ci];
     placement.server_of[ci] = s;
-    const double bw = demands[ci].net_mbps;
+    const double bw GL_UNITS(bits_per_sec) = demands[ci].net_mbps;
     for (NodeId n = topo_.server_node(s); n.valid();
          n = topo_.node(n).parent) {
       const auto ni = static_cast<std::size_t>(n.value());

@@ -30,8 +30,8 @@
 namespace gl {
 
 struct VirtualClusterOptions {
-  double pee_utilization = 0.70;
-  double memory_ceiling = 1.0;
+  double pee_utilization GL_UNITS(dimensionless) = 0.70;
+  double memory_ceiling GL_UNITS(dimensionless) = 1.0;
 };
 
 struct VirtualClusterStats {
@@ -52,7 +52,8 @@ class VirtualClusterPlacer {
 
   [[nodiscard]] const VirtualClusterStats& stats() const { return stats_; }
   // Reservation currently required on a node's uplink (after PlaceGroups).
-  [[nodiscard]] double ReservationOn(NodeId node) const;
+  [[nodiscard]] double ReservationOn(NodeId node) const
+      GL_UNITS(bits_per_sec);
 
  private:
   struct Tentative {
@@ -72,9 +73,9 @@ class VirtualClusterPlacer {
   // Reservation Σ_g R_g(n) on node n's uplink, with optional tentative
   // deltas applied for group `g_extra` (b_in delta per node). Ordered map
   // for the same reason as node_groups_: deterministic summation order.
-  [[nodiscard]] double ReservationWith(NodeId n, int g_extra,
-                                       const std::map<int, double>& delta,
-                                       double extra_total) const;
+  [[nodiscard]] double ReservationWith(
+      NodeId n, int g_extra, const std::map<int, double>& delta,
+      double extra_total GL_UNITS(bits_per_sec)) const GL_UNITS(bits_per_sec);
 
   // True if committing `t` for group g keeps every affected uplink feasible.
   bool BandwidthFeasible(int g, const Tentative& t,
@@ -87,12 +88,15 @@ class VirtualClusterPlacer {
   VirtualClusterOptions opts_;
   VirtualClusterStats stats_;
 
-  std::vector<Resource> loads_;                    // per server
-  std::vector<double> b_total_;                    // per group
-  std::vector<std::uint8_t> group_touched_;        // group has placed members
-  double pending_total_bw_ = 0.0;                  // Σ b_total of untouched
-  double placed_total_bw_ = 0.0;                   // Σ b_total of touched
-  std::vector<double> p_sum_;                      // per node: Σ placed b_in
+  std::vector<Resource> loads_;  // per server
+  // Per group: total bandwidth Σ B_i of its members.
+  std::vector<double> b_total_ GL_UNITS(bits_per_sec);
+  std::vector<std::uint8_t> group_touched_;  // group has placed members
+  // Σ b_total of untouched / touched groups.
+  double pending_total_bw_ GL_UNITS(bits_per_sec) = 0.0;
+  double placed_total_bw_ GL_UNITS(bits_per_sec) = 0.0;
+  // Per node: Σ placed b_in.
+  std::vector<double> p_sum_ GL_UNITS(bits_per_sec);
   // node → (group → b_in). Sparse: only nodes on ancestor paths appear.
   // Ordered map: ReservationWith sums doubles over it, and floating-point
   // summation order must not depend on hash buckets.

@@ -14,7 +14,8 @@ void Graph::Reserve(VertexIndex expected_vertices) {
   adj_.reserve(n);
 }
 
-VertexIndex Graph::AddVertex(const Resource& demand, double balance_weight) {
+VertexIndex Graph::AddVertex(const Resource& demand,
+                             double balance_weight GL_UNITS(dimensionless)) {
   demands_.push_back(demand);
   balance_.push_back(balance_weight);
   adj_.emplace_back();

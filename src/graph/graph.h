@@ -33,7 +33,8 @@ class Graph {
   // Adds a vertex and returns its index. `balance_weight` defaults to 1
   // (uniform vertices); callers with multi-resource demands should pass a
   // normalized scalar (see NormalizedL1).
-  VertexIndex AddVertex(const Resource& demand, double balance_weight = 1.0);
+  VertexIndex AddVertex(const Resource& demand,
+                        double balance_weight GL_UNITS(dimensionless) = 1.0);
 
   // Adds an undirected edge u–v with the given weight. Parallel edges are
   // merged (weights summed). Self-loops are ignored.
@@ -94,7 +95,7 @@ class Graph {
   std::vector<double> balance_;
   std::vector<std::vector<GraphEdge>> adj_;
   Resource total_demand_;
-  double total_balance_ = 0.0;
+  double total_balance_ GL_UNITS(dimensionless) = 0.0;
   std::size_t num_edges_ = 0;
 };
 

@@ -135,7 +135,8 @@ NetworkPowerResult ComputeNetworkPower(
     // Fabric tier: scale the number of powered switches with demand —
     // measured uplink+internal traffic when available, otherwise the
     // fraction of active child subtrees — plus backup headroom.
-    double demand_fraction = active_child_fraction[static_cast<std::size_t>(i)];
+    double demand_fraction GL_UNITS(dimensionless) =
+        active_child_fraction[static_cast<std::size_t>(i)];
     if (!node_traffic_mbps.empty() && node.uplink_capacity_mbps > 0.0) {
       demand_fraction =
           node_traffic_mbps[static_cast<std::size_t>(i)] /

@@ -21,24 +21,30 @@
 namespace gl {
 
 struct PowerBreakdown {
-  double server_watts = 0.0;
-  double tor_watts = 0.0;
-  double fabric_watts = 0.0;
+  double server_watts GL_UNITS(watts) = 0.0;
+  double tor_watts GL_UNITS(watts) = 0.0;
+  double fabric_watts GL_UNITS(watts) = 0.0;
 
-  [[nodiscard]] double total() const {
+  [[nodiscard]] double total() const GL_UNITS(watts) {
     return server_watts + tor_watts + fabric_watts;
   }
-  [[nodiscard]] double dcn_watts() const { return tor_watts + fabric_watts; }
-  [[nodiscard]] double dcn_share() const {
+  [[nodiscard]] double dcn_watts() const GL_UNITS(watts) {
+    return tor_watts + fabric_watts;
+  }
+  [[nodiscard]] double dcn_share() const GL_UNITS(dimensionless) {
     return total() > 0.0 ? dcn_watts() / total() : 0.0;
   }
 };
 
 struct DcAnalysisOptions {
-  double baseline_server_util = 0.20;  // [1]-[3]: servers run at 20-30%
-  double baseline_link_util = 0.10;    // [4],[5]: DCN links ~10% utilised
-  double pack_target_util = 0.95;      // packing policies' ceiling
-  double backup_fraction = 0.10;       // fabric capacity kept on as backup
+  // [1]-[3]: servers run at 20-30%.
+  double baseline_server_util GL_UNITS(dimensionless) = 0.20;
+  // [4],[5]: DCN links ~10% utilised.
+  double baseline_link_util GL_UNITS(dimensionless) = 0.10;
+  // Packing policies' ceiling.
+  double pack_target_util GL_UNITS(dimensionless) = 0.95;
+  // Fabric capacity kept on as backup.
+  double backup_fraction GL_UNITS(dimensionless) = 0.10;
 };
 
 struct Fig3Rows {
@@ -55,13 +61,13 @@ Fig3Rows AnalyzeDataCenter(const DataCenterSpec& spec,
 
 struct GatingOptions {
   // Fraction of a node's fabric capacity kept powered beyond current demand.
-  double backup_fraction = 0.10;
+  double backup_fraction GL_UNITS(dimensionless) = 0.10;
   // When false, every switch is always on (E-PVM-style no-gating baseline).
   bool gate_idle_switches = true;
 };
 
 struct NetworkPowerResult {
-  double watts = 0.0;
+  double watts GL_UNITS(watts) = 0.0;
   int active_switches = 0;
   int total_switches = 0;
 };

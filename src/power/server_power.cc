@@ -6,11 +6,24 @@
 #include "common/check.h"
 
 namespace gl {
+namespace {
 
-ServerPowerModel::ServerPowerModel(std::string name, double max_watts,
-                                   double idle_fraction,
-                                   double pee_utilization,
-                                   double pee_power_fraction)
+// Grid point i/n as a utilization fraction. The quotient is the explicit
+// count → dimensionless conversion, so GL014 sees a declared boundary
+// instead of a counter flowing into utilization arithmetic.
+double GridFraction(int i, int n) GL_UNITS(dimensionless) {
+  return static_cast<double>(i) / static_cast<double>(n);
+}
+
+}  // namespace
+
+ServerPowerModel::ServerPowerModel(std::string name,
+                                   double max_watts GL_UNITS(watts),
+                                   double idle_fraction GL_UNITS(dimensionless),
+                                   double pee_utilization
+                                       GL_UNITS(dimensionless),
+                                   double pee_power_fraction
+                                       GL_UNITS(dimensionless))
     : name_(std::move(name)),
       max_watts_(max_watts),
       idle_fraction_(idle_fraction),
@@ -49,35 +62,40 @@ ServerPowerModel ServerPowerModel::MicrosoftBlade() {
   return {"Microsoft blade", 250.0, 0.35, 0.70, 0.55};
 }
 
-ServerPowerModel ServerPowerModel::WithPeePoint(double pee_utilization,
-                                                double max_watts) {
+ServerPowerModel ServerPowerModel::WithPeePoint(
+    double pee_utilization GL_UNITS(dimensionless),
+    double max_watts GL_UNITS(watts)) {
   if (pee_utilization >= 1.0) return Linear2010(max_watts);
   // For ops-per-watt to peak exactly at u*, the cubic segment must start
   // steeper than the average power-per-utilization there:
   //   P*(1 - u*³) < 3(1 - P*)u*³  ⇔  P* < 3u*³ / (1 + 2u*³).
   // Stay 5% inside the bound, and keep the idle share strictly below P*.
-  const double u3 = pee_utilization * pee_utilization * pee_utilization;
-  const double pee_power = std::min(0.95 * 3.0 * u3 / (1.0 + 2.0 * u3), 0.95);
-  const double idle = std::min(0.35, pee_power - 0.05);
+  const double u3 GL_UNITS(dimensionless) =
+      pee_utilization * pee_utilization * pee_utilization;
+  const double pee_power GL_UNITS(dimensionless) =
+      std::min(0.95 * 3.0 * u3 / (1.0 + 2.0 * u3), 0.95);
+  const double idle GL_UNITS(dimensionless) = std::min(0.35, pee_power - 0.05);
   return {"PEE@" + std::to_string(static_cast<int>(pee_utilization * 100)) +
               "%",
           max_watts, std::max(idle, 0.05), pee_utilization, pee_power};
 }
 
-double ServerPowerModel::Power(double utilization) const {
+double ServerPowerModel::Power(double utilization GL_UNITS(dimensionless))
+    const GL_UNITS(watts) {
   const double u = std::clamp(utilization, 0.0, 1.0);
-  const double idle = idle_fraction_ * max_watts_;
-  const double p_pee = pee_power_fraction_ * max_watts_;
+  const double idle GL_UNITS(watts) = idle_fraction_ * max_watts_;
+  const double p_pee GL_UNITS(watts) = pee_power_fraction_ * max_watts_;
   const double u_star = pee_utilization_;
   if (u <= u_star) {
     return idle + (p_pee - idle) * (u / u_star);
   }
-  const double u3 = u * u * u;
-  const double s3 = u_star * u_star * u_star;
+  const double u3 GL_UNITS(dimensionless) = u * u * u;
+  const double s3 GL_UNITS(dimensionless) = u_star * u_star * u_star;
   return p_pee + (max_watts_ - p_pee) * (u3 - s3) / (1.0 - s3);
 }
 
-double ServerPowerModel::EfficiencyPerWatt(double utilization) const {
+double ServerPowerModel::EfficiencyPerWatt(
+    double utilization GL_UNITS(dimensionless)) const GL_UNITS(dimensionless) {
   const double u = std::clamp(utilization, 0.0, 1.0);
   const double p = Power(u);
   return p > 0.0 ? u / p * max_watts_ : 0.0;  // normalised ops per watt
@@ -86,10 +104,10 @@ double ServerPowerModel::EfficiencyPerWatt(double utilization) const {
 double ServerPowerModel::PeakEfficiencyUtilization() const {
   // The parameterisation guarantees the maximum sits at pee_utilization_;
   // find it numerically anyway so tests catch bad parameter sets.
-  double best_u = 0.0;
-  double best_e = 0.0;
+  double best_u GL_UNITS(dimensionless) = 0.0;
+  double best_e GL_UNITS(dimensionless) = 0.0;
   for (int i = 1; i <= 1000; ++i) {
-    const double u = static_cast<double>(i) / 1000.0;
+    const double u = GridFraction(i, 1000);
     const double e = EfficiencyPerWatt(u);
     if (e > best_e) {
       best_e = e;

@@ -16,6 +16,8 @@
 
 #include <string>
 
+#include "common/resource.h"  // GL_UNITS
+
 namespace gl {
 
 class ServerPowerModel {
@@ -43,8 +45,11 @@ class ServerPowerModel {
   // Power draw in watts at `utilization` in [0, 1] (clamped). A powered-off
   // server draws 0 — use 0 only via ServerOff(), never Power(0), which is
   // idle-but-on.
-  [[nodiscard]] double Power(double utilization) const;
-  [[nodiscard]] double NormalizedPower(double utilization) const {
+  [[nodiscard]] double Power(double utilization GL_UNITS(dimensionless)) const
+      GL_UNITS(watts);
+  [[nodiscard]] double NormalizedPower(
+      double utilization GL_UNITS(dimensionless)) const
+      GL_UNITS(dimensionless) {
     return Power(utilization) / max_watts_;
   }
   static constexpr double ServerOff() { return 0.0; }
@@ -58,15 +63,17 @@ class ServerPowerModel {
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] double max_watts() const { return max_watts_; }
-  [[nodiscard]] double idle_watts() const { return idle_fraction_ * max_watts_; }
+  [[nodiscard]] double idle_watts() const GL_UNITS(watts) {
+    return idle_fraction_ * max_watts_;
+  }
   [[nodiscard]] double pee_utilization() const { return pee_utilization_; }
 
  private:
   std::string name_;
-  double max_watts_;
-  double idle_fraction_;
-  double pee_utilization_;
-  double pee_power_fraction_;
+  double max_watts_ GL_UNITS(watts);
+  double idle_fraction_ GL_UNITS(dimensionless);
+  double pee_utilization_ GL_UNITS(dimensionless);
+  double pee_power_fraction_ GL_UNITS(dimensionless);
 };
 
 // Switch power (Table I models). Switch draw is dominated by chassis +
@@ -74,15 +81,18 @@ class ServerPowerModel {
 // disabling idle ports (traffic packing).
 class SwitchPowerModel {
  public:
-  SwitchPowerModel(std::string name, double max_watts,
-                   double port_power_share = 0.3)
+  SwitchPowerModel(std::string name, double max_watts GL_UNITS(watts),
+                   double port_power_share GL_UNITS(dimensionless) = 0.3)
       : name_(std::move(name)),
         max_watts_(max_watts),
         port_power_share_(port_power_share) {}
 
   // Power with a fraction of ports enabled (1.0 = all ports).
-  [[nodiscard]] double Power(double active_port_fraction = 1.0) const {
-    const double chassis = max_watts_ * (1.0 - port_power_share_);
+  [[nodiscard]] double Power(
+      double active_port_fraction GL_UNITS(dimensionless) = 1.0) const
+      GL_UNITS(watts) {
+    const double chassis GL_UNITS(watts) =
+        max_watts_ * (1.0 - port_power_share_);
     return chassis + max_watts_ * port_power_share_ * active_port_fraction;
   }
   static constexpr double SwitchOff() { return 0.0; }
@@ -99,8 +109,8 @@ class SwitchPowerModel {
 
  private:
   std::string name_;
-  double max_watts_;
-  double port_power_share_;
+  double max_watts_ GL_UNITS(watts);
+  double port_power_share_ GL_UNITS(dimensionless);
 };
 
 }  // namespace gl

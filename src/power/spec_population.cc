@@ -33,13 +33,13 @@ std::vector<SpecServer> SampleSpecPopulation(int n, Rng& rng) {
   fleet.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     const auto& d = dists[rng.NextBelow(dists.size())];
-    double r = rng.NextDouble();
+    double r GL_UNITS(dimensionless) = rng.NextDouble();
     std::size_t level = 0;
     for (; level + 1 < d.share.size(); ++level) {
       if (r < d.share[level]) break;
       r -= d.share[level];
     }
-    const double pee = kPeeUtilizationLevels[level];
+    const double pee GL_UNITS(dimensionless) = kPeeUtilizationLevels[level];
     fleet.push_back(
         {d.year, pee, ServerPowerModel::WithPeePoint(pee, 750.0)});
   }

@@ -20,7 +20,8 @@ namespace gl {
 // 80 / 70 / 60 percent. Shares sum to 1.
 struct PeeYearDistribution {
   int year = 0;
-  std::array<double, 5> share{};  // index 0 → 100%, 1 → 90%, ... 4 → 60%
+  // Index 0 → 100%, 1 → 90%, ... 4 → 60%.
+  std::array<double, 5> share GL_UNITS(dimensionless){};
 };
 
 inline constexpr std::array<double, 5> kPeeUtilizationLevels = {1.0, 0.9, 0.8,
@@ -31,7 +32,7 @@ const std::vector<PeeYearDistribution>& SpecPeeDistributions();
 
 struct SpecServer {
   int year = 0;
-  double pee_utilization = 0.0;
+  double pee_utilization GL_UNITS(dimensionless) = 0.0;
   ServerPowerModel model;
 };
 

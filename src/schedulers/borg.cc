@@ -11,17 +11,19 @@ namespace {
 // spread between the most- and least-free dimension, minus a packing bonus
 // for high utilization. Lower is better.
 double StrandingScore(const Resource& load, const Resource& demand,
-                      const Resource& cap) {
+                      const Resource& cap) GL_UNITS(dimensionless) {
   const Resource after = load + demand;
   auto free_frac = [](double used, double capacity) {
     return capacity > 0.0 ? std::max(0.0, 1.0 - used / capacity) : 0.0;
   };
-  const double fc = free_frac(after.cpu, cap.cpu);
-  const double fm = free_frac(after.mem_gb, cap.mem_gb);
-  const double fn = free_frac(after.net_mbps, cap.net_mbps);
-  const double spread =
+  const double fc GL_UNITS(dimensionless) = free_frac(after.cpu, cap.cpu);
+  const double fm GL_UNITS(dimensionless) = free_frac(after.mem_gb, cap.mem_gb);
+  const double fn GL_UNITS(dimensionless) =
+      free_frac(after.net_mbps, cap.net_mbps);
+  const double spread GL_UNITS(dimensionless) =
       std::max({fc, fm, fn}) - std::min({fc, fm, fn});
-  const double utilization = 1.0 - (fc + fm + fn) / 3.0;
+  const double utilization GL_UNITS(dimensionless) =
+      1.0 - (fc + fm + fn) / 3.0;
   return spread - 0.5 * utilization;
 }
 
@@ -50,11 +52,11 @@ Placement BorgScheduler::Place(const SchedulerInput& input) {
   for (const int ci : order) {
     const auto& demand = input.demands[static_cast<std::size_t>(ci)];
     ServerId best = ServerId::invalid();
-    double best_score = 0.0;
+    double best_score GL_UNITS(dimensionless) = 0.0;
     for (const int s : open) {
       const ServerId sid{s};
       if (!state.Fits(sid, demand, max_utilization_)) continue;
-      const double score =
+      const double score GL_UNITS(dimensionless) =
           StrandingScore(state.load(sid), demand, topo.server_capacity(sid));
       if (!best.valid() || score < best_score) {
         best = sid;

@@ -12,7 +12,7 @@ namespace gl {
 
 class BorgScheduler final : public Scheduler {
  public:
-  explicit BorgScheduler(double max_utilization = 0.95)
+  explicit BorgScheduler(double max_utilization GL_UNITS(dimensionless) = 0.95)
       : max_utilization_(max_utilization) {}
 
   [[nodiscard]] const std::string& name() const override { return name_; }
@@ -20,7 +20,7 @@ class BorgScheduler final : public Scheduler {
 
  private:
   std::string name_ = "Borg";
-  double max_utilization_;
+  double max_utilization_ GL_UNITS(dimensionless);
 };
 
 }  // namespace gl

@@ -22,12 +22,13 @@ Placement EPvmScheduler::PlaceLeastUtilized(
   // Least-utilized-first selection via a lazy min-heap: stale entries (whose
   // utilization no longer matches) are re-pushed with the fresh value.
   struct Entry {
-    double util;
+    double util GL_UNITS(dimensionless);
     int server;
     bool operator>(const Entry& o) const { return util > o.util; }
   };
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  std::vector<double> current(static_cast<std::size_t>(topo.num_servers()));
+  std::vector<double> current GL_UNITS(dimensionless)(
+      static_cast<std::size_t>(topo.num_servers()));
   for (int s = 0; s < topo.num_servers(); ++s) {
     current[static_cast<std::size_t>(s)] = 0.0;
     heap.push({0.0, s});
@@ -56,7 +57,7 @@ Placement EPvmScheduler::PlaceLeastUtilized(
     for (const auto& e : parked) heap.push(e);
     if (chosen.valid()) {
       state.Add(chosen, demand);
-      const double u = state.Utilization(chosen);
+      const double u GL_UNITS(dimensionless) = state.Utilization(chosen);
       current[static_cast<std::size_t>(chosen.value())] = u;
       heap.push({u, chosen.value()});
       p.server_of[static_cast<std::size_t>(c.id.value())] = chosen;
@@ -92,11 +93,11 @@ Placement EPvmScheduler::PlaceOpportunityCost(
     if (!input.IsActive(c.id)) continue;
     const auto& demand = input.demands[static_cast<std::size_t>(c.id.value())];
     ServerId best = ServerId::invalid();
-    double best_cost = 0.0;
+    double best_cost GL_UNITS(dimensionless) = 0.0;
     for (int s = 0; s < topo.num_servers(); ++s) {
       const ServerId sid{s};
       if (!state.Fits(sid, demand, max_utilization_)) continue;
-      const double cost = marginal_cost(sid, demand);
+      const double cost GL_UNITS(dimensionless) = marginal_cost(sid, demand);
       if (!best.valid() || cost < best_cost) {
         best = sid;
         best_cost = cost;

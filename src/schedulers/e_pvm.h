@@ -24,9 +24,9 @@ enum class EPvmMode {
 
 class EPvmScheduler final : public Scheduler {
  public:
-  explicit EPvmScheduler(double max_utilization = 1.0,
+  explicit EPvmScheduler(double max_utilization GL_UNITS(dimensionless) = 1.0,
                          EPvmMode mode = EPvmMode::kLeastUtilized,
-                         double cost_base = 32.0)
+                         double cost_base GL_UNITS(dimensionless) = 32.0)
       : max_utilization_(max_utilization),
         mode_(mode),
         cost_base_(cost_base) {}
@@ -39,9 +39,9 @@ class EPvmScheduler final : public Scheduler {
   Placement PlaceOpportunityCost(const SchedulerInput& input) const;
 
   std::string name_ = "E-PVM";
-  double max_utilization_;
+  double max_utilization_ GL_UNITS(dimensionless);
   EPvmMode mode_;
-  double cost_base_;
+  double cost_base_ GL_UNITS(dimensionless);
 };
 
 }  // namespace gl

@@ -29,24 +29,26 @@ Placement MppScheduler::Place(const SchedulerInput& input) {
   int next_fresh = 0;
 
   auto power_delta_per_util = [&](ServerId s, const Resource& d) {
-    const double u_before = state.Utilization(s);
+    const double u_before GL_UNITS(dimensionless) = state.Utilization(s);
     const Resource after = state.load(s) + d;
-    const double u_after = after.DominantShare(topo.server_capacity(s));
-    const double p_before =
+    const double u_after GL_UNITS(dimensionless) =
+        after.DominantShare(topo.server_capacity(s));
+    const double p_before GL_UNITS(watts) =
         state.IsEmpty(s) ? ServerPowerModel::ServerOff() : power_.Power(u_before);
-    const double p_after = power_.Power(u_after);
-    const double du = std::max(1e-9, u_after - u_before);
+    const double p_after GL_UNITS(watts) = power_.Power(u_after);
+    const double du GL_UNITS(dimensionless) =
+        std::max(1e-9, u_after - u_before);
     return (p_after - p_before) / du;
   };
 
   for (const int ci : order) {
     const auto& demand = input.demands[static_cast<std::size_t>(ci)];
     ServerId best = ServerId::invalid();
-    double best_score = 0.0;
+    double best_score GL_UNITS(watts) = 0.0;
     for (const int s : open) {
       const ServerId sid{s};
       if (!state.Fits(sid, demand, max_utilization_)) continue;
-      const double score = power_delta_per_util(sid, demand);
+      const double score GL_UNITS(watts) = power_delta_per_util(sid, demand);
       if (!best.valid() || score < best_score) {
         best = sid;
         best_score = score;
@@ -55,7 +57,7 @@ Placement MppScheduler::Place(const SchedulerInput& input) {
     if (next_fresh < topo.num_servers()) {
       const ServerId fresh{next_fresh};
       if (state.Fits(fresh, demand, max_utilization_)) {
-        const double score = power_delta_per_util(fresh, demand);
+        const double score GL_UNITS(watts) = power_delta_per_util(fresh, demand);
         if (!best.valid() || score < best_score) {
           best = fresh;
           best_score = score;

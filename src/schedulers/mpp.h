@@ -14,7 +14,7 @@ class MppScheduler final : public Scheduler {
  public:
   explicit MppScheduler(ServerPowerModel power_model =
                             ServerPowerModel::Dell2018(),
-                        double max_utilization = 0.95)
+                        double max_utilization GL_UNITS(dimensionless) = 0.95)
       : power_(std::move(power_model)), max_utilization_(max_utilization) {}
 
   [[nodiscard]] const std::string& name() const override { return name_; }
@@ -23,7 +23,7 @@ class MppScheduler final : public Scheduler {
  private:
   std::string name_ = "mPP";
   ServerPowerModel power_;
-  double max_utilization_;
+  double max_utilization_ GL_UNITS(dimensionless);
 };
 
 }  // namespace gl

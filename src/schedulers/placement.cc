@@ -57,7 +57,7 @@ PackingState::PackingState(const Topology& topo)
       loads_(static_cast<std::size_t>(topo.num_servers())) {}
 
 bool PackingState::Fits(ServerId s, const Resource& demand,
-                        double max_utilization) const {
+                        double max_utilization GL_UNITS(dimensionless)) const {
   const Resource after = loads_[static_cast<std::size_t>(s.value())] + demand;
   return after.FitsIn(topo_.server_capacity(s) * max_utilization);
 }
@@ -74,7 +74,7 @@ const Resource& PackingState::capacity(ServerId s) const {
   return topo_.server_capacity(s);
 }
 
-double PackingState::Utilization(ServerId s) const {
+double PackingState::Utilization(ServerId s) const GL_UNITS(dimensionless) {
   return loads_[static_cast<std::size_t>(s.value())].DominantShare(
       topo_.server_capacity(s));
 }

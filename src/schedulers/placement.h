@@ -40,7 +40,7 @@ class PackingState {
   // True if `demand` fits on `s` with every dimension at most
   // `max_utilization` of capacity.
   [[nodiscard]] bool Fits(ServerId s, const Resource& demand,
-                          double max_utilization) const;
+                          double max_utilization GL_UNITS(dimensionless)) const;
   void Add(ServerId s, const Resource& demand);
   void Remove(ServerId s, const Resource& demand);
 
@@ -49,7 +49,7 @@ class PackingState {
   }
   [[nodiscard]] const Resource& capacity(ServerId s) const;
   // Dominant-share utilization of the server.
-  [[nodiscard]] double Utilization(ServerId s) const;
+  [[nodiscard]] double Utilization(ServerId s) const GL_UNITS(dimensionless);
   [[nodiscard]] bool IsEmpty(ServerId s) const {
     return loads_[static_cast<std::size_t>(s.value())].IsZero();
   }

@@ -7,7 +7,9 @@
 namespace gl {
 namespace {
 
-void Update(double x, double alpha, bool first, double& mean, double& var) {
+void Update(double x GL_UNITS(any), double alpha GL_UNITS(dimensionless),
+            bool first, double& mean GL_UNITS(any),
+            double& var GL_UNITS(any)) {
   if (first) {
     mean = x;
     var = 0.0;
@@ -20,7 +22,8 @@ void Update(double x, double alpha, bool first, double& mean, double& var) {
   var = (1.0 - alpha) * (var + alpha * delta * delta);
 }
 
-double Forecast(const double mean, const double var, double k) {
+double Forecast(const double mean GL_UNITS(any), const double var GL_UNITS(any),
+                double k GL_UNITS(dimensionless)) GL_UNITS(any) {
   return std::max(0.0, mean + k * std::sqrt(std::max(0.0, var)));
 }
 

@@ -87,19 +87,19 @@ RecoveryResult PlanRecovery(const Placement& placement,
   });
 
   // Per-destination serialized restore (images stream over each NIC).
-  std::vector<double> busy_ms(static_cast<std::size_t>(topo.num_servers()),
+  std::vector<double> busy_ms GL_UNITS(ms)(static_cast<std::size_t>(topo.num_servers()),
                               0.0);
   for (const auto c : order) {
     const auto ci = static_cast<std::size_t>(c.value());
     const Resource& d = demands[ci];
     ServerId best = ServerId::invalid();
-    double best_slack = 0.0;
+    double best_slack GL_UNITS(dimensionless) = 0.0;
     for (int s = 0; s < topo.num_servers(); ++s) {
       if (dead_servers.count(s)) continue;
       const ServerId sid{s};
       const Resource& cap = topo.server_capacity(sid);
       if (!(load[static_cast<std::size_t>(s)] + d).FitsIn(cap)) continue;
-      const double slack =
+      const double slack GL_UNITS(dimensionless) =
           1.0 - (load[static_cast<std::size_t>(s)] + d).DominantShare(cap);
       // Best fit: tightest remaining slack.
       if (!best.valid() || slack < best_slack) {
@@ -115,8 +115,8 @@ RecoveryResult PlanRecovery(const Placement& placement,
     load[static_cast<std::size_t>(best.value())] += d;
     result.placement.server_of[ci] = best;
     ++result.recovered;
-    const double image_gb = d.mem_gb * cost.image_overhead;
-    const double restore_ms =
+    const double image_gb GL_UNITS(bytes) = d.mem_gb * cost.image_overhead;
+    const double restore_ms GL_UNITS(ms) =
         cost.restore_ms +
         image_gb * 8.0 / (cost.transfer_mbps / 1000.0) * 1000.0;
     busy_ms[static_cast<std::size_t>(best.value())] += restore_ms;

@@ -49,7 +49,7 @@ struct RecoveryResult {
   int unrecoverable = 0;    // no healthy capacity left for them
   // Time to ship the displaced containers' state to their new homes
   // (restore-from-checkpoint/replica semantics).
-  double recovery_makespan_ms = 0.0;
+  double recovery_makespan_ms GL_UNITS(ms) = 0.0;
 };
 
 // Re-places the displaced containers on the healthy servers (best-fit by

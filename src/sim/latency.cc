@@ -11,8 +11,9 @@ namespace gl {
 LatencyModel::LatencyModel(const Topology& topo, LatencyOptions opts)
     : topo_(topo), opts_(opts) {}
 
-double LatencyModel::QueueFactor(double utilization) const {
-  const double u =
+double LatencyModel::QueueFactor(double utilization GL_UNITS(dimensionless))
+    const GL_UNITS(dimensionless) {
+  const double u GL_UNITS(dimensionless) =
       std::min(utilization * (1.0 + opts_.burst_amplification), 0.999);
   if (u <= 0.0) return 1.0;
   // Multi-core servers behave like M/M/c, not M/M/1: queueing delay is
@@ -20,12 +21,15 @@ double LatencyModel::QueueFactor(double utilization) const {
   // approximates the Erlang-C probability-of-wait for a many-core box —
   // this is what makes the PEE point (70%) a *safe* operating point while
   // 95% packing is not.
-  const double u4 = u * u * u * u;
+  const double u4 GL_UNITS(dimensionless) = u * u * u * u;
   return std::min(1.0 + u4 / (1.0 - u), opts_.max_queue_factor);
 }
 
-double LatencyModel::CongestionFactor(double link_utilization) const {
-  const double rho = std::min(std::max(link_utilization, 0.0), 0.999);
+double LatencyModel::CongestionFactor(
+    double link_utilization GL_UNITS(dimensionless)) const
+    GL_UNITS(dimensionless) {
+  const double rho GL_UNITS(dimensionless) =
+      std::min(std::max(link_utilization, 0.0), 0.999);
   return std::min(1.0 / (1.0 - rho), opts_.max_congestion_factor);
 }
 
@@ -37,7 +41,7 @@ TctResult LatencyModel::ComputeTct(const Workload& workload,
   // Server busyness: CPU share and NIC share (cross-server traffic only —
   // colocated chatter costs no NIC), whichever dominates.
   const int num_servers = topo_.num_servers();
-  std::vector<double> cpu_load(static_cast<std::size_t>(num_servers), 0.0);
+  std::vector<double> cpu_load GL_UNITS(cores)(static_cast<std::size_t>(num_servers), 0.0);
   for (std::size_t i = 0; i < workload.containers.size(); ++i) {
     const auto s = placement.server_of.size() > i ? placement.server_of[i]
                                                   : ServerId::invalid();
@@ -55,9 +59,9 @@ TctResult LatencyModel::ComputeTct(const Workload& workload,
   };
 
   TctResult result;
-  std::vector<double> samples;
+  std::vector<double> samples GL_UNITS(ms);
   double weighted_sum = 0.0;
-  double weight_total = 0.0;
+  double weight_total GL_UNITS(count) = 0.0;
   int violations = 0;
 
   for (const auto& e : workload.edges) {
@@ -70,8 +74,9 @@ TctResult LatencyModel::ComputeTct(const Workload& workload,
     if (!sa.valid() || !sb.valid()) continue;
 
     const AppProfile& responder = GetAppProfile(workload.containers[ib].app);
-    const double u = std::max(server_utilization(sa), server_utilization(sb));
-    double tct = responder.base_service_ms * QueueFactor(u);
+    const double u GL_UNITS(dimensionless) =
+        std::max(server_utilization(sa), server_utilization(sb));
+    double tct GL_UNITS(ms) = responder.base_service_ms * QueueFactor(u);
 
     // Network round trip: hop latency inflated by per-link congestion.
     if (sa != sb) {
@@ -86,7 +91,7 @@ TctResult LatencyModel::ComputeTct(const Workload& workload,
         return d;
       };
       int da = depth(na), db = depth(nb);
-      double one_way = 0.0;
+      double one_way GL_UNITS(ms) = 0.0;
       auto hop = [&](NodeId n) {
         one_way += opts_.per_hop_ms *
                    CongestionFactor(traffic.UplinkUtilization(topo_, n));

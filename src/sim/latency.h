@@ -26,22 +26,22 @@ namespace gl {
 
 struct LatencyOptions {
   // One-way per-link latency: switching plus software VxLAN overlay cost.
-  double per_hop_ms = 0.4;
+  double per_hop_ms GL_UNITS(ms) = 0.4;
   // Intra-epoch bursts above the epoch-mean utilization (Azure VMs burst
   // together: pairwise correlation 0.6–0.8).
-  double burst_amplification = 0.15;
+  double burst_amplification GL_UNITS(dimensionless) = 0.15;
   // Caps for the queueing / congestion inflation factors.
-  double max_queue_factor = 12.0;
-  double max_congestion_factor = 4.0;
+  double max_queue_factor GL_UNITS(dimensionless) = 12.0;
+  double max_congestion_factor GL_UNITS(dimensionless) = 4.0;
   // A query slower than this violates the SLA.
-  double sla_ms = 30.0;
+  double sla_ms GL_UNITS(ms) = 30.0;
 };
 
 struct TctResult {
-  double mean_ms = 0.0;        // flow-weighted mean over query edges
-  double p99_ms = 0.0;         // unweighted p99 over query edges
+  double mean_ms GL_UNITS(ms) = 0.0;        // flow-weighted mean over query edges
+  double p99_ms GL_UNITS(ms) = 0.0;         // unweighted p99 over query edges
   int query_edges = 0;
-  double sla_violation_rate = 0.0;
+  double sla_violation_rate GL_UNITS(dimensionless) = 0.0;
 };
 
 class LatencyModel {
@@ -56,8 +56,10 @@ class LatencyModel {
 
   // Effective queueing factor for a server at `utilization` (exposed for
   // tests and the ablation benches).
-  [[nodiscard]] double QueueFactor(double utilization) const;
-  [[nodiscard]] double CongestionFactor(double link_utilization) const;
+  [[nodiscard]] double QueueFactor(double utilization GL_UNITS(dimensionless)) const
+      GL_UNITS(dimensionless);
+  [[nodiscard]] double CongestionFactor(
+      double link_utilization GL_UNITS(dimensionless)) const GL_UNITS(dimensionless);
 
  private:
   const Topology& topo_;

@@ -14,17 +14,17 @@
 namespace gl {
 
 struct MigrationCostOptions {
-  double freeze_ms = 250.0;         // CRIU checkpoint freeze
-  double restore_ms = 300.0;        // restore + network re-attach (VxLAN)
-  double transfer_mbps = 800.0;     // effective rsync throughput on 1G links
-  double image_overhead = 1.10;     // image is slightly larger than RSS
+  double freeze_ms GL_UNITS(ms) = 250.0;     // CRIU checkpoint freeze
+  double restore_ms GL_UNITS(ms) = 300.0;    // restore + re-attach (VxLAN)
+  double transfer_mbps GL_UNITS(bits_per_sec) = 800.0;  // rsync throughput
+  double image_overhead GL_UNITS(dimensionless) = 1.10;  // image vs RSS
 };
 
 struct MigrationCost {
   int migrations = 0;
-  double total_downtime_ms = 0.0;  // Σ freeze + transfer + restore
-  double max_downtime_ms = 0.0;    // worst single container
-  double traffic_gb = 0.0;         // checkpoint bytes moved
+  double total_downtime_ms GL_UNITS(ms) = 0.0;  // Σ freeze+transfer+restore
+  double max_downtime_ms GL_UNITS(ms) = 0.0;  // worst single container
+  double traffic_gb GL_UNITS(bytes) = 0.0;  // checkpoint bytes moved
 };
 
 MigrationCost ComputeMigrationCost(const Placement& before,

@@ -16,9 +16,10 @@ struct PendingMove {
   bool bounce = false;
 };
 
-double StepDuration(const Resource& demand, const MigrationCostOptions& c) {
-  const double image_gb = demand.mem_gb * c.image_overhead;
-  const double transfer_ms =
+double StepDuration(const Resource& demand, const MigrationCostOptions& c)
+    GL_UNITS(ms) {
+  const double image_gb GL_UNITS(bytes) = demand.mem_gb * c.image_overhead;
+  const double transfer_ms GL_UNITS(ms) =
       image_gb * 8.0 / (c.transfer_mbps / 1000.0) * 1000.0;
   return c.freeze_ms + transfer_ms + c.restore_ms;
 }

@@ -32,7 +32,7 @@ struct MigrationStep {
   ServerId to;
   int phase = 0;
   bool bounce = false;  // part of a cycle break (extra hop via a spare)
-  double transfer_ms = 0.0;
+  double transfer_ms GL_UNITS(ms) = 0.0;
 };
 
 struct MigrationPlan {
@@ -44,8 +44,8 @@ struct MigrationPlan {
   std::vector<ContainerId> stuck;
   // Wall-clock estimate: phases run sequentially; within a phase, each
   // server transfers one image at a time.
-  double makespan_ms = 0.0;
-  double total_image_gb = 0.0;
+  double makespan_ms GL_UNITS(ms) = 0.0;
+  double total_image_gb GL_UNITS(bytes) = 0.0;
 };
 
 struct MigrationPlannerOptions {
@@ -53,7 +53,7 @@ struct MigrationPlannerOptions {
   // Utilization ceiling the *destination* must respect mid-transition
   // (containers briefly exist on both sides; keeping a margin avoids
   // overload while the old copy drains).
-  double transition_ceiling = 1.0;
+  double transition_ceiling GL_UNITS(dimensionless) = 1.0;
   int max_phases = 16;
 };
 

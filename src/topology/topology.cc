@@ -246,13 +246,13 @@ NodeId Topology::AncestorAt(NodeId id, int level) const {
   return NodeId::invalid();
 }
 
-void Topology::Reserve(NodeId id, double mbps) {
+void Topology::Reserve(NodeId id, double mbps GL_UNITS(bits_per_sec)) {
   GOLDILOCKS_CHECK_GE(mbps, 0.0);
   auto& n = nodes_[CheckedNode(id)];
   n.uplink_reserved_mbps += mbps;
 }
 
-void Topology::Release(NodeId id, double mbps) {
+void Topology::Release(NodeId id, double mbps GL_UNITS(bits_per_sec)) {
   auto& n = nodes_[CheckedNode(id)];
   n.uplink_reserved_mbps = std::max(0.0, n.uplink_reserved_mbps - mbps);
 }
@@ -261,7 +261,8 @@ void Topology::ClearReservations() {
   for (auto& n : nodes_) n.uplink_reserved_mbps = 0.0;
 }
 
-void Topology::DegradeUplink(NodeId id, double factor) {
+void Topology::DegradeUplink(NodeId id,
+                             double factor GL_UNITS(dimensionless)) {
   GOLDILOCKS_CHECK(factor >= 0.0 && factor <= 1.0);
   auto& n = nodes_[CheckedNode(id)];
   n.uplink_capacity_mbps *= factor;

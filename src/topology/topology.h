@@ -33,9 +33,9 @@ class Topology {
     std::vector<NodeId> children;
     int level = 0;  // 0 = server; increases toward the root
     // Aggregate capacity of all physical uplinks toward the parent (Mbps).
-    double uplink_capacity_mbps = 0.0;
+    double uplink_capacity_mbps GL_UNITS(bits_per_sec) = 0.0;
     // Bandwidth currently reserved on that uplink by placed Virtual Clusters.
-    double uplink_reserved_mbps = 0.0;
+    double uplink_reserved_mbps GL_UNITS(bits_per_sec) = 0.0;
     // Physical switches this hierarchy node stands for (0 for servers).
     int physical_switches = 0;
     // Physical links the uplink bundle stands for.
@@ -83,8 +83,8 @@ class Topology {
     int agg_per_pod = 2;
     int pod_uplinks = 4;
     int core_switches = 4;
-    double server_link_mbps = 10000.0;
-    double fabric_link_mbps = 40000.0;
+    double server_link_mbps GL_UNITS(bits_per_sec) = 10000.0;
+    double fabric_link_mbps GL_UNITS(bits_per_sec) = 40000.0;
     Resource server_capacity{.cpu = 3200, .mem_gb = 64, .net_mbps = 10000};
   };
   static Topology ThreeTier(const ThreeTierSpec& spec);
@@ -138,23 +138,26 @@ class Topology {
 
   // --- bandwidth accounting (asymmetric placement) -------------------------
 
-  [[nodiscard]] double uplink_capacity(NodeId id) const {
+  [[nodiscard]] double uplink_capacity(NodeId id) const
+      GL_UNITS(bits_per_sec) {
     return nodes_[CheckedNode(id)].uplink_capacity_mbps;
   }
-  [[nodiscard]] double uplink_reserved(NodeId id) const {
+  [[nodiscard]] double uplink_reserved(NodeId id) const
+      GL_UNITS(bits_per_sec) {
     return nodes_[CheckedNode(id)].uplink_reserved_mbps;
   }
-  [[nodiscard]] double uplink_residual(NodeId id) const {
+  [[nodiscard]] double uplink_residual(NodeId id) const
+      GL_UNITS(bits_per_sec) {
     const auto& n = nodes_[CheckedNode(id)];
     return n.uplink_capacity_mbps - n.uplink_reserved_mbps;
   }
-  void Reserve(NodeId id, double mbps);
-  void Release(NodeId id, double mbps);
+  void Reserve(NodeId id, double mbps GL_UNITS(bits_per_sec));
+  void Release(NodeId id, double mbps GL_UNITS(bits_per_sec));
   void ClearReservations();
 
   // Failure injection: scales the uplink capacity of `id` by `factor`
   // (e.g. 0.5 = half the uplinks of this substructure failed).
-  void DegradeUplink(NodeId id, double factor);
+  void DegradeUplink(NodeId id, double factor GL_UNITS(dimensionless));
 
  private:
   [[nodiscard]] std::size_t CheckedNode(NodeId id) const {

@@ -39,7 +39,7 @@ struct AppProfile {
   Resource reserved;
   double flow_count;    // typical edge weight to a communication peer
   double reference_rps; // request rate at which `demand` was measured
-  double base_service_ms;  // service time at an unloaded server
+  double base_service_ms GL_UNITS(ms);  // service time at an unloaded server
 };
 
 [[nodiscard]] const AppProfile& GetAppProfile(AppType t);
@@ -60,7 +60,7 @@ struct Container {
 struct CommunicationEdge {
   ContainerId a;
   ContainerId b;
-  double flows = 0.0;  // distinct flow count — the container-graph edge weight
+  double flows GL_UNITS(count) = 0.0;  // distinct flow count — edge weight
   // Query edges carry latency-sensitive request/response traffic; task
   // completion time is measured across them (a → b → a).
   bool is_query = false;

@@ -372,5 +372,284 @@ TEST(StaleSuppression, LoadBearingAllowIsKeptDeadAllowIsFlagged) {
   EXPECT_NE(findings[0].message.find("adhoc-rng"), std::string::npos);
 }
 
+// --- GL014: units-of-measure dataflow --------------------------------------
+
+std::vector<Finding> AnalyzeSources(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  std::vector<FileFacts> facts;
+  facts.reserve(sources.size());
+  for (const auto& [path, src] : sources) {
+    facts.push_back(ExtractFacts(path, src));
+  }
+  return Analyze(facts, AnalysisOptions{});
+}
+
+TEST(Units, CrossFileCallBindingMixesDimensions) {
+  const std::string callee =
+      "#define GL_UNITS(d)\n"
+      "namespace x {\n"
+      "double Headroom(double budget_w GL_UNITS(watts)) {\n"
+      "  return 300.0 - budget_w;\n"
+      "}\n"
+      "}  // namespace x\n";
+  const std::string caller =
+      "#define GL_UNITS(d)\n"
+      "namespace x {\n"
+      "double Headroom(double budget_w);\n"
+      "double Slack() {\n"
+      "  double window GL_UNITS(ms) = 5000.0;\n"
+      "  return Headroom(window);\n"
+      "}\n"
+      "}  // namespace x\n";
+  const std::vector<Finding> findings =
+      AnalyzeSources({{"callee.cc", callee}, {"caller.cc", caller}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "GL014");
+  EXPECT_EQ(findings[0].path, "caller.cc");
+  EXPECT_NE(findings[0].message.find("declared watts"), std::string::npos);
+}
+
+TEST(Units, ConsistentArithmeticIsClean) {
+  const std::string src =
+      "#define GL_UNITS(d)\n"
+      "namespace x {\n"
+      "double Total(double idle_w GL_UNITS(watts)) {\n"
+      "  double dynamic_w GL_UNITS(watts) = 40.0;\n"
+      "  return idle_w + dynamic_w;\n"
+      "}\n"
+      "}  // namespace x\n";
+  EXPECT_TRUE(AnalyzeSources({{"s.cc", src}}).empty());
+}
+
+TEST(Units, MixedDimensionBinopFires) {
+  const std::string src =
+      "#define GL_UNITS(d)\n"
+      "namespace x {\n"
+      "double Bad(double idle_w GL_UNITS(watts),\n"
+      "           double epoch_ms GL_UNITS(ms)) {\n"
+      "  return idle_w + epoch_ms;\n"
+      "}\n"
+      "}  // namespace x\n";
+  const std::vector<Finding> findings = AnalyzeSources({{"s.cc", src}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "GL014");
+  EXPECT_NE(findings[0].message.find("mix dimensions"), std::string::npos);
+}
+
+TEST(Units, AnyParamAbsorbsAllDimensionsWithoutConflict) {
+  // The GL_UNITS(any) helper takes watts in one caller and ms in another;
+  // `any` erases the dimension instead of joining to conflict, so neither
+  // the bindings nor downstream uses of the return value fire.
+  const std::string src =
+      "#define GL_UNITS(d)\n"
+      "namespace x {\n"
+      "double FiniteOrZero(double v GL_UNITS(any)) {\n"
+      "  return v < 0.0 ? 0.0 : v;\n"
+      "}\n"
+      "double CheckW(double idle_w GL_UNITS(watts)) {\n"
+      "  return FiniteOrZero(idle_w);\n"
+      "}\n"
+      "double CheckT(double epoch_ms GL_UNITS(ms)) {\n"
+      "  return FiniteOrZero(epoch_ms);\n"
+      "}\n"
+      "}  // namespace x\n";
+  EXPECT_TRUE(AnalyzeSources({{"s.cc", src}}).empty());
+}
+
+// --- GL015: lock-order cycles ----------------------------------------------
+
+TEST(LockOrder, InterproceduralInversionIsACycle) {
+  // Drain holds mu_ and calls a helper that takes nu_; Refill holds nu_ and
+  // calls a helper that takes mu_. Neither function shows both locks
+  // directly — the cycle only exists after folding locksets over the call
+  // graph.
+  const std::string src =
+      "namespace x {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  void Drain() {\n"
+      "    MutexLock l(&mu_);\n"
+      "    TakeNu();\n"
+      "  }\n"
+      "  void Refill() {\n"
+      "    MutexLock l(&nu_);\n"
+      "    TakeMu();\n"
+      "  }\n"
+      " private:\n"
+      "  void TakeNu() { MutexLock l(&nu_); }\n"
+      "  void TakeMu() { MutexLock l(&mu_); }\n"
+      "  Mutex mu_;\n"
+      "  Mutex nu_;\n"
+      "};\n"
+      "}  // namespace x\n";
+  const std::vector<Finding> findings = AnalyzeSources({{"s.cc", src}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "GL015");
+  EXPECT_NE(findings[0].message.find("Pool::mu_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Pool::nu_"), std::string::npos);
+  // Both chains of evidence are part of the message.
+  EXPECT_NE(findings[0].message.find(" vs ["), std::string::npos);
+}
+
+TEST(LockOrder, ConsistentOrderIsClean) {
+  const std::string src =
+      "namespace x {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  void Drain() {\n"
+      "    MutexLock a(&mu_);\n"
+      "    MutexLock b(&nu_);\n"
+      "  }\n"
+      "  void Refill() {\n"
+      "    MutexLock a(&mu_);\n"
+      "    MutexLock b(&nu_);\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  Mutex nu_;\n"
+      "};\n"
+      "}  // namespace x\n";
+  EXPECT_TRUE(AnalyzeSources({{"s.cc", src}}).empty());
+}
+
+// --- GL016: determinism taint ----------------------------------------------
+
+TEST(Taint, ClockThroughCrossFileHelperReachesHash) {
+  const std::string helper =
+      "namespace x {\n"
+      "unsigned long long TickStamp() {\n"
+      "  const unsigned long long t = clock();\n"
+      "  return t;\n"
+      "}\n"
+      "}  // namespace x\n";
+  const std::string snapshot =
+      "namespace x {\n"
+      "unsigned long long TickStamp();\n"
+      "void Snapshot(StateHash& h) {\n"
+      "  const unsigned long long stamp = TickStamp();\n"
+      "  h.MixU64(stamp);\n"
+      "}\n"
+      "}  // namespace x\n";
+  const std::vector<Finding> findings =
+      AnalyzeSources({{"helper.cc", helper}, {"snapshot.cc", snapshot}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "GL016");
+  EXPECT_EQ(findings[0].path, "snapshot.cc");
+  EXPECT_NE(findings[0].message.find("MixU64"), std::string::npos);
+}
+
+TEST(Taint, DeterministicDataAtSinkIsClean) {
+  const std::string src =
+      "#include <vector>\n"
+      "namespace x {\n"
+      "void Snapshot(StateHash& h, const std::vector<double>& loads) {\n"
+      "  const unsigned long long placed = loads.size();\n"
+      "  h.MixU64(placed);\n"
+      "}\n"
+      "}  // namespace x\n";
+  EXPECT_TRUE(AnalyzeSources({{"s.cc", src}}).empty());
+}
+
+// --- --jobs=N parallel extraction ------------------------------------------
+
+TEST(Jobs, ParallelExtractionIsByteIdentical) {
+  TempDir tmp;
+  std::vector<std::string> paths;
+  for (int i = 0; i < 8; ++i) {
+    const std::string idx = std::to_string(i);
+    const std::string p = tmp.Path("f" + idx + ".cc");
+    std::string src = "#define GL_UNITS(d)\n";
+    src += "namespace x { double V" + idx;
+    src += "(double w GL_UNITS(watts)) { return w + " + idx + ".0; } }\n";
+    WriteFileOrDie(p, src);
+    paths.push_back(p);
+  }
+  const std::string cache1 = tmp.Path("cache1");
+  const std::string cache8 = tmp.Path("cache8");
+  CacheStats s1, s8;
+  std::string err1, err8;
+  const std::vector<FileFacts> f1 = LoadFacts(paths, cache1, &s1, &err1, 1);
+  const std::vector<FileFacts> f8 = LoadFacts(paths, cache8, &s8, &err8, 8);
+  EXPECT_TRUE(err1.empty()) << err1;
+  EXPECT_TRUE(err8.empty()) << err8;
+  ASSERT_EQ(f1.size(), f8.size());
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    std::string b1, b8;
+    SerializeFacts(f1[i], &b1);
+    SerializeFacts(f8[i], &b8);
+    EXPECT_EQ(b1, b8) << paths[i];
+  }
+  EXPECT_EQ(ReadFileOrDie(cache1), ReadFileOrDie(cache8));
+}
+
+// --- --fix=stale-allows ------------------------------------------------------
+
+TEST(FixStaleAllows, DryRunPrintsDiffApplyRewritesInPlace) {
+  TempDir tmp;
+  const std::string path = tmp.Path("mixed.cc");
+  const std::string original =
+      "#include <unordered_map>\n"
+      "namespace x {\n"
+      "double Total(const std::unordered_map<int, double>& m) {\n"
+      "  double t = 0.0;\n"
+      "  // gl-lint: allow(unordered-iter)\n"
+      "  for (const auto& [k, v] : m) t += v;\n"
+      "  // gl-lint: allow(adhoc-rng)\n"
+      "  t += 1.0;\n"
+      "  return t;\n"
+      "}\n"
+      "}  // namespace x\n";
+  WriteFileOrDie(path, original);
+
+  // Dry run: one stale allow line reported, file untouched.
+  std::vector<FileFacts> facts = {ExtractFacts(path, ReadFileOrDie(path))};
+  std::ostringstream diff;
+  std::string err;
+  EXPECT_EQ(FixStaleAllows(facts, /*apply=*/false, diff, &err), 1) << err;
+  EXPECT_NE(diff.str().find("allow(adhoc-rng)"), std::string::npos);
+  EXPECT_EQ(ReadFileOrDie(path), original);
+
+  // Apply: the dead allow line is deleted, the load-bearing one survives,
+  // and the rewritten file analyzes clean.
+  std::ostringstream diff2;
+  EXPECT_EQ(FixStaleAllows(facts, /*apply=*/true, diff2, &err), 1) << err;
+  const std::string fixed = ReadFileOrDie(path);
+  EXPECT_EQ(fixed.find("adhoc-rng"), std::string::npos);
+  EXPECT_NE(fixed.find("allow(unordered-iter)"), std::string::npos);
+  facts = {ExtractFacts(path, fixed)};
+  EXPECT_TRUE(Analyze(facts, AnalysisOptions{}).empty());
+}
+
+// --- facts round-trip of the dataflow records --------------------------------
+
+TEST(Facts, DataflowRecordsRoundTrip) {
+  for (const char* name :
+       {"/gl014_pos.cc", "/gl015_pos.cc", "/gl016_pos.cc"}) {
+    const std::string fixture = FixturesDir() + name;
+    const FileFacts facts = ExtractFacts(fixture, ReadFileOrDie(fixture));
+    std::string blob;
+    SerializeFacts(facts, &blob);
+    FileFacts back;
+    ASSERT_TRUE(DeserializeFacts(blob, &back)) << name;
+    std::string blob2;
+    SerializeFacts(back, &blob2);
+    EXPECT_EQ(blob, blob2) << name;
+    EXPECT_EQ(back.unit_decls.size(), facts.unit_decls.size()) << name;
+    EXPECT_EQ(back.binops.size(), facts.binops.size()) << name;
+    EXPECT_EQ(back.call_args.size(), facts.call_args.size()) << name;
+    EXPECT_EQ(back.lock_acquires.size(), facts.lock_acquires.size()) << name;
+  }
+  // The new record kinds are actually present in the corpus.
+  const FileFacts units = ExtractFacts(
+      FixturesDir() + "/gl014_pos.cc",
+      ReadFileOrDie(FixturesDir() + "/gl014_pos.cc"));
+  EXPECT_FALSE(units.unit_decls.empty());
+  EXPECT_FALSE(units.binops.empty());
+  const FileFacts locks = ExtractFacts(
+      FixturesDir() + "/gl015_pos.cc",
+      ReadFileOrDie(FixturesDir() + "/gl015_pos.cc"));
+  EXPECT_FALSE(locks.lock_acquires.empty());
+}
+
 }  // namespace
 }  // namespace gl::analyze

@@ -66,6 +66,56 @@ TEST(Resource, FitsInToleratesFloatNoise) {
   EXPECT_TRUE(demand.FitsIn(cap));
 }
 
+TEST(Resource, WithinCapExactEpsilonBoundary) {
+  // The sanctioned threshold is cap*(1+eps) + eps, computed here exactly
+  // the way WithinCap computes it: at the threshold a value fits, one ulp
+  // above it does not.
+  const double cap = 1.0;
+  const double limit = cap * (1.0 + kResourceEps) + kResourceEps;
+  EXPECT_TRUE(WithinCap(limit, cap));
+  EXPECT_TRUE(WithinCap(std::nextafter(limit, 0.0), cap));
+  EXPECT_FALSE(WithinCap(std::nextafter(limit, 2.0), cap));
+}
+
+TEST(Resource, WithinCapZeroCapacity) {
+  // With cap = 0 only the absolute slack remains: kResourceEps of demand
+  // still "fits", anything above it does not.
+  EXPECT_TRUE(WithinCap(0.0, 0.0));
+  EXPECT_TRUE(WithinCap(kResourceEps, 0.0));
+  EXPECT_FALSE(WithinCap(std::nextafter(kResourceEps, 1.0), 0.0));
+  EXPECT_FALSE(WithinCap(2.0 * kResourceEps, 0.0));
+}
+
+TEST(Resource, WithinCapNegativeCapacity) {
+  // A negative capacity shrinks the relative slack instead of growing it
+  // (cap*(1+eps) moves away from zero), so the boundary still sits exactly
+  // where the formula puts it — values below fit, values above do not.
+  const double cap = -1.0;
+  const double limit = cap * (1.0 + kResourceEps) + kResourceEps;
+  EXPECT_TRUE(WithinCap(limit, cap));
+  EXPECT_FALSE(WithinCap(std::nextafter(limit, 0.0), cap));
+  EXPECT_TRUE(WithinCap(-1.5, cap));   // deeper deficit is "within"
+  EXPECT_FALSE(WithinCap(-0.5, cap));  // less deficit is not
+}
+
+TEST(Resource, ApproxEqEpsilonBoundary) {
+  // diff <= mag*eps + eps with mag = max(|a|, |b|). Near zero the absolute
+  // term alone governs; at large magnitudes the relative term dominates.
+  EXPECT_TRUE(ApproxEq(0.0, kResourceEps));
+  EXPECT_FALSE(ApproxEq(0.0, 2.0 * kResourceEps));
+  EXPECT_TRUE(ApproxEq(1.0, std::nextafter(1.0, 2.0)));
+  const double big = 1e9;
+  EXPECT_TRUE(ApproxEq(big, big * (1.0 + kResourceEps)));
+  EXPECT_FALSE(ApproxEq(big, big * (1.0 + 3.0 * kResourceEps)));
+  // Symmetric in its arguments, and sign-mirrored.
+  EXPECT_TRUE(ApproxEq(kResourceEps, 0.0));
+  EXPECT_FALSE(ApproxEq(2.0 * kResourceEps, 0.0));
+  EXPECT_TRUE(ApproxEq(-big, -big * (1.0 + kResourceEps)));
+  EXPECT_FALSE(ApproxEq(-big, -big * (1.0 + 3.0 * kResourceEps)));
+  // Values straddling zero inside the absolute slack compare equal.
+  EXPECT_TRUE(ApproxEq(-kResourceEps / 2.0, kResourceEps / 2.0));
+}
+
 TEST(Resource, DominantShare) {
   Resource demand{.cpu = 50, .mem_gb = 6, .net_mbps = 100};
   Resource cap{.cpu = 100, .mem_gb = 8, .net_mbps = 1000};

@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -10,9 +11,11 @@
 #include <ostream>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analyze/dataflow.h"
 #include "common/json_writer.h"
 
 namespace gl::analyze {
@@ -53,59 +56,12 @@ constexpr char kRuleStale[] = "GL013";
          longer[longer.size() - shorter.size() - 1] == '/';
 }
 
-// Global function id: (file index, function index within that file).
-struct FuncRef {
-  int file = -1;
-  int func = -1;
-  bool operator==(const FuncRef& o) const {
-    return file == o.file && func == o.func;
-  }
-};
-struct FuncRefHash {
-  std::size_t operator()(const FuncRef& r) const {
-    return static_cast<std::size_t>(r.file) * 1000003u +
-           static_cast<std::size_t>(r.func);
-  }
-};
-
 void AnalyzeHotPath(const std::vector<FileFacts>& files,
-                    const AnalysisOptions& opts,
+                    const SymbolIndex& index, const AnalysisOptions& opts,
                     std::vector<Finding>* out) {
-  // Symbol index: bare name -> all definitions with that name, plus scoped
-  // variants. Call edges resolve the way C++ name lookup leans: a method of
-  // the caller's own class shadows everything, then file-local definitions,
-  // then the global name set. Without receiver types this is still an
-  // over-approximation, but the scoping keeps an incidental name collision
-  // (two unrelated classes both defining Place) from fusing their call
-  // graphs.
-  std::unordered_map<std::string, std::vector<FuncRef>> by_name;
-  std::unordered_map<std::string, std::vector<FuncRef>> by_class;
-  std::unordered_map<std::string, std::vector<FuncRef>> by_class_method;
-  std::unordered_map<std::string, std::vector<FuncRef>> by_file_name;
-  for (int fi = 0; fi < static_cast<int>(files.size()); ++fi) {
-    const FileFacts& f = files[static_cast<std::size_t>(fi)];
-    for (int gi = 0; gi < static_cast<int>(f.functions.size()); ++gi) {
-      const FunctionDef& d = f.functions[static_cast<std::size_t>(gi)];
-      by_name[d.name].push_back({fi, gi});
-      by_file_name[std::to_string(fi) + "/" + d.name].push_back({fi, gi});
-      if (!d.class_name.empty()) {
-        by_class[d.class_name].push_back({fi, gi});
-        by_class_method[d.class_name + "::" + d.name].push_back({fi, gi});
-      }
-    }
-  }
-
-  const auto def_of = [&](const FuncRef& r) -> const FunctionDef& {
-    return files[static_cast<std::size_t>(r.file)]
-        .functions[static_cast<std::size_t>(r.func)];
-  };
-  const auto display = [&](const FuncRef& r) {
-    const FunctionDef& d = def_of(r);
-    return d.class_name.empty() ? d.name : d.class_name + "::" + d.name;
-  };
-
-  // BFS from the hot roots over name-matched call edges, recording each
-  // function's BFS parent so findings can print the call chain.
+  // BFS from the hot roots over name-matched call edges (SymbolIndex owns
+  // the scoped resolution), recording each function's BFS parent so
+  // findings can print the call chain.
   std::unordered_map<FuncRef, FuncRef, FuncRefHash> parent;
   std::unordered_set<FuncRef, FuncRefHash> reached;
   std::vector<FuncRef> queue;
@@ -117,37 +73,24 @@ void AnalyzeHotPath(const std::vector<FileFacts>& files,
   };
   for (const std::string& spec : opts.hot_roots) {
     if (spec.ends_with("::")) {
-      const std::string cls = spec.substr(0, spec.size() - 2);
-      const auto it = by_class.find(cls);
-      if (it != by_class.end()) {
-        for (const FuncRef& r : it->second) seed(r);
+      const std::vector<FuncRef>* refs =
+          index.ByClass(spec.substr(0, spec.size() - 2));
+      if (refs != nullptr) {
+        for (const FuncRef& r : *refs) seed(r);
       }
     } else {
-      const auto it = by_name.find(spec);
-      if (it != by_name.end()) {
-        for (const FuncRef& r : it->second) seed(r);
+      const std::vector<FuncRef>* refs = index.ByName(spec);
+      if (refs != nullptr) {
+        for (const FuncRef& r : *refs) seed(r);
       }
     }
   }
-  const auto resolve = [&](const FuncRef& caller, const std::string& callee)
-      -> const std::vector<FuncRef>* {
-    const FunctionDef& d = def_of(caller);
-    if (!d.class_name.empty()) {
-      const auto it = by_class_method.find(d.class_name + "::" + callee);
-      if (it != by_class_method.end()) return &it->second;
-    }
-    const auto fit =
-        by_file_name.find(std::to_string(caller.file) + "/" + callee);
-    if (fit != by_file_name.end()) return &fit->second;
-    const auto it = by_name.find(callee);
-    return it != by_name.end() ? &it->second : nullptr;
-  };
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const FuncRef cur = queue[head];
     const FileFacts& f = files[static_cast<std::size_t>(cur.file)];
     for (const CallSite& c : f.calls) {
       if (c.func != cur.func) continue;
-      const std::vector<FuncRef>* targets = resolve(cur, c.callee);
+      const std::vector<FuncRef>* targets = index.Resolve(cur, c.callee);
       if (targets == nullptr) continue;
       for (const FuncRef& callee : *targets) {
         if (reached.insert(callee).second) {
@@ -167,7 +110,7 @@ void AnalyzeHotPath(const std::vector<FileFacts>& files,
       std::vector<std::string> chain;
       FuncRef walk = ref;
       while (walk.file >= 0 && chain.size() < 32) {
-        chain.push_back(display(walk));
+        chain.push_back(index.Display(walk));
         walk = parent.at(walk);
       }
       std::string via;
@@ -216,14 +159,31 @@ const std::vector<RuleInfo>& Rules() {
       {kRuleStale, "stale-suppression",
        "gl-lint allow(...) names a rule that no longer fires on the covered "
        "lines"},
+      {"GL014", "unit-confusion",
+       "mixed physical dimensions in arithmetic, comparison, assignment or "
+       "argument binding (DESIGN.md §13: GL_UNITS lattice)"},
+      {"GL015", "lock-order-cycle",
+       "two locks are acquired in opposite orders somewhere in the call "
+       "graph: potential deadlock (DESIGN.md §9)"},
+      {"GL016", "determinism-taint",
+       "nondeterministic value (clock, rand, unordered iteration) flows "
+       "into a state hash or deterministic counter (DESIGN.md §8)"},
   };
   return kRules;
 }
 
 std::vector<Finding> Analyze(const std::vector<FileFacts>& files,
                              const AnalysisOptions& opts) {
+  return Analyze(files, opts, nullptr);
+}
+
+std::vector<Finding> Analyze(const std::vector<FileFacts>& files,
+                             const AnalysisOptions& opts,
+                             UnitsReport* units) {
   std::vector<Finding> out;
-  AnalyzeHotPath(files, opts, &out);
+  const SymbolIndex index(files);
+  AnalyzeHotPath(files, index, opts, &out);
+  AnalyzeDataflow(files, index, &out, units);
 
   for (const FileFacts& f : files) {
     for (const UnguardedMember& m : f.unguarded) {
@@ -471,8 +431,9 @@ struct CacheEntry {
   return true;
 }
 
-// Cache file format:
-//   glcache v1
+// Cache file format (v2 adds the dataflow fact records; v1 blobs are
+// rejected by the header check and simply re-extracted):
+//   glcache v2
 //   file <path>\t<mtime_ns>\t<size>\t<hash hex>
 //   <serialized facts lines>
 //   end
@@ -491,7 +452,7 @@ void ParseCacheFile(const std::string& path,
     return true;
   };
   std::string line;
-  if (!next_line(&line) || line != "glcache v1") return;
+  if (!next_line(&line) || line != "glcache v2") return;
   while (next_line(&line)) {
     if (!line.starts_with("file ")) return;  // malformed: drop the rest
     const std::string header = line.substr(5);
@@ -521,61 +482,102 @@ void ParseCacheFile(const std::string& path,
 
 std::vector<FileFacts> LoadFacts(const std::vector<std::string>& paths,
                                  const std::string& cache_path,
-                                 CacheStats* stats, std::string* err) {
+                                 CacheStats* stats, std::string* err,
+                                 int jobs) {
   std::unordered_map<std::string, CacheEntry> cache;
   if (!cache_path.empty()) ParseCacheFile(cache_path, &cache);
 
-  std::vector<FileFacts> out;
-  std::unordered_map<std::string, CacheEntry> fresh_cache;
-  for (const std::string& path : paths) {
-    ++stats->files_total;
+  // Per-path slots, filled in two phases: a serial stat+cache-probe pass
+  // and a (possibly parallel) read+extract pass over the misses. Every
+  // merge below walks the slots in path order, so the facts vector, the
+  // cache bytes and the error text are identical for any `jobs`.
+  struct Slot {
     std::int64_t mtime_ns = 0;
     std::uint64_t size = 0;
-    if (!StatFile(path, &mtime_ns, &size)) {
+    bool stat_ok = false;
+    bool reused = false;
+    bool read_failed = false;
+    FileFacts facts;
+    CacheEntry fresh;
+  };
+  std::vector<Slot> slots(paths.size());
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    Slot& s = slots[i];
+    if (!StatFile(paths[i], &s.mtime_ns, &s.size)) continue;
+    s.stat_ok = true;
+    const auto it = cache.find(paths[i]);
+    if (it != cache.end() && it->second.mtime_ns == s.mtime_ns &&
+        it->second.size == s.size &&
+        DeserializeFacts(it->second.blob, &s.facts)) {
+      s.reused = true;  // stat match: facts reused without reading the file
+      s.fresh = it->second;
+    } else {
+      misses.push_back(i);
+    }
+  }
+
+  const auto extract_one = [&](std::size_t i) {
+    Slot& s = slots[i];
+    bool ok = false;
+    const std::string source = ReadWholeFile(paths[i], &ok);
+    if (!ok) {
+      s.read_failed = true;
+      return;
+    }
+    const std::uint64_t hash = HashBytes(source);
+    const auto it = cache.find(paths[i]);
+    if (it != cache.end() && it->second.hash == hash &&
+        DeserializeFacts(it->second.blob, &s.facts)) {
+      s.reused = true;  // touched but unchanged: rehash rescued the entry
+      s.fresh = it->second;
+      s.fresh.mtime_ns = s.mtime_ns;
+      s.fresh.size = s.size;
+    } else {
+      s.facts = ExtractFacts(paths[i], source);
+      s.fresh.mtime_ns = s.mtime_ns;
+      s.fresh.size = s.size;
+      s.fresh.hash = hash;
+      SerializeFacts(s.facts, &s.fresh.blob);
+    }
+  };
+  const int workers =
+      std::min<int>(std::max(jobs, 1), static_cast<int>(misses.size()));
+  if (workers <= 1) {
+    for (const std::size_t i : misses) extract_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t k = next.fetch_add(1); k < misses.size();
+             k = next.fetch_add(1)) {
+          extract_one(misses[k]);
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+  }
+
+  std::vector<FileFacts> out;
+  std::unordered_map<std::string, CacheEntry> fresh_cache;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    Slot& s = slots[i];
+    ++stats->files_total;
+    if (!s.stat_ok || s.read_failed) {
       if (!err->empty()) err->push_back('\n');
-      *err += "cannot stat: " + path;
+      *err += (s.stat_ok ? "cannot read: " : "cannot stat: ") + paths[i];
       continue;
     }
-    const auto it = cache.find(path);
-    FileFacts facts;
-    bool reused = false;
-    if (it != cache.end() && it->second.mtime_ns == mtime_ns &&
-        it->second.size == size && DeserializeFacts(it->second.blob, &facts)) {
-      reused = true;  // stat match: facts reused without reading the file
-      fresh_cache[path] = it->second;
-    } else {
-      bool ok = false;
-      const std::string source = ReadWholeFile(path, &ok);
-      if (!ok) {
-        if (!err->empty()) err->push_back('\n');
-        *err += "cannot read: " + path;
-        continue;
-      }
-      const std::uint64_t hash = HashBytes(source);
-      if (it != cache.end() && it->second.hash == hash &&
-          DeserializeFacts(it->second.blob, &facts)) {
-        reused = true;  // touched but unchanged: rehash rescued the entry
-        CacheEntry e = it->second;
-        e.mtime_ns = mtime_ns;
-        e.size = size;
-        fresh_cache[path] = std::move(e);
-      } else {
-        facts = ExtractFacts(path, source);
-        CacheEntry e;
-        e.mtime_ns = mtime_ns;
-        e.size = size;
-        e.hash = hash;
-        SerializeFacts(facts, &e.blob);
-        fresh_cache[path] = std::move(e);
-      }
-    }
-    facts.path = path;  // cached blobs may carry a stale path spelling
-    ++(reused ? stats->files_cached : stats->files_lexed);
-    out.push_back(std::move(facts));
+    fresh_cache[paths[i]] = std::move(s.fresh);
+    s.facts.path = paths[i];  // cached blobs may carry a stale path spelling
+    ++(s.reused ? stats->files_cached : stats->files_lexed);
+    out.push_back(std::move(s.facts));
   }
 
   if (!cache_path.empty()) {
-    std::string blob = "glcache v1\n";
+    std::string blob = "glcache v2\n";
     // Deterministic order: sort by path.
     std::map<std::string, const CacheEntry*> ordered;
     for (const auto& [p, e] : fresh_cache) ordered[p] = &e;
@@ -594,6 +596,134 @@ std::vector<FileFacts> LoadFacts(const std::vector<std::string>& paths,
     if (outf) outf << blob;
   }
   return out;
+}
+
+// --- stale-suppression auto-fix (--fix=stale-allows) -----------------------
+
+namespace {
+
+// Rewrites one source line holding a gl-lint allow(...) comment so that only
+// the still-live rules remain. Returns false when the whole line should be
+// deleted (the comment was the only content). `changed` reports whether the
+// line differs from the input.
+bool RewriteAllowLine(const std::string& line,
+                      const std::unordered_set<std::string>& stale,
+                      std::string* out, bool* changed) {
+  *changed = false;
+  *out = line;
+  const std::size_t at = line.find("gl-lint:");
+  if (at == std::string::npos) return true;
+  const std::size_t open = line.find("allow(", at);
+  if (open == std::string::npos) return true;
+  const std::size_t close = line.find(')', open);
+  if (close == std::string::npos) return true;
+
+  std::vector<std::string> live;
+  const std::string list = line.substr(open + 6, close - open - 6);
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    std::string rule = list.substr(pos, comma - pos);
+    const auto b = rule.find_first_not_of(" \t");
+    const auto e = rule.find_last_not_of(" \t");
+    if (b != std::string::npos) {
+      rule = rule.substr(b, e - b + 1);
+      if (!stale.count(rule)) live.push_back(rule);
+    }
+    pos = comma + 1;
+  }
+
+  if (!live.empty()) {
+    std::string joined;
+    for (const std::string& r : live) {
+      if (!joined.empty()) joined += ", ";
+      joined += r;
+    }
+    *out = line.substr(0, open + 6) + joined + line.substr(close);
+    *changed = *out != line;
+    return true;
+  }
+
+  // Empty allow(): drop the whole comment. Prefer erasing from the '//'
+  // that introduces it; fall back to just the gl-lint:...allow(...) text.
+  std::size_t cut = line.rfind("//", at);
+  std::size_t cut_end = line.size();
+  if (cut == std::string::npos) {
+    cut = at;
+    cut_end = close + 1;
+  }
+  std::string next = line.substr(0, cut) + line.substr(cut_end);
+  const auto last = next.find_last_not_of(" \t");
+  next = last == std::string::npos ? std::string() : next.substr(0, last + 1);
+  *changed = true;
+  if (next.find_first_not_of(" \t") == std::string::npos) return false;
+  *out = std::move(next);
+  return true;
+}
+
+}  // namespace
+
+int FixStaleAllows(const std::vector<FileFacts>& files, bool apply,
+                   std::ostream& diff, std::string* err) {
+  int edits = 0;
+  for (const FileFacts& f : files) {
+    // line -> rule names to delete from that line's allow() list.
+    std::map<int, std::unordered_set<std::string>> stale_by_line;
+    for (const Suppression& s : f.suppressions) {
+      for (const SuppressedRule& r : s.rules) {
+        if (!(r.known && r.triggered)) stale_by_line[s.line].insert(r.rule);
+      }
+    }
+    if (stale_by_line.empty()) continue;
+
+    std::ifstream in(f.path, std::ios::binary);
+    if (!in) {
+      *err = "cannot read: " + f.path;
+      return -1;
+    }
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(std::move(line));
+    in.close();
+
+    bool file_changed = false;
+    std::vector<std::string> out_lines;
+    out_lines.reserve(lines.size());
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const int lineno = static_cast<int>(i) + 1;
+      const auto it = stale_by_line.find(lineno);
+      if (it == stale_by_line.end()) {
+        out_lines.push_back(lines[i]);
+        continue;
+      }
+      std::string rewritten;
+      bool changed = false;
+      const bool keep = RewriteAllowLine(lines[i], it->second, &rewritten,
+                                         &changed);
+      if (!changed) {
+        out_lines.push_back(lines[i]);
+        continue;
+      }
+      ++edits;
+      file_changed = true;
+      diff << f.path << ":" << lineno << ": - " << lines[i] << "\n";
+      if (keep) {
+        diff << f.path << ":" << lineno << ": + " << rewritten << "\n";
+        out_lines.push_back(std::move(rewritten));
+      }
+    }
+
+    if (apply && file_changed) {
+      std::ofstream outf(f.path, std::ios::binary | std::ios::trunc);
+      if (!outf) {
+        *err = "cannot write: " + f.path;
+        return -1;
+      }
+      for (const std::string& l : out_lines) outf << l << "\n";
+    }
+  }
+  return edits;
 }
 
 // --- fixture self-test -----------------------------------------------------

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/dataflow.h"
 #include "analyze/facts.h"
 
 namespace gl::analyze {
@@ -40,7 +41,7 @@ struct RuleInfo {
   const char* summary;  // one-line description for --list-rules / SARIF
 };
 
-// The four analyzer rules, in id order.
+// The analyzer rules (GL010–GL016), in id order.
 [[nodiscard]] const std::vector<RuleInfo>& Rules();
 
 struct Finding {
@@ -61,8 +62,13 @@ struct AnalysisOptions {
 
 // Runs all rules over the merged facts. Findings come back sorted by
 // (path, line, rule id) so output is stable across runs and platforms.
+// The three-argument overload also fills the GL014 units coverage report
+// (see dataflow.h) when `units` is non-null.
 [[nodiscard]] std::vector<Finding> Analyze(const std::vector<FileFacts>& files,
                                            const AnalysisOptions& opts);
+[[nodiscard]] std::vector<Finding> Analyze(const std::vector<FileFacts>& files,
+                                           const AnalysisOptions& opts,
+                                           UnitsReport* units);
 
 // --- baseline --------------------------------------------------------------
 
@@ -110,9 +116,24 @@ struct CacheStats {
 // when `cache_path` is non-empty. A cache entry is reused when mtime+size
 // match the stat, or — after an mtime-only change — when the content hash
 // still matches. Unreadable source files are reported via *err and skipped.
+// `jobs` > 1 extracts cache-missing files on that many threads; results
+// (facts order, cache bytes, error text) are byte-identical to jobs == 1 —
+// only per-file extraction parallelizes, every merge is in path order.
 [[nodiscard]] std::vector<FileFacts> LoadFacts(
     const std::vector<std::string>& paths, const std::string& cache_path,
-    CacheStats* stats, std::string* err);
+    CacheStats* stats, std::string* err, int jobs = 1);
+
+// --- stale-suppression auto-fix (--fix=stale-allows) -----------------------
+
+// Deletes stale rule names from gl-lint allow(...) comments (the GL013
+// finding): a rule is dropped when it is unknown or no longer fires on the
+// covered lines; an allow() left empty is removed, and a line left holding
+// only the comment is deleted. With `apply` false nothing is written — the
+// would-be edits are printed to `diff` as "path:line: - old / + new" pairs.
+// Returns the number of lines changed (written or would-be), or -1 on I/O
+// error (with *err set).
+int FixStaleAllows(const std::vector<FileFacts>& files, bool apply,
+                   std::ostream& diff, std::string* err);
 
 // --- fixture self-test -----------------------------------------------------
 

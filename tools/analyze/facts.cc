@@ -58,6 +58,10 @@ std::size_t SkipTemplateArgs(const SView& t, std::size_t i) {
     else if (s == ">>") depth -= 2;
     else if (s == "(") { k = MatchGroup(t, k, "(", ")") - 1; continue; }
     else if (s == ";" || s == "{" || s == "}") return i;
+    else if (s == "&&" || s == "||" || s == "=" || s == "==" || s == "+" ||
+             s == "-") {
+      return i;  // expression operators never appear in template args here
+    }
     if (depth <= 0) return k + 1;
   }
   return i;
@@ -87,6 +91,23 @@ const std::unordered_set<std::string_view> kCondVarTypes = {
 const std::unordered_set<std::string_view> kBodyIntroducers = {
     "const", "noexcept", "override", "final", "mutable", "try"};
 
+// Int-family type names: locals declared with these default to the "count"
+// dimension, so loop counters and sizes never pollute the units lattice.
+const std::unordered_set<std::string_view> kIntTypes = {
+    "int", "unsigned", "long", "short", "size_t", "ssize_t", "ptrdiff_t",
+    "int8_t", "int16_t", "int32_t", "int64_t", "uint8_t", "uint16_t",
+    "uint32_t", "uint64_t"};
+
+// Containers whose iteration order is nondeterministic (GL016 seeds).
+const std::unordered_set<std::string_view> kUnorderedContainers = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+// Operators that terminate an additive flow chunk; a chunk containing one
+// of these is untrackable ("?:").
+const std::unordered_set<std::string_view> kFlowBreakers = {
+    "<<", ">>", "&", "|", "^", "%", "&&", "||"};
+
 // ---------------------------------------------------------------------------
 // Extraction context.
 // ---------------------------------------------------------------------------
@@ -94,6 +115,10 @@ struct Extractor {
   const SView& t;
   const std::vector<std::string>& lines;  // 0-based source lines
   FileFacts& out;
+
+  // Set by WalkStructure for the function whose body is being scanned.
+  std::unordered_set<std::string> unordered_params;
+  int body_end_line = 0;
 
   [[nodiscard]] std::string LineText(int line) const {
     if (line < 1 || line > static_cast<int>(lines.size())) return "";
@@ -135,7 +160,8 @@ struct Extractor {
                                 LineText(t.line(k))});
           continue;
         }
-        if (t.is(k + 1, "(") && !IsReservedWord(s) && !t.is(k - 1, "new")) {
+        if (t.is(k + 1, "(") && !IsReservedWord(s) && !t.is(k - 1, "new") &&
+            !s.starts_with("GL_")) {
           out.calls.push_back({fidx, s, t.line(k)});
         }
         // Growth call on a local container: NAME . grow ( ...
@@ -150,6 +176,7 @@ struct Extractor {
       }
     }
     ScanParallelForFolds(fidx, begin, end);
+    ScanStatements(fidx, begin, end);
   }
 
   // Declarations of local owning containers; records kLocalInit sites for
@@ -257,6 +284,572 @@ struct Extractor {
     }
   }
 
+  // --- dataflow term extraction (GL014/GL015/GL016) ------------------------
+  //
+  // Statements are the token runs between ';', '{' and '}'. Each statement
+  // is scanned for declared dimensions, value flows, unit-relevant binary
+  // operators, call arguments, returns, taint seeds and lock sites. Terms
+  // use the encoding documented in facts.h.
+
+  // Parses one operand starting at `k`, bounded by `hi`. Returns the term
+  // and the index just past the operand ("" when `k` starts no operand).
+  [[nodiscard]] std::pair<std::string, std::size_t> OperandFwd(
+      std::size_t k, std::size_t hi) const {
+    // Unary prefixes are dimension-transparent (or irrelevant to joins).
+    while (k < hi && (t.is(k, "-") || t.is(k, "+") || t.is(k, "!") ||
+                      t.is(k, "~") || t.is(k, "*") || t.is(k, "&"))) {
+      ++k;
+    }
+    if (k >= hi) return {"", k};
+    if (t.kind(k) == TokKind::kNumber) return {"k:", k + 1};
+    if (t.kind(k) == TokKind::kString || t.kind(k) == TokKind::kChar) {
+      return {"?:", k + 1};
+    }
+    if (t.is(k, "(")) {  // parenthesized subexpression: single-term or opaque
+      const std::size_t close = MatchGroup(t, k, "(", ")");
+      std::vector<std::string> inner;
+      FlowTerms(k + 1, close - 1, &inner);
+      return {inner.size() == 1 ? inner[0] : std::string("?:"), close};
+    }
+    if (!t.IsIdent(k)) return {"", k};
+    const std::string& first = t.text(k);
+    if (first == "static_cast" || first == "const_cast" ||
+        first == "reinterpret_cast" || first == "dynamic_cast") {
+      // Casts are dimension-transparent: recurse into the cast operand.
+      std::size_t p = SkipTemplateArgs(t, k + 1);
+      if (!t.is(p, "(")) return {"?:", p};
+      const std::size_t close = MatchGroup(t, p, "(", ")");
+      std::vector<std::string> inner;
+      FlowTerms(p + 1, close - 1, &inner);
+      return {inner.size() == 1 ? inner[0] : std::string("?:"), close};
+    }
+    if (first == "sizeof") {
+      std::size_t p = k + 1;
+      if (t.is(p, "(")) p = MatchGroup(t, p, "(", ")");
+      return {"k:", p};
+    }
+    if (IsReservedWord(first) && first != "this") return {"", k};
+
+    std::string cur = first;
+    bool member = false;
+    std::size_t pos = k + 1;
+    {  // template arguments on the head name (make_foo<T>(...))
+      const std::size_t p = SkipTemplateArgs(t, pos);
+      if (p != pos && t.is(p, "(")) pos = p;
+    }
+    while (pos < hi) {
+      if (t.is(pos, "(")) {  // call: the term is the callee's return value
+        const std::size_t close = MatchGroup(t, pos, "(", ")");
+        if (t.is(close, ".") || t.is(close, "->")) {
+          if (!t.IsIdent(close + 1)) return {"?:", close};
+          cur = t.text(close + 1);
+          member = true;
+          pos = close + 2;
+          continue;
+        }
+        // The call site's line keys the term: two calls of the same callee
+        // in one function must not share a dataflow node (max() over counts
+        // would pollute max() over watts). pos-1 is the callee ident, the
+        // same token CallSite and CallArg records take their line from.
+        return {"c:" + cur + "@" + std::to_string(t.line(pos - 1)), close};
+      }
+      if (t.is(pos, "[")) {  // subscripts are transparent (element of base)
+        pos = MatchGroup(t, pos, "[", "]");
+        continue;
+      }
+      if (t.is(pos, ".") || t.is(pos, "->")) {
+        if (!t.IsIdent(pos + 1)) return {"?:", pos};
+        cur = t.text(pos + 1);
+        member = true;
+        pos += 2;
+        continue;
+      }
+      if (t.is(pos, "::")) {  // qualification, not member access
+        if (!t.IsIdent(pos + 1)) return {"?:", pos};
+        cur = t.text(pos + 1);
+        pos += 2;
+        continue;
+      }
+      break;
+    }
+    if (cur == "this") return {"?:", pos};
+    return {(member ? "m:" : "v:") + cur, pos};
+  }
+
+  // Finds the start of the operand that ends just before `k`, then parses
+  // it forward. Returns "" when nothing parseable precedes `k`.
+  [[nodiscard]] std::string OperandBack(std::size_t lo, std::size_t k) const {
+    std::size_t j = k;
+    while (true) {
+      if (j <= lo) return "";
+      std::size_t p = j - 1;
+      if (t.is(p, ")") || t.is(p, "]")) {
+        const std::string_view open = t.is(p, ")") ? "(" : "[";
+        const std::string_view close = t.is(p, ")") ? ")" : "]";
+        int depth = 0;
+        while (true) {
+          if (t.is(p, close)) ++depth;
+          if (t.is(p, open) && --depth == 0) break;
+          if (p == lo) return "";
+          --p;
+        }
+        // A call-ish group: keep the callee name (and its receiver chain).
+        if (p > lo && t.IsIdent(p - 1)) {
+          if (t.text(p - 1).starts_with("GL_")) {
+            // Annotation macro — not part of the operand; keep walking.
+            j = p - 1;
+            continue;
+          }
+          j = p - 1;
+        } else {
+          j = p;
+          break;  // plain parenthesized group: operand starts at '('
+        }
+      } else if (t.IsIdent(p) || t.kind(p) == TokKind::kNumber) {
+        j = p;
+      } else {
+        return "";
+      }
+      // Extend left over member/qualifier chains: a.b / a->b / a::b.
+      if (j > lo + 1 &&
+          (t.is(j - 1, ".") || t.is(j - 1, "->") || t.is(j - 1, "::")) &&
+          t.IsIdent(j - 2)) {
+        j -= 2;
+        continue;
+      }
+      break;
+    }
+    return OperandFwd(j, k).first;
+  }
+
+  // Splits [lo,hi) at top-level additive/ternary boundaries and appends one
+  // term per trackable chunk. A chunk with '*' or '/' flows its single
+  // non-literal factor (x * 0.5 keeps x's dimension); two tracked factors
+  // make a genuinely new dimension, which the scanner cannot represent.
+  // The right operand of a binary operator: the first multiplicative chunk
+  // after the operator, via FlowTerms. A product of two tracked factors has
+  // no single dimension, so `s += cpu / ref.cpu` must NOT flow cpu's
+  // dimension into s — the chunk is untracked ("?:") instead. The region is
+  // cut at a top-level '?' (the operand is just the ternary condition) and
+  // at the enclosing group's close.
+  [[nodiscard]] std::string RhsChunk(std::size_t from, std::size_t e) const {
+    std::size_t stop = e;
+    int depth = 0;
+    for (std::size_t k = from; k < e; ++k) {
+      if (t.is(k, "(") || t.is(k, "[") || t.is(k, "{")) ++depth;
+      if (t.is(k, ")") || t.is(k, "]") || t.is(k, "}")) --depth;
+      if (depth < 0 || (depth == 0 && t.is(k, "?"))) {
+        stop = k;
+        break;
+      }
+    }
+    std::vector<std::string> terms;
+    FlowTerms(from, stop, &terms);
+    return terms.empty() ? std::string() : terms[0];
+  }
+
+  void FlowTerms(std::size_t lo, std::size_t hi,
+                 std::vector<std::string>* terms) const {
+    std::size_t chunk = lo;
+    int depth = 0;
+    const auto flush = [&](std::size_t end) {
+      if (chunk >= end) return;
+      std::vector<std::size_t> factor_starts = {chunk};
+      bool opaque = false;
+      int d2 = 0;
+      for (std::size_t k = chunk; k < end; ++k) {
+        if (t.is(k, "(") || t.is(k, "[") || t.is(k, "{")) ++d2;
+        if (t.is(k, ")") || t.is(k, "]") || t.is(k, "}")) --d2;
+        if (d2 != 0) continue;
+        const std::string& s = t.text(k);
+        if (s == "*" || s == "/") {
+          if (k > chunk && (t.IsIdent(k - 1) ||
+                            t.kind(k - 1) == TokKind::kNumber ||
+                            t.is(k - 1, ")") || t.is(k - 1, "]"))) {
+            factor_starts.push_back(k + 1);  // binary, not deref
+          }
+        } else if (kFlowBreakers.count(s) || s == "<" || s == ">" ||
+                   s == "<=" || s == ">=" || s == "==" || s == "!=" ||
+                   s == "=") {
+          opaque = true;
+        }
+      }
+      if (opaque) {
+        terms->push_back("?:");
+      } else if (factor_starts.size() == 1) {
+        const std::string term = OperandFwd(chunk, end).first;
+        if (!term.empty()) terms->push_back(term);
+      } else {
+        std::string tracked;
+        int non_literal = 0;
+        for (std::size_t fs : factor_starts) {
+          const std::string f = OperandFwd(fs, end).first;
+          if (f.empty() || f == "?:") {
+            non_literal = 2;  // untrackable factor: give up
+            break;
+          }
+          if (f != "k:") {
+            ++non_literal;
+            tracked = f;
+          }
+        }
+        terms->push_back(non_literal == 1 ? tracked : std::string("?:"));
+      }
+      chunk = end;
+    };
+    for (std::size_t k = lo; k < hi; ++k) {
+      if (t.is(k, "(") || t.is(k, "[") || t.is(k, "{")) ++depth;
+      if (t.is(k, ")") || t.is(k, "]") || t.is(k, "}")) --depth;
+      if (depth != 0) continue;
+      const std::string& s = t.text(k);
+      const bool binary_pm =
+          (s == "+" || s == "-") && k > lo &&
+          ((t.IsIdent(k - 1) && !IsReservedWord(t.text(k - 1))) ||
+           t.kind(k - 1) == TokKind::kNumber || t.is(k - 1, ")") ||
+           t.is(k - 1, "]"));
+      if (binary_pm || s == "?" || s == ":" || s == ",") {
+        flush(k);
+        chunk = k + 1;
+        if (s == "?") {
+          // Everything before '?' is the condition, not a flowing value.
+          terms->clear();
+        }
+      }
+    }
+    flush(hi);
+  }
+
+  // The per-statement scanner. `begin`/`end` span the function body.
+  void ScanStatements(int fidx, std::size_t begin, std::size_t end) {
+    // Prepass: locals with nondeterministic iteration order, and
+    // deterministic-counter locals (GL016 receivers).
+    std::unordered_set<std::string> unordered_locals = unordered_params;
+    std::unordered_set<std::string> ptrkey_locals;
+    std::unordered_set<std::string> counter_locals;
+    for (std::size_t k = begin; k < end; ++k) {
+      if (!t.IsIdent(k)) continue;
+      const std::string& s = t.text(k);
+      if (kUnorderedContainers.count(s) ||
+          ((s == "map" || s == "set" || s == "multimap" || s == "multiset") &&
+           t.is(k + 1, "<"))) {
+        const std::size_t p = SkipTemplateArgs(t, k + 1);
+        if (p != k + 1 && t.IsIdent(p) && !IsReservedWord(t.text(p))) {
+          if (kUnorderedContainers.count(s)) {
+            unordered_locals.insert(t.text(p));
+          } else {
+            for (std::size_t q = k + 2; q + 1 < p; ++q) {
+              if (t.is(q, "*")) {  // pointer-keyed ordered container
+                ptrkey_locals.insert(t.text(p));
+                break;
+              }
+              if (t.is(q, ",")) break;  // only the key type matters
+            }
+          }
+        }
+      }
+      if (s == "Counter" && t.is(k + 1, "&") && t.IsIdent(k + 2)) {
+        for (std::size_t q = k; q < end && !t.is(q, ";"); ++q) {
+          if (t.is(q, "kDeterministic")) {
+            counter_locals.insert(t.text(k + 2));
+            break;
+          }
+        }
+      }
+    }
+
+    // Lock scope tracking: innermost open brace inside the body.
+    std::vector<std::size_t> braces;
+
+    std::size_t stmt = begin;
+    for (std::size_t k = begin; k <= end; ++k) {
+      const bool boundary =
+          k == end || t.is(k, ";") || t.is(k, "{") || t.is(k, "}");
+      if (t.is(k, "{") && k < end) braces.push_back(k);
+      if (t.is(k, "}") && !braces.empty()) braces.pop_back();
+      if (!boundary) continue;
+      ScanOneStatement(fidx, stmt, k, braces, unordered_locals, ptrkey_locals,
+                       counter_locals);
+      stmt = k + 1;
+    }
+  }
+
+  [[nodiscard]] int ScopeEndLine(const std::vector<std::size_t>& braces) const {
+    if (braces.empty()) return body_end_line;
+    const std::size_t close = MatchGroup(t, braces.back(), "{", "}");
+    return close > braces.back() + 1 ? t.line(close - 1) : body_end_line;
+  }
+
+  void ScanOneStatement(int fidx, std::size_t s, std::size_t e,
+                        const std::vector<std::size_t>& braces,
+                        const std::unordered_set<std::string>& unordered_locals,
+                        const std::unordered_set<std::string>& ptrkey_locals,
+                        const std::unordered_set<std::string>& counter_locals) {
+    if (s >= e) return;
+
+    // GL_UNITS on a local declaration: `double x GL_UNITS(watts) = ...`.
+    for (std::size_t k = s; k < e; ++k) {
+      if (t.is(k, "GL_UNITS") && t.is(k + 1, "(") && t.IsIdent(k + 2) &&
+          t.IsIdent(k - 1)) {
+        out.unit_decls.push_back(
+            {fidx, t.text(k - 1), t.text(k + 2), t.line(k)});
+      }
+    }
+
+    // Int-family declarations default to "count".
+    for (std::size_t k = s; k + 1 < e; ++k) {
+      if (t.IsIdent(k) && kIntTypes.count(t.text(k)) && t.IsIdent(k + 1) &&
+          !IsReservedWord(t.text(k + 1)) && !kIntTypes.count(t.text(k + 1))) {
+        const std::string& nxt = t.text(k + 2);
+        if (nxt == "=" || nxt == ";" || nxt == "," || nxt == ")" ||
+            nxt == ":" || k + 2 >= e) {
+          out.unit_decls.push_back({fidx, t.text(k + 1), "count", t.line(k)});
+        }
+      }
+    }
+
+    // Range-for over a nondeterministically ordered container.
+    if (t.is(s, "for") && t.is(s + 1, "(")) {
+      const std::size_t close = std::min(MatchGroup(t, s + 1, "(", ")"), e);
+      for (std::size_t k = s + 2; k < close; ++k) {
+        if (!t.is(k, ":") || !t.IsIdent(k - 1)) continue;
+        const std::string loop_var = t.text(k - 1);
+        std::string container;
+        for (std::size_t q = k + 1; q < close; ++q) {
+          if (t.IsIdent(q) && !IsReservedWord(t.text(q))) {
+            container = t.text(q);
+          }
+        }
+        const bool unordered = unordered_locals.count(container) > 0;
+        if (unordered || ptrkey_locals.count(container) > 0) {
+          out.taint_seeds.push_back(
+              {fidx, "v:" + loop_var,
+               unordered ? "unordered-iter" : "pointer-key", t.line(k),
+               LineText(t.line(k))});
+        }
+        break;
+      }
+    }
+
+    // Lock sites.
+    for (std::size_t k = s; k < e; ++k) {
+      if (t.is(k, "MutexLock") && t.IsIdent(k + 1) && t.is(k + 2, "(")) {
+        const std::size_t close = MatchGroup(t, k + 2, "(", ")");
+        std::string lock;
+        for (std::size_t q = k + 3; q < close; ++q) {
+          if (t.IsIdent(q) && t.text(q) != "this") lock = t.text(q);
+        }
+        if (!lock.empty()) {
+          out.lock_acquires.push_back({fidx, lock, t.line(k),
+                                       ScopeEndLine(braces),
+                                       LineText(t.line(k))});
+        }
+      }
+      if (t.is(k, "Lock") && t.is(k + 1, "(") && t.is(k + 2, ")") &&
+          (t.is(k - 1, ".") || t.is(k - 1, "->")) && t.IsIdent(k - 2)) {
+        const std::string base = t.text(k - 2);
+        int scope_end = body_end_line;
+        for (std::size_t q = k + 3; q < t.size(); ++q) {
+          if (t.is(q, "Unlock") && (t.is(q - 1, ".") || t.is(q - 1, "->")) &&
+              t.is(q - 2, base)) {
+            scope_end = t.line(q);
+            break;
+          }
+        }
+        out.lock_acquires.push_back(
+            {fidx, base, t.line(k), scope_end, LineText(t.line(k))});
+      }
+    }
+
+    // Binary operators (any nesting depth); template args are skipped.
+    static const std::unordered_set<std::string_view> kUnitOps = {
+        "+", "-", "+=", "-=", "<", "<=", ">", ">=", "==", "!="};
+    for (std::size_t k = s; k < e; ++k) {
+      if (t.IsIdent(k) && t.is(k + 1, "<")) {
+        const std::size_t p = SkipTemplateArgs(t, k + 1);
+        if (p != k + 1) {
+          k = p - 1;  // template argument list, not comparisons
+          continue;
+        }
+      }
+      const std::string& op = t.text(k);
+      if (t.kind(k) != TokKind::kPunct || !kUnitOps.count(op)) continue;
+      if (op == "+" || op == "-") {
+        const bool binary =
+            k > s && ((t.IsIdent(k - 1) && !IsReservedWord(t.text(k - 1))) ||
+                      t.kind(k - 1) == TokKind::kNumber || t.is(k - 1, ")") ||
+                      t.is(k - 1, "]"));
+        if (!binary) continue;
+      }
+      const std::string lhs = OperandBack(s, k);
+      const std::string rhs = RhsChunk(k + 1, e);
+      if (lhs.empty() || rhs.empty()) continue;
+      if ((lhs == "?:" || lhs == "k:") && (rhs == "?:" || rhs == "k:")) {
+        continue;  // nothing trackable on either side
+      }
+      out.binops.push_back(
+          {fidx, op, lhs, rhs, t.line(k), LineText(t.line(k))});
+      if (op == "+=" || op == "-=") {  // also a flow into the target
+        if (rhs != "?:" && rhs != "k:" && lhs != "?:" && lhs != "k:") {
+          out.assigns.push_back(
+              {fidx, lhs, rhs, t.line(k), LineText(t.line(k))});
+        }
+      }
+    }
+
+    // Assignment flow: first top-level '='.
+    {
+      int depth = 0;
+      for (std::size_t k = s; k < e; ++k) {
+        if (t.is(k, "(") || t.is(k, "[")) ++depth;
+        if (t.is(k, ")") || t.is(k, "]")) --depth;
+        if (depth != 0 || !t.is(k, "=")) continue;
+        const std::string lhs = OperandBack(s, k);
+        if (!lhs.empty() && lhs != "?:" && lhs != "k:") {
+          std::vector<std::string> rhs;
+          FlowTerms(k + 1, e, &rhs);
+          for (const std::string& r : rhs) {
+            if (r != "?:" && r != "k:") {
+              out.assigns.push_back(
+                  {fidx, lhs, r, t.line(k), LineText(t.line(k))});
+            }
+          }
+        }
+        break;
+      }
+    }
+
+    // Return flow.
+    if (t.is(s, "return") && s + 1 < e) {
+      std::vector<std::string> terms;
+      FlowTerms(s + 1, e, &terms);
+      for (const std::string& r : terms) {
+        if (r != "?:" && r != "k:") {
+          out.returns.push_back({fidx, r, t.line(s)});
+        }
+      }
+    }
+
+    // Call arguments.
+    for (std::size_t k = s; k < e; ++k) {
+      if (!t.IsIdent(k) || !t.is(k + 1, "(") || IsReservedWord(t.text(k)) ||
+          t.is(k - 1, "new") || t.text(k).starts_with("GL_")) {
+        continue;
+      }
+      std::string callee = t.text(k);
+      if (callee == "MutexLock") continue;
+      if ((callee == "Add" || callee == "Increment") &&
+          (t.is(k - 1, ".") || t.is(k - 1, "->")) && t.IsIdent(k - 2) &&
+          counter_locals.count(t.text(k - 2))) {
+        callee = "Counter::" + callee;
+      }
+      const std::size_t close = MatchGroup(t, k + 1, "(", ")");
+      // Split the argument list at top-level commas.
+      int depth = 0;
+      std::size_t arg_start = k + 2;
+      int index = 0;
+      for (std::size_t q = k + 2; q <= close - 1 && q < t.size(); ++q) {
+        if (t.is(q, "(") || t.is(q, "[") || t.is(q, "{")) ++depth;
+        if (t.is(q, ")") || t.is(q, "]") || t.is(q, "}")) --depth;
+        const bool last = q == close - 1;
+        if ((t.is(q, ",") && depth == 0) || last) {
+          const std::size_t arg_end = last ? close - 1 : q;
+          if (arg_end > arg_start) {
+            std::vector<std::string> terms;
+            FlowTerms(arg_start, arg_end, &terms);
+            for (const std::string& term : terms) {
+              if (term != "?:" && term != "k:") {
+                // Line of the callee ident: the same key OperandFwd bakes
+                // into "c:callee@line" terms for this call.
+                out.call_args.push_back({fidx, callee, index, term, t.line(k),
+                                         LineText(t.line(k))});
+              }
+            }
+          }
+          arg_start = q + 1;
+          ++index;
+        }
+      }
+    }
+  }
+
+  // Parses a function signature: the parameter list starting at `paren_tok`
+  // and the trailing specifiers up to the body's '{' at `body_open`. Emits
+  // ParamDecl records, return-units and lock annotations, and primes
+  // `unordered_params` for the body scan.
+  void ParseSignature(int fidx, std::size_t paren_tok, std::size_t body_open) {
+    unordered_params.clear();
+    const std::size_t paren_end = MatchGroup(t, paren_tok, "(", ")");
+
+    int index = 0;
+    std::size_t seg = paren_tok + 1;
+    int depth = 0;
+    for (std::size_t k = paren_tok + 1; k < paren_end && k < t.size(); ++k) {
+      if (t.IsIdent(k) && t.is(k + 1, "<")) {
+        const std::size_t p = SkipTemplateArgs(t, k + 1);
+        if (p != k + 1 && p <= paren_end) {
+          k = p - 1;  // commas inside template args are not separators
+          continue;
+        }
+      }
+      if (t.is(k, "(") || t.is(k, "[") || t.is(k, "{")) ++depth;
+      if (t.is(k, ")") || t.is(k, "]") || t.is(k, "}")) --depth;
+      const bool last = k + 1 >= paren_end;
+      if ((t.is(k, ",") && depth == 0) || last) {
+        const std::size_t seg_end = t.is(k, ",") && depth == 0 ? k : k;
+        if (seg_end > seg) EmitParam(fidx, index++, seg, seg_end);
+        seg = k + 1;
+      }
+    }
+
+    // Trailing specifiers: GL_UNITS(dim) / GL_ACQUIRE(l) / GL_REQUIRES(l).
+    for (std::size_t k = paren_end; k < body_open; ++k) {
+      if (!t.IsIdent(k) || !t.is(k + 1, "(") || !t.IsIdent(k + 2)) continue;
+      const std::string& s = t.text(k);
+      if (s == "GL_UNITS") {
+        out.functions[static_cast<std::size_t>(fidx)].ret_units =
+            t.text(k + 2);
+      } else if (s == "GL_ACQUIRE" || s == "GL_ACQUIRE_SHARED") {
+        out.lock_annos.push_back({fidx, "acquire", t.text(k + 2)});
+      } else if (s == "GL_REQUIRES" || s == "GL_REQUIRES_SHARED") {
+        out.lock_annos.push_back({fidx, "requires", t.text(k + 2)});
+      }
+    }
+  }
+
+  void EmitParam(int fidx, int index, std::size_t lo, std::size_t hi) {
+    std::string units;
+    std::string name;
+    bool is_int = false;
+    bool is_unordered = false;
+    for (std::size_t k = lo; k < hi; ++k) {
+      const std::string& s = t.text(k);
+      if (s == "=") break;  // default argument
+      if (s == "GL_UNITS" && t.is(k + 1, "(") && t.IsIdent(k + 2)) {
+        units = t.text(k + 2);
+        k = MatchGroup(t, k + 1, "(", ")") - 1;
+        continue;
+      }
+      if (t.IsIdent(k) && s.starts_with("GL_")) {
+        if (t.is(k + 1, "(")) k = MatchGroup(t, k + 1, "(", ")") - 1;
+        continue;
+      }
+      if (t.IsIdent(k) && kIntTypes.count(s)) is_int = true;
+      if (t.IsIdent(k) && kUnorderedContainers.count(s)) is_unordered = true;
+      if (t.is(k + 1, "<")) {  // skip template arguments of the type
+        const std::size_t p = SkipTemplateArgs(t, k + 1);
+        if (p != k + 1) {
+          k = p - 1;
+          continue;
+        }
+      }
+      if (t.IsIdent(k) && !IsReservedWord(s)) name = s;
+    }
+    if (name.empty()) return;
+    if (units.empty() && is_int) units = "count";
+    if (is_unordered) unordered_params.insert(name);
+    out.params.push_back({fidx, index, name, units});
+  }
+
   // --- class members (GL011) ----------------------------------------------
 
   struct MemberInfo {
@@ -280,6 +873,8 @@ struct Extractor {
     bool exempt = false;
     bool is_mutex = false;
     bool is_ref = false;
+    bool is_int = false;
+    std::string units;
     int angle = 0;
     std::size_t name_tok = t.size();
     for (std::size_t hi = 0; hi < head.size(); ++hi) {
@@ -295,10 +890,15 @@ struct Extractor {
           s == ":") {
         return;  // not an instance data member (':' = bit-field / base)
       }
-      if (s == "GL_GUARDED_BY" || s == "GL_PT_GUARDED_BY") {
-        annotated = true;
-        // Skip the annotation's argument list.
+      if (s == "GL_GUARDED_BY" || s == "GL_PT_GUARDED_BY" ||
+          s == "GL_UNITS") {
+        if (s != "GL_UNITS") annotated = true;
+        // Skip the annotation's argument list (capturing a GL_UNITS dim).
         if (hi + 1 < head.size() && t.is(head[hi + 1], "(")) {
+          if (s == "GL_UNITS" && hi + 2 < head.size() &&
+              t.IsIdent(head[hi + 2])) {
+            units = t.text(head[hi + 2]);
+          }
           int d = 0;
           while (hi < head.size()) {
             if (t.is(head[hi], "(")) ++d;
@@ -315,6 +915,7 @@ struct Extractor {
       }
       if (s == "const" || s == "constexpr") exempt = true;
       if (s == "atomic") exempt = true;
+      if (t.IsIdent(k) && kIntTypes.count(s)) is_int = true;
       if (s == "&") is_ref = true;
       if (t.IsIdent(k) && kCondVarTypes.count(s)) { exempt = true; }
       if (t.IsIdent(k) && kMutexTypes.count(s)) is_mutex = true;
@@ -327,6 +928,11 @@ struct Extractor {
       exempt = true;
     }
     if (is_mutex) cls->owns_mutex = true;
+    if (units.empty() && is_int) units = "count";
+    if (!units.empty() && !cls->name.empty()) {
+      out.unit_decls.push_back({-1, cls->name + "::" + t.text(name_tok),
+                                units, t.line(name_tok)});
+    }
     cls->members.push_back({t.text(name_tok), t.line(name_tok), annotated,
                             exempt, is_mutex});
   }
@@ -441,9 +1047,35 @@ void WalkStructure(Extractor& ex) {
       // follows the variable name, '=', ',' or '('.
       const std::string& last = head.empty() ? SView::kEmpty
                                              : t.text(head.back());
+      // A ')' closing a GL_ annotation arg list (`double x GL_UNITS(w){}`)
+      // still introduces an initializer, not a body — unless the statement
+      // also has a parameter list (then it's a function with a trailing
+      // annotation, e.g. `double f() const GL_UNITS(watts) { ... }`).
+      bool after_annotation = false;
+      if (last == ")") {
+        int d = 0;
+        for (std::size_t hi = head.size(); hi-- > 0;) {
+          if (t.is(head[hi], ")")) ++d;
+          if (t.is(head[hi], "(") && --d == 0) {
+            after_annotation = hi > 0 && t.IsIdent(head[hi - 1]) &&
+                               t.text(head[hi - 1]).starts_with("GL_");
+            if (after_annotation) {
+              for (std::size_t pj = 0; pj + 1 < hi; ++pj) {
+                if (t.is(head[pj + 1], "(") && t.IsIdent(head[pj]) &&
+                    !t.text(head[pj]).starts_with("GL_")) {
+                  after_annotation = false;  // param list → function body
+                  break;
+                }
+              }
+            }
+            break;
+          }
+        }
+      }
       const bool init_like =
           !head.empty() &&
           (last == "=" || last == "," || last == "(" || last == "[" ||
+           after_annotation ||
            (t.IsIdent(head.back()) && !IsReservedWord(last) &&
             !kBodyIntroducers.count(last)));
       if (head.empty() || init_like) {
@@ -459,6 +1091,7 @@ void WalkStructure(Extractor& ex) {
       std::string fname;
       std::string fclass;
       int fline = t.line(i);
+      std::size_t paren_tok = t.size();
       int angle = 0;
       for (std::size_t hi = 0; hi < head.size(); ++hi) {
         const std::size_t k = head[hi];
@@ -471,6 +1104,7 @@ void WalkStructure(Extractor& ex) {
             !t.text(head[hi - 1]).starts_with("GL_")) {
           fname = t.text(head[hi - 1]);
           fline = t.line(head[hi - 1]);
+          paren_tok = k;
           if (hi >= 3 && t.is(head[hi - 2], "::") &&
               t.IsIdent(head[hi - 3])) {
             fclass = t.text(head[hi - 3]);
@@ -489,7 +1123,15 @@ void WalkStructure(Extractor& ex) {
       const std::size_t body_end = MatchGroup(t, i, "{", "}");
       if (!fname.empty()) {
         const int fidx = static_cast<int>(ex.out.functions.size());
-        ex.out.functions.push_back({fname, fclass, fline});
+        FunctionDef def;
+        def.name = fname;
+        def.class_name = fclass;
+        def.line = fline;
+        def.body_end_line = t.line(body_end - 1);
+        ex.out.functions.push_back(std::move(def));
+        ex.body_end_line = t.line(body_end - 1);
+        if (paren_tok < t.size()) ex.ParseSignature(fidx, paren_tok, i);
+        else ex.unordered_params.clear();
         ex.ScanBody(fidx, i + 1, body_end - 1);
       }
       i = body_end;
@@ -534,7 +1176,8 @@ void WalkStructure(Extractor& ex) {
 // ---------------------------------------------------------------------------
 const std::unordered_set<std::string_view> kAnalyzerRuleNames = {
     "alloc-in-hot-path", "unguarded-shared-member", "nondet-float-fold",
-    "stale-suppression"};
+    "stale-suppression", "unit-confusion", "lock-order-cycle",
+    "determinism-taint"};
 
 bool RuleTriggers(const std::string& rule, const SView& t,
                   const std::vector<std::size_t>& span) {
@@ -747,7 +1390,7 @@ FileFacts ExtractFacts(const std::string& path, std::string_view source) {
     }
   }
 
-  Extractor ex{structural, lines, facts};
+  Extractor ex{structural, lines, facts, {}, 0};
   WalkStructure(ex);
   ScanSuppressions(all, structural, ex);
   return facts;
@@ -756,7 +1399,8 @@ FileFacts ExtractFacts(const std::string& path, std::string_view source) {
 void SerializeFacts(const FileFacts& f, std::string* out) {
   AppendRecord(out, {"P", f.path});
   for (const FunctionDef& d : f.functions) {
-    AppendRecord(out, {"F", d.name, d.class_name, std::to_string(d.line)});
+    AppendRecord(out, {"F", d.name, d.class_name, std::to_string(d.line),
+                       d.ret_units, std::to_string(d.body_end_line)});
   }
   for (const CallSite& c : f.calls) {
     AppendRecord(out, {"C", std::to_string(c.func), c.callee,
@@ -785,6 +1429,43 @@ void SerializeFacts(const FileFacts& f, std::string* out) {
     }
     AppendRecord(out, {"S", std::to_string(s.line), s.line_text, rules});
   }
+  for (const UnitDecl& u : f.unit_decls) {
+    AppendRecord(out, {"U", std::to_string(u.func), u.var, u.dim,
+                       std::to_string(u.line)});
+  }
+  for (const ParamDecl& p : f.params) {
+    AppendRecord(out, {"R", std::to_string(p.func), std::to_string(p.index),
+                       p.name, p.units});
+  }
+  for (const UnitBinop& b : f.binops) {
+    AppendRecord(out, {"B", std::to_string(b.func), b.op, b.lhs, b.rhs,
+                       std::to_string(b.line), b.line_text});
+  }
+  for (const UnitAssign& a : f.assigns) {
+    AppendRecord(out, {"E", std::to_string(a.func), a.lhs, a.rhs,
+                       std::to_string(a.line), a.line_text});
+  }
+  for (const CallArg& g : f.call_args) {
+    AppendRecord(out, {"G", std::to_string(g.func), g.callee,
+                       std::to_string(g.index), g.term,
+                       std::to_string(g.line), g.line_text});
+  }
+  for (const ReturnFlow& r : f.returns) {
+    AppendRecord(out, {"T", std::to_string(r.func), r.term,
+                       std::to_string(r.line)});
+  }
+  for (const TaintSeed& d : f.taint_seeds) {
+    AppendRecord(out, {"D", std::to_string(d.func), d.term, d.kind,
+                       std::to_string(d.line), d.line_text});
+  }
+  for (const LockAcquire& l : f.lock_acquires) {
+    AppendRecord(out, {"L", std::to_string(l.func), l.lock,
+                       std::to_string(l.line),
+                       std::to_string(l.scope_end_line), l.line_text});
+  }
+  for (const LockAnno& q : f.lock_annos) {
+    AppendRecord(out, {"Q", std::to_string(q.func), q.kind, q.lock});
+  }
 }
 
 bool DeserializeFacts(std::string_view blob, FileFacts* f) {
@@ -807,11 +1488,14 @@ bool DeserializeFacts(std::string_view blob, FileFacts* f) {
     if (c.empty()) return false;
     if (c[0] == "P" && c.size() == 2) {
       f->path = c[1];
-    } else if (c[0] == "F" && c.size() == 4) {
+    } else if (c[0] == "F" && c.size() == 6) {
       FunctionDef d;
       d.name = c[1];
       d.class_name = c[2];
-      if (!to_int(c[3], &d.line)) return false;
+      if (!to_int(c[3], &d.line) || !to_int(c[5], &d.body_end_line)) {
+        return false;
+      }
+      d.ret_units = c[4];
       f->functions.push_back(std::move(d));
     } else if (c[0] == "C" && c.size() == 4) {
       CallSite cs;
@@ -862,6 +1546,70 @@ bool DeserializeFacts(std::string_view blob, FileFacts* f) {
         pos = comma + 1;
       }
       f->suppressions.push_back(std::move(s));
+    } else if (c[0] == "U" && c.size() == 5) {
+      UnitDecl u;
+      if (!to_int(c[1], &u.func) || !to_int(c[4], &u.line)) return false;
+      u.var = c[2];
+      u.dim = c[3];
+      f->unit_decls.push_back(std::move(u));
+    } else if (c[0] == "R" && c.size() == 5) {
+      ParamDecl p;
+      if (!to_int(c[1], &p.func) || !to_int(c[2], &p.index)) return false;
+      p.name = c[3];
+      p.units = c[4];
+      f->params.push_back(std::move(p));
+    } else if (c[0] == "B" && c.size() == 7) {
+      UnitBinop b;
+      if (!to_int(c[1], &b.func) || !to_int(c[5], &b.line)) return false;
+      b.op = c[2];
+      b.lhs = c[3];
+      b.rhs = c[4];
+      b.line_text = c[6];
+      f->binops.push_back(std::move(b));
+    } else if (c[0] == "E" && c.size() == 6) {
+      UnitAssign a;
+      if (!to_int(c[1], &a.func) || !to_int(c[4], &a.line)) return false;
+      a.lhs = c[2];
+      a.rhs = c[3];
+      a.line_text = c[5];
+      f->assigns.push_back(std::move(a));
+    } else if (c[0] == "G" && c.size() == 7) {
+      CallArg g;
+      if (!to_int(c[1], &g.func) || !to_int(c[3], &g.index) ||
+          !to_int(c[5], &g.line)) {
+        return false;
+      }
+      g.callee = c[2];
+      g.term = c[4];
+      g.line_text = c[6];
+      f->call_args.push_back(std::move(g));
+    } else if (c[0] == "T" && c.size() == 4) {
+      ReturnFlow r;
+      if (!to_int(c[1], &r.func) || !to_int(c[3], &r.line)) return false;
+      r.term = c[2];
+      f->returns.push_back(std::move(r));
+    } else if (c[0] == "D" && c.size() == 6) {
+      TaintSeed d;
+      if (!to_int(c[1], &d.func) || !to_int(c[4], &d.line)) return false;
+      d.term = c[2];
+      d.kind = c[3];
+      d.line_text = c[5];
+      f->taint_seeds.push_back(std::move(d));
+    } else if (c[0] == "L" && c.size() == 6) {
+      LockAcquire l;
+      if (!to_int(c[1], &l.func) || !to_int(c[3], &l.line) ||
+          !to_int(c[4], &l.scope_end_line)) {
+        return false;
+      }
+      l.lock = c[2];
+      l.line_text = c[5];
+      f->lock_acquires.push_back(std::move(l));
+    } else if (c[0] == "Q" && c.size() == 4) {
+      LockAnno q;
+      if (!to_int(c[1], &q.func)) return false;
+      q.kind = c[2];
+      q.lock = c[3];
+      f->lock_annos.push_back(std::move(q));
     } else {
       return false;
     }

@@ -21,7 +21,12 @@
 //   * float accumulation into captured locals inside ParallelFor lambda
 //     bodies (GL012, resolved per file);
 //   * gl-lint allow(...) suppression comments together with a per-rule
-//     "does the suppressed rule still trigger here" verdict (GL013).
+//     "does the suppressed rule still trigger here" verdict (GL013);
+//   * dataflow raw material (DESIGN.md §13): GL_UNITS dimension
+//     declarations, value flows (assignments, call arguments, returns),
+//     unit-relevant binary operators, lock acquisition sites, and
+//     nondeterminism taint seeds. The dataflow engine (dataflow.h) joins
+//     these across files into GL014/GL015/GL016 findings.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +41,8 @@ struct FunctionDef {
   std::string name;        // bare name ("Bisect", "Attach")
   std::string class_name;  // "FmEngine" for methods, "" for free functions
   int line = 0;
+  std::string ret_units;   // GL_UNITS(...) after the signature, "" if none
+  int body_end_line = 0;   // line of the closing '}' of the body
 };
 
 struct CallSite {
@@ -91,6 +98,97 @@ struct Suppression {
   std::vector<SuppressedRule> rules;
 };
 
+// --- dataflow raw material (GL014 / GL015 / GL016) -------------------------
+//
+// Value flows reference *terms*, a compact encoding of the expressions the
+// token scanner can track:
+//   "v:name"  local variable or parameter in the enclosing function
+//   "m:field" member access (x.field, x->field, this->field): last field
+//   "c:name"  call expression (the callee's return value)
+//   "k:"      literal constant (polymorphic: joins with anything)
+//   "?:"      anything the scanner cannot track (excluded from checks)
+
+// A declared dimension: GL_UNITS(dim) on a local / member, or an int-family
+// local auto-seeded as "count".
+struct UnitDecl {
+  int func = -1;      // index into functions; -1 for class members
+  std::string var;    // local name, or "Class::field" for members
+  std::string dim;    // "watts", "cores", ... (see dataflow.h Dim)
+  int line = 0;
+};
+
+// One declared parameter (annotated or not — names are needed to bind call
+// arguments interprocedurally).
+struct ParamDecl {
+  int func = -1;
+  int index = 0;
+  std::string name;
+  std::string units;  // "" when unannotated
+};
+
+// A '+', '-', or comparison whose operand terms the scanner could parse.
+struct UnitBinop {
+  int func = -1;
+  std::string op;
+  std::string lhs;  // term encoding
+  std::string rhs;
+  int line = 0;
+  std::string line_text;
+};
+
+// Value flow rhs -> lhs ('=', one record per additive rhs operand).
+struct UnitAssign {
+  int func = -1;
+  std::string lhs;
+  std::string rhs;
+  int line = 0;
+  std::string line_text;
+};
+
+// One trackable argument term at a call site (units param binding + taint
+// sink checks).
+struct CallArg {
+  int func = -1;
+  std::string callee;  // bare name, or "Counter::Add" for typed receivers
+  int index = 0;       // argument position
+  std::string term;
+  int line = 0;
+  std::string line_text;
+};
+
+// A trackable term flowing out through `return`.
+struct ReturnFlow {
+  int func = -1;
+  std::string term;
+  int line = 0;
+};
+
+// A nondeterministic value born in this function (beyond the intrinsic
+// taint-source callees the dataflow engine knows by name).
+struct TaintSeed {
+  int func = -1;
+  std::string term;  // the term the taint lands in, e.g. the loop variable
+  std::string kind;  // "unordered-iter", "pointer-key"
+  int line = 0;
+  std::string line_text;
+};
+
+// A lock acquisition: gl::MutexLock RAII site or an explicit .Lock() call.
+struct LockAcquire {
+  int func = -1;
+  std::string lock;       // identifier the guard was built from ("mu_")
+  int line = 0;
+  int scope_end_line = 0; // last line the lock is provably held
+  std::string line_text;
+};
+
+// GL_ACQUIRE / GL_REQUIRES on a function signature.
+struct LockAnno {
+  int func = -1;
+  std::string kind;  // "acquire" | "requires"
+  std::string lock;
+};
+
 struct FileFacts {
   std::string path;
   std::vector<FunctionDef> functions;
@@ -99,6 +197,15 @@ struct FileFacts {
   std::vector<UnguardedMember> unguarded;
   std::vector<FloatFold> float_folds;
   std::vector<Suppression> suppressions;
+  std::vector<UnitDecl> unit_decls;
+  std::vector<ParamDecl> params;
+  std::vector<UnitBinop> binops;
+  std::vector<UnitAssign> assigns;
+  std::vector<CallArg> call_args;
+  std::vector<ReturnFlow> returns;
+  std::vector<TaintSeed> taint_seeds;
+  std::vector<LockAcquire> lock_acquires;
+  std::vector<LockAnno> lock_annos;
 };
 
 // Lexes + extracts in one go. `path` is recorded verbatim.

@@ -1,0 +1,32 @@
+// gl-analyze-expect: clean
+//
+// Dimension-consistent arithmetic, plus a GL_UNITS(any) helper that absorbs
+// both watts and ms arguments without a conflict: `any` erases the incoming
+// dimension (the value stays tracked for taint) instead of joining to ⊤.
+
+#define GL_UNITS(dim)
+
+namespace fixture {
+
+double FiniteOrZero(double v GL_UNITS(any)) {
+  return v < 0.0 ? 0.0 : v;
+}
+
+class PowerPlan {
+ public:
+  double Budget() const {
+    return idle_w_ + dynamic_w_;  // watts + watts: consistent
+  }
+  double Audit() const {
+    const double w GL_UNITS(watts) = FiniteOrZero(idle_w_);
+    const double t GL_UNITS(ms) = FiniteOrZero(epoch_ms_);
+    return w < 1.0 ? t : 0.0;
+  }
+
+ private:
+  double idle_w_ GL_UNITS(watts) = 90.0;
+  double dynamic_w_ GL_UNITS(watts) = 160.0;
+  double epoch_ms_ GL_UNITS(ms) = 5000.0;
+};
+
+}  // namespace fixture

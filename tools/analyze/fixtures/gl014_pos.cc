@@ -1,0 +1,31 @@
+// gl-analyze-expect: GL014
+//
+// Resource arithmetic that mixes dimensions: a watts member added to an ms
+// member, and an ms local bound to a watts parameter through the call
+// graph. The annotation macro is declared locally (the real one lives in
+// src/common/resource.h).
+
+#define GL_UNITS(dim)
+
+namespace fixture {
+
+double Headroom(double budget_w GL_UNITS(watts)) {
+  return 300.0 - budget_w;
+}
+
+class PowerPlan {
+ public:
+  double Overshoot() const {
+    return idle_w_ + epoch_ms_;  // <-- GL014: watts + ms
+  }
+  double Slack() const {
+    double window GL_UNITS(ms) = epoch_ms_;
+    return Headroom(window);  // <-- GL014: ms bound to watts parameter
+  }
+
+ private:
+  double idle_w_ GL_UNITS(watts) = 90.0;
+  double epoch_ms_ GL_UNITS(ms) = 5000.0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// gl-analyze-expect: clean
+//
+// Both functions take the two member mutexes in the same order, so the
+// lock-order graph has a single edge Pool::mu_ -> Pool::nu_ and no cycle.
+
+#define GL_GUARDED_BY(x)
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+class Pool {
+ public:
+  void Drain() {
+    MutexLock outer(&mu_);
+    MutexLock inner(&nu_);
+    ++drained_;
+  }
+  void Refill() {
+    MutexLock outer(&mu_);
+    MutexLock inner(&nu_);  // same order: no inversion
+    --drained_;
+  }
+
+ private:
+  Mutex mu_;
+  Mutex nu_;
+  int drained_ GL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

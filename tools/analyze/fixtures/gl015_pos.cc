@@ -1,0 +1,42 @@
+// gl-analyze-expect: GL015
+//
+// Two functions acquire the same two member mutexes in opposite order. The
+// global lock-order graph gets Pool::mu_ -> Pool::nu_ (from Drain) and
+// Pool::nu_ -> Pool::mu_ (from Refill), closing a cycle: two threads
+// running Drain and Refill concurrently can deadlock.
+
+#define GL_GUARDED_BY(x)
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+class Pool {
+ public:
+  void Drain() {
+    MutexLock outer(&mu_);
+    MutexLock inner(&nu_);  // holds mu_, acquires nu_
+    ++drained_;
+  }
+  void Refill() {
+    MutexLock outer(&nu_);
+    MutexLock inner(&mu_);  // <-- GL015: holds nu_, acquires mu_ (inverted)
+    --drained_;
+  }
+
+ private:
+  Mutex mu_;
+  Mutex nu_;
+  int drained_ GL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// gl-analyze-expect: GL016
+//
+// A raw clock reading laundered through a helper still reaches the epoch
+// state hash: taint survives the call-return edge of the call graph, so
+// hashing the "stamp" makes EpochStateHash differ between identical runs.
+
+namespace fixture {
+
+class StateHash {
+ public:
+  void MixU64(unsigned long long v);
+};
+
+unsigned long long TickStamp() {
+  const unsigned long long t = clock();  // nondeterminism source
+  return t;
+}
+
+void Snapshot(StateHash& h) {
+  const unsigned long long stamp = TickStamp();
+  h.MixU64(stamp);  // <-- GL016: wall-clock data in the state hash
+}
+
+}  // namespace fixture

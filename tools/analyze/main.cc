@@ -14,14 +14,24 @@
 //                          Bisect, KWayPartition, FmEngine::). A plain name
 //                          matches that function anywhere; "Class::" matches
 //                          every method of Class.
+//   --jobs=N               extract facts for cache-missing files on N
+//                          threads (output is byte-identical to --jobs=1)
+//   --fix=stale-allows     delete stale gl-lint allow() rules in place;
+//                          with --dry-run, print the edits instead
+//   --units-report         per-file GL014 dimension-coverage summary
+//   --units-strict=SUBSTR  exit 1 if any analyzed file whose path contains
+//                          SUBSTR still has unresolved '+'/'-'/comparison
+//                          operands (repeatable)
 //   --quiet                findings only, no summary line
 //
 // Directories are scanned recursively for *.cc / *.h; directories named
 // "fixtures" are skipped (the fixture corpus fires rules on purpose).
-// Exit status: 0 clean, 1 non-baselined findings, 2 usage or I/O error.
+// Exit status: 0 clean, 1 non-baselined findings (or a --units-strict
+// violation), 2 usage or I/O error.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -47,7 +57,9 @@ int Usage(const char* msg) {
   std::fprintf(stderr,
                "usage: gl_analyze [--baseline=F] [--write-baseline=F] "
                "[--sarif=F] [--cache=F]\n"
-               "                  [--hot-root=SPEC]... [--quiet] "
+               "                  [--jobs=N] [--hot-root=SPEC]... "
+               "[--units-report] [--units-strict=S]...\n"
+               "                  [--fix=stale-allows [--dry-run]] [--quiet] "
                "<file-or-dir>...\n"
                "       gl_analyze --self-test [--fixtures=DIR]\n"
                "       gl_analyze --list-rules\n");
@@ -90,10 +102,15 @@ int main(int argc, char** argv) {
   std::string cache_path;
   std::string fixtures_dir = GL_ANALYZE_FIXTURES_DIR;
   std::vector<std::string> hot_roots;
+  std::vector<std::string> strict_substrings;
   std::vector<std::string> inputs;
+  int jobs = 1;
   bool self_test = false;
   bool list_rules = false;
   bool quiet = false;
+  bool fix_stale_allows = false;
+  bool dry_run = false;
+  bool units_report = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -112,6 +129,17 @@ int main(int argc, char** argv) {
       hot_roots.push_back(value("--hot-root="));
     } else if (arg.starts_with("--fixtures=")) {
       fixtures_dir = value("--fixtures=");
+    } else if (arg.starts_with("--jobs=")) {
+      jobs = std::atoi(value("--jobs=").c_str());
+      if (jobs < 1) return Usage("--jobs needs a positive integer");
+    } else if (arg == "--fix=stale-allows") {
+      fix_stale_allows = true;
+    } else if (arg == "--dry-run") {
+      dry_run = true;
+    } else if (arg == "--units-report") {
+      units_report = true;
+    } else if (arg.starts_with("--units-strict=")) {
+      strict_substrings.push_back(value("--units-strict="));
     } else if (arg == "--self-test") {
       self_test = true;
     } else if (arg == "--list-rules") {
@@ -153,13 +181,29 @@ int main(int argc, char** argv) {
   CacheStats stats;
   std::string io_err;
   const std::vector<gl::analyze::FileFacts> facts =
-      gl::analyze::LoadFacts(paths, cache_path, &stats, &io_err);
+      gl::analyze::LoadFacts(paths, cache_path, &stats, &io_err, jobs);
   if (!io_err.empty()) {
     std::fprintf(stderr, "gl_analyze: %s\n", io_err.c_str());
     return 2;
   }
 
-  const std::vector<Finding> all = gl::analyze::Analyze(facts, opts);
+  if (fix_stale_allows) {
+    std::string err;
+    const int edits =
+        gl::analyze::FixStaleAllows(facts, /*apply=*/!dry_run, std::cout, &err);
+    if (edits < 0) {
+      std::fprintf(stderr, "gl_analyze: %s\n", err.c_str());
+      return 2;
+    }
+    std::printf("gl_analyze: %d stale-allow line(s) %s\n", edits,
+                dry_run ? "would change (dry run)" : "rewritten");
+    return 0;
+  }
+
+  gl::analyze::UnitsReport units;
+  const bool want_units = units_report || !strict_substrings.empty();
+  const std::vector<Finding> all =
+      gl::analyze::Analyze(facts, opts, want_units ? &units : nullptr);
 
   if (!write_baseline_path.empty()) {
     if (!WriteTextFile(write_baseline_path,
@@ -206,6 +250,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  bool strict_fail = false;
+  if (want_units) {
+    for (const auto& fe : units.files) {
+      const bool strict_hit =
+          std::any_of(strict_substrings.begin(), strict_substrings.end(),
+                      [&](const std::string& s) {
+                        return fe.path.find(s) != std::string::npos;
+                      });
+      if (units_report) {
+        std::printf("units: %s: %d resolved, %d unresolved\n", fe.path.c_str(),
+                    fe.resolved_ops, fe.unresolved_ops);
+      }
+      if (fe.unresolved_ops == 0) continue;
+      if (strict_hit) {
+        strict_fail = true;
+        for (const std::string& note : fe.notes) {
+          std::printf("units: strict: %s\n", note.c_str());
+        }
+      } else if (units_report) {
+        for (const std::string& note : fe.notes) {
+          std::printf("units: %s\n", note.c_str());
+        }
+      }
+    }
+    if (strict_fail) {
+      std::printf(
+          "gl_analyze: --units-strict: unresolved dimension operands remain\n");
+    }
+  }
+
   if (!quiet) {
     std::printf(
         "gl_analyze: %d file(s) (%d cached, %d lexed), %zu finding(s), "
@@ -214,5 +288,5 @@ int main(int argc, char** argv) {
         result.fresh.size(), result.suppressed, result.stale.size(),
         result.stale.size() == 1 ? "y" : "ies");
   }
-  return result.fresh.empty() ? 0 : 1;
+  return result.fresh.empty() && !strict_fail ? 0 : 1;
 }

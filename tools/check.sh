@@ -48,19 +48,23 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "lint" ]]; then
   python3 tools/gl_lint src
 fi
 
-# Token-aware cross-file contract checker (DESIGN.md §12): fixture corpus,
-# then src/ must be clean modulo the committed baseline.
+# Token-aware cross-file contract checker (DESIGN.md §12–§13): fixture
+# corpus, then the whole tree (src/, bench/, tools/ — fixture dirs are
+# skipped by the scanner) must be clean modulo the committed baseline, and
+# src/power/ must keep full GL014 dimension coverage.
 if [[ "${STAGE}" == "all" || "${STAGE}" == "analyze" ]]; then
   echo "==> build gl_analyze"
   cmake -B build-check-analyze -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-check-analyze -j "${JOBS}" --target gl_analyze
   echo "==> gl_analyze self-test"
   ./build-check-analyze/tools/analyze/gl_analyze --self-test
-  echo "==> gl_analyze src/"
+  echo "==> gl_analyze src/ bench/ tools/"
   ./build-check-analyze/tools/analyze/gl_analyze \
     --baseline=tools/analyze/baseline.txt \
     --cache=build-check-analyze/gl_analyze.cache \
-    src
+    --units-strict=src/power \
+    --jobs="${JOBS}" \
+    src bench tools
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "release" ]]; then
