@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -59,6 +60,9 @@ class CsrGraph {
   VertexIndex BeginRow(double balance_weight) {
     if (!balance_.empty()) row_.push_back(col_.size());  // close previous row
     balance_.push_back(balance_weight);
+    GOLDILOCKS_CHECK(balance_.size() <=
+                     static_cast<std::size_t>(
+                         std::numeric_limits<VertexIndex>::max()));
     total_balance_ += balance_weight;
     return static_cast<VertexIndex>(balance_.size()) - 1;
   }

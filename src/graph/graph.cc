@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "obs/metrics.h"
 
@@ -19,6 +20,9 @@ VertexIndex Graph::AddVertex(const Resource& demand,
   demands_.push_back(demand);
   balance_.push_back(balance_weight);
   adj_.emplace_back();
+  GOLDILOCKS_CHECK(demands_.size() <=
+                   static_cast<std::size_t>(
+                       std::numeric_limits<VertexIndex>::max()));
   total_demand_ += demand;
   total_balance_ += balance_weight;
   return num_vertices() - 1;
@@ -100,6 +104,9 @@ Graph Graph::InducedSubgraph(std::span<const VertexIndex> vertices,
   builds.Increment();
   std::vector<VertexIndex> map(static_cast<std::size_t>(num_vertices()), -1);
   Graph sub;
+  GOLDILOCKS_CHECK(vertices.size() <=
+                   static_cast<std::size_t>(
+                       std::numeric_limits<VertexIndex>::max()));
   sub.Reserve(static_cast<VertexIndex>(vertices.size()));
   for (const auto v : vertices) {
     map[Checked(v)] = sub.AddVertex(demand(v), balance_weight(v));

@@ -535,6 +535,7 @@ struct RangeCtx {
     return where[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
   }
   void Place(VertexIndex v, std::size_t pos) {
+    GOLDILOCKS_CHECK(pos < perm.size());
     perm[pos] = v;
     where[static_cast<std::size_t>(v)].store(static_cast<VertexIndex>(pos),
                                              std::memory_order_relaxed);
@@ -546,6 +547,7 @@ struct RangeCtx {
 // per-row allocations once the arena is warm.
 void ExtractSub(const RangeCtx& ctx, std::size_t lo, std::size_t hi,
                 CsrGraph& sub) {
+  GOLDILOCKS_CHECK(lo <= hi && hi <= ctx.perm.size());
   sub.BeginBuild(static_cast<VertexIndex>(hi - lo), 0);
   for (std::size_t pos = lo; pos < hi; ++pos) {
     const auto v = ctx.perm[pos];

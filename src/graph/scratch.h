@@ -150,6 +150,10 @@ class GroupAccumulator {
   // Ids seen this epoch, in first-touch order.
   [[nodiscard]] std::span<const int> touched() const { return touched_; }
 
+  // Test seam: forces the epoch counter so the wrap path is reachable
+  // without 2^32 Resets.
+  void set_epoch_for_test(std::uint32_t epoch) { epoch_ = epoch; }
+
  private:
   std::vector<double> sum_;
   std::vector<std::uint32_t> stamp_;

@@ -243,6 +243,33 @@ TEST(GroupAccumulatorTest, SumsPerIdInFirstTouchOrder) {
   EXPECT_DOUBLE_EQ(acc.Get(5), 0.0);
 }
 
+TEST(GroupAccumulatorTest, EpochWrapNeverResurrectsOldSums) {
+  GroupAccumulator acc;
+  acc.Reset(4);     // epoch 1
+  acc.Add(2, 5.0);  // stamp[2] = 1
+  acc.Add(0, 3.0);
+
+  // Drive the counter to its max; the next Reset wraps to 0 and must clear
+  // every stamp — otherwise the post-wrap epoch value 1 would alias the
+  // stamps written in the original epoch 1 and Get(2) would read 5.0.
+  acc.set_epoch_for_test(0xFFFFFFFFu);
+  acc.Reset(4);
+  EXPECT_TRUE(acc.touched().empty());
+  EXPECT_DOUBLE_EQ(acc.Get(2), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Get(0), 0.0);
+
+  // The accumulator keeps working normally after the wrap.
+  acc.Add(2, 1.0);
+  acc.Add(2, 0.5);
+  EXPECT_DOUBLE_EQ(acc.Get(2), 1.5);
+  ASSERT_EQ(acc.touched().size(), 1u);
+  EXPECT_EQ(acc.touched()[0], 2);
+
+  // And the epoch after the wrap still invalidates cleanly.
+  acc.Reset(4);
+  EXPECT_DOUBLE_EQ(acc.Get(2), 0.0);
+}
+
 // --- Zero-copy recursion contract -------------------------------------------
 
 TEST(CsrRecursionTest, RecursivePartitionBuildsNoInducedSubgraphs) {

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -15,6 +16,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analyze/cfg.h"
 #include "analyze/dataflow.h"
 #include "common/json_writer.h"
 
@@ -57,67 +59,16 @@ constexpr char kRuleStale[] = "GL013";
 }
 
 void AnalyzeHotPath(const std::vector<FileFacts>& files,
-                    const SymbolIndex& index, const AnalysisOptions& opts,
+                    const SymbolIndex& index, const HotReach& hot,
                     std::vector<Finding>* out) {
-  // BFS from the hot roots over name-matched call edges (SymbolIndex owns
-  // the scoped resolution), recording each function's BFS parent so
-  // findings can print the call chain.
-  std::unordered_map<FuncRef, FuncRef, FuncRefHash> parent;
-  std::unordered_set<FuncRef, FuncRefHash> reached;
-  std::vector<FuncRef> queue;
-  const auto seed = [&](const FuncRef& r) {
-    if (reached.insert(r).second) {
-      parent[r] = FuncRef{};  // root sentinel
-      queue.push_back(r);
-    }
-  };
-  for (const std::string& spec : opts.hot_roots) {
-    if (spec.ends_with("::")) {
-      const std::vector<FuncRef>* refs =
-          index.ByClass(spec.substr(0, spec.size() - 2));
-      if (refs != nullptr) {
-        for (const FuncRef& r : *refs) seed(r);
-      }
-    } else {
-      const std::vector<FuncRef>* refs = index.ByName(spec);
-      if (refs != nullptr) {
-        for (const FuncRef& r : *refs) seed(r);
-      }
-    }
-  }
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const FuncRef cur = queue[head];
-    const FileFacts& f = files[static_cast<std::size_t>(cur.file)];
-    for (const CallSite& c : f.calls) {
-      if (c.func != cur.func) continue;
-      const std::vector<FuncRef>* targets = index.Resolve(cur, c.callee);
-      if (targets == nullptr) continue;
-      for (const FuncRef& callee : *targets) {
-        if (reached.insert(callee).second) {
-          parent[callee] = cur;
-          queue.push_back(callee);
-        }
-      }
-    }
-  }
-
+  // Reachability (and the parent chain for messages) comes precomputed from
+  // ComputeHotReach (cfg.cc) — it is shared with GL019.
   for (int fi = 0; fi < static_cast<int>(files.size()); ++fi) {
     const FileFacts& f = files[static_cast<std::size_t>(fi)];
     for (const AllocSite& a : f.allocs) {
       const FuncRef ref{fi, a.func};
-      if (!reached.count(ref)) continue;
-      // Chain from the allocating function back to its root.
-      std::vector<std::string> chain;
-      FuncRef walk = ref;
-      while (walk.file >= 0 && chain.size() < 32) {
-        chain.push_back(index.Display(walk));
-        walk = parent.at(walk);
-      }
-      std::string via;
-      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-        if (!via.empty()) via += " -> ";
-        via += *it;
-      }
+      if (!hot.Reached(ref)) continue;
+      const std::string via = hot.Chain(index, ref);
       Finding fd;
       fd.rule_id = kRuleAlloc;
       fd.rule_name = "alloc-in-hot-path";
@@ -168,22 +119,83 @@ const std::vector<RuleInfo>& Rules() {
       {"GL016", "determinism-taint",
        "nondeterministic value (clock, rand, unordered iteration) flows "
        "into a state hash or deterministic counter (DESIGN.md §8)"},
+      {"GL017", "lock-path-leak",
+       "a manual .Lock() can reach function exit without its .Unlock() on "
+       "some path (DESIGN.md §14; prefer gl::MutexLock)"},
+      {"GL018", "use-after-invalidation",
+       "a reference/index obtained from scratch state or a vector is used "
+       "after a Clear()/Reset()/growth call on some path (DESIGN.md §14)"},
+      {"GL019", "loop-carried-allocation",
+       "allocation or container growth inside a loop of a hot-path function "
+       "(DESIGN.md §14; sharpens GL010 to per-iteration cost)"},
+      {"GL020", "unguarded-narrowing",
+       "64-bit value narrowed to a 32-bit vertex-id type with no dominating "
+       "bounds check on the path (DESIGN.md §14)"},
+      {"GL021", "divergent-parallel-update",
+       "deterministic counter or state-hash write guarded by a "
+       "thread-varying branch inside a ParallelFor body (DESIGN.md §14)"},
   };
   return kRules;
 }
 
+bool ParseRuleFilter(const std::string& spec, std::set<std::string>* ids,
+                     std::string* err) {
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string id = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (id.empty()) continue;
+    const bool known =
+        std::any_of(Rules().begin(), Rules().end(),
+                    [&](const RuleInfo& r) { return id == r.id; });
+    if (!known) {
+      *err = "unknown rule id in --rule=: " + id;
+      return false;
+    }
+    ids->insert(id);
+  }
+  if (ids->empty()) {
+    *err = "--rule= selects no rules";
+    return false;
+  }
+  return true;
+}
+
 std::vector<Finding> Analyze(const std::vector<FileFacts>& files,
                              const AnalysisOptions& opts) {
-  return Analyze(files, opts, nullptr);
+  return Analyze(files, opts, nullptr, nullptr);
 }
 
 std::vector<Finding> Analyze(const std::vector<FileFacts>& files,
                              const AnalysisOptions& opts,
                              UnitsReport* units) {
+  return Analyze(files, opts, units, nullptr);
+}
+
+std::vector<Finding> Analyze(const std::vector<FileFacts>& files,
+                             const AnalysisOptions& opts, UnitsReport* units,
+                             AnalyzeTimings* timings) {
+  using Clock = std::chrono::steady_clock;
+  const auto ms = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
   std::vector<Finding> out;
+  const Clock::time_point t0 = Clock::now();
   const SymbolIndex index(files);
-  AnalyzeHotPath(files, index, opts, &out);
+  const HotReach hot = ComputeHotReach(files, index, opts.hot_roots);
+  const Clock::time_point t1 = Clock::now();
+  AnalyzeHotPath(files, index, hot, &out);
   AnalyzeDataflow(files, index, &out, units);
+  const Clock::time_point t2 = Clock::now();
+  AnalyzeCfg(files, index, hot, &out);
+  const Clock::time_point t3 = Clock::now();
+  if (timings != nullptr) {
+    timings->callgraph_ms = ms(t0, t1);
+    timings->dataflow_ms = ms(t1, t2);
+    timings->cfg_ms = ms(t2, t3);
+  }
 
   for (const FileFacts& f : files) {
     for (const UnguardedMember& m : f.unguarded) {
@@ -431,13 +443,25 @@ struct CacheEntry {
   return true;
 }
 
-// Cache file format (v2 adds the dataflow fact records; v1 blobs are
-// rejected by the header check and simply re-extracted):
-//   glcache v2
+// Cache file format (v3 adds the CFG fact records and a config fingerprint
+// in the header; v1/v2 blobs are rejected by the header check and simply
+// re-extracted):
+//   glcache v3 <config hash hex>
 //   file <path>\t<mtime_ns>\t<size>\t<hash hex>
 //   <serialized facts lines>
 //   end
-void ParseCacheFile(const std::string& path,
+// The config hash covers baseline bytes and the active rule/flag set
+// (LoadFacts doc): facts themselves are config-independent, but the cached
+// *verdict* a CI run restores is not — a baseline edit or rule change must
+// not serve a stale pass/fail.
+[[nodiscard]] std::string CacheHeader(std::uint64_t config_hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(config_hash));
+  return std::string("glcache v3 ") + buf;
+}
+
+void ParseCacheFile(const std::string& path, const std::string& header_line,
                     std::unordered_map<std::string, CacheEntry>* out) {
   bool ok = false;
   const std::string blob = ReadWholeFile(path, &ok);
@@ -452,7 +476,7 @@ void ParseCacheFile(const std::string& path,
     return true;
   };
   std::string line;
-  if (!next_line(&line) || line != "glcache v2") return;
+  if (!next_line(&line) || line != header_line) return;
   while (next_line(&line)) {
     if (!line.starts_with("file ")) return;  // malformed: drop the rest
     const std::string header = line.substr(5);
@@ -483,9 +507,10 @@ void ParseCacheFile(const std::string& path,
 std::vector<FileFacts> LoadFacts(const std::vector<std::string>& paths,
                                  const std::string& cache_path,
                                  CacheStats* stats, std::string* err,
-                                 int jobs) {
+                                 int jobs, std::uint64_t config_hash) {
+  const std::string header = CacheHeader(config_hash);
   std::unordered_map<std::string, CacheEntry> cache;
-  if (!cache_path.empty()) ParseCacheFile(cache_path, &cache);
+  if (!cache_path.empty()) ParseCacheFile(cache_path, header, &cache);
 
   // Per-path slots, filled in two phases: a serial stat+cache-probe pass
   // and a (possibly parallel) read+extract pass over the misses. Every
@@ -577,7 +602,7 @@ std::vector<FileFacts> LoadFacts(const std::vector<std::string>& paths,
   }
 
   if (!cache_path.empty()) {
-    std::string blob = "glcache v2\n";
+    std::string blob = header + "\n";
     // Deterministic order: sort by path.
     std::map<std::string, const CacheEntry*> ordered;
     for (const auto& [p, e] : fresh_cache) ordered[p] = &e;

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -41,8 +42,14 @@ struct RuleInfo {
   const char* summary;  // one-line description for --list-rules / SARIF
 };
 
-// The analyzer rules (GL010–GL016), in id order.
+// The analyzer rules (GL010–GL021), in id order.
 [[nodiscard]] const std::vector<RuleInfo>& Rules();
+
+// Parses a --rule=GL010,GL017 spec into rule ids. Returns false (with *err
+// set) when a spec names an id Rules() does not know.
+[[nodiscard]] bool ParseRuleFilter(const std::string& spec,
+                                   std::set<std::string>* ids,
+                                   std::string* err);
 
 struct Finding {
   std::string rule_id;
@@ -60,15 +67,27 @@ struct AnalysisOptions {
                                         "FmEngine::"};
 };
 
+// Wall-clock per analysis phase (--stats). Lex/facts time lives in LoadFacts
+// and is measured by the caller around that call.
+struct AnalyzeTimings {
+  double callgraph_ms = 0;  // symbol index + hot-root reachability
+  double dataflow_ms = 0;   // GL014–GL016 fixpoints
+  double cfg_ms = 0;        // GL017–GL021 path walks
+};
+
 // Runs all rules over the merged facts. Findings come back sorted by
 // (path, line, rule id) so output is stable across runs and platforms.
-// The three-argument overload also fills the GL014 units coverage report
-// (see dataflow.h) when `units` is non-null.
+// The longer overloads also fill the GL014 units coverage report (see
+// dataflow.h) and the per-phase timings when non-null.
 [[nodiscard]] std::vector<Finding> Analyze(const std::vector<FileFacts>& files,
                                            const AnalysisOptions& opts);
 [[nodiscard]] std::vector<Finding> Analyze(const std::vector<FileFacts>& files,
                                            const AnalysisOptions& opts,
                                            UnitsReport* units);
+[[nodiscard]] std::vector<Finding> Analyze(const std::vector<FileFacts>& files,
+                                           const AnalysisOptions& opts,
+                                           UnitsReport* units,
+                                           AnalyzeTimings* timings);
 
 // --- baseline --------------------------------------------------------------
 
@@ -119,9 +138,14 @@ struct CacheStats {
 // `jobs` > 1 extracts cache-missing files on that many threads; results
 // (facts order, cache bytes, error text) are byte-identical to jobs == 1 —
 // only per-file extraction parallelizes, every merge is in path order.
+// `config_hash` fingerprints everything outside the sources that can change
+// a verdict (baseline bytes, active rule set, flags); it is written into the
+// cache header, so a config change invalidates the whole cache rather than
+// serving stale verdicts.
 [[nodiscard]] std::vector<FileFacts> LoadFacts(
     const std::vector<std::string>& paths, const std::string& cache_path,
-    CacheStats* stats, std::string* err, int jobs = 1);
+    CacheStats* stats, std::string* err, int jobs = 1,
+    std::uint64_t config_hash = 0);
 
 // --- stale-suppression auto-fix (--fix=stale-allows) -----------------------
 

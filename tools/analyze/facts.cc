@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <unordered_set>
 
+#include "analyze/cfg.h"
+
 namespace gl::analyze {
 namespace {
 
@@ -1133,6 +1135,9 @@ void WalkStructure(Extractor& ex) {
         if (paren_tok < t.size()) ex.ParseSignature(fidx, paren_tok, i);
         else ex.unordered_params.clear();
         ex.ScanBody(fidx, i + 1, body_end - 1);
+        BuildFunctionCfg(t.toks, ex.lines, fidx,
+                         paren_tok < t.size() ? paren_tok : i + 1, i + 1,
+                         body_end - 1, &ex.out);
       }
       i = body_end;
       head.clear();
@@ -1177,7 +1182,9 @@ void WalkStructure(Extractor& ex) {
 const std::unordered_set<std::string_view> kAnalyzerRuleNames = {
     "alloc-in-hot-path", "unguarded-shared-member", "nondet-float-fold",
     "stale-suppression", "unit-confusion", "lock-order-cycle",
-    "determinism-taint"};
+    "determinism-taint", "lock-path-leak", "use-after-invalidation",
+    "loop-carried-allocation", "unguarded-narrowing",
+    "divergent-parallel-update"};
 
 bool RuleTriggers(const std::string& rule, const SView& t,
                   const std::vector<std::size_t>& span) {
@@ -1466,6 +1473,26 @@ void SerializeFacts(const FileFacts& f, std::string* out) {
   for (const LockAnno& q : f.lock_annos) {
     AppendRecord(out, {"Q", std::to_string(q.func), q.kind, q.lock});
   }
+  for (const FuncCfg& g : f.cfgs) {
+    AppendRecord(out, {"H", std::to_string(g.func),
+                       std::to_string(g.budget_exceeded ? 1 : 0)});
+    for (std::size_t b = 0; b < g.blocks.size(); ++b) {
+      const CfgBlock& blk = g.blocks[b];
+      std::string succ;
+      for (const int s : blk.succ) {
+        if (!succ.empty()) succ.push_back(',');
+        succ += std::to_string(s);
+      }
+      AppendRecord(out, {"K", std::to_string(blk.loop_depth),
+                         std::to_string(blk.in_parallel ? 1 : 0),
+                         std::to_string(blk.varying_guard), succ});
+      for (const CfgEvent& e : blk.events) {
+        AppendRecord(out, {"V", std::to_string(b),
+                           std::to_string(static_cast<int>(e.kind)), e.a,
+                           e.b, std::to_string(e.line), e.line_text});
+      }
+    }
+  }
 }
 
 bool DeserializeFacts(std::string_view blob, FileFacts* f) {
@@ -1610,6 +1637,48 @@ bool DeserializeFacts(std::string_view blob, FileFacts* f) {
       q.kind = c[2];
       q.lock = c[3];
       f->lock_annos.push_back(std::move(q));
+    } else if (c[0] == "H" && c.size() == 3) {
+      FuncCfg g;
+      int exceeded = 0;
+      if (!to_int(c[1], &g.func) || !to_int(c[2], &exceeded)) return false;
+      g.budget_exceeded = exceeded != 0;
+      f->cfgs.push_back(std::move(g));
+    } else if (c[0] == "K" && c.size() == 5) {
+      if (f->cfgs.empty()) return false;
+      CfgBlock blk;
+      int par = 0;
+      if (!to_int(c[1], &blk.loop_depth) || !to_int(c[2], &par) ||
+          !to_int(c[3], &blk.varying_guard)) {
+        return false;
+      }
+      blk.in_parallel = par != 0;
+      std::size_t pos = 0;
+      const std::string& succ = c[4];
+      while (pos < succ.size()) {
+        std::size_t comma = succ.find(',', pos);
+        if (comma == std::string::npos) comma = succ.size();
+        int s = 0;
+        if (!to_int(succ.substr(pos, comma - pos), &s)) return false;
+        blk.succ.push_back(s);
+        pos = comma + 1;
+      }
+      f->cfgs.back().blocks.push_back(std::move(blk));
+    } else if (c[0] == "V" && c.size() == 7) {
+      if (f->cfgs.empty()) return false;
+      int block = 0;
+      int kind = 0;
+      CfgEvent e;
+      if (!to_int(c[1], &block) || !to_int(c[2], &kind) ||
+          !to_int(c[5], &e.line)) {
+        return false;
+      }
+      std::vector<CfgBlock>& blocks = f->cfgs.back().blocks;
+      if (block < 0 || block >= static_cast<int>(blocks.size())) return false;
+      e.kind = static_cast<CfgEventKind>(kind);
+      e.a = c[3];
+      e.b = c[4];
+      e.line_text = c[6];
+      blocks[static_cast<std::size_t>(block)].events.push_back(std::move(e));
     } else {
       return false;
     }

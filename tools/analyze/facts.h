@@ -173,6 +173,48 @@ struct TaintSeed {
   std::string line_text;
 };
 
+// --- control-flow raw material (GL017–GL021, cfg.h) ------------------------
+//
+// The extractor builds one basic-block CFG per function body (cfg.cc) and
+// stores it with the facts, so warm runs replay cached CFGs instead of
+// re-lexing. Blocks carry the path-relevant events in statement order;
+// edges point at successor block ids, with -1 meaning "function exit".
+
+enum class CfgEventKind {
+  kLock = 0,     // manual base.Lock(); a = lock name
+  kUnlock,       // manual base.Unlock(); a = lock name
+  kBind,         // a = variable bound to a ref/index/view; b = source chain
+  kInvalidate,   // a = object chain whose derived refs die; b = the call
+  kUse,          // a = use of a previously bound variable
+  kNarrow,       // a = 64-bit term cast to 32 bits; b = the target type
+  kCheck,        // a = term a dominating comparison bounds on this path
+  kAlloc,        // allocation (GL019 raw material); a = detail, b = kind
+  kSink,         // a = deterministic-state sink call (MixU64, Counter::Add)
+};
+
+struct CfgEvent {
+  CfgEventKind kind = CfgEventKind::kUse;
+  std::string a;
+  std::string b;
+  int line = 0;
+  std::string line_text;
+};
+
+struct CfgBlock {
+  std::vector<int> succ;          // successor block ids; -1 = function exit
+  std::vector<CfgEvent> events;   // in statement order
+  int loop_depth = 0;             // number of enclosing loops
+  bool in_parallel = false;       // inside a ParallelFor lambda body
+  int varying_guard = 0;          // line of the innermost thread-varying
+                                  // branch guarding this block (0 = none)
+};
+
+struct FuncCfg {
+  int func = -1;                  // index into FileFacts::functions
+  std::vector<CfgBlock> blocks;   // block 0 = entry
+  bool budget_exceeded = false;   // builder bailed; path rules skip this fn
+};
+
 // A lock acquisition: gl::MutexLock RAII site or an explicit .Lock() call.
 struct LockAcquire {
   int func = -1;
@@ -206,6 +248,7 @@ struct FileFacts {
   std::vector<TaintSeed> taint_seeds;
   std::vector<LockAcquire> lock_acquires;
   std::vector<LockAnno> lock_annos;
+  std::vector<FuncCfg> cfgs;
 };
 
 // Lexes + extracts in one go. `path` is recorded verbatim.

@@ -1,0 +1,52 @@
+// gl-analyze-expect: clean
+//
+// The three shapes GL017 must not flag: a manual lock balanced on every
+// path (including the early return), RAII MutexLock, and a GL_REQUIRES
+// function that drops and re-takes the caller's lock (it exits holding the
+// lock, but that is its contract).
+
+#include <cstdint>
+
+namespace fixture {
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex* mu);
+};
+
+void Backoff();
+
+class Collector {
+ public:
+  bool Flush(bool ready) {
+    mu_.Lock();
+    if (!ready) {
+      mu_.Unlock();  // balanced: the early return releases first
+      return false;
+    }
+    count_ = 0;
+    mu_.Unlock();
+    return true;
+  }
+
+  int Read() {
+    MutexLock lock(&mu_);  // RAII: exempt by construction
+    return count_;
+  }
+
+  void WaitForWork() GL_REQUIRES(mu_) {
+    mu_.Unlock();  // release while blocked
+    Backoff();
+    mu_.Lock();  // contract: exit holding the lock, as at entry
+  }
+
+ private:
+  Mutex mu_;
+  int count_ GL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

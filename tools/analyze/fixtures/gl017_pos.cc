@@ -1,0 +1,34 @@
+// gl-analyze-expect: GL017
+//
+// Manual lock with a leaking path: the early return inside Flush exits the
+// function while mu_ is still held. The may-held fixpoint unions the two
+// paths at the exit, so the leak is reported even though the fallthrough
+// path unlocks correctly.
+
+#include <cstdint>
+
+namespace fixture {
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+class Collector {
+ public:
+  bool Flush(bool ready) {
+    mu_.Lock();
+    if (!ready) {
+      return false;  // leaks mu_: no Unlock on this path
+    }
+    count_ = 0;
+    mu_.Unlock();
+    return true;
+  }
+
+ private:
+  Mutex mu_;
+  int count_ GL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// gl-analyze-expect: clean
+//
+// The invalidation patterns GL018 must tolerate: re-binding the reference
+// after the Clear() on the same path, and a plain container alias (no
+// element ref escapes, so clearing and refilling through it is fine).
+
+#include <vector>
+
+namespace fixture {
+
+struct PartitionScratch {
+  std::vector<int> gains;
+  std::vector<int> level_chain;
+  void Clear();
+};
+
+void Reuse(PartitionScratch& scratch, bool flush) {
+  int& slot = scratch.gains[0];
+  slot = 1;
+  if (flush) {
+    scratch.Clear();
+    slot = scratch.gains[0];  // re-bound after the invalidation
+  }
+  slot = 2;  // valid on both paths
+}
+
+void Levels(PartitionScratch& s) {
+  auto& levels = s.level_chain;  // container alias, not an element ref
+  levels.clear();
+  levels.push_back(1);
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// gl-analyze-expect: GL018
+//
+// References invalidated on one path and used after the join: a scratch
+// element reference crossing a Clear(), and a vector element reference
+// crossing a push_back. Both uses are only wrong on the branch-taken path,
+// which is exactly what the flow-insensitive rules cannot see.
+
+#include <vector>
+
+namespace fixture {
+
+struct PartitionScratch {
+  std::vector<int> gains;
+  void Clear();
+};
+
+void Consume(PartitionScratch& scratch, bool flush) {
+  int& slot = scratch.gains[0];
+  if (flush) {
+    scratch.Clear();  // invalidates every ref derived from scratch
+  }
+  slot = 3;  // GL018: dangling when flush was taken
+}
+
+int Grow(std::vector<int>& vals, bool add) {
+  int& first = vals.front();
+  if (add) {
+    vals.push_back(7);  // may reallocate
+  }
+  return first;  // GL018: dangling when add was taken
+}
+
+}  // namespace fixture

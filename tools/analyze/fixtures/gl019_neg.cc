@@ -1,0 +1,24 @@
+// gl-analyze-expect: clean
+//
+// Loop allocations GL019 must not flag: the same per-iteration vector in a
+// function no hot root reaches, and a hot-path loop that only writes into a
+// caller-provided buffer (allocation-free steady state).
+
+#include <vector>
+
+namespace fixture {
+
+void BuildReport(int rounds) {  // not reachable from any hot root
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<int> tmp(4, 0);
+    tmp.push_back(r);
+  }
+}
+
+void Bisect(std::vector<int>& scratch_buf, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    scratch_buf[r] = r;  // writes only; nothing allocates in the loop
+  }
+}
+
+}  // namespace fixture

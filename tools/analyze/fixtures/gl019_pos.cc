@@ -1,0 +1,26 @@
+// gl-analyze-expect: GL010,GL019
+//
+// Per-iteration allocation in a hot-path loop: RefineLevel is reachable
+// from the Bisect root and constructs + grows a vector inside its refinement
+// loop. GL010 already flags the allocation sites (hot function); GL019
+// sharpens it to "inside a loop" — the steady state pays this every round.
+
+#include <vector>
+
+namespace fixture {
+
+struct Level {
+  std::vector<int> order;
+};
+
+void RefineLevel(Level& lvl, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<int> moved(8, 0);  // GL019: fresh buffer every iteration
+    moved.push_back(r);            // GL019: growth inside the loop
+    lvl.order.push_back(moved.back());
+  }
+}
+
+void Bisect(Level& lvl) { RefineLevel(lvl, 4); }
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// gl-analyze-expect: clean
+//
+// Narrowings GL020 must accept: a GOLDILOCKS_CHECK before the cast, a
+// branch condition that compares the value (the cast is dominated by the
+// comparison), and a .size() chain checked under the same spelling.
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+using VertexIndex = std::int32_t;
+
+VertexIndex Place(std::size_t p, std::size_t hi) {
+  GOLDILOCKS_CHECK(p < hi);
+  return static_cast<VertexIndex>(p);
+}
+
+VertexIndex Guarded(std::size_t n) {
+  if (n < 100000) {
+    return static_cast<VertexIndex>(n);  // dominated by the comparison
+  }
+  return 0;
+}
+
+VertexIndex Count(const std::vector<int>& vals) {
+  GOLDILOCKS_CHECK(vals.size() < 1000);
+  return static_cast<VertexIndex>(vals.size());
+}
+
+}  // namespace fixture

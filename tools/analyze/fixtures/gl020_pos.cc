@@ -1,0 +1,24 @@
+// gl-analyze-expect: GL020
+//
+// 64-to-32-bit vertex-id narrowing with no dominating bounds check: a
+// straight-line cast of a size_t parameter, and a cast inside a branch
+// whose condition checks nothing about the value.
+
+#include <cstdint>
+
+namespace fixture {
+
+using VertexIndex = std::int32_t;
+
+VertexIndex Place(std::size_t p) {
+  return static_cast<VertexIndex>(p);  // GL020: p never bounds-checked
+}
+
+VertexIndex FirstHalf(std::size_t n, bool low) {
+  if (low) {
+    return static_cast<VertexIndex>(n / 2);  // GL020: unchecked on this path
+  }
+  return 0;
+}
+
+}  // namespace fixture

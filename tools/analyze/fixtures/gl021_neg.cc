@@ -1,0 +1,38 @@
+// gl-analyze-expect: clean
+//
+// The parallel shapes GL021 must accept: a state-hash write in the
+// straight-line body (deterministic inputs, no divergent guard), the same
+// write under a deterministic branch, and a thread-varying branch that
+// guards only non-deterministic-state work.
+
+#include <cstdint>
+
+namespace fixture {
+
+struct Pool {
+  template <typename F>
+  void ParallelFor(int lo, int hi, F f);
+};
+
+std::uint64_t MixU64(std::uint64_t h, std::uint64_t v);
+std::int64_t ElapsedMs();
+void Backoff(int i);
+
+void AuditClean(Pool& pool, std::uint64_t& hash, int n) {
+  pool.ParallelFor(0, n, [&](int i) {
+    hash = MixU64(hash, i);  // unguarded: runs for every index
+    if (i % 2 == 0) {
+      hash = MixU64(hash, i);  // deterministic guard: same set every run
+    }
+  });
+}
+
+void Throttle(Pool& pool, int n) {
+  pool.ParallelFor(0, n, [&](int i) {
+    if (ElapsedMs() > 5) {
+      Backoff(i);  // varying branch, but nothing deterministic written
+    }
+  });
+}
+
+}  // namespace fixture

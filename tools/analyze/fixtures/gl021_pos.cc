@@ -1,0 +1,29 @@
+// gl-analyze-expect: GL021
+//
+// A ParallelFor body where a timing-dependent branch guards a state-hash
+// write: whether MixU64 runs at all now depends on worker speed, so two
+// identical runs can hash different event sets. Flow-insensitive GL016
+// cannot flag this — the *data* mixed in is deterministic; only the branch
+// is not.
+
+#include <cstdint>
+
+namespace fixture {
+
+struct Pool {
+  template <typename F>
+  void ParallelFor(int lo, int hi, F f);
+};
+
+std::uint64_t MixU64(std::uint64_t h, std::uint64_t v);
+std::int64_t ElapsedMs();
+
+void Audit(Pool& pool, std::uint64_t& hash, int n) {
+  pool.ParallelFor(0, n, [&](int i) {
+    if (ElapsedMs() > 5) {       // thread-varying condition
+      hash = MixU64(hash, i);    // GL021: hash input gated on wall time
+    }
+  });
+}
+
+}  // namespace fixture

@@ -22,7 +22,18 @@
 //   --units-strict=SUBSTR  exit 1 if any analyzed file whose path contains
 //                          SUBSTR still has unresolved '+'/'-'/comparison
 //                          operands (repeatable)
+//   --rule=GLNNN[,GLNNN]   report only the named rules (baseline entries for
+//                          other rules are ignored, not stale)
+//   --format=github        print findings as GitHub workflow ::error
+//                          annotations instead of compiler-style lines
+//   --stats                per-phase timing summary (lex/facts, callgraph,
+//                          dataflow, cfg) and cached/analyzed file counts
 //   --quiet                findings only, no summary line
+//
+// The incremental cache key covers the *configuration* too: baseline bytes,
+// the active rule set, --rule/--hot-root/--units-strict flags. Any change
+// there invalidates the whole cache (a stale verdict is worse than a cold
+// run).
 //
 // Directories are scanned recursively for *.cc / *.h; directories named
 // "fixtures" are skipped (the fixture corpus fires rules on purpose).
@@ -30,11 +41,14 @@
 // violation), 2 usage or I/O error.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -59,6 +73,8 @@ int Usage(const char* msg) {
                "[--sarif=F] [--cache=F]\n"
                "                  [--jobs=N] [--hot-root=SPEC]... "
                "[--units-report] [--units-strict=S]...\n"
+               "                  [--rule=GLNNN[,GLNNN]] [--format=github] "
+               "[--stats]\n"
                "                  [--fix=stale-allows [--dry-run]] [--quiet] "
                "<file-or-dir>...\n"
                "       gl_analyze --self-test [--fixtures=DIR]\n"
@@ -93,6 +109,28 @@ bool WriteTextFile(const std::string& path, const std::string& content) {
   return out.good();
 }
 
+[[nodiscard]] std::string ReadTextFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// GitHub workflow-command escaping for ::error annotations: the message
+// escapes %, CR, LF; property values additionally escape ',' and ':'.
+[[nodiscard]] std::string GithubEscape(const std::string& s, bool property) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '%') out += "%25";
+    else if (c == '\r') out += "%0D";
+    else if (c == '\n') out += "%0A";
+    else if (property && c == ',') out += "%2C";
+    else if (property && c == ':') out += "%3A";
+    else out.push_back(c);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -104,6 +142,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> hot_roots;
   std::vector<std::string> strict_substrings;
   std::vector<std::string> inputs;
+  std::string rule_spec;
+  std::string format;
   int jobs = 1;
   bool self_test = false;
   bool list_rules = false;
@@ -111,6 +151,7 @@ int main(int argc, char** argv) {
   bool fix_stale_allows = false;
   bool dry_run = false;
   bool units_report = false;
+  bool show_stats = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -140,6 +181,16 @@ int main(int argc, char** argv) {
       units_report = true;
     } else if (arg.starts_with("--units-strict=")) {
       strict_substrings.push_back(value("--units-strict="));
+    } else if (arg.starts_with("--rule=")) {
+      if (!rule_spec.empty()) rule_spec.push_back(',');
+      rule_spec += value("--rule=");
+    } else if (arg.starts_with("--format=")) {
+      format = value("--format=");
+      if (format != "github") {
+        return Usage(("unknown --format: " + format).c_str());
+      }
+    } else if (arg == "--stats") {
+      show_stats = true;
     } else if (arg == "--self-test") {
       self_test = true;
     } else if (arg == "--list-rules") {
@@ -172,16 +223,50 @@ int main(int argc, char** argv) {
 
   if (inputs.empty()) return Usage("no inputs");
 
+  std::set<std::string> rule_filter;
+  if (!rule_spec.empty()) {
+    std::string err;
+    if (!gl::analyze::ParseRuleFilter(rule_spec, &rule_filter, &err)) {
+      return Usage(err.c_str());
+    }
+  }
+
   std::vector<std::string> paths;
   for (const std::string& in : inputs) CollectSources(in, &paths);
   std::sort(paths.begin(), paths.end());
   paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
   if (paths.empty()) return Usage("inputs matched no .cc/.h files");
 
+  // Configuration fingerprint for the cache key: baseline bytes plus every
+  // knob that changes a verdict. '\x1f' separates fields so adjacent values
+  // cannot collide by concatenation.
+  std::string config;
+  config += ReadTextFile(baseline_path);
+  for (const gl::analyze::RuleInfo& r : gl::analyze::Rules()) {
+    config.push_back('\x1f');
+    config += r.id;
+  }
+  config.push_back('\x1f');
+  config += rule_spec;
+  for (const std::string& s : opts.hot_roots) {
+    config.push_back('\x1f');
+    config += s;
+  }
+  for (const std::string& s : strict_substrings) {
+    config.push_back('\x1f');
+    config += s;
+  }
+  const std::uint64_t config_hash = gl::analyze::HashBytes(config);
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point load_start = Clock::now();
   CacheStats stats;
   std::string io_err;
-  const std::vector<gl::analyze::FileFacts> facts =
-      gl::analyze::LoadFacts(paths, cache_path, &stats, &io_err, jobs);
+  const std::vector<gl::analyze::FileFacts> facts = gl::analyze::LoadFacts(
+      paths, cache_path, &stats, &io_err, jobs, config_hash);
+  const double load_ms = std::chrono::duration<double, std::milli>(
+                             Clock::now() - load_start)
+                             .count();
   if (!io_err.empty()) {
     std::fprintf(stderr, "gl_analyze: %s\n", io_err.c_str());
     return 2;
@@ -201,9 +286,16 @@ int main(int argc, char** argv) {
   }
 
   gl::analyze::UnitsReport units;
+  gl::analyze::AnalyzeTimings timings;
   const bool want_units = units_report || !strict_substrings.empty();
-  const std::vector<Finding> all =
-      gl::analyze::Analyze(facts, opts, want_units ? &units : nullptr);
+  std::vector<Finding> all =
+      gl::analyze::Analyze(facts, opts, want_units ? &units : nullptr,
+                           &timings);
+  if (!rule_filter.empty()) {
+    std::erase_if(all, [&](const Finding& f) {
+      return rule_filter.count(f.rule_id) == 0;
+    });
+  }
 
   if (!write_baseline_path.empty()) {
     if (!WriteTextFile(write_baseline_path,
@@ -225,14 +317,29 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "gl_analyze: %s\n", err.c_str());
       return 2;
     }
+    if (!rule_filter.empty()) {
+      // Entries for unselected rules can't match anything this run; drop
+      // them instead of reporting them stale.
+      std::erase_if(baseline.entries, [&](const Baseline::Entry& e) {
+        return rule_filter.count(e.rule_id) == 0;
+      });
+    }
     result = gl::analyze::ApplyBaseline(all, baseline);
   } else {
     result.fresh = all;
   }
 
   for (const Finding& f : result.fresh) {
-    std::printf("%s:%d: error [%s/%s] %s\n", f.path.c_str(), f.line,
-                f.rule_id.c_str(), f.rule_name.c_str(), f.message.c_str());
+    if (format == "github") {
+      std::printf("::error file=%s,line=%d,title=%s %s::%s\n",
+                  GithubEscape(f.path, true).c_str(), f.line,
+                  f.rule_id.c_str(),
+                  GithubEscape(f.rule_name, true).c_str(),
+                  GithubEscape(f.message, false).c_str());
+    } else {
+      std::printf("%s:%d: error [%s/%s] %s\n", f.path.c_str(), f.line,
+                  f.rule_id.c_str(), f.rule_name.c_str(), f.message.c_str());
+    }
   }
   for (const Baseline::Entry& e : result.stale) {
     std::fprintf(stderr,
@@ -280,6 +387,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (show_stats) {
+    std::printf(
+        "stats: lex/facts %.1f ms (%d file(s): %d cached, %d analyzed), "
+        "callgraph %.1f ms, dataflow %.1f ms, cfg %.1f ms\n",
+        load_ms, stats.files_total, stats.files_cached, stats.files_lexed,
+        timings.callgraph_ms, timings.dataflow_ms, timings.cfg_ms);
+  }
   if (!quiet) {
     std::printf(
         "gl_analyze: %d file(s) (%d cached, %d lexed), %zu finding(s), "

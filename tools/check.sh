@@ -48,7 +48,7 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "lint" ]]; then
   python3 tools/gl_lint src
 fi
 
-# Token-aware cross-file contract checker (DESIGN.md §12–§13): fixture
+# Token-aware cross-file contract checker (DESIGN.md §12–§14): fixture
 # corpus, then the whole tree (src/, bench/, tools/ — fixture dirs are
 # skipped by the scanner) must be clean modulo the committed baseline, and
 # src/power/ must keep full GL014 dimension coverage.
@@ -64,6 +64,7 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "analyze" ]]; then
     --cache=build-check-analyze/gl_analyze.cache \
     --units-strict=src/power \
     --jobs="${JOBS}" \
+    --stats \
     src bench tools
 fi
 

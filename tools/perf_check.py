@@ -11,6 +11,13 @@ warns rather than fails; a real regression shows up as a persistent warning
 across pushes and is investigated by re-measuring locally (EXPERIMENTS.md,
 "Partitioner scalability").
 
+Beyond per-config medians, the thread sweep is checked for *scaling*
+regressions: for every bench name present at both threads=1 and threads=8,
+the fresh t8/t1 wall-ms ratio is compared to the reference's. A fresh ratio
+more than --threshold above the reference's means parallel efficiency was
+lost even if absolute times look fine (e.g. both got faster but the t8
+speedup evaporated); that also warns rather than fails.
+
 Exit status is always 0 unless the inputs are unreadable, malformed, or no
 records matched (exit 2), so the job cannot silently pass on a broken run.
 Malformed inputs -- wrong top-level shape, records that are not objects,
@@ -24,6 +31,8 @@ Usage:
 """
 
 import argparse
+import contextlib
+import io
 import json
 import numbers
 import os
@@ -79,6 +88,42 @@ def load_records(path, *, reference):
     return _validate_records(records, path)
 
 
+def scaling_ratios(records):
+    """Returns {name: t8_median / t1_median} for names with both configs."""
+    out = {}
+    for (name, threads), r in records.items():
+        if threads == 1 and (name, 8) in records:
+            t1 = r["median_wall_ms"]
+            t8 = records[(name, 8)]["median_wall_ms"]
+            if t1 > 0:
+                out[name] = t8 / t1
+    return out
+
+
+def check_scaling(ref, fresh, threshold):
+    """Warns when a fresh t8/t1 ratio exceeds the reference's by threshold.
+
+    Returns (checked, warned). Warning-only, like the median check: shared
+    runners make one-off wobble common, and a real scaling loss persists.
+    """
+    ref_ratios = scaling_ratios(ref)
+    checked = warned = 0
+    for name, fresh_ratio in sorted(scaling_ratios(fresh).items()):
+        ref_ratio = ref_ratios.get(name)
+        if ref_ratio is None:
+            continue
+        checked += 1
+        line = (f"{name}: t8/t1 wall ratio {fresh_ratio:.2f} "
+                f"vs reference {ref_ratio:.2f}")
+        if fresh_ratio > ref_ratio * (1.0 + threshold):
+            warned += 1
+            print(f"::warning title=partitioner thread-scaling "
+                  f"regression::{line}")
+        else:
+            print(f"perf_check: OK scaling {line}")
+    return checked, warned
+
+
 def run(argv):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--reference", required=True,
@@ -120,8 +165,10 @@ def run(argv):
     if matched == 0:
         print("perf_check: no records matched the reference", file=sys.stderr)
         return 2
+    scaled, scale_warned = check_scaling(ref, fresh, args.threshold)
     print(f"perf_check: {matched} configs checked, "
-          f"{regressions} above threshold")
+          f"{regressions} above threshold; {scaled} scaling ratios checked, "
+          f"{scale_warned} above threshold")
     return 0
 
 
@@ -175,6 +222,36 @@ def self_test():
             status = "PASS" if got == want else "FAIL"
             failures += got != want
             print(f"{status} {label} (exit {got}, want {want})")
+
+        # Thread-scaling check: the t8/t1 ratio regressing warns even when
+        # every per-config median stays inside the threshold, and a uniform
+        # slowdown (both configs +14%) leaves the ratio alone.
+        def sweep(name, t1, t8):
+            return [{"name": name, "threads": 1, "median_wall_ms": t1},
+                    {"name": name, "threads": 8, "median_wall_ms": t8}]
+
+        scale_ref = {"current": {"records": sweep("bench", 100.0, 50.0)}}
+        scale_cases = [
+            ("scaling ratio regression warns, exits 0",
+             sweep("bench", 100.0, 60.0), True, 0),
+            ("uniform slowdown keeps the ratio, no scaling warning",
+             sweep("bench", 114.0, 57.0), False, 0),
+            ("matching sweep is clean",
+             sweep("bench", 100.0, 50.0), False, 0),
+        ]
+        for label, fresh_doc, want_warn, want in scale_cases:
+            with open(ref_path, "w", encoding="utf-8") as f:
+                json.dump(scale_ref, f)
+            with open(fresh_path, "w", encoding="utf-8") as f:
+                json.dump(fresh_doc, f)
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                got = run(["--reference", ref_path, "--fresh", fresh_path])
+            warned = "thread-scaling" in out.getvalue()
+            ok = got == want and warned == want_warn
+            failures += not ok
+            print(f"{'PASS' if ok else 'FAIL'} {label} "
+                  f"(exit {got}, warn={warned})")
 
     if failures == 0:
         print("perf_check self-test: all cases pass")
