@@ -3,6 +3,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -88,6 +89,13 @@ struct ScaleRecord {
   int servers = 0;
   double median_wall_ms = 0.0;
   int repeats = 1;
+  // Parallel-efficiency telemetry from one extra instrumented (untimed) run
+  // per configuration — informational, never compared against a hard
+  // threshold (tools/perf_check.py carries them through when present in
+  // both baseline and candidate and ignores them otherwise).
+  double parallel_efficiency = 1.0;  // pool busy / (workers × batch wall)
+  double critical_path_ms = 0.0;     // longest non-overlappable span chain
+  std::uint64_t peak_bytes = 0;      // scratch-arena high-water mark
 };
 
 // Median of the samples (averages the middle pair for even counts).
@@ -129,6 +137,14 @@ inline bool WriteScaleJson(const char* path,
     w.Int(r.containers);
     w.Key("servers");
     w.Int(r.servers);
+    // Telemetry keys append after the original layout so older consumers
+    // (and the committed perf baselines) keep parsing by prefix.
+    w.Key("parallel_efficiency");
+    w.Double(r.parallel_efficiency);
+    w.Key("critical_path_ms");
+    w.Double(r.critical_path_ms);
+    w.Key("peak_bytes");
+    w.UInt(r.peak_bytes);
     w.EndObject();
   }
   w.EndArray();

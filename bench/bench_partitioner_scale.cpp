@@ -5,17 +5,20 @@
 // our multilevel partitioner's cost across graph sizes, plus the unit
 // operations placement relies on (bisection, k-way, recursive-to-fit).
 //
-//   bench_partitioner_scale [--json out.json] [google-benchmark flags]
+//   bench_partitioner_scale [--json out.json] [--trace=PATH]
+//                           [google-benchmark flags]
 //
 // --json switches to the thread-scaling sweep: RecursivePartition over the
-// workload-like graph at threads 1/2/4/8, one {name, threads, wall_ms,
-// containers, servers} record per configuration (EXPERIMENTS.md,
+// workload-like graph at threads 1/2/4/8, one record per configuration with
+// timing (wall_ms/median_wall_ms) plus parallel-efficiency telemetry
+// (parallel_efficiency, critical_path_ms, peak_bytes — see EXPERIMENTS.md,
 // "Machine-readable output"). Results are bit-identical across widths
-// (DESIGN.md §9); only wall_ms varies.
+// (DESIGN.md §9); only the timings vary.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -23,6 +26,9 @@
 #include "common/rng.h"
 #include "graph/partitioner.h"
 #include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace gl {
 namespace {
@@ -100,12 +106,30 @@ void BM_CoarseningOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_CoarseningOnly);
 
+// Last value of an informational gauge, or `fallback` when never set.
+double InfoGauge(const char* name, double fallback) {
+  for (const auto& gv : obs::MetricsRegistry::Global().SnapshotGauges(
+           obs::MetricKind::kInformational)) {
+    if (gv.name == name) return gv.value;
+  }
+  return fallback;
+}
+
 // The --json sweep: same partition at every thread count, `repeat` timed
 // runs per configuration, median + min reported (the committed perf
 // baseline in BENCH_partitioner.json compares medians; see
 // tools/perf_check.py). n=50000 is the "largest configuration" the perf
 // trajectory tracks; it runs at threads 1 and 8 only to bound sweep time.
-bool RunThreadScalingSweep(const char* json_path, int repeat) {
+//
+// After the timed repeats, each configuration gets one extra *untimed*
+// instrumented run under an active Trace: it yields the critical-path length
+// (obs/profile.h), and the pool-efficiency / scratch-peak gauges the
+// partitioner publishes. Keeping tracing out of the timed loop means the
+// medians stay comparable with pre-telemetry baselines. --trace=PATH
+// additionally writes the Chrome trace of the largest parallel
+// configuration for `gl_report profile` / `gl_report flame`.
+bool RunThreadScalingSweep(const char* json_path, int repeat,
+                           const char* trace_path) {
   const Resource ceiling{.cpu = 2240, .mem_gb = 57, .net_mbps = 700};
   const auto fits = [&](const Resource& d, int) { return d.FitsIn(ceiling); };
   std::vector<bench::ScaleRecord> records;
@@ -127,11 +151,36 @@ bool RunThreadScalingSweep(const char* json_path, int repeat) {
       }
       const double best_ms = *std::min_element(samples.begin(), samples.end());
       const double median_ms = bench::MedianOf(samples);
-      records.push_back({"recursive_partition/n=" + std::to_string(n),
-                         threads, best_ms, n, servers, median_ms, repeat});
-      std::printf("%-28s threads=%d  median %8.2f ms  min %8.2f ms  %d groups\n",
-                  records.back().name.c_str(), threads, median_ms, best_ms,
-                  servers);
+      bench::ScaleRecord rec{"recursive_partition/n=" + std::to_string(n),
+                             threads, best_ms, n, servers, median_ms, repeat};
+      {
+        obs::Trace trace;
+        trace.Activate();
+        const auto r = RecursivePartition(g, fits, opts);
+        trace.Deactivate();
+        benchmark::DoNotOptimize(r.num_groups);
+        const auto cp = obs::ComputeCriticalPath(
+            trace.Events(),
+            threads > 1 ? "partition.parallel" : "partition.recursive");
+        rec.critical_path_ms = cp.path_ms;
+        rec.parallel_efficiency =
+            threads > 1
+                ? InfoGauge("partition.pool.parallel_efficiency", 1.0)
+                : 1.0;
+        rec.peak_bytes = static_cast<std::uint64_t>(
+            InfoGauge("partition.scratch_peak_bytes", 0.0));
+        if (trace_path != nullptr && n >= 50000 && threads > 1) {
+          if (!trace.WriteChromeJson(trace_path)) return false;
+          std::printf("wrote Chrome trace (n=%d threads=%d) to %s\n", n,
+                      threads, trace_path);
+        }
+      }
+      records.push_back(rec);
+      std::printf("%-28s threads=%d  median %8.2f ms  min %8.2f ms  %d groups"
+                  "  eff %.2f  cp %7.2f ms  peak %zu KiB\n",
+                  rec.name.c_str(), threads, median_ms, best_ms, servers,
+                  rec.parallel_efficiency, rec.critical_path_ms,
+                  static_cast<std::size_t>(rec.peak_bytes / 1024));
     }
   }
   if (!bench::WriteScaleJson(json_path, records)) return false;
@@ -145,7 +194,11 @@ bool RunThreadScalingSweep(const char* json_path, int repeat) {
 int main(int argc, char** argv) {
   if (const char* json_path = gl::bench::JsonPathFromArgs(argc, argv)) {
     const int repeat = gl::bench::RepeatFromArgs(argc, argv);
-    return gl::RunThreadScalingSweep(json_path, repeat) ? 0 : 1;
+    const char* trace_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+    }
+    return gl::RunThreadScalingSweep(json_path, repeat, trace_path) ? 0 : 1;
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -3,14 +3,19 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/clock.h"
 
 namespace gl {
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
+  {
+    MutexLock lock(mu_);
+    per_thread_busy_us_.assign(static_cast<std::size_t>(num_threads_), 0.0);
+  }
   workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
   for (int i = 0; i + 1 < num_threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, slot = i + 1] { WorkerLoop(slot); });
   }
 }
 
@@ -28,7 +33,18 @@ void ThreadPool::ParallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
   if (num_threads_ == 1 || count == 1) {
+    // Inline fast path: no locks or queues around the tasks themselves;
+    // one timing bracket for the whole run (busy == wall, efficiency 1).
+    const std::int64_t t0 = obs::MonotonicMicros();
     for (std::size_t i = 0; i < count; ++i) fn(i);
+    const auto elapsed =
+        static_cast<double>(obs::MonotonicMicros() - t0);
+    MutexLock lock(mu_);
+    ++batches_;
+    tasks_ += count;
+    busy_us_ += elapsed;
+    batch_wall_us_ += elapsed;
+    per_thread_busy_us_[0] += elapsed;
     return;
   }
 
@@ -38,14 +54,18 @@ void ThreadPool::ParallelFor(std::size_t count,
   count_ = count;
   next_ = 0;
   in_flight_ = 0;
+  batch_post_us_ = obs::MonotonicMicros();
   mu_.Unlock();
   work_cv_.NotifyAll();
 
   mu_.Lock();
-  RunBatchTasks();  // the calling thread participates
+  RunBatchTasks(0);  // the calling thread participates
   while (in_flight_ > 0) done_cv_.Wait(mu_);
   fn_ = nullptr;
   count_ = 0;
+  ++batches_;
+  batch_wall_us_ +=
+      static_cast<double>(obs::MonotonicMicros() - batch_post_us_);
   mu_.Unlock();
 }
 
@@ -58,11 +78,24 @@ void ThreadPool::ParallelForWithRng(
   });
 }
 
-void ThreadPool::WorkerLoop() {
+ThreadPoolStats ThreadPool::Stats() const {
+  ThreadPoolStats stats;
+  stats.workers = num_threads_;
+  MutexLock lock(mu_);
+  stats.batches = batches_;
+  stats.tasks = tasks_;
+  stats.busy_us = busy_us_;
+  stats.queue_wait_us = queue_wait_us_;
+  stats.batch_wall_us = batch_wall_us_;
+  stats.per_thread_busy_us = per_thread_busy_us_;
+  return stats;
+}
+
+void ThreadPool::WorkerLoop(int slot) {
   mu_.Lock();
   while (!shutdown_) {
     if (fn_ != nullptr && next_ < count_) {
-      RunBatchTasks();
+      RunBatchTasks(slot);
     } else {
       work_cv_.Wait(mu_);
     }
@@ -70,14 +103,23 @@ void ThreadPool::WorkerLoop() {
   mu_.Unlock();
 }
 
-void ThreadPool::RunBatchTasks() {
+void ThreadPool::RunBatchTasks(int slot) {
   while (fn_ != nullptr && next_ < count_) {
     const std::size_t i = next_++;
     ++in_flight_;
     const auto* fn = fn_;
+    // queue wait = posted-to-claimed: how long the task index sat in the
+    // batch before a thread picked it up.
+    const std::int64_t claim_us = obs::MonotonicMicros();
+    queue_wait_us_ += static_cast<double>(claim_us - batch_post_us_);
+    ++tasks_;
     mu_.Unlock();
     (*fn)(i);
     mu_.Lock();
+    const auto elapsed =
+        static_cast<double>(obs::MonotonicMicros() - claim_us);
+    busy_us_ += elapsed;
+    per_thread_busy_us_[static_cast<std::size_t>(slot)] += elapsed;
     --in_flight_;
     if (in_flight_ == 0 && next_ >= count_) done_cv_.NotifyAll();
   }

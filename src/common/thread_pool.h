@@ -20,9 +20,16 @@
 //
 // This file is the sanctioned home for raw std::thread (gl_lint GL006):
 // everything else fans out through a ThreadPool.
+//
+// The pool also keeps per-worker utilization telemetry (busy / queue-wait /
+// batch wall), aggregated under the pool mutex and exposed via Stats().
+// All of it is wall-clock derived and therefore informational only
+// (DESIGN.md §10): callers may publish it on the kInformational side of the
+// metrics registry, but it must never be hashed or steer a decision.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -32,6 +39,32 @@
 #include "common/thread_annotations.h"
 
 namespace gl {
+
+// Cumulative utilization snapshot over every ParallelFor a pool has run.
+// Slot 0 of per_thread_busy_us is the calling thread (it participates in
+// every loop); slots 1..workers-1 are the pool's own worker threads.
+struct ThreadPoolStats {
+  int workers = 1;
+  std::uint64_t batches = 0;  // ParallelFor invocations (incl. inline runs)
+  std::uint64_t tasks = 0;    // fn(i) calls
+  double busy_us = 0.0;       // total time inside fn(i), all threads
+  double queue_wait_us = 0.0; // posted-to-claimed latency, summed over tasks
+  double batch_wall_us = 0.0; // per-batch wall (post to last completion)
+  std::vector<double> per_thread_busy_us;
+
+  // busy / (workers × wall): 1.0 = every thread busy for every batch's
+  // whole duration. The serial fast path is 1.0 by construction.
+  [[nodiscard]] double ParallelEfficiency() const {
+    const double denom = static_cast<double>(workers) * batch_wall_us;
+    return denom > 0.0 ? busy_us / denom : 1.0;
+  }
+  // Thread-time inside batches not spent running tasks.
+  [[nodiscard]] double IdleUs() const {
+    const double idle =
+        static_cast<double>(workers) * batch_wall_us - busy_us;
+    return idle > 0.0 ? idle : 0.0;
+  }
+};
 
 class ThreadPool {
  public:
@@ -58,15 +91,20 @@ class ThreadPool {
                           const std::function<void(std::size_t, Rng&)>& fn)
       GL_EXCLUDES(mu_);
 
+  // Utilization accumulated over every loop this pool has run so far.
+  // Informational only — never hashed, never a decision input.
+  [[nodiscard]] ThreadPoolStats Stats() const GL_EXCLUDES(mu_);
+
  private:
-  void WorkerLoop() GL_EXCLUDES(mu_);
+  // `slot` is the thread's index into per_thread_busy_us (0 = caller).
+  void WorkerLoop(int slot) GL_EXCLUDES(mu_);
   // Claims and runs tasks of the current batch until none remain unclaimed.
   // Drops the lock around each fn(i) call.
-  void RunBatchTasks() GL_REQUIRES(mu_);
+  void RunBatchTasks(int slot) GL_REQUIRES(mu_);
 
   const int num_threads_;
 
-  Mutex mu_;
+  mutable Mutex mu_;
   CondVar work_cv_;  // signalled when a batch is posted or on shutdown
   CondVar done_cv_;  // signalled when the last in-flight task finishes
 
@@ -76,6 +114,16 @@ class ThreadPool {
   std::size_t next_ GL_GUARDED_BY(mu_) = 0;       // first unclaimed index
   std::size_t in_flight_ GL_GUARDED_BY(mu_) = 0;  // claimed, not yet done
   bool shutdown_ GL_GUARDED_BY(mu_) = false;
+
+  // Telemetry (informational). Accumulated under mu_ at points that already
+  // hold it, so the task fast path pays one clock read per claim/retire.
+  std::int64_t batch_post_us_ GL_GUARDED_BY(mu_) = 0;
+  std::uint64_t batches_ GL_GUARDED_BY(mu_) = 0;
+  std::uint64_t tasks_ GL_GUARDED_BY(mu_) = 0;
+  double busy_us_ GL_GUARDED_BY(mu_) = 0.0;
+  double queue_wait_us_ GL_GUARDED_BY(mu_) = 0.0;
+  double batch_wall_us_ GL_GUARDED_BY(mu_) = 0.0;
+  std::vector<double> per_thread_busy_us_ GL_GUARDED_BY(mu_);
 
   // Only touched by the owning thread (constructor / destructor).
   std::vector<std::thread> workers_;

@@ -26,6 +26,7 @@
 
 #include "common/check.h"
 #include "graph/graph.h"
+#include "obs/memory.h"
 
 namespace gl {
 
@@ -164,6 +165,16 @@ class CsrGraph {
   // Storage identity, for arena-reuse tests: the arc array's address only
   // changes when a rebuild outgrows the retained capacity.
   [[nodiscard]] const VertexIndex* arc_data() const { return col_.data(); }
+
+  // Retained footprint in bytes (capacities, not sizes): monotone across
+  // Clear()/rebuild reuse. Memory observability only (obs/memory.h) —
+  // never a decision input.
+  [[nodiscard]] std::size_t ApproxBytes() const {
+    return obs::VectorFootprintBytes(row_) + obs::VectorFootprintBytes(col_) +
+           obs::VectorFootprintBytes(w_) +
+           obs::VectorFootprintBytes(balance_) +
+           obs::VectorFootprintBytes(deg_);
+  }
 
  private:
   [[nodiscard]] std::size_t Checked(VertexIndex v) const {

@@ -56,6 +56,39 @@ obs::Counter& SubgraphViewsCounter() {
   return c;
 }
 
+// Arena growth events: Resets/splits that actually enlarged a scratch
+// buffer. Informational — growth depends on the subproblem schedule, which
+// varies with the thread count (each worker warms its own arena).
+obs::Counter& ScratchGrowthCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "partition.scratch_grow_events", obs::MetricKind::kInformational);
+  return c;
+}
+
+// Publishes the memory and pool-utilization telemetry of one partition call
+// on the informational side of the registry (never hashed, DESIGN.md §10).
+void PublishScratchPeak(std::size_t peak_bytes) {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "partition.scratch_peak_bytes", obs::MetricKind::kInformational);
+  g.Set(static_cast<double>(peak_bytes));
+}
+
+void PublishPoolStats(const ThreadPoolStats& stats) {
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Gauge& eff = reg.GetGauge("partition.pool.parallel_efficiency",
+                                        obs::MetricKind::kInformational);
+  static obs::Gauge& busy = reg.GetGauge("partition.pool.busy_ms",
+                                         obs::MetricKind::kInformational);
+  static obs::Gauge& idle = reg.GetGauge("partition.pool.idle_ms",
+                                         obs::MetricKind::kInformational);
+  static obs::Gauge& wait = reg.GetGauge("partition.pool.queue_wait_ms",
+                                         obs::MetricKind::kInformational);
+  eff.Set(stats.ParallelEfficiency());
+  busy.Set(stats.busy_us / 1000.0);
+  idle.Set(stats.IdleUs() / 1000.0);
+  wait.Set(stats.queue_wait_us / 1000.0);
+}
+
 // ---------------------------------------------------------------------------
 // Coarsening: heavy-edge matching. Only positive edges are contracted —
 // contracting an anti-affinity (negative) edge would glue replicas together
@@ -662,6 +695,9 @@ double SplitRange(RangeCtx& ctx, std::size_t lo, std::size_t hi,
   Rng salt(seed);
   child_seeds[0] = salt.NextU64();
   child_seeds[1] = salt.NextU64();
+  // Arena accounting once per split (coarse-grained: ~20 capacity sums per
+  // bisection, invisible next to the bisection itself).
+  if (s.NoteHighWater()) ScratchGrowthCounter().Increment();
   return bis.cut_weight;
 }
 
@@ -714,6 +750,7 @@ RecursivePartitionResult RecursivePartitionParallel(
   };
 
   ThreadPool pool(opts.threads);
+  std::size_t scratch_peak = 0;  // max arena high-water over all arenas
 
   // Root is split in place on the calling thread.
   std::vector<ExpandNode> tree(3);
@@ -727,6 +764,7 @@ RecursivePartitionResult RecursivePartitionParallel(
     tree[0].demand = root_demand;
     tree[0].cut = SplitRange(ctx, 0, n, root_demand, 0, opts.seed, s,
                              child_seeds, &mid);
+    scratch_peak = std::max(scratch_peak, s.peak_bytes);
     tree[0].left = 1;
     tree[0].right = 2;
     tree[1] = {0,   mid, "0", child_seeds[0], RangeDemand(ctx, 0, mid),
@@ -759,6 +797,9 @@ RecursivePartitionResult RecursivePartitionParallel(
           SplitRange(ctx, nd.lo, nd.hi, nd.demand, nd.path.size(), nd.seed,
                      scratch[k], splits[k].child_seeds, &splits[k].mid);
     });
+    for (const auto& s : scratch) {
+      scratch_peak = std::max(scratch_peak, s.peak_bytes);
+    }
 
     // Graft the children in, preserving the frontier's DFS order.
     std::vector<int> next_frontier;
@@ -811,6 +852,11 @@ RecursivePartitionResult RecursivePartitionParallel(
     FitRecurse(ctx, nd.lo, nd.hi, nd.path, nd.seed, scratch[k],
                results[k].out, results[k].cuts);
   });
+  for (const auto& s : scratch) {
+    scratch_peak = std::max(scratch_peak, s.peak_bytes);
+  }
+  PublishScratchPeak(scratch_peak);
+  PublishPoolStats(pool.Stats());
 
   // Preorder merge on the calling thread: group ids, paths and cut terms
   // land in exactly the order the serial recursion would have produced.
@@ -1034,6 +1080,7 @@ RecursivePartitionResult RecursivePartition(const Graph& g,
   PartitionScratch scratch;
   std::vector<double> cuts;
   FitRecurse(ctx, 0, n, "", opts.seed, scratch, out, cuts);
+  PublishScratchPeak(scratch.peak_bytes);
   double cut_weight = 0.0;
   for (const double c : cuts) cut_weight += c;
   out.cut_weight = cut_weight;

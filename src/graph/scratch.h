@@ -24,6 +24,7 @@
 
 #include "common/check.h"
 #include "graph/csr.h"
+#include "obs/memory.h"
 
 namespace gl {
 
@@ -71,6 +72,12 @@ class LazyMaxHeap {
       }
     }
     return false;
+  }
+
+  // Retained footprint in bytes (capacities). Observability only.
+  [[nodiscard]] std::size_t ApproxBytes() const {
+    return obs::VectorFootprintBytes(heap_) +
+           obs::VectorFootprintBytes(current_);
   }
 
  private:
@@ -121,6 +128,7 @@ class GroupAccumulator {
     if (num_ids > sum_.size()) {
       sum_.resize(num_ids, 0.0);
       stamp_.resize(num_ids, 0);
+      ++grow_events_;
     }
     touched_.clear();
     if (++epoch_ == 0) {  // wrapped: stamps from the old era could collide
@@ -154,11 +162,22 @@ class GroupAccumulator {
   // without 2^32 Resets.
   void set_epoch_for_test(std::uint32_t epoch) { epoch_ = epoch; }
 
+  // Retained footprint in bytes (capacities, never released by Reset), and
+  // how many Resets actually grew the universe — the arena's allocation
+  // events. Observability only (DESIGN.md §10).
+  [[nodiscard]] std::size_t ApproxBytes() const {
+    return obs::VectorFootprintBytes(sum_) +
+           obs::VectorFootprintBytes(stamp_) +
+           obs::VectorFootprintBytes(touched_);
+  }
+  [[nodiscard]] std::uint64_t grow_events() const { return grow_events_; }
+
  private:
   std::vector<double> sum_;
   std::vector<std::uint32_t> stamp_;
   std::vector<int> touched_;
   std::uint32_t epoch_ = 0;
+  std::uint64_t grow_events_ = 0;
 };
 
 // The partitioner's working memory. One arena serves a whole serial
@@ -202,6 +221,51 @@ struct PartitionScratch {
   std::vector<VertexIndex> split_zero;
   std::vector<VertexIndex> split_one;
   std::vector<std::uint8_t> node_side;
+
+  // ---- memory observability (DESIGN.md §10; informational only) ---------
+
+  // Arena high-water mark in bytes; updated by NoteHighWater(), never
+  // decreased — capacities survive every Reset()/Clear(), so the mark is
+  // monotone over the arena's lifetime even as subproblems shrink.
+  std::size_t peak_bytes = 0;
+
+  // Retained footprint right now: the sum of every buffer's capacity.
+  [[nodiscard]] std::size_t ApproxBytes() const {
+    std::size_t bytes = 0;
+    for (const auto& level : levels) bytes += level.ApproxBytes();
+    for (const auto& map : level_maps) {
+      bytes += obs::VectorFootprintBytes(map);
+    }
+    bytes += obs::VectorFootprintBytes(level_chain);
+    bytes += obs::VectorFootprintBytes(match);
+    bytes += obs::VectorFootprintBytes(order);
+    bytes += coarse_arcs.ApproxBytes();
+    bytes += heap.ApproxBytes();
+    bytes += obs::VectorFootprintBytes(gain);
+    bytes += obs::VectorFootprintBytes(grow_key);
+    bytes += obs::VectorFootprintBytes(side);
+    bytes += obs::VectorFootprintBytes(fine_side);
+    bytes += obs::VectorFootprintBytes(best_side);
+    bytes += obs::VectorFootprintBytes(trial_side);
+    bytes += obs::VectorFootprintBytes(in_region);
+    bytes += obs::VectorFootprintBytes(moved);
+    bytes += obs::VectorFootprintBytes(move_seq);
+    bytes += obs::VectorFootprintBytes(outside);
+    bytes += sub.ApproxBytes();
+    bytes += obs::VectorFootprintBytes(split_zero);
+    bytes += obs::VectorFootprintBytes(split_one);
+    bytes += obs::VectorFootprintBytes(node_side);
+    return bytes;
+  }
+
+  // Folds the current footprint into the high-water mark; true when the
+  // mark moved (i.e. some buffer actually grew since the last call).
+  bool NoteHighWater() {
+    const std::size_t bytes = ApproxBytes();
+    if (bytes <= peak_bytes) return false;
+    peak_bytes = bytes;
+    return true;
+  }
 };
 
 }  // namespace gl

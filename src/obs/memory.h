@@ -1,0 +1,47 @@
+// Memory observability: container footprints and peak-RSS sampling.
+//
+// Companion to obs/clock.h under the same quarantine rules (DESIGN.md §8):
+// just as wall-clock values may be logged but never steer the simulation,
+// memory readings here are informational only — they may be printed,
+// exported in the "timings" tail of the epoch stream, and tracked by
+// benches, but must never feed simulation state, seeds, or the §8 state
+// hashes. Peak RSS in particular depends on the allocator, the OS and every
+// other thread in the process; it is an environment fact, not a decision.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace gl::obs {
+
+// Bytes a vector holds on to (capacity, not size) — the arena accounting
+// unit for high-water marks: capacity never shrinks short of destruction,
+// so per-buffer footprints are monotone across Reset()/clear() reuse.
+template <typename T>
+[[nodiscard]] std::size_t VectorFootprintBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+// Process peak resident set size in bytes; 0 where unavailable. Monotone
+// over the process lifetime by definition (it is the high-water mark the
+// kernel already keeps).
+[[nodiscard]] inline std::uint64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on Darwin
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace gl::obs

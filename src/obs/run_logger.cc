@@ -84,7 +84,9 @@ std::string RunLogger::EpochLine(const EpochRecord& rec) {
   }
 
   // Informational tail: gl_report --check strips everything from "timings"
-  // on before comparing two streams.
+  // on before comparing two streams. wall_ms, the phase spans and the
+  // informational gauges all live inside it — the deterministic prefix
+  // carries no timing- or environment-dependent byte.
   w.Key("timings");
   w.BeginObject();
   w.Key("wall_ms");
@@ -96,6 +98,15 @@ std::string RunLogger::EpochLine(const EpochRecord& rec) {
     w.Double(p.ms);
   }
   w.EndObject();
+  if (!rec.info_gauges.empty()) {
+    w.Key("gauges");
+    w.BeginObject();
+    for (const auto& gv : rec.info_gauges) {
+      w.Key(gv.name);
+      w.Double(gv.value);
+    }
+    w.EndObject();
+  }
   w.EndObject();
 
   w.EndObject();

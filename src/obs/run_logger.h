@@ -78,8 +78,16 @@ struct EpochRecord {
   std::uint64_t hash_rng = 0;
 
   // ---- informational section ("timings") — never hashed, never diffed ----
+  // Every informational field lives here and is serialized inside the
+  // trailing "timings":{...} object (wall_ms included — it is strippable by
+  // `gl_report check` like every other timing). Anything added later that
+  // is timing- or environment-dependent must join this section, never the
+  // deterministic prefix.
   double wall_ms = 0.0;
   std::vector<PhaseTime> phases;
+  // Informational gauges at epoch end (pool utilization, arena peaks, peak
+  // RSS, ... — MetricsRegistry::SnapshotGauges(kInformational)).
+  std::vector<GaugeValue> info_gauges;
 };
 
 class RunLogger;

@@ -4,6 +4,7 @@
 #include "common/thread_pool.h"
 #include "netsim/traffic.h"
 #include "obs/clock.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -287,6 +288,14 @@ ExperimentResult ExperimentRunner::Run(Scheduler& scheduler) const {
       rec.phases = {{"schedule", schedule_ms}, {"audit", audit_ms},
                     {"server_power", power_ms}, {"network", network_ms},
                     {"tct", tct_ms},           {"migration", migration_ms}};
+      // Informational gauges ride the strippable "timings" tail: sample
+      // peak RSS here (obs/memory.h), then snapshot everything the epoch's
+      // instrumentation published (pool utilization, arena peaks, ...).
+      static obs::Gauge& rss_gauge = obs::MetricsRegistry::Global().GetGauge(
+          "process.peak_rss_bytes", obs::MetricKind::kInformational);
+      rss_gauge.Set(static_cast<double>(obs::PeakRssBytes()));
+      rec.info_gauges = obs::MetricsRegistry::Global().SnapshotGauges(
+          obs::MetricKind::kInformational);
       opts_.obs.logger->WriteEpoch(rec);
     }
 

@@ -276,6 +276,31 @@ TEST(RunLoggerTest, EpochLineLayout) {
   EXPECT_EQ(line.back(), '}');
 }
 
+TEST(RunLoggerTest, GaugesLiveInsideTheStrippableTail) {
+  obs::EpochRecord rec = MakeRecord();
+  rec.info_gauges = {{"partition.pool.parallel_efficiency", 0.75},
+                     {"process.peak_rss_bytes", 1024.0}};
+  const std::string with = obs::RunLogger::EpochLine(rec);
+  const std::string without = obs::RunLogger::EpochLine(MakeRecord());
+
+  // Gauges serialize after the timings marker, never before it.
+  const std::size_t timings = with.find(",\"timings\":");
+  ASSERT_NE(timings, std::string::npos);
+  const std::size_t gauges = with.find(
+      "\"gauges\":{\"partition.pool.parallel_efficiency\":0.75,"
+      "\"process.peak_rss_bytes\":1024}");
+  ASSERT_NE(gauges, std::string::npos);
+  EXPECT_GT(gauges, timings);
+
+  // Adding gauges must not perturb a single deterministic-prefix byte.
+  const auto strip = [](const std::string& line) {
+    return line.substr(0, line.find(",\"timings\":")) + "}";
+  };
+  EXPECT_EQ(strip(with), strip(without));
+  // And a record with no gauges emits no gauges key at all.
+  EXPECT_EQ(without.find("\"gauges\""), std::string::npos);
+}
+
 TEST(RunLoggerTest, SinkRoundTripAndLineCount) {
   std::string sink;
   obs::RunLogger logger(&sink);

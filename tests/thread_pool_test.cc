@@ -97,6 +97,63 @@ TEST(ThreadPool, ParallelForWithRngLeavesBaseUntouched) {
   EXPECT_EQ(base.StateHash(), before);
 }
 
+TEST(ThreadPool, StatsAccountForEveryBatchAndTask) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sink{0};
+  pool.ParallelFor(100, [&](std::size_t i) {
+    std::uint64_t h = i * 2654435761u;
+    for (int r = 0; r < 200; ++r) h = h * 6364136223846793005u + 1;
+    sink.fetch_add(h, std::memory_order_relaxed);
+  });
+  pool.ParallelFor(50, [&](std::size_t i) {
+    sink.fetch_add(i, std::memory_order_relaxed);
+  });
+
+  const ThreadPoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.workers, 4);
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.tasks, 150u);
+  ASSERT_EQ(stats.per_thread_busy_us.size(), 4u);
+  // Per-thread busy partitions total busy: same elapsed values, summed per
+  // slot instead of chronologically — equal up to FP addition order.
+  const double per_thread_sum =
+      std::accumulate(stats.per_thread_busy_us.begin(),
+                      stats.per_thread_busy_us.end(), 0.0);
+  EXPECT_NEAR(per_thread_sum, stats.busy_us,
+              1e-9 * stats.busy_us + 1e-6);
+  EXPECT_GE(stats.queue_wait_us, 0.0);
+  EXPECT_GE(stats.batch_wall_us, 0.0);
+  EXPECT_GE(stats.ParallelEfficiency(), 0.0);
+  EXPECT_GE(stats.IdleUs(), 0.0);
+}
+
+TEST(ThreadPool, SerialFastPathHasUnitEfficiency) {
+  ThreadPool pool(1);
+  volatile std::uint64_t sink = 0;
+  pool.ParallelFor(10, [&](std::size_t i) {
+    std::uint64_t h = i;
+    for (int r = 0; r < 1000; ++r) h = h * 6364136223846793005u + 1;
+    sink = h;
+  });
+  const ThreadPoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.tasks, 10u);
+  // The inline path times the whole run as one bracket, so busy == wall
+  // bitwise and the ratio is exactly 1 (and 1 by convention when wall
+  // rounds to zero microseconds).
+  EXPECT_DOUBLE_EQ(stats.ParallelEfficiency(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.IdleUs(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.queue_wait_us, 0.0);
+}
+
+TEST(ThreadPool, FreshPoolReportsUnitEfficiencyNotNan) {
+  ThreadPool pool(8);
+  const ThreadPoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.batches, 0u);
+  EXPECT_DOUBLE_EQ(stats.ParallelEfficiency(), 1.0);  // 0/0 convention
+  EXPECT_DOUBLE_EQ(stats.IdleUs(), 0.0);
+}
+
 TEST(ThreadPool, ManyMoreTasksThanThreads) {
   ThreadPool pool(2);
   constexpr std::size_t kCount = 10000;

@@ -82,6 +82,45 @@ void AnalyzeHotPath(const std::vector<FileFacts>& files,
   }
 }
 
+// GL022: a hot-path function whose body spans more than this many source
+// lines should open a TraceSpan, or profiles attribute its whole cost to
+// the nearest instrumented ancestor. Deliberate leaf kernels (the FM inner
+// loops) are blessed in the baseline instead of lowering the threshold.
+constexpr int kSpanCoverageMinBodyLines = 40;
+
+void AnalyzeSpanCoverage(const std::vector<FileFacts>& files,
+                         const SymbolIndex& index, const HotReach& hot,
+                         std::vector<Finding>* out) {
+  for (int fi = 0; fi < static_cast<int>(files.size()); ++fi) {
+    const FileFacts& f = files[static_cast<std::size_t>(fi)];
+    std::set<int> with_span;
+    for (const CallSite& c : f.calls) {
+      if (c.callee == "TraceSpan") with_span.insert(c.func);
+    }
+    for (int fn = 0; fn < static_cast<int>(f.functions.size()); ++fn) {
+      const FunctionDef& d = f.functions[static_cast<std::size_t>(fn)];
+      const int body_lines = d.body_end_line - d.line;
+      if (body_lines <= kSpanCoverageMinBodyLines) continue;
+      const FuncRef ref{fi, fn};
+      if (!hot.Reached(ref)) continue;
+      if (with_span.count(fn) > 0) continue;
+      Finding fd;
+      fd.rule_id = "GL022";
+      fd.rule_name = "missing-span-coverage";
+      fd.path = f.path;
+      fd.line = d.line;
+      fd.line_text = d.line_text;
+      fd.message = "hot-path function '" +
+                   (d.class_name.empty() ? d.name
+                                         : d.class_name + "::" + d.name) +
+                   "' spans " + std::to_string(body_lines) +
+                   " lines with no TraceSpan (" + hot.Chain(index, ref) +
+                   "); open one so profiles can attribute its time";
+      out->push_back(std::move(fd));
+    }
+  }
+}
+
 [[nodiscard]] std::string ReadWholeFile(const std::string& path, bool* ok) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -134,6 +173,10 @@ const std::vector<RuleInfo>& Rules() {
       {"GL021", "divergent-parallel-update",
        "deterministic counter or state-hash write guarded by a "
        "thread-varying branch inside a ParallelFor body (DESIGN.md §14)"},
+      {"GL022", "missing-span-coverage",
+       "hot-path function longer than the span-coverage threshold opens no "
+       "TraceSpan, so profiles attribute its time to the caller (DESIGN.md "
+       "§15)"},
   };
   return kRules;
 }
@@ -187,6 +230,7 @@ std::vector<Finding> Analyze(const std::vector<FileFacts>& files,
   const HotReach hot = ComputeHotReach(files, index, opts.hot_roots);
   const Clock::time_point t1 = Clock::now();
   AnalyzeHotPath(files, index, hot, &out);
+  AnalyzeSpanCoverage(files, index, hot, &out);
   AnalyzeDataflow(files, index, &out, units);
   const Clock::time_point t2 = Clock::now();
   AnalyzeCfg(files, index, hot, &out);
@@ -443,10 +487,10 @@ struct CacheEntry {
   return true;
 }
 
-// Cache file format (v3 adds the CFG fact records and a config fingerprint
-// in the header; v1/v2 blobs are rejected by the header check and simply
-// re-extracted):
-//   glcache v3 <config hash hex>
+// Cache file format (v4 adds the FunctionDef line_text field and the
+// TraceSpan call-site fact for GL022; older blobs are rejected by the
+// header check and simply re-extracted):
+//   glcache v4 <config hash hex>
 //   file <path>\t<mtime_ns>\t<size>\t<hash hex>
 //   <serialized facts lines>
 //   end
@@ -458,7 +502,7 @@ struct CacheEntry {
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(config_hash));
-  return std::string("glcache v3 ") + buf;
+  return std::string("glcache v4 ") + buf;
 }
 
 void ParseCacheFile(const std::string& path, const std::string& header_line,

@@ -166,6 +166,13 @@ struct Extractor {
             !s.starts_with("GL_")) {
           out.calls.push_back({fidx, s, t.line(k)});
         }
+        // A TraceSpan declaration — `obs::TraceSpan span(...)` — tokenizes
+        // as type + ident + "(", so the generic call pattern above records
+        // the *variable* name. Record the type as the callee too: it is the
+        // span-coverage fact GL022 keys on.
+        if (s == "TraceSpan" && t.IsIdent(k + 1) && t.is(k + 2, "(")) {
+          out.calls.push_back({fidx, s, t.line(k)});
+        }
         // Growth call on a local container: NAME . grow ( ...
         if (t.is(k + 1, ".") && t.IsIdent(k + 2) && t.is(k + 3, "(") &&
             kGrowthCalls.count(t.text(k + 2)) && locals.count(s) &&
@@ -1130,6 +1137,7 @@ void WalkStructure(Extractor& ex) {
         def.class_name = fclass;
         def.line = fline;
         def.body_end_line = t.line(body_end - 1);
+        def.line_text = ex.LineText(fline);
         ex.out.functions.push_back(std::move(def));
         ex.body_end_line = t.line(body_end - 1);
         if (paren_tok < t.size()) ex.ParseSignature(fidx, paren_tok, i);
@@ -1407,7 +1415,8 @@ void SerializeFacts(const FileFacts& f, std::string* out) {
   AppendRecord(out, {"P", f.path});
   for (const FunctionDef& d : f.functions) {
     AppendRecord(out, {"F", d.name, d.class_name, std::to_string(d.line),
-                       d.ret_units, std::to_string(d.body_end_line)});
+                       d.ret_units, std::to_string(d.body_end_line),
+                       d.line_text});
   }
   for (const CallSite& c : f.calls) {
     AppendRecord(out, {"C", std::to_string(c.func), c.callee,
@@ -1515,7 +1524,7 @@ bool DeserializeFacts(std::string_view blob, FileFacts* f) {
     if (c.empty()) return false;
     if (c[0] == "P" && c.size() == 2) {
       f->path = c[1];
-    } else if (c[0] == "F" && c.size() == 6) {
+    } else if (c[0] == "F" && c.size() == 7) {
       FunctionDef d;
       d.name = c[1];
       d.class_name = c[2];
@@ -1523,6 +1532,7 @@ bool DeserializeFacts(std::string_view blob, FileFacts* f) {
         return false;
       }
       d.ret_units = c[4];
+      d.line_text = c[6];
       f->functions.push_back(std::move(d));
     } else if (c[0] == "C" && c.size() == 4) {
       CallSite cs;

@@ -43,6 +43,7 @@ struct FunctionDef {
   int line = 0;
   std::string ret_units;   // GL_UNITS(...) after the signature, "" if none
   int body_end_line = 0;   // line of the closing '}' of the body
+  std::string line_text;   // trimmed signature line (baseline fingerprint)
 };
 
 struct CallSite {

@@ -1,0 +1,113 @@
+// gl-analyze-expect: clean
+//
+// Span coverage satisfied: the same over-threshold hot-path body as
+// gl022_pos.cc, but it opens a TraceSpan — profiles can attribute its time
+// directly, so GL022 stays quiet. The unreached twin below it is long and
+// uninstrumented, which is also fine: only hot-path functions owe a span.
+
+namespace obs {
+struct TraceSpan {
+  explicit TraceSpan(const char* name);
+};
+}  // namespace obs
+
+namespace fixture {
+
+int Refine(int x) {
+  obs::TraceSpan span("fixture.refine");
+  int acc = x;
+  acc += 1;
+  acc += 2;
+  acc += 3;
+  acc += 4;
+  acc += 5;
+  acc += 6;
+  acc += 7;
+  acc += 8;
+  acc += 9;
+  acc += 10;
+  acc += 11;
+  acc += 12;
+  acc += 13;
+  acc += 14;
+  acc += 15;
+  acc += 16;
+  acc += 17;
+  acc += 18;
+  acc += 19;
+  acc += 20;
+  acc += 21;
+  acc += 22;
+  acc += 23;
+  acc += 24;
+  acc += 25;
+  acc += 26;
+  acc += 27;
+  acc += 28;
+  acc += 29;
+  acc += 30;
+  acc += 31;
+  acc += 32;
+  acc += 33;
+  acc += 34;
+  acc += 35;
+  acc += 36;
+  acc += 37;
+  acc += 38;
+  acc += 39;
+  acc += 40;
+  acc += 41;
+  acc += 42;
+  return acc;
+}
+
+int Bisect(int x) { return Refine(x); }
+
+int ColdHelper(int x) {
+  int acc = x;
+  acc += 1;
+  acc += 2;
+  acc += 3;
+  acc += 4;
+  acc += 5;
+  acc += 6;
+  acc += 7;
+  acc += 8;
+  acc += 9;
+  acc += 10;
+  acc += 11;
+  acc += 12;
+  acc += 13;
+  acc += 14;
+  acc += 15;
+  acc += 16;
+  acc += 17;
+  acc += 18;
+  acc += 19;
+  acc += 20;
+  acc += 21;
+  acc += 22;
+  acc += 23;
+  acc += 24;
+  acc += 25;
+  acc += 26;
+  acc += 27;
+  acc += 28;
+  acc += 29;
+  acc += 30;
+  acc += 31;
+  acc += 32;
+  acc += 33;
+  acc += 34;
+  acc += 35;
+  acc += 36;
+  acc += 37;
+  acc += 38;
+  acc += 39;
+  acc += 40;
+  acc += 41;
+  acc += 42;
+  return acc;
+}
+
+}  // namespace fixture

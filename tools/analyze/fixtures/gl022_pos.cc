@@ -1,0 +1,59 @@
+// gl-analyze-expect: GL022
+//
+// Span coverage: Refine is reachable from the Bisect hot root and its body
+// spans well past the 40-line threshold, but it never opens a TraceSpan —
+// in a profile every millisecond it burns is attributed to Bisect, so the
+// critical path cannot name the phase that actually carried the time.
+
+namespace fixture {
+
+int Refine(int x) {
+  int acc = x;
+  acc += 1;
+  acc += 2;
+  acc += 3;
+  acc += 4;
+  acc += 5;
+  acc += 6;
+  acc += 7;
+  acc += 8;
+  acc += 9;
+  acc += 10;
+  acc += 11;
+  acc += 12;
+  acc += 13;
+  acc += 14;
+  acc += 15;
+  acc += 16;
+  acc += 17;
+  acc += 18;
+  acc += 19;
+  acc += 20;
+  acc += 21;
+  acc += 22;
+  acc += 23;
+  acc += 24;
+  acc += 25;
+  acc += 26;
+  acc += 27;
+  acc += 28;
+  acc += 29;
+  acc += 30;
+  acc += 31;
+  acc += 32;
+  acc += 33;
+  acc += 34;
+  acc += 35;
+  acc += 36;
+  acc += 37;
+  acc += 38;
+  acc += 39;
+  acc += 40;
+  acc += 41;
+  acc += 42;
+  return acc;
+}
+
+int Bisect(int x) { return Refine(x); }
+
+}  // namespace fixture

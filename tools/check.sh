@@ -90,6 +90,20 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "release" ]]; then
     "${OBS_DIR}/run1.jsonl" "${OBS_DIR}/run2.jsonl"
   ./build-check-release/tools/gl_replay --scheduler=goldilocks --epochs=8 \
     --obs="${OBS_DIR}/replay.jsonl"
+  # Profiling smoke (DESIGN.md §15): the trace just captured must render a
+  # critical-path profile and collapsed stacks, and the same-seed streams
+  # must show zero deterministic differences under the run-diff (exit 1
+  # otherwise). The parallel replay proves profiling stays obs-neutral at
+  # threads=8 too.
+  echo "==> profiling smoke (gl_report profile/flame/diff)"
+  ./build-check-release/tools/gl_report profile "${OBS_DIR}/trace.json" \
+    > /dev/null
+  ./build-check-release/tools/gl_report flame "${OBS_DIR}/trace.json" \
+    --out="${OBS_DIR}/stacks.txt"
+  ./build-check-release/tools/gl_report diff \
+    "${OBS_DIR}/run1.jsonl" "${OBS_DIR}/run2.jsonl"
+  ./build-check-release/tools/gl_replay --scheduler=goldilocks --epochs=8 \
+    --threads=8 --obs="${OBS_DIR}/replay-t8.jsonl"
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "asan" ]]; then

@@ -44,6 +44,17 @@ class MalformedInput(Exception):
     """Input file exists and is JSON, but not bench-record shaped."""
 
 
+#: Optional parallel-efficiency telemetry (ISSUE-9). Reported side by side
+#: when a field is present and numeric in both the reference and the fresh
+#: record, silently ignored otherwise -- older baselines predate them, and
+#: they are informational (never a warning, never a gate).
+TELEMETRY_FIELDS = ("parallel_efficiency", "critical_path_ms", "peak_bytes")
+
+
+def _numeric(value):
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
 def _validate_records(records, path):
     """Returns {(name, threads): record}; raises MalformedInput otherwise."""
     if not isinstance(records, list):
@@ -161,6 +172,11 @@ def run(argv):
             print(f"::warning title=partitioner perf regression::{line}")
         else:
             print(f"perf_check: OK {line}")
+        for field in TELEMETRY_FIELDS:
+            fresh_v, ref_v = fr.get(field), rr.get(field)
+            if _numeric(fresh_v) and _numeric(ref_v):
+                print(f"perf_check: info {key[0]} threads={key[1]} "
+                      f"{field} {fresh_v:.3f} vs reference {ref_v:.3f}")
 
     if matched == 0:
         print("perf_check: no records matched the reference", file=sys.stderr)
@@ -252,6 +268,38 @@ def self_test():
             failures += not ok
             print(f"{'PASS' if ok else 'FAIL'} {label} "
                   f"(exit {got}, warn={warned})")
+
+        # Telemetry carry-through: reported when present in both records,
+        # silently ignored when either side lacks it (older baselines), and
+        # a non-numeric value on one side never crashes or warns.
+        telem = {"parallel_efficiency": 0.8, "critical_path_ms": 40.0,
+                 "peak_bytes": 1024}
+        telem_cases = [
+            ("telemetry in both sides is reported",
+             {"current": {"records": [dict(good_rec, **telem)]}},
+             [dict(good_rec, **telem)], True, 0),
+            ("telemetry only in fresh is ignored", good_ref,
+             [dict(good_rec, **telem)], False, 0),
+            ("telemetry only in reference is ignored",
+             {"current": {"records": [dict(good_rec, **telem)]}},
+             [good_rec], False, 0),
+            ("non-numeric telemetry is ignored",
+             {"current": {"records": [dict(good_rec, **telem)]}},
+             [dict(good_rec, parallel_efficiency="broken")], False, 0),
+        ]
+        for label, ref_doc, fresh_doc, want_info, want in telem_cases:
+            with open(ref_path, "w", encoding="utf-8") as f:
+                json.dump(ref_doc, f)
+            with open(fresh_path, "w", encoding="utf-8") as f:
+                json.dump(fresh_doc, f)
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                got = run(["--reference", ref_path, "--fresh", fresh_path])
+            has_info = "perf_check: info" in out.getvalue()
+            ok = got == want and has_info == want_info
+            failures += not ok
+            print(f"{'PASS' if ok else 'FAIL'} {label} "
+                  f"(exit {got}, info={has_info})")
 
     if failures == 0:
         print("perf_check self-test: all cases pass")

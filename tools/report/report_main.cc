@@ -1,9 +1,12 @@
 // Observability report tool for "gl.epoch.v1" JSONL run logs.
 //
-//   gl_report run   [--scenario=twitter|azure] [--schedulers=a,b,...]
-//                   [--epochs=N] [--seed=N] [--jsonl=PATH] [--trace=PATH]
-//   gl_report tables FILE.jsonl
-//   gl_report check  A.jsonl B.jsonl
+//   gl_report run    [--scenario=twitter|azure] [--schedulers=a,b,...]
+//                    [--epochs=N] [--seed=N] [--jsonl=PATH] [--trace=PATH]
+//   gl_report tables  FILE.jsonl
+//   gl_report check   A.jsonl B.jsonl
+//   gl_report profile TRACE.json [--root=NAME] [--top=N]
+//   gl_report flame   TRACE.json [--out=PATH]
+//   gl_report diff    A B [--threshold=FRACTION]
 //
 // `run` executes the named policies (default: goldilocks,borg) over the
 // scenario with observability enabled: it streams one JSONL record per
@@ -18,10 +21,31 @@
 // byte outside the informational "timings" section must match (DESIGN.md
 // §10). It also validates the schema tag on every line. Exit 0 = identical,
 // 1 = divergent/invalid, 2 = bad usage.
+//
+// `profile` re-reads a Chrome trace written by --trace= (or gl_replay
+// --trace=) and prints the attribution the flat tables cannot: top self-time
+// frames and the critical path through the parallel span forest, including
+// how much of the root's wall is serial (width-1) — the Amdahl bound on the
+// t8 speedup (DESIGN.md §15).
+//
+// `flame` emits the same trace as collapsed stacks ("a;b;c N", N in µs) for
+// flamegraph.pl / speedscope.
+//
+// `diff` compares two runs metric-by-metric: two gl.epoch.v1 JSONL streams
+// (per-scheduler metric/counter sums; deterministic mismatches flagged DIFF,
+// informational drift beyond --threshold flagged DRIFT) or two bench --json
+// arrays (per-configuration median wall / efficiency / peak bytes drift).
+// Unlike `check` it always exits 0 when both inputs parse — it is a report,
+// not a gate.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <iterator>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -29,6 +53,7 @@
 
 #include "common/table.h"
 #include "core/scheduler_factory.h"
+#include "obs/profile.h"
 #include "obs/run_logger.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
@@ -234,6 +259,366 @@ void PrintTables(const std::vector<std::string>& lines) {
   }
 }
 
+// --- profile / flame -------------------------------------------------------
+
+// A Chrome trace re-read into TraceEvents. Owns the interned span names
+// (TraceEvent carries const char*); the deque keeps their addresses stable.
+struct ParsedTrace {
+  std::deque<std::string> names;
+  std::vector<gl::obs::TraceEvent> events;
+};
+
+// Re-parses a chrome://tracing JSON file written by Trace::WriteChromeJson
+// (tolerating other writers' "X" complete events too). The export drops the
+// per-thread nesting depth, so it is reconstructed per tid from interval
+// containment: sorted by (start asc, dur desc), a span's depth is the number
+// of still-open spans that contain it.
+bool ParseChromeTrace(const std::string& path, ParsedTrace& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "gl_report: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::map<std::string, const std::string*> interned;
+  const std::string pat = "{\"name\":\"";
+  std::size_t at = text.find(pat);
+  while (at != std::string::npos) {
+    const std::size_t next = text.find(pat, at + pat.size());
+    const std::string chunk =
+        text.substr(at, (next == std::string::npos ? text.size() : next) - at);
+    at = next;
+    if (chunk.find("\"ph\":\"X\"") == std::string::npos) continue;
+    gl::obs::TraceEvent ev;
+    const std::string name = ExtractString(chunk, "name");
+    auto it = interned.find(name);
+    if (it == interned.end()) {
+      out.names.push_back(name);
+      it = interned.emplace(name, &out.names.back()).first;
+    }
+    ev.name = it->second->c_str();
+    ev.start_us = ExtractNumber(chunk, "ts", 0.0);
+    ev.dur_us = ExtractNumber(chunk, "dur", 0.0);
+    ev.tid = static_cast<int>(ExtractNumber(chunk, "tid", 0.0));
+    ev.arg = static_cast<std::int64_t>(ExtractNumber(
+        chunk, "arg", static_cast<double>(gl::obs::TraceEvent::kNoArg)));
+    out.events.push_back(ev);
+  }
+  if (out.events.empty()) {
+    std::fprintf(stderr, "gl_report: no complete (\"ph\":\"X\") events in %s\n",
+                 path.c_str());
+    return false;
+  }
+  // Depth reconstruction: per tid, (start asc, dur desc) visits containers
+  // before their contents; the stack of still-open end times is the depth.
+  std::sort(out.events.begin(), out.events.end(),
+            [](const gl::obs::TraceEvent& a, const gl::obs::TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.dur_us > b.dur_us;
+            });
+  constexpr double kTolUs = 1e-6;
+  std::vector<double> open_ends;
+  int tid = std::numeric_limits<int>::min();
+  for (auto& ev : out.events) {
+    if (ev.tid != tid) {
+      tid = ev.tid;
+      open_ends.clear();
+    }
+    while (!open_ends.empty() &&
+           ev.start_us + ev.dur_us > open_ends.back() + kTolUs) {
+      open_ends.pop_back();
+    }
+    ev.depth = static_cast<int>(open_ends.size());
+    open_ends.push_back(ev.start_us + ev.dur_us);
+  }
+  return true;
+}
+
+int ProfileCmd(const std::string& path, const std::string& root_name,
+               int top_n) {
+  ParsedTrace trace;
+  if (!ParseChromeTrace(path, trace)) return 1;
+  const gl::obs::Profile prof = gl::obs::BuildProfile(trace.events);
+
+  gl::PrintBanner("top self-time frames (informational)");
+  gl::Table flat({"frame", "count", "self ms", "total ms", "self share"});
+  double self_total_us = 0.0;
+  for (const auto& e : prof.flat) self_total_us += e.self_us;
+  int shown = 0;
+  for (const auto& e : prof.flat) {
+    if (shown++ >= top_n) break;
+    flat.AddRow({e.name, gl::Table::Int(static_cast<long long>(e.count)),
+                 gl::Table::Num(e.self_us / 1000.0, 3),
+                 gl::Table::Num(e.total_us / 1000.0, 3),
+                 gl::Table::Pct(self_total_us > 0 ? e.self_us / self_total_us
+                                                  : 0.0)});
+  }
+  flat.Print();
+
+  const gl::obs::CriticalPathResult cp =
+      gl::obs::ComputeCriticalPath(trace.events, root_name);
+  if (cp.root_name.empty()) {
+    std::printf("no root span%s%s found for a critical path\n",
+                root_name.empty() ? "" : " named ", root_name.c_str());
+    return 0;
+  }
+  gl::PrintBanner("critical path (longest non-overlappable chain)");
+  gl::Table steps({"step", "arg", "ms", "width"});
+  for (const auto& s : cp.steps) {
+    steps.AddRow({s.name,
+                  s.arg == gl::obs::TraceEvent::kNoArg
+                      ? std::string("-")
+                      : gl::Table::Int(static_cast<long long>(s.arg)),
+                  gl::Table::Num(s.ms, 3), gl::Table::Int(s.width)});
+  }
+  steps.Print();
+  std::printf(
+      "root %s: %.3f ms wall; critical path %.3f ms; serial (width-1) steps "
+      "%.3f ms = %.1f%% of root wall\n",
+      cp.root_name.c_str(), cp.root_ms, cp.path_ms, cp.serial_ms,
+      cp.root_ms > 0 ? 100.0 * cp.serial_ms / cp.root_ms : 0.0);
+  return 0;
+}
+
+int FlameCmd(const std::string& path, const std::string& out_path) {
+  ParsedTrace trace;
+  if (!ParseChromeTrace(path, trace)) return 1;
+  const std::string collapsed =
+      gl::obs::CollapsedStacks(gl::obs::BuildProfile(trace.events));
+  if (out_path.empty()) {
+    std::fwrite(collapsed.data(), 1, collapsed.size(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "gl_report: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  out << collapsed;
+  std::printf("wrote %zu collapsed-stack bytes to %s\n", collapsed.size(),
+              out_path.c_str());
+  return 0;
+}
+
+// --- diff ------------------------------------------------------------------
+
+// Relative drift of b against a, on a scale where 0.1 = 10%.
+double Drift(double a, double b) {
+  const double base = std::max(std::fabs(a), 1e-12);
+  return std::fabs(b - a) / base;
+}
+
+struct DiffCounts {
+  int determ_diffs = 0;
+  int drift_flags = 0;
+};
+
+// One comparison row. Deterministic rows flag any difference at all; the
+// informational ones flag only drift beyond the threshold.
+void DiffRow(gl::Table& t, const std::string& name, double a, double b,
+             bool deterministic, double threshold, DiffCounts& counts) {
+  std::string flag;
+  if (deterministic) {
+    if (a != b) {
+      flag = "DIFF";
+      ++counts.determ_diffs;
+    }
+  } else if (Drift(a, b) > threshold) {
+    flag = "DRIFT";
+    ++counts.drift_flags;
+  }
+  t.AddRow({name, gl::Table::Num(a, 3), gl::Table::Num(b, 3),
+            gl::Table::Num(b - a, 3), flag});
+}
+
+// Per-scheduler aggregate of one gl.epoch.v1 stream.
+struct SchedulerAgg {
+  int epochs = 0;
+  std::map<std::string, double> metrics;   // deterministic sums
+  std::map<std::string, double> counters;  // deterministic sums
+  double wall_ms = 0.0;                    // informational sum
+  std::map<std::string, double> gauges;    // informational sums
+};
+
+std::map<std::string, SchedulerAgg> AggregateJsonl(
+    const std::vector<std::string>& lines) {
+  std::map<std::string, SchedulerAgg> by_scheduler;
+  for (const auto& line : lines) {
+    if (line.rfind(kSchemaPrefix, 0) != 0) continue;
+    auto& agg = by_scheduler[ExtractString(line, "scheduler")];
+    ++agg.epochs;
+    for (const auto& [name, v] : ExtractSection(line, "metrics")) {
+      agg.metrics[name] += v;
+    }
+    for (const auto& [name, v] : ExtractSection(line, "counters")) {
+      agg.counters[name] += v;
+    }
+    const std::size_t timings_at = line.find(kTimingsMarker);
+    agg.wall_ms += ExtractNumber(
+        line, "wall_ms", 0.0,
+        timings_at == std::string::npos ? 0 : timings_at);
+    for (const auto& [name, v] : ExtractSection(line, "gauges")) {
+      agg.gauges[name] += v;
+    }
+  }
+  return by_scheduler;
+}
+
+int DiffJsonl(const std::vector<std::string>& a,
+              const std::vector<std::string>& b, double threshold) {
+  const auto aggs_a = AggregateJsonl(a);
+  const auto aggs_b = AggregateJsonl(b);
+  DiffCounts counts;
+  for (const auto& [scheduler, agg_a] : aggs_a) {
+    const auto it = aggs_b.find(scheduler);
+    if (it == aggs_b.end()) {
+      std::printf("%s: only in A\n", scheduler.c_str());
+      continue;
+    }
+    const auto& agg_b = it->second;
+    std::printf("%s — %d vs %d epochs\n", scheduler.c_str(), agg_a.epochs,
+                agg_b.epochs);
+    gl::Table t({"metric", "A", "B", "delta", "flag"});
+    DiffRow(t, "epochs", agg_a.epochs, agg_b.epochs, true, threshold, counts);
+    for (const auto& [name, va] : agg_a.metrics) {
+      const auto vb = agg_b.metrics.find(name);
+      DiffRow(t, name, va, vb == agg_b.metrics.end() ? 0.0 : vb->second, true,
+              threshold, counts);
+    }
+    for (const auto& [name, va] : agg_a.counters) {
+      const auto vb = agg_b.counters.find(name);
+      DiffRow(t, "counter " + name, va,
+              vb == agg_b.counters.end() ? 0.0 : vb->second, true, threshold,
+              counts);
+    }
+    DiffRow(t, "wall_ms (info)", agg_a.wall_ms, agg_b.wall_ms, false,
+            threshold, counts);
+    for (const auto& [name, va] : agg_a.gauges) {
+      const auto vb = agg_b.gauges.find(name);
+      if (vb == agg_b.gauges.end()) continue;
+      DiffRow(t, "gauge " + name + " (info)", va / agg_a.epochs,
+              vb->second / agg_b.epochs, false, threshold, counts);
+    }
+    t.Print();
+  }
+  for (const auto& [scheduler, agg_b] : aggs_b) {
+    if (aggs_a.find(scheduler) == aggs_a.end()) {
+      std::printf("%s: only in B\n", scheduler.c_str());
+    }
+  }
+  std::printf("diff: %d deterministic difference(s), %d informational "
+              "drift flag(s) beyond %.0f%%\n",
+              counts.determ_diffs, counts.drift_flags, 100.0 * threshold);
+  // Deterministic sections must match byte-for-meaning between same-seed
+  // runs (DESIGN.md §8); drift in the informational tail never fails the
+  // diff — shared CI runners make wall time an unreliable signal.
+  return counts.determ_diffs > 0 ? 1 : 0;
+}
+
+// One bench --json record; the telemetry fields are optional (older files
+// omit them) and compare only when present in both inputs.
+struct BenchRecord {
+  double wall_ms = 0.0;
+  double median_wall_ms = 0.0;
+  double parallel_efficiency = -1.0;  // < 0 = absent
+  double critical_path_ms = -1.0;
+  double peak_bytes = -1.0;
+};
+
+std::map<std::string, BenchRecord> ParseBenchJson(const std::string& text) {
+  std::map<std::string, BenchRecord> records;
+  const std::string pat = "{\"name\":\"";
+  std::size_t at = text.find(pat);
+  while (at != std::string::npos) {
+    const std::size_t next = text.find(pat, at + pat.size());
+    const std::string chunk =
+        text.substr(at, (next == std::string::npos ? text.size() : next) - at);
+    at = next;
+    const std::string key =
+        ExtractString(chunk, "name") + " t" +
+        std::to_string(static_cast<int>(ExtractNumber(chunk, "threads", 0.0)));
+    BenchRecord r;
+    r.wall_ms = ExtractNumber(chunk, "wall_ms", 0.0);
+    r.median_wall_ms = ExtractNumber(chunk, "median_wall_ms", 0.0);
+    r.parallel_efficiency = ExtractNumber(chunk, "parallel_efficiency", -1.0);
+    r.critical_path_ms = ExtractNumber(chunk, "critical_path_ms", -1.0);
+    r.peak_bytes = ExtractNumber(chunk, "peak_bytes", -1.0);
+    records[key] = r;
+  }
+  return records;
+}
+
+int DiffBench(const std::string& text_a, const std::string& text_b,
+              double threshold) {
+  const auto recs_a = ParseBenchJson(text_a);
+  const auto recs_b = ParseBenchJson(text_b);
+  DiffCounts counts;
+  gl::Table t({"configuration / metric", "A", "B", "delta", "flag"});
+  for (const auto& [key, ra] : recs_a) {
+    const auto it = recs_b.find(key);
+    if (it == recs_b.end()) {
+      std::printf("%s: only in A\n", key.c_str());
+      continue;
+    }
+    const auto& rb = it->second;
+    DiffRow(t, key + " median_wall_ms", ra.median_wall_ms, rb.median_wall_ms,
+            false, threshold, counts);
+    if (ra.parallel_efficiency >= 0 && rb.parallel_efficiency >= 0) {
+      DiffRow(t, key + " parallel_efficiency", ra.parallel_efficiency,
+              rb.parallel_efficiency, false, threshold, counts);
+    }
+    if (ra.critical_path_ms >= 0 && rb.critical_path_ms >= 0) {
+      DiffRow(t, key + " critical_path_ms", ra.critical_path_ms,
+              rb.critical_path_ms, false, threshold, counts);
+    }
+    if (ra.peak_bytes >= 0 && rb.peak_bytes >= 0) {
+      DiffRow(t, key + " peak_bytes", ra.peak_bytes, rb.peak_bytes, false,
+              threshold, counts);
+    }
+  }
+  for (const auto& [key, rb] : recs_b) {
+    if (recs_a.find(key) == recs_a.end()) {
+      std::printf("%s: only in B\n", key.c_str());
+    }
+  }
+  t.Print();
+  std::printf("diff: %d informational drift flag(s) beyond %.0f%%\n",
+              counts.drift_flags, 100.0 * threshold);
+  return 0;
+}
+
+int Diff(const std::string& path_a, const std::string& path_b,
+         double threshold) {
+  std::vector<std::string> lines_a, lines_b;
+  if (!ReadLines(path_a, lines_a) || !ReadLines(path_b, lines_b)) return 2;
+  if (lines_a.empty() || lines_b.empty()) {
+    std::fprintf(stderr, "gl_report diff: empty input\n");
+    return 2;
+  }
+  const bool jsonl_a = lines_a.front().rfind(kSchemaPrefix, 0) == 0;
+  const bool jsonl_b = lines_b.front().rfind(kSchemaPrefix, 0) == 0;
+  if (jsonl_a != jsonl_b) {
+    std::fprintf(stderr,
+                 "gl_report diff: inputs are different kinds (one gl.epoch.v1 "
+                 "stream, one bench JSON)\n");
+    return 2;
+  }
+  if (jsonl_a) return DiffJsonl(lines_a, lines_b, threshold);
+  std::string text_a, text_b;
+  for (const auto& l : lines_a) text_a += l;
+  for (const auto& l : lines_b) text_b += l;
+  if (text_a.find('[') == std::string::npos ||
+      text_b.find('[') == std::string::npos) {
+    std::fprintf(stderr, "gl_report diff: inputs are neither gl.epoch.v1 "
+                         "streams nor bench JSON arrays\n");
+    return 2;
+  }
+  return DiffBench(text_a, text_b, threshold);
+}
+
 // --- run -------------------------------------------------------------------
 
 struct RunArgs {
@@ -351,7 +736,11 @@ int Usage() {
       "                  [--epochs=N] [--seed=N] [--jsonl=PATH] "
       "[--trace=PATH]\n"
       "  gl_report tables FILE.jsonl\n"
-      "  gl_report check  A.jsonl B.jsonl\n");
+      "  gl_report check  A.jsonl B.jsonl\n"
+      "  gl_report profile TRACE.json [--root=NAME] [--top=N]\n"
+      "  gl_report flame  TRACE.json [--out=PATH]\n"
+      "  gl_report diff   A B [--threshold=FRACTION]   (two gl.epoch.v1\n"
+      "                   streams or two bench --json files; default 0.10)\n");
   return 2;
 }
 
@@ -371,6 +760,45 @@ int main(int argc, char** argv) {
     if (!ReadLines(argv[2], lines)) return 1;
     PrintTables(lines);
     return 0;
+  }
+  if (mode == "profile") {
+    if (argc < 3) return Usage();
+    std::string root, value;
+    int top_n = 15;
+    for (int i = 3; i < argc; ++i) {
+      if (ParseFlag(argv[i], "--root=", root)) continue;
+      if (ParseFlag(argv[i], "--top=", value)) {
+        top_n = std::max(1, std::atoi(value.c_str()));
+        continue;
+      }
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+    return ProfileCmd(argv[2], root, top_n);
+  }
+  if (mode == "flame") {
+    if (argc < 3) return Usage();
+    std::string out_path;
+    for (int i = 3; i < argc; ++i) {
+      if (ParseFlag(argv[i], "--out=", out_path)) continue;
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+    return FlameCmd(argv[2], out_path);
+  }
+  if (mode == "diff") {
+    if (argc < 4) return Usage();
+    double threshold = 0.10;
+    std::string value;
+    for (int i = 4; i < argc; ++i) {
+      if (ParseFlag(argv[i], "--threshold=", value)) {
+        threshold = std::strtod(value.c_str(), nullptr);
+        continue;
+      }
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+    return Diff(argv[2], argv[3], threshold);
   }
   if (mode == "run") {
     RunArgs args;
