@@ -96,6 +96,13 @@ struct ScaleRecord {
   double parallel_efficiency = 1.0;  // pool busy / (workers × batch wall)
   double critical_path_ms = 0.0;     // longest non-overlappable span chain
   std::uint64_t peak_bytes = 0;      // scratch-arena high-water mark
+  // Width-1 share of the critical path (serial_ms / path_ms): the Amdahl
+  // wall. Gated hard by tools/perf_check.py --serial-share-max at the
+  // largest parallel configuration.
+  double serial_share = 0.0;
+  // Solution quality guard: the recursive partition's total cut weight.
+  // Thread-count invariant (DESIGN.md §9), so any drift is algorithmic.
+  double cut_weight = 0.0;
 };
 
 // Median of the samples (averages the middle pair for even counts).
@@ -145,6 +152,10 @@ inline bool WriteScaleJson(const char* path,
     w.Double(r.critical_path_ms);
     w.Key("peak_bytes");
     w.UInt(r.peak_bytes);
+    w.Key("serial_share");
+    w.Double(r.serial_share);
+    w.Key("cut_weight");
+    w.Double(r.cut_weight);
     w.EndObject();
   }
   w.EndArray();

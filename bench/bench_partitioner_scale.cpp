@@ -143,16 +143,19 @@ bool RunThreadScalingSweep(const char* json_path, int repeat,
       std::vector<double> samples;
       samples.reserve(static_cast<std::size_t>(repeat));
       int servers = 0;
+      double cut_weight = 0.0;
       for (int rep = 0; rep < repeat; ++rep) {
         const obs::WallTimer timer;  // wall timing only — never a seed
         const auto r = RecursivePartition(g, fits, opts);
         samples.push_back(timer.ElapsedMs());
         servers = r.num_groups;
+        cut_weight = r.cut_weight;
       }
       const double best_ms = *std::min_element(samples.begin(), samples.end());
       const double median_ms = bench::MedianOf(samples);
       bench::ScaleRecord rec{"recursive_partition/n=" + std::to_string(n),
                              threads, best_ms, n, servers, median_ms, repeat};
+      rec.cut_weight = cut_weight;
       {
         obs::Trace trace;
         trace.Activate();
@@ -163,6 +166,7 @@ bool RunThreadScalingSweep(const char* json_path, int repeat,
             trace.Events(),
             threads > 1 ? "partition.parallel" : "partition.recursive");
         rec.critical_path_ms = cp.path_ms;
+        rec.serial_share = cp.path_ms > 0.0 ? cp.serial_ms / cp.path_ms : 0.0;
         rec.parallel_efficiency =
             threads > 1
                 ? InfoGauge("partition.pool.parallel_efficiency", 1.0)
@@ -177,9 +181,11 @@ bool RunThreadScalingSweep(const char* json_path, int repeat,
       }
       records.push_back(rec);
       std::printf("%-28s threads=%d  median %8.2f ms  min %8.2f ms  %d groups"
-                  "  eff %.2f  cp %7.2f ms  peak %zu KiB\n",
+                  "  cut %.0f  eff %.2f  cp %7.2f ms  serial %.2f"
+                  "  peak %zu KiB\n",
                   rec.name.c_str(), threads, median_ms, best_ms, servers,
-                  rec.parallel_efficiency, rec.critical_path_ms,
+                  rec.cut_weight, rec.parallel_efficiency,
+                  rec.critical_path_ms, rec.serial_share,
                   static_cast<std::size_t>(rec.peak_bytes / 1024));
     }
   }

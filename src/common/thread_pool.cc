@@ -22,7 +22,8 @@ ThreadPool::ThreadPool(int num_threads)
 ThreadPool::~ThreadPool() {
   {
     MutexLock lock(mu_);
-    GOLDILOCKS_CHECK(fn_ == nullptr);  // no ParallelFor may be in flight
+    // No ParallelFor / ParallelForChunked may be in flight.
+    GOLDILOCKS_CHECK(fn_ == nullptr && cfn_ == nullptr);
     shutdown_ = true;
   }
   work_cv_.NotifyAll();
@@ -49,7 +50,8 @@ void ThreadPool::ParallelFor(std::size_t count,
   }
 
   mu_.Lock();
-  GOLDILOCKS_CHECK(fn_ == nullptr);  // re-entrant use would deadlock
+  // Re-entrant use would deadlock.
+  GOLDILOCKS_CHECK(fn_ == nullptr && cfn_ == nullptr);
   fn_ = &fn;
   count_ = count;
   next_ = 0;
@@ -62,6 +64,52 @@ void ThreadPool::ParallelFor(std::size_t count,
   RunBatchTasks(0);  // the calling thread participates
   while (in_flight_ > 0) done_cv_.Wait(mu_);
   fn_ = nullptr;
+  count_ = 0;
+  ++batches_;
+  batch_wall_us_ +=
+      static_cast<double>(obs::MonotonicMicros() - batch_post_us_);
+  mu_.Unlock();
+}
+
+void ThreadPool::ParallelForChunked(
+    std::size_t total, std::size_t grain,
+    const std::function<void(int, std::size_t, std::size_t)>& fn) {
+  if (total == 0) return;
+  GOLDILOCKS_CHECK(grain > 0);
+  const std::size_t chunks = (total + grain - 1) / grain;
+  if (num_threads_ == 1 || chunks == 1) {
+    // Inline fast path, mirroring ParallelFor: the caller runs every chunk
+    // in index order under one timing bracket (busy == wall).
+    const std::int64_t t0 = obs::MonotonicMicros();
+    for (std::size_t c = 0; c < chunks; ++c) {
+      fn(0, c * grain, std::min(total, (c + 1) * grain));
+    }
+    const auto elapsed = static_cast<double>(obs::MonotonicMicros() - t0);
+    MutexLock lock(mu_);
+    ++batches_;
+    tasks_ += chunks;
+    busy_us_ += elapsed;
+    batch_wall_us_ += elapsed;
+    per_thread_busy_us_[0] += elapsed;
+    return;
+  }
+
+  mu_.Lock();
+  GOLDILOCKS_CHECK(fn_ == nullptr && cfn_ == nullptr);  // no re-entrancy
+  cfn_ = &fn;
+  grain_ = grain;
+  total_ = total;
+  count_ = chunks;
+  next_ = 0;
+  in_flight_ = 0;
+  batch_post_us_ = obs::MonotonicMicros();
+  mu_.Unlock();
+  work_cv_.NotifyAll();
+
+  mu_.Lock();
+  RunBatchTasks(0);  // the calling thread participates
+  while (in_flight_ > 0) done_cv_.Wait(mu_);
+  cfn_ = nullptr;
   count_ = 0;
   ++batches_;
   batch_wall_us_ +=
@@ -94,7 +142,7 @@ ThreadPoolStats ThreadPool::Stats() const {
 void ThreadPool::WorkerLoop(int slot) {
   mu_.Lock();
   while (!shutdown_) {
-    if (fn_ != nullptr && next_ < count_) {
+    if ((fn_ != nullptr || cfn_ != nullptr) && next_ < count_) {
       RunBatchTasks(slot);
     } else {
       work_cv_.Wait(mu_);
@@ -104,17 +152,24 @@ void ThreadPool::WorkerLoop(int slot) {
 }
 
 void ThreadPool::RunBatchTasks(int slot) {
-  while (fn_ != nullptr && next_ < count_) {
+  while ((fn_ != nullptr || cfn_ != nullptr) && next_ < count_) {
     const std::size_t i = next_++;
     ++in_flight_;
     const auto* fn = fn_;
+    const auto* cfn = cfn_;
+    const std::size_t grain = grain_;
+    const std::size_t total = total_;
     // queue wait = posted-to-claimed: how long the task index sat in the
     // batch before a thread picked it up.
     const std::int64_t claim_us = obs::MonotonicMicros();
     queue_wait_us_ += static_cast<double>(claim_us - batch_post_us_);
     ++tasks_;
     mu_.Unlock();
-    (*fn)(i);
+    if (fn != nullptr) {
+      (*fn)(i);
+    } else {
+      (*cfn)(slot, i * grain, std::min(total, (i + 1) * grain));
+    }
     mu_.Lock();
     const auto elapsed =
         static_cast<double>(obs::MonotonicMicros() - claim_us);

@@ -91,6 +91,21 @@ class ThreadPool {
                           const std::function<void(std::size_t, Rng&)>& fn)
       GL_EXCLUDES(mu_);
 
+  // Chunked variant for fine-grained loops: the index space [0, total) is
+  // cut into fixed runs of `grain` indices (the last run may be short) and
+  // each task is one run, so per-index loops stop paying a claim/retire
+  // round-trip per element. Chunk boundaries depend only on `total` and
+  // `grain` — never on the worker count — so per-chunk partial results keyed
+  // by chunk index fold deterministically at every width (DESIGN.md §9).
+  // fn receives the participation slot (0 = caller) alongside the chunk's
+  // [begin, end); slot-keyed scratch is safe only for state the body fully
+  // re-initializes per chunk, because the slot→chunk mapping is
+  // scheduling-dependent.
+  void ParallelForChunked(
+      std::size_t total, std::size_t grain,
+      const std::function<void(int slot, std::size_t begin, std::size_t end)>&
+          fn) GL_EXCLUDES(mu_);
+
   // Utilization accumulated over every loop this pool has run so far.
   // Informational only — never hashed, never a decision input.
   [[nodiscard]] ThreadPoolStats Stats() const GL_EXCLUDES(mu_);
@@ -108,8 +123,14 @@ class ThreadPool {
   CondVar work_cv_;  // signalled when a batch is posted or on shutdown
   CondVar done_cv_;  // signalled when the last in-flight task finishes
 
-  // One batch at a time: the active loop's bounds and claim cursor.
+  // One batch at a time: the active loop's bounds and claim cursor. Exactly
+  // one of fn_/cfn_ is set while a batch runs; count_ is the task count
+  // (indices for fn_, chunks for cfn_).
   const std::function<void(std::size_t)>* fn_ GL_GUARDED_BY(mu_) = nullptr;
+  const std::function<void(int, std::size_t, std::size_t)>* cfn_
+      GL_GUARDED_BY(mu_) = nullptr;
+  std::size_t grain_ GL_GUARDED_BY(mu_) = 0;
+  std::size_t total_ GL_GUARDED_BY(mu_) = 0;
   std::size_t count_ GL_GUARDED_BY(mu_) = 0;
   std::size_t next_ GL_GUARDED_BY(mu_) = 0;       // first unclaimed index
   std::size_t in_flight_ GL_GUARDED_BY(mu_) = 0;  // claimed, not yet done

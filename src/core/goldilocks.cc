@@ -226,6 +226,13 @@ std::vector<std::vector<ContainerId>> GoldilocksScheduler::PartitionContainers(
   };
   std::vector<std::vector<ContainerId>> groups;
   std::vector<std::string> paths;
+  // Per-container server of the grouping being repaired; empty unless an
+  // incremental repair runs below. Lets the final groups inherit last
+  // epoch's servers so the placement stability ceiling can actually hold
+  // them in place — without it every repartition repacks from a blank
+  // slate and even a repair that moved a handful of vertices migrates
+  // most containers.
+  std::vector<ServerId> prev_server_of;
 
   const bool can_repair = opts_.incremental_repartition &&
                           cache_->workload == input.workload &&
@@ -239,6 +246,16 @@ std::vector<std::vector<ContainerId>> GoldilocksScheduler::PartitionContainers(
       for (const auto c : cache_->groups[gi]) {
         container_to_old[static_cast<std::size_t>(c.value())] =
             static_cast<int>(gi);
+      }
+    }
+    if (cache_->group_server.size() == cache_->groups.size()) {
+      prev_server_of.assign(input.workload->containers.size(),
+                            ServerId::invalid());
+      for (std::size_t gi = 0; gi < cache_->groups.size(); ++gi) {
+        for (const auto c : cache_->groups[gi]) {
+          prev_server_of[static_cast<std::size_t>(c.value())] =
+              cache_->group_server[gi];
+        }
       }
     }
     std::vector<int> previous(
@@ -442,6 +459,28 @@ std::vector<std::vector<ContainerId>> GoldilocksScheduler::PartitionContainers(
   cache_->groups = groups;
   cache_->paths = paths;
   cache_->group_server.assign(groups.size(), ServerId::invalid());
+  if (!prev_server_of.empty()) {
+    // Majority vote over members' previous servers (ties to the lowest
+    // server id). Placement treats the result as a preference, not a
+    // booking: if two groups inherit one server, whichever places first
+    // keeps it and the other falls through to first-fit.
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      std::unordered_map<int, int> votes;
+      for (const auto c : groups[gi]) {
+        const ServerId s = prev_server_of[static_cast<std::size_t>(c.value())];
+        if (s.valid()) ++votes[s.value()];
+      }
+      int best_server = -1;
+      int best_votes = 0;
+      for (const auto& [server, n] : SortedItems(votes)) {
+        if (n > best_votes) {
+          best_votes = n;
+          best_server = server;
+        }
+      }
+      if (best_server >= 0) cache_->group_server[gi] = ServerId(best_server);
+    }
+  }
   return groups;
 }
 

@@ -87,6 +87,53 @@ class CsrGraph {
     }
   }
 
+  // Indexed (random-access) build for parallel writers (graph/coarsen.cc):
+  // size every array up front, let concurrent tasks fill disjoint rows, then
+  // finalize. The caller supplies exact offsets (row v owns
+  // [offset(v), offset(v+1)) of the arc arrays, with offset(n) = num_arcs
+  // pre-set here) plus each row's balance weight and signed degree — the
+  // degree is summed by the writer in its row's emission order, which is the
+  // same order EndBuild's cache scan would visit. Rows are disjoint, so
+  // concurrent fills need no synchronization; EndIndexedBuild re-derives the
+  // total balance weight serially in row order (one canonical summation
+  // order at every thread count, DESIGN.md §9).
+  void BeginIndexedBuild(VertexIndex expected_vertices, std::size_t num_arcs) {
+    Clear();
+    const auto nv = static_cast<std::size_t>(
+        expected_vertices > 0 ? expected_vertices : 0);
+    GOLDILOCKS_CHECK(nv <= static_cast<std::size_t>(
+                               std::numeric_limits<VertexIndex>::max()));
+    row_.assign(nv + 1, num_arcs);
+    col_.resize(num_arcs);
+    w_.resize(num_arcs);
+    balance_.assign(nv, 0.0);
+    deg_.assign(nv, 0.0);
+  }
+
+  void SetRowOffset(VertexIndex v, std::size_t offset) {
+    row_[Checked(v)] = offset;
+  }
+
+  void SetVertex(VertexIndex v, double balance_weight, double degree_weight) {
+    const auto s = Checked(v);
+    balance_[s] = balance_weight;
+    deg_[s] = degree_weight;
+  }
+
+  void SetArc(std::size_t slot, VertexIndex to, double weight) {
+    GOLDILOCKS_CHECK_LT(slot, col_.size());
+    col_[slot] = to;
+    w_[slot] = weight;
+  }
+
+  void EndIndexedBuild() {
+    total_balance_ = 0.0;
+    for (std::size_t v = 0; v < balance_.size(); ++v) {
+      GOLDILOCKS_CHECK(row_[v] <= row_[v + 1]);  // offsets must be monotone
+      total_balance_ += balance_[v];
+    }
+  }
+
   // Snapshot of `g`, preserving its adjacency-list neighbor order.
   void BuildFrom(const Graph& g) {
     BeginBuild(g.num_vertices(), 2 * g.num_edges());

@@ -50,6 +50,24 @@ class FmEngine {
     arcs_scanned_ += g.num_arcs();
   }
 
+  // Binds to gains the caller already computed (the multi-trial driver runs
+  // one shared chunked scan and hands each trial a copy), skipping Attach's
+  // O(arcs) pass. `initial_cut` must price `side` exactly as Attach would
+  // have. Adds nothing to arcs_scanned(): the shared scan is counted once by
+  // the driver, not once per trial — the deterministic counter total must
+  // not depend on the trial count.
+  void AttachPrecomputed(const CsrGraph& g, std::vector<std::uint8_t>* side,
+                         std::vector<double>* gain, double initial_cut) {
+    g_ = &g;
+    side_ = side;
+    gain_ = gain;
+    GOLDILOCKS_CHECK_EQ(side->size(),
+                        static_cast<std::size_t>(g.num_vertices()));
+    GOLDILOCKS_CHECK_EQ(gain->size(),
+                        static_cast<std::size_t>(g.num_vertices()));
+    initial_cut_ = initial_cut;
+  }
+
   [[nodiscard]] double gain(VertexIndex v) const {
     return (*gain_)[static_cast<std::size_t>(v)];
   }

@@ -10,8 +10,10 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "graph/coarsen.h"
 #include "graph/csr.h"
 #include "graph/fm.h"
+#include "graph/refine.h"
 #include "graph/scratch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -89,83 +91,9 @@ void PublishPoolStats(const ThreadPoolStats& stats) {
   wait.Set(stats.queue_wait_us / 1000.0);
 }
 
-// ---------------------------------------------------------------------------
-// Coarsening: heavy-edge matching. Only positive edges are contracted —
-// contracting an anti-affinity (negative) edge would glue replicas together
-// and make them inseparable at finer levels. The coarse graph is written
-// straight into arena CSR storage; coarse rows are emitted in coarse-id
-// order with parallel edges merged in first-seen order, so the build is
-// deterministic and allocation-free once the arena is warm.
-//
-// Coarse levels carry only balance weights: refinement never reads Resource
-// demands, and group demands are summed from the original graph at leaf
-// emission.
-// ---------------------------------------------------------------------------
-void CoarsenOnce(const CsrGraph& fine, Rng& rng, CsrGraph& coarse,
-                 std::vector<VertexIndex>& fine_to_coarse,
-                 PartitionScratch& s) {
-  const auto n = fine.num_vertices();
-  const auto sn = static_cast<std::size_t>(n);
-  s.order.resize(sn);
-  std::iota(s.order.begin(), s.order.end(), 0);
-  for (std::size_t i = sn; i > 1; --i) {
-    std::swap(s.order[i - 1], s.order[rng.NextBelow(i)]);
-  }
-
-  s.match.assign(sn, -1);
-  for (const auto v : s.order) {
-    if (s.match[static_cast<std::size_t>(v)] >= 0) continue;
-    VertexIndex best = -1;
-    double best_w = 0.0;
-    const auto [to, ws] = fine.arc_range(v);
-    for (std::size_t i = 0; i < to.size(); ++i) {
-      if (ws[i] > best_w && s.match[static_cast<std::size_t>(to[i])] < 0) {
-        best = to[i];
-        best_w = ws[i];
-      }
-    }
-    if (best >= 0) {
-      s.match[static_cast<std::size_t>(v)] = best;
-      s.match[static_cast<std::size_t>(best)] = v;
-    } else {
-      s.match[static_cast<std::size_t>(v)] = v;  // stays a singleton
-    }
-  }
-
-  fine_to_coarse.assign(sn, -1);
-  VertexIndex nc = 0;
-  for (VertexIndex v = 0; v < n; ++v) {
-    if (fine_to_coarse[static_cast<std::size_t>(v)] >= 0) continue;
-    const auto m = s.match[static_cast<std::size_t>(v)];
-    fine_to_coarse[static_cast<std::size_t>(v)] = nc;
-    if (m != v) fine_to_coarse[static_cast<std::size_t>(m)] = nc;
-    ++nc;
-  }
-
-  coarse.BeginBuild(nc, fine.num_arcs());
-  for (VertexIndex v = 0; v < n; ++v) {
-    const auto m = s.match[static_cast<std::size_t>(v)];
-    if (m < v) continue;  // already emitted with its earlier partner
-    double bw = fine.balance_weight(v);
-    if (m != v) bw += fine.balance_weight(m);
-    coarse.BeginRow(bw);
-    const auto c = fine_to_coarse[static_cast<std::size_t>(v)];
-    s.coarse_arcs.Reset(static_cast<std::size_t>(nc));
-    const auto emit = [&](VertexIndex x) {
-      const auto [to, ws] = fine.arc_range(x);
-      for (std::size_t i = 0; i < to.size(); ++i) {
-        const auto cu = fine_to_coarse[static_cast<std::size_t>(to[i])];
-        if (cu != c) s.coarse_arcs.Add(cu, ws[i]);
-      }
-    };
-    emit(v);
-    if (m != v) emit(m);
-    for (const int cu : s.coarse_arcs.touched()) {
-      coarse.PushArc(static_cast<VertexIndex>(cu), s.coarse_arcs.Get(cu));
-    }
-  }
-  coarse.EndBuild();
-}
+// Coarsening lives in graph/coarsen.{h,cc}: deterministic propose/resolve
+// heavy-edge matching plus staged parallel contraction, bit-identical at
+// every thread width.
 
 // ---------------------------------------------------------------------------
 // Balance bookkeeping for an asymmetric split: side 0 should carry
@@ -275,25 +203,53 @@ void GrowInitialPartition(const CsrGraph& g, const BalanceBounds& bounds,
 // restores the prefix-state gains — so later passes start from maintained
 // gains instead of an O(arcs) recompute.
 // ---------------------------------------------------------------------------
-void FmRefine(const CsrGraph& g, const BalanceBounds& bounds,
-              const PartitionOptions& opts, std::vector<std::uint8_t>& side,
-              double& cut, double& w0, PartitionScratch& s) {
+// Per-vertex multiplicative heap-priority perturbation for FM trials:
+// a pure hash of (vertex, trial salt) mapped into [0.9, 1.1). Popping by
+// perturbed priority sends each trial down a different hill-climb while the
+// engine still prices every move with exact gains — the rollback keeps the
+// best prefix by exact cut, so perturbation reorders exploration and never
+// mis-prices it. Additive tie-jitter is useless here: continuous edge
+// weights make exact gain ties vanishingly rare, so perturbing anything
+// less than the relative order of distinct gains leaves every trial walking
+// the same trajectory.
+double FmPriorityFactor(VertexIndex v, std::uint64_t salt) {
+  std::uint64_t x = salt ^ (static_cast<std::uint64_t>(v) *
+                            0x9E3779B97F4A7C15ull);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return 0.9 + 0.2 * (static_cast<double>(x >> 11) * 0x1.0p-53);
+}
+
+// The pass loop proper, on caller-supplied working state so the classic
+// single-stream path and every concurrent multi-trial instance share one
+// implementation. `seed_order` reorders the seeding scan (null = ascending
+// ids) and `perturb_salt`, when set, scales every heap priority by
+// FmPriorityFactor — move bookkeeping always uses the engine's exact gains,
+// so trials explore different move orders while pricing every cut
+// identically.
+void FmPassLoop(const CsrGraph& g, const BalanceBounds& bounds,
+                const PartitionOptions& opts, int max_passes,
+                FmEngine& engine, std::vector<std::uint8_t>& side,
+                double& cut, double& w0, LazyMaxHeap& heap,
+                std::vector<std::uint8_t>& moved,
+                std::vector<VertexIndex>& move_seq,
+                const std::vector<VertexIndex>* seed_order,
+                const std::uint64_t* perturb_salt,
+                std::uint64_t* moves_rejected) {
+  obs::TraceSpan span("partition.refine.fm",
+                      static_cast<std::int64_t>(g.num_vertices()));
   const auto n = g.num_vertices();
   const auto sn = static_cast<std::size_t>(n);
-  FmEngine engine;
-  engine.Attach(g, &side, &s.gain);
-  // The Attach scan prices the incoming assignment; the caller's stale (or
-  // carried) value is replaced wholesale, which also re-canonicalizes any
-  // accumulated rounding drift once per level.
-  cut = engine.initial_cut();
-  std::uint64_t moves_rejected = 0;
 
   // Cost controls engage only above the coarsening threshold: small graphs
   // are cheap enough to explore exhaustively, and their relative cut swings
   // are large enough that cutting exploration short costs real quality.
   const bool big = n > 2 * opts.coarsen_target;
 
-  for (int pass = 0; pass < opts.refine_passes; ++pass) {
+  for (int pass = 0; pass < max_passes; ++pass) {
     // Boundary seeding: when the balance is feasible, only candidates with
     // positive gain or cut adjacency are worth queueing — the classic
     // boundary-FM move set. A vertex with cross-cut weight has
@@ -303,16 +259,26 @@ void FmRefine(const CsrGraph& g, const BalanceBounds& bounds,
     // makes it relevant. An infeasible balance needs arbitrary vertices to
     // restore it, so restoration passes seed everyone.
     const bool seed_all = bounds.Violation(w0) > 1e-12;
-    s.heap.Reset(sn);
-    for (VertexIndex v = 0; v < n; ++v) {
+    heap.Reset(sn);
+    const auto push = [&](VertexIndex v, double gv) {
+      heap.Push(v, perturb_salt != nullptr
+                       ? gv * FmPriorityFactor(v, *perturb_salt)
+                       : gv);
+    };
+    const auto push_seed = [&](VertexIndex v) {
       const double gv = engine.gain(v);
       if (seed_all || gv > 1e-12 || gv + g.degree_weight(v) > 1e-12) {
-        s.heap.Push(v, gv);
+        push(v, gv);
       }
+    };
+    if (seed_order != nullptr) {
+      for (const auto v : *seed_order) push_seed(v);
+    } else {
+      for (VertexIndex v = 0; v < n; ++v) push_seed(v);
     }
 
-    s.moved.assign(sn, 0);
-    s.move_seq.clear();
+    moved.assign(sn, 0);
+    move_seq.clear();
     const double pass_cut = cut;
     const double pass_w0 = w0;
     double best_cut = cut;
@@ -322,8 +288,8 @@ void FmRefine(const CsrGraph& g, const BalanceBounds& bounds,
 
     VertexIndex v;
     double priority;
-    while (s.heap.Pop(&v, &priority)) {
-      if (s.moved[static_cast<std::size_t>(v)]) continue;
+    while (heap.Pop(&v, &priority)) {
+      if (moved[static_cast<std::size_t>(v)]) continue;
       const double bw = g.balance_weight(v);
       const bool from0 = side[static_cast<std::size_t>(v)] == 0;
       const double new_w0 = from0 ? w0 - bw : w0 + bw;
@@ -332,12 +298,12 @@ void FmRefine(const CsrGraph& g, const BalanceBounds& bounds,
       // Permit the move if it stays feasible, or strictly improves an
       // infeasible balance (restoration mode).
       if (new_violation > 1e-12 && new_violation >= cur_violation) {
-        ++moves_rejected;
+        ++*moves_rejected;
         continue;
       }
 
-      s.moved[static_cast<std::size_t>(v)] = 1;
-      s.move_seq.push_back(v);
+      moved[static_cast<std::size_t>(v)] = 1;
+      move_seq.push_back(v);
       cut -= engine.gain(v);
       w0 = new_w0;
       engine.Flip(v);
@@ -347,8 +313,8 @@ void FmRefine(const CsrGraph& g, const BalanceBounds& bounds,
       // out of the heap for this pass.
       const auto to = g.arcs(v);
       for (std::size_t i = 0; i < to.size(); ++i) {
-        if (!s.moved[static_cast<std::size_t>(to[i])]) {
-          s.heap.Push(to[i], engine.gain(to[i]));
+        if (!moved[static_cast<std::size_t>(to[i])]) {
+          push(to[i], engine.gain(to[i]));
         }
       }
 
@@ -359,7 +325,7 @@ void FmRefine(const CsrGraph& g, const BalanceBounds& bounds,
       if (better) {
         best_cut = cut;
         best_violation = violation;
-        best_prefix = s.move_seq.size();
+        best_prefix = move_seq.size();
         stall = 0;
       } else if (++stall > opts.fm_stall_limit ||
                  (violation <= best_violation + 1e-12 &&
@@ -377,8 +343,8 @@ void FmRefine(const CsrGraph& g, const BalanceBounds& bounds,
 
     // Roll back everything after the best prefix; reverse-order Flips
     // restore the prefix gains, so the next pass needs no recompute.
-    for (std::size_t i = s.move_seq.size(); i > best_prefix; --i) {
-      const auto u = s.move_seq[i - 1];
+    for (std::size_t i = move_seq.size(); i > best_prefix; --i) {
+      const auto u = move_seq[i - 1];
       const double bw = g.balance_weight(u);
       w0 += side[static_cast<std::size_t>(u)] == 0 ? -bw : bw;
       engine.Flip(u);
@@ -388,8 +354,152 @@ void FmRefine(const CsrGraph& g, const BalanceBounds& bounds,
                           best_violation < bounds.Violation(pass_w0) - 1e-12;
     if (!improved) break;
   }
+}
+
+void FmRefine(const CsrGraph& g, const BalanceBounds& bounds,
+              const PartitionOptions& opts, std::vector<std::uint8_t>& side,
+              double& cut, double& w0, PartitionScratch& s) {
+  FmEngine engine;
+  engine.Attach(g, &side, &s.gain);
+  // The Attach scan prices the incoming assignment; the caller's stale (or
+  // carried) value is replaced wholesale, which also re-canonicalizes any
+  // accumulated rounding drift once per level.
+  cut = engine.initial_cut();
+  std::uint64_t moves_rejected = 0;
+  FmPassLoop(g, bounds, opts, opts.refine_passes, engine, side, cut, w0,
+             s.heap, s.moved, s.move_seq, /*seed_order=*/nullptr,
+             /*perturb_salt=*/nullptr, &moves_rejected);
   CutEdgesCounter().Add(engine.arcs_scanned());
   FmRejectionsCounter().Add(moves_rejected);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-trial FM (DESIGN.md §16): on levels big enough to matter, run
+// opts.fm_trials independent FM instances from the same projected
+// assignment — trial t seeds its heap in an order shuffled by the keyed
+// sub-stream Fork(t), with a tiny deterministic tie-perturbation on seed
+// priorities — and adopt the canonical winner (graph/refine.h). Gains for
+// the common starting point are computed once by a chunked scan whose
+// per-chunk partial cuts fold in chunk order (one canonical summation order
+// at every width); each trial then copies that state and maintains it
+// incrementally. Trials are embarrassingly parallel: every mutable buffer is
+// trial-owned, so the batch runs on the pool when one is available and
+// back-to-back otherwise, with bit-identical results either way.
+// ---------------------------------------------------------------------------
+void FmRefineMultiTrial(const CsrGraph& g, const BalanceBounds& bounds,
+                        const PartitionOptions& opts, ThreadPool* pool,
+                        std::uint64_t level_salt,
+                        std::vector<std::uint8_t>& side, double& cut,
+                        double& w0, PartitionScratch& s) {
+  const auto n = g.num_vertices();
+  if (n < static_cast<VertexIndex>(opts.parallel_min_vertices) ||
+      opts.fm_trials <= 1) {
+    FmRefine(g, bounds, opts, side, cut, w0, s);
+    return;
+  }
+  const auto sn = static_cast<std::size_t>(n);
+
+  // Shared gain precompute over the projected assignment. Chunk c's partial
+  // cross-weight lands in chunk_partials[c]; the serial fold below visits
+  // chunks in index order, so the starting cut is the same double at every
+  // thread width (DESIGN.md §9).
+  s.gain.resize(sn);
+  const std::size_t chunks =
+      (sn + kPartitionChunkGrain - 1) / kPartitionChunkGrain;
+  s.chunk_partials.assign(chunks, 0.0);
+  ForPartitionChunks(
+      pool, sn, [&](int, std::size_t begin, std::size_t end) {
+        double cross = 0.0;
+        for (std::size_t sv = begin; sv < end; ++sv) {
+          GOLDILOCKS_CHECK(sv < sn);
+          const auto v = static_cast<VertexIndex>(sv);
+          const auto [to, ws] = g.arc_range(v);
+          double gv = 0.0;
+          for (std::size_t i = 0; i < to.size(); ++i) {
+            const bool is_cross =
+                side[sv] != side[static_cast<std::size_t>(to[i])];
+            gv += is_cross ? ws[i] : -ws[i];
+          }
+          s.gain[sv] = gv;
+          cross += gv + g.degree_weight(v);
+        }
+        s.chunk_partials[begin / kPartitionChunkGrain] = cross;
+      });
+  double cross_total = 0.0;
+  for (std::size_t c = 0; c < chunks; ++c) cross_total += s.chunk_partials[c];
+  const double cut0 = cross_total / 4.0;
+
+  const auto trials = static_cast<std::size_t>(opts.fm_trials);
+  if (s.fm_trials.size() < trials) s.fm_trials.resize(trials);
+  s.trial_outcomes.resize(trials);
+  // Every trial gets the full pass budget: trials exist to buy quality with
+  // width, and a trial cut short mid-climb is worth little. The extra work
+  // runs on otherwise-idle workers — the level's critical path is still one
+  // trial's pass loop — and at width 1 it is the price of the quality the
+  // winner fold buys back.
+  const int passes_per_trial = opts.refine_passes;
+  const Rng trial_base(level_salt);
+
+  const auto run_trial = [&](std::size_t t) {
+    // Trials are parallel lanes whenever a pool is attached: the profiler
+    // treats them as alternatives even when a narrow machine ran them
+    // back-to-back on one worker.
+    obs::TraceSpan trial_span("partition.refine.trial",
+                              static_cast<std::int64_t>(t),
+                              /*parallel_lane=*/pool != nullptr);
+    FmTrialScratch& tr = s.fm_trials[t];
+    tr.side.assign(side.begin(), side.end());
+    tr.gain.assign(s.gain.begin(), s.gain.end());
+    FmEngine engine;
+    engine.AttachPrecomputed(g, &tr.side, &tr.gain, cut0);
+    double trial_cut = cut0;
+    double trial_w0 = w0;
+    tr.rejections = 0;
+
+    Rng rng = trial_base.Fork(static_cast<std::uint64_t>(t));
+    tr.seed_order.resize(sn);
+    std::iota(tr.seed_order.begin(), tr.seed_order.end(), 0);
+    if (t > 0) {
+      for (std::size_t i = sn; i > 1; --i) {
+        std::swap(tr.seed_order[i - 1], tr.seed_order[rng.NextBelow(i)]);
+      }
+    }
+    // Trial 0 is the un-perturbed stream (identity order, exact
+    // priorities): the winner can only match or improve on classic FM.
+    const std::uint64_t trial_salt = rng.NextU64();
+    FmPassLoop(g, bounds, opts, passes_per_trial, engine, tr.side, trial_cut,
+               trial_w0, tr.heap, tr.moved, tr.move_seq, &tr.seed_order,
+               t > 0 ? &trial_salt : nullptr, &tr.rejections);
+    tr.cut = trial_cut;
+    tr.w0 = trial_w0;
+    tr.arcs_scanned = engine.arcs_scanned();
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(trials, run_trial);
+  } else {
+    for (std::size_t t = 0; t < trials; ++t) run_trial(t);
+  }
+
+  // Canonical serial fold over the trial outcomes; counters accumulate in
+  // trial order, and the shared precompute scan is charged exactly once —
+  // the deterministic totals never depend on scheduling or width.
+  for (std::size_t t = 0; t < trials; ++t) {
+    s.trial_outcomes[t] = {bounds.Violation(s.fm_trials[t].w0),
+                           s.fm_trials[t].cut};
+  }
+  const std::size_t win = PickFmWinner(s.trial_outcomes);
+  const FmTrialScratch& winner = s.fm_trials[win];
+  side.assign(winner.side.begin(), winner.side.end());
+  cut = winner.cut;
+  w0 = winner.w0;
+  std::uint64_t arcs = g.num_arcs();
+  std::uint64_t rejections = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    arcs += s.fm_trials[t].arcs_scanned;
+    rejections += s.fm_trials[t].rejections;
+  }
+  CutEdgesCounter().Add(arcs);
+  FmRejectionsCounter().Add(rejections);
 }
 
 // ---------------------------------------------------------------------------
@@ -398,6 +508,7 @@ void FmRefine(const CsrGraph& g, const BalanceBounds& bounds,
 // level maps refining at every level. Writes the finest-level sides into
 // `side_out` (any scratch buffer other than s.side).
 // ---------------------------------------------------------------------------
+
 struct CsrBisection {
   double cut_weight = 0.0;
   double w0 = 0.0;
@@ -405,7 +516,8 @@ struct CsrBisection {
 };
 
 CsrBisection BisectCsr(const CsrGraph& g, const PartitionOptions& opts,
-                       double target_fraction, PartitionScratch& s,
+                       double target_fraction, ThreadPool* pool,
+                       PartitionScratch& s,
                        std::vector<std::uint8_t>& side_out) {
   const auto n = g.num_vertices();
   CsrBisection out;
@@ -418,6 +530,16 @@ CsrBisection BisectCsr(const CsrGraph& g, const PartitionOptions& opts,
 
   Rng rng(opts.seed);
 
+  // Levels below the parallel threshold coarsen and refine without the
+  // pool: the gate reads the problem size only, so gating changes nothing
+  // but scheduling (DESIGN.md §9).
+  const auto level_pool = [&](const CsrGraph& level) {
+    return level.num_vertices() >=
+                   static_cast<VertexIndex>(opts.parallel_min_vertices)
+               ? pool
+               : nullptr;
+  };
+
   // Coarsen until the target size or the matching stalls (e.g. star graphs):
   // coarsening must shrink meaningfully or refinement costs outweigh the
   // benefit. Levels live in the arena deque, so pointers into it are stable
@@ -427,14 +549,19 @@ CsrBisection BisectCsr(const CsrGraph& g, const PartitionOptions& opts,
   levels.push_back(&g);
   std::size_t li = 0;
   while (levels.back()->num_vertices() > opts.coarsen_target) {
+    // One span per level, stall checks included; arg = level index.
+    obs::TraceSpan coarsen_span("partition.coarsen",
+                                static_cast<std::int64_t>(li));
     if (s.levels.size() <= li) {
       s.levels.emplace_back();
       s.level_maps.emplace_back();
     }
     CsrGraph& coarse = s.levels[li];
-    CoarsenOnce(*levels.back(), rng, coarse, s.level_maps[li], s);
+    const CsrGraph& fine = *levels.back();
+    HeavyEdgeMatch(fine, level_pool(fine), rng, s);
+    ContractByMatching(fine, level_pool(fine), coarse, s.level_maps[li], s);
     if (coarse.num_vertices() >
-        static_cast<VertexIndex>(0.95 * levels.back()->num_vertices())) {
+        static_cast<VertexIndex>(0.95 * fine.num_vertices())) {
       break;
     }
     levels.push_back(&coarse);
@@ -475,7 +602,10 @@ CsrBisection BisectCsr(const CsrGraph& g, const PartitionOptions& opts,
     }
   }
 
-  // Project through the hierarchy, refining at every level.
+  // Project through the hierarchy, refining at every level. Each level
+  // draws its refinement salt from the bisection's serial stream, so the
+  // per-trial sub-streams are a pure function of (seed, level) — never of
+  // scheduling.
   s.side.assign(s.best_side.begin(), s.best_side.end());
   double cut = best_cut;
   double w0 = best_w0;
@@ -494,7 +624,11 @@ CsrBisection BisectCsr(const CsrGraph& g, const PartitionOptions& opts,
     // below re-canonicalizes the reported numbers.
     const BalanceBounds bounds(fine.total_balance_weight(), target_fraction,
                                opts.balance_tolerance);
-    FmRefine(fine, bounds, opts, s.side, cut, w0, s);
+    const std::uint64_t level_salt = rng.NextU64();
+    obs::TraceSpan refine_span("partition.refine",
+                               static_cast<std::int64_t>(lvl - 1));
+    FmRefineMultiTrial(fine, bounds, opts, level_pool(fine), level_salt,
+                       s.side, cut, w0, s);
   }
 
   const BalanceBounds bounds(g.total_balance_weight(), target_fraction,
@@ -527,7 +661,18 @@ Bisection Bisect(const Graph& g, const PartitionOptions& opts,
   CsrGraph csr;
   csr.BuildFrom(g);
   PartitionScratch scratch;
-  const auto bis = BisectCsr(csr, opts, target_fraction, scratch, result.side);
+  CsrBisection bis;
+  if (opts.threads > 1) {
+    // A standalone bisection owns its pool; the recursive drivers thread
+    // theirs through instead. Identical results either way — the pool only
+    // changes scheduling, never output (DESIGN.md §9).
+    ThreadPool pool(opts.threads);
+    bis = BisectCsr(csr, opts, target_fraction, &pool, scratch, result.side);
+    PublishPoolStats(pool.Stats());
+  } else {
+    bis = BisectCsr(csr, opts, target_fraction, nullptr, scratch,
+                    result.side);
+  }
   result.cut_weight = bis.cut_weight;
   result.side_weight[0] = bis.w0;
   result.side_weight[1] = g.total_balance_weight() - bis.w0;
@@ -650,7 +795,7 @@ void RecordFitLeaf(const RangeCtx& ctx, std::size_t lo, std::size_t hi,
 // `child_seeds` the children's seed chain (same chain as always).
 double SplitRange(RangeCtx& ctx, std::size_t lo, std::size_t hi,
                   const Resource& demand, std::size_t depth,
-                  std::uint64_t seed, PartitionScratch& s,
+                  std::uint64_t seed, ThreadPool* pool, PartitionScratch& s,
                   std::uint64_t child_seeds[2], std::size_t* mid) {
   // One span per recursion level; arg = depth in the recursion tree.
   obs::TraceSpan split_span("partition.split",
@@ -666,7 +811,7 @@ double SplitRange(RangeCtx& ctx, std::size_t lo, std::size_t hi,
     fraction = std::clamp(std::ceil(u / 2.0) / u, 0.25, 0.75);
   }
   ExtractSub(ctx, lo, hi, s.sub);
-  const auto bis = BisectCsr(s.sub, sub, fraction, s, s.node_side);
+  const auto bis = BisectCsr(s.sub, sub, fraction, pool, s, s.node_side);
 
   s.split_zero.clear();
   s.split_one.clear();
@@ -717,8 +862,10 @@ void FitRecurse(RangeCtx& ctx, std::size_t lo, std::size_t hi,
   }
   std::size_t mid = lo;
   std::uint64_t child_seeds[2];
-  cuts.push_back(
-      SplitRange(ctx, lo, hi, demand, path.size(), seed, s, child_seeds, &mid));
+  // Serial subtrees never see the pool: a worker task re-entering the pool
+  // would deadlock, and the frontier already carries the parallelism.
+  cuts.push_back(SplitRange(ctx, lo, hi, demand, path.size(), seed,
+                            /*pool=*/nullptr, s, child_seeds, &mid));
   FitRecurse(ctx, lo, mid, path + '0', child_seeds[0], s, out, cuts);
   FitRecurse(ctx, mid, hi, path + '1', child_seeds[1], s, out, cuts);
 }
@@ -752,7 +899,10 @@ RecursivePartitionResult RecursivePartitionParallel(
   ThreadPool pool(opts.threads);
   std::size_t scratch_peak = 0;  // max arena high-water over all arenas
 
-  // Root is split in place on the calling thread.
+  // Root is split in place on the calling thread, with the pool driving the
+  // split's own coarsening and refinement — at depth 0 the whole-graph
+  // bisection IS the serial wall, so this is where intra-bisection
+  // parallelism pays the most.
   std::vector<ExpandNode> tree(3);
   {
     PartitionScratch s;
@@ -762,7 +912,7 @@ RecursivePartitionResult RecursivePartitionParallel(
     tree[0].hi = n;
     tree[0].seed = opts.seed;
     tree[0].demand = root_demand;
-    tree[0].cut = SplitRange(ctx, 0, n, root_demand, 0, opts.seed, s,
+    tree[0].cut = SplitRange(ctx, 0, n, root_demand, 0, opts.seed, &pool, s,
                              child_seeds, &mid);
     scratch_peak = std::max(scratch_peak, s.peak_bytes);
     tree[0].left = 1;
@@ -774,7 +924,12 @@ RecursivePartitionResult RecursivePartitionParallel(
   }
   std::vector<int> frontier = {1, 2};
 
-  while (static_cast<int>(frontier.size()) < opts.threads) {
+  // Oversubscribe the frontier 4×: worker subtrees differ wildly in cost,
+  // and more, smaller subtrees let fast lanes keep absorbing work instead
+  // of idling behind the largest one. Expansion depth is result-neutral —
+  // per-node seeds derive from the recursion path and the merge below is
+  // preorder — so the target only shapes scheduling.
+  while (static_cast<int>(frontier.size()) < 4 * opts.threads) {
     std::vector<int> splittable;
     for (const int idx : frontier) {
       const auto& nd = tree[static_cast<std::size_t>(idx)];
@@ -791,12 +946,25 @@ RecursivePartitionResult RecursivePartitionParallel(
     };
     std::vector<SplitOut> splits(splittable.size());
     std::vector<PartitionScratch> scratch(splittable.size());
-    pool.ParallelFor(splittable.size(), [&](std::size_t k) {
-      const auto& nd = tree[static_cast<std::size_t>(splittable[k])];
-      splits[k].cut =
+    if (splittable.size() == 1) {
+      // A lone expansion split runs on the calling thread with the pool
+      // inside the bisection (calling it from a pool task would re-enter
+      // ParallelFor); with several, the splits themselves are the
+      // parallelism.
+      const auto& nd = tree[static_cast<std::size_t>(splittable[0])];
+      splits[0].cut =
           SplitRange(ctx, nd.lo, nd.hi, nd.demand, nd.path.size(), nd.seed,
-                     scratch[k], splits[k].child_seeds, &splits[k].mid);
-    });
+                     &pool, scratch[0], splits[0].child_seeds,
+                     &splits[0].mid);
+    } else {
+      pool.ParallelFor(splittable.size(), [&](std::size_t k) {
+        const auto& nd = tree[static_cast<std::size_t>(splittable[k])];
+        splits[k].cut = SplitRange(ctx, nd.lo, nd.hi, nd.demand,
+                                   nd.path.size(), nd.seed, /*pool=*/nullptr,
+                                   scratch[k], splits[k].child_seeds,
+                                   &splits[k].mid);
+      });
+    }
     for (const auto& s : scratch) {
       scratch_peak = std::max(scratch_peak, s.peak_bytes);
     }
@@ -934,7 +1102,7 @@ void KWayRecurse(RangeCtx& ctx, std::size_t lo, std::size_t hi, int k,
   ExtractSub(ctx, lo, hi, s.sub);
   const auto bis =
       BisectCsr(s.sub, sub, static_cast<double>(k0) / static_cast<double>(k),
-                s, s.node_side);
+                /*pool=*/nullptr, s, s.node_side);
   out.cut_weight += bis.cut_weight;
 
   s.split_zero.clear();

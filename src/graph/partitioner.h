@@ -46,6 +46,18 @@ struct PartitionOptions {
   // Direct k-way refinement passes run after recursive bisection in
   // KWayPartition (0 = off).
   int kway_refine_passes = 2;
+  // Independent FM trials per uncoarsening level on graphs of at least
+  // parallel_min_vertices vertices (1 = classic single-stream FM). The
+  // trials split the refine_passes budget, run from keyed per-trial
+  // sub-streams, and fold to one canonical winner (graph/refine.h), so the
+  // result is a pure function of the options — identical whether the trials
+  // ran concurrently or back-to-back.
+  int fm_trials = 4;
+  // Below this vertex count a level is refined single-stream and coarsened
+  // without the pool: tiny levels are cheaper serial than synchronized.
+  // Part of the deterministic contract (the gate reads the problem size,
+  // never the thread count), so changing it changes partitions.
+  int parallel_min_vertices = 4096;
   std::uint64_t seed = 0x5eed;
   // Worker threads for RecursivePartition's fan-out (1 = serial). Results
   // are bit-identical for every value: sub-partitions are seeded from the

@@ -1,0 +1,39 @@
+// Canonical winner fold for multi-trial FM refinement (DESIGN.md §16).
+//
+// Each uncoarsening level may run several independent FM trials from the
+// same projected assignment (partitioner.cc); the fold below decides which
+// trial's result the bisection adopts. It is a serial left-fold over
+// ascending trial ids with the same (violation, cut) preference the
+// initial-partition trials have always used, so the chosen trial is a pure
+// function of the trial outcomes — invariant to completion order, thread
+// count, and scheduling (DESIGN.md §9).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace gl {
+
+// Outcome of one FM trial, indexed by trial id.
+struct FmTrialOutcome {
+  double violation = 0.0;  // balance-bounds distance (0 = feasible)
+  double cut = 0.0;
+};
+
+// Index of the canonical winner: a strictly smaller balance violation wins
+// (1e-12 tolerance), then a strictly smaller cut (1e-12); ties keep the
+// smallest trial id. `trials` must be non-empty.
+[[nodiscard]] inline std::size_t PickFmWinner(
+    std::span<const FmTrialOutcome> trials) {
+  std::size_t best = 0;
+  for (std::size_t t = 1; t < trials.size(); ++t) {
+    const bool better =
+        trials[t].violation < trials[best].violation - 1e-12 ||
+        (trials[t].violation <= trials[best].violation + 1e-12 &&
+         trials[t].cut < trials[best].cut - 1e-12);
+    if (better) best = t;
+  }
+  return best;
+}
+
+}  // namespace gl

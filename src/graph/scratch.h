@@ -24,6 +24,7 @@
 
 #include "common/check.h"
 #include "graph/csr.h"
+#include "graph/refine.h"
 #include "obs/memory.h"
 
 namespace gl {
@@ -180,6 +181,33 @@ class GroupAccumulator {
   std::uint64_t grow_events_ = 0;
 };
 
+// Per-trial working set for multi-trial FM (partitioner.cc). Each trial owns
+// a full copy of the refinement state so trials can run concurrently on pool
+// threads without sharing anything mutable; every buffer is re-initialized
+// (assign/Reset) by the trial before use, so a warm trial slot and a fresh
+// one behave identically.
+struct FmTrialScratch {
+  std::vector<std::uint8_t> side;
+  std::vector<double> gain;
+  LazyMaxHeap heap;
+  std::vector<std::uint8_t> moved;
+  std::vector<VertexIndex> move_seq;
+  std::vector<VertexIndex> seed_order;  // boundary-seed push order
+
+  // Trial outputs, read by the serial winner fold after the batch joins.
+  double cut = 0.0;
+  double w0 = 0.0;
+  std::uint64_t arcs_scanned = 0;
+  std::uint64_t rejections = 0;
+
+  [[nodiscard]] std::size_t ApproxBytes() const {
+    return obs::VectorFootprintBytes(side) + obs::VectorFootprintBytes(gain) +
+           heap.ApproxBytes() + obs::VectorFootprintBytes(moved) +
+           obs::VectorFootprintBytes(move_seq) +
+           obs::VectorFootprintBytes(seed_order);
+  }
+};
+
 // The partitioner's working memory. One arena serves a whole serial
 // recursive partition; the parallel driver gives each concurrently-solved
 // subtree its own. Buffers are grouped by the phase that owns them; phases
@@ -197,10 +225,31 @@ struct PartitionScratch {
   // reused by every later call (DESIGN.md §11).
   std::vector<const CsrGraph*> level_chain;
 
-  // Coarsening.
+  // Coarsening (graph/coarsen.cc). `match` and `propose` are the two ping
+  // buffers of the propose/resolve matching rounds; the contraction pass
+  // owns the rest: `rep` marks each matched pair's representative (smaller
+  // endpoint), `fine_to_coarse` numbers coarse vertices, the `row_*` arrays
+  // hold per-coarse-row metadata, and `pad_col`/`pad_w` are the padded
+  // arc staging buffers sized by upper-bound degrees before the exact
+  // prefix sum packs them into the coarse CSR. `dedup` holds one
+  // neighbor-merge accumulator per pool slot; concurrent chunks touch
+  // disjoint slots and Reset per coarse row, so slot reuse is safe.
+  std::vector<VertexIndex> order;     // per-level random sweep order
   std::vector<VertexIndex> match;
-  std::vector<VertexIndex> order;
-  GroupAccumulator coarse_arcs;
+  std::vector<VertexIndex> propose;
+  std::vector<VertexIndex> absorb;    // singleton → paired absorber, or -1
+  std::vector<VertexIndex> rep;
+  std::vector<std::size_t> mem_off;   // absorbed members grouped by cluster
+  std::vector<VertexIndex> mem;
+  std::vector<std::size_t> mem_fill;
+  std::vector<std::size_t> pad_off;
+  std::vector<std::size_t> row_off;
+  std::vector<std::size_t> row_count;
+  std::vector<double> row_balance;
+  std::vector<double> row_deg;
+  std::vector<VertexIndex> pad_col;
+  std::vector<double> pad_w;
+  std::vector<GroupAccumulator> dedup;
 
   // Initial partition growth + FM refinement.
   LazyMaxHeap heap;
@@ -214,6 +263,14 @@ struct PartitionScratch {
   std::vector<std::uint8_t> moved;
   std::vector<VertexIndex> move_seq;
   std::vector<VertexIndex> outside;
+
+  // Multi-trial FM (partitioner.cc): per-trial working sets, the shared
+  // chunked-precompute partial sums (folded in chunk order, one canonical
+  // summation order at every width), and the per-trial outcomes the winner
+  // fold reads. Sized to the trial count once and reused across levels.
+  std::vector<FmTrialScratch> fm_trials;
+  std::vector<double> chunk_partials;
+  std::vector<FmTrialOutcome> trial_outcomes;
 
   // Zero-copy recursion over index ranges (partitioner.cc): the CSR view of
   // the current range plus the stable split buffers.
@@ -239,7 +296,20 @@ struct PartitionScratch {
     bytes += obs::VectorFootprintBytes(level_chain);
     bytes += obs::VectorFootprintBytes(match);
     bytes += obs::VectorFootprintBytes(order);
-    bytes += coarse_arcs.ApproxBytes();
+    bytes += obs::VectorFootprintBytes(propose);
+    bytes += obs::VectorFootprintBytes(absorb);
+    bytes += obs::VectorFootprintBytes(rep);
+    bytes += obs::VectorFootprintBytes(mem_off);
+    bytes += obs::VectorFootprintBytes(mem);
+    bytes += obs::VectorFootprintBytes(mem_fill);
+    bytes += obs::VectorFootprintBytes(pad_off);
+    bytes += obs::VectorFootprintBytes(row_off);
+    bytes += obs::VectorFootprintBytes(row_count);
+    bytes += obs::VectorFootprintBytes(row_balance);
+    bytes += obs::VectorFootprintBytes(row_deg);
+    bytes += obs::VectorFootprintBytes(pad_col);
+    bytes += obs::VectorFootprintBytes(pad_w);
+    for (const auto& d : dedup) bytes += d.ApproxBytes();
     bytes += heap.ApproxBytes();
     bytes += obs::VectorFootprintBytes(gain);
     bytes += obs::VectorFootprintBytes(grow_key);
@@ -251,6 +321,9 @@ struct PartitionScratch {
     bytes += obs::VectorFootprintBytes(moved);
     bytes += obs::VectorFootprintBytes(move_seq);
     bytes += obs::VectorFootprintBytes(outside);
+    for (const auto& t : fm_trials) bytes += t.ApproxBytes();
+    bytes += obs::VectorFootprintBytes(chunk_partials);
+    bytes += obs::VectorFootprintBytes(trial_outcomes);
     bytes += sub.ApproxBytes();
     bytes += obs::VectorFootprintBytes(split_zero);
     bytes += obs::VectorFootprintBytes(split_one);

@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 
 namespace gl::obs {
 
@@ -20,6 +21,22 @@ namespace gl::obs {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// Microseconds of CPU time consumed by the calling thread. Informational
+// only, like the wall clock above. Distinct from MonotonicMicros on an
+// oversubscribed machine: a thread timesliced out accrues wall time but no
+// CPU time, so span CPU deltas measure inherent work, immune to interleave
+// stretching (obs/profile.h charges critical-path steps with these).
+[[nodiscard]] inline std::int64_t ThreadCpuMicros() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000 +
+         static_cast<std::int64_t>(ts.tv_nsec) / 1000;
+#else
+  return MonotonicMicros();  // degraded: wall approximates cpu
+#endif
 }
 
 // Elapsed-time stopwatch: starts at construction, reads in milliseconds.

@@ -138,16 +138,56 @@ struct Cluster {
 std::vector<Cluster> ClusterKids(const std::vector<TraceEvent>& events,
                                  const std::vector<int>& kids) {
   std::vector<Cluster> clusters;
+  // A lane span joins the previous cluster when that cluster is entirely
+  // same-name lanes: the trace declared the batch data-parallel, so its
+  // members are alternatives even when a narrow machine serialized them
+  // (wall overlap alone cannot see that). Time overlap still merges as
+  // before for everything else.
+  const auto lanes_like = [&](const Cluster& c, const TraceEvent& ev) {
+    if (!ev.parallel_lane) return false;
+    for (const int m : c.members) {
+      const TraceEvent& other = events[static_cast<std::size_t>(m)];
+      if (!other.parallel_lane || other.name != ev.name) return false;
+    }
+    return true;
+  };
   for (const int k : kids) {  // kids are sorted by start_us
     const TraceEvent& ev = events[static_cast<std::size_t>(k)];
-    if (clusters.empty() || ev.start_us >= clusters.back().hi) {
-      clusters.push_back({ev.start_us, EndUs(ev), {k}});
-    } else {
+    if (!clusters.empty() && (ev.start_us < clusters.back().hi ||
+                              lanes_like(clusters.back(), ev))) {
       clusters.back().hi = std::max(clusters.back().hi, EndUs(ev));
       clusters.back().members.push_back(k);
+    } else {
+      clusters.push_back({ev.start_us, EndUs(ev), {k}});
     }
   }
   return clusters;
+}
+
+// The cost a span contributes as a path step: its own work with direct
+// children's work subtracted. Spans recorded with thread-CPU time charge
+// CPU self (cpu_us minus same-thread children's cpu_us) — blocked time
+// never counts, and on an oversubscribed machine timesliced-out periods
+// don't inflate the path the way wall self-time would. Adopted children on
+// other threads burned their own threads' CPU, so they are not subtracted.
+// Spans without CPU data (older traces) fall back to wall time minus the
+// wall covered by child clusters.
+double StepCostUs(const std::vector<TraceEvent>& events,
+                  const std::vector<SpanNode>& nodes, int i) {
+  const TraceEvent& ev = events[static_cast<std::size_t>(i)];
+  const auto& kids = nodes[static_cast<std::size_t>(i)].kids;
+  if (ev.cpu_us >= 0.0) {
+    double kids_cpu = 0.0;
+    for (const int k : kids) {
+      const TraceEvent& kid = events[static_cast<std::size_t>(k)];
+      if (kid.tid == ev.tid && kid.cpu_us > 0.0) kids_cpu += kid.cpu_us;
+    }
+    return std::max(0.0, ev.cpu_us - kids_cpu);
+  }
+  const auto clusters = ClusterKids(events, kids);
+  double covered = 0.0;
+  for (const auto& cluster : clusters) covered += cluster.hi - cluster.lo;
+  return std::max(0.0, ev.dur_us - covered);
 }
 
 // Critical-path length of span instance `i`, memoized in `cp_us`.
@@ -156,32 +196,33 @@ double CriticalUs(const std::vector<TraceEvent>& events,
                   std::vector<double>& cp_us) {
   double& memo = cp_us[static_cast<std::size_t>(i)];
   if (memo >= 0.0) return memo;
-  const TraceEvent& ev = events[static_cast<std::size_t>(i)];
   const auto clusters = ClusterKids(events, nodes[static_cast<std::size_t>(i)].kids);
-  double covered = 0.0;
   double total = 0.0;
   for (const auto& cluster : clusters) {
-    covered += cluster.hi - cluster.lo;
     double best = 0.0;
     for (const int m : cluster.members) {
       best = std::max(best, CriticalUs(events, nodes, m, cp_us));
     }
     total += best;
   }
-  memo = std::max(0.0, ev.dur_us - covered) + total;
+  memo = StepCostUs(events, nodes, i) + total;
   return memo;
 }
 
 // Emits the path steps in time order: the node's own serial remainder
 // first, then — per cluster — the member with the longest critical path.
+// `width` is the *effective* width: the max cluster size over the chain of
+// ancestors that led here. A step below a width-8 cluster is not a serial
+// wall even when its own siblings are singletons — the other seven cluster
+// members were running the whole time and could have absorbed its time —
+// so the inherited width, not the local cluster size alone, decides what
+// counts toward serial_ms.
 void WalkPath(const std::vector<TraceEvent>& events,
               const std::vector<SpanNode>& nodes, int i, int width,
               std::vector<double>& cp_us, CriticalPathResult& out) {
   const TraceEvent& ev = events[static_cast<std::size_t>(i)];
   const auto clusters = ClusterKids(events, nodes[static_cast<std::size_t>(i)].kids);
-  double covered = 0.0;
-  for (const auto& cluster : clusters) covered += cluster.hi - cluster.lo;
-  const double self_ms = std::max(0.0, ev.dur_us - covered) / 1000.0;
+  const double self_ms = StepCostUs(events, nodes, i) / 1000.0;
   out.steps.push_back({ev.name, ev.arg, self_ms, width});
   out.path_ms += self_ms;
   if (width == 1) out.serial_ms += self_ms;
@@ -193,7 +234,8 @@ void WalkPath(const std::vector<TraceEvent>& events,
         best = m;
       }
     }
-    WalkPath(events, nodes, best, static_cast<int>(cluster.members.size()),
+    WalkPath(events, nodes, best,
+             std::max(width, static_cast<int>(cluster.members.size())),
              cp_us, out);
   }
 }

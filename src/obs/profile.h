@@ -69,8 +69,11 @@ struct Profile {
 [[nodiscard]] std::string CollapsedStacks(const Profile& profile);
 
 // One step of the critical path. `width` is how many spans ran as parallel
-// alternatives at that point (the step's overlap cluster size): width 1
-// means the step was serial — nothing else could have absorbed its time.
+// alternatives at that point: the max overlap-cluster size over the chain
+// of ancestors that led to the step (a step nested under a width-8 worker
+// cluster keeps width >= 8 even when its own siblings are singletons — the
+// other cluster members were live for its whole duration). Width 1 means
+// the step was serial — nothing else could have absorbed its time.
 struct CriticalPathStep {
   std::string name;
   std::int64_t arg = TraceEvent::kNoArg;
@@ -89,8 +92,9 @@ struct CriticalPathResult {
 // Longest dependency chain through the span forest. Children of a span are
 // grouped into clusters of time-overlapping intervals: clusters execute in
 // sequence (each contributes the max critical path over its members, the
-// chosen member's steps carrying the cluster size as `width`), and the
-// parent's uncovered wall is its own serial contribution. `root_name`
+// chosen member's steps carrying the cluster size — or any larger inherited
+// ancestor width — as `width`), and the parent's uncovered wall is its own
+// serial contribution. `root_name`
 // selects the root span by name (longest instance wins); when empty, the
 // longest top-level span of the whole trace is used.
 [[nodiscard]] CriticalPathResult ComputeCriticalPath(

@@ -133,6 +133,10 @@ bool Trace::WriteChromeJson(const std::string& path) const {
     w.Double(ev.start_us);
     w.Key("dur");
     w.Double(ev.dur_us);
+    w.Key("cpu");
+    w.Double(ev.cpu_us);
+    w.Key("lane");
+    w.Int(ev.parallel_lane ? 1 : 0);
     w.Key("pid");
     w.Int(1);
     w.Key("tid");
@@ -156,8 +160,9 @@ bool Trace::WriteChromeJson(const std::string& path) const {
   return ok;
 }
 
-TraceSpan::TraceSpan(const char* name, std::int64_t arg)
-    : trace_(Trace::Active()), name_(name), arg_(arg) {
+TraceSpan::TraceSpan(const char* name, std::int64_t arg, bool parallel_lane)
+    : trace_(Trace::Active()), name_(name), arg_(arg),
+      parallel_lane_(parallel_lane) {
   if (trace_ == nullptr) return;
   ThreadState& tls = Tls();
   if (tls.trace_id != trace_->id()) {
@@ -168,6 +173,7 @@ TraceSpan::TraceSpan(const char* name, std::int64_t arg)
   tid_ = tls.tid;
   depth_ = tls.depth++;
   start_us_ = trace_->NowRelUs();
+  start_cpu_us_ = ThreadCpuMicros();
 }
 
 TraceSpan::~TraceSpan() {
@@ -183,6 +189,9 @@ TraceSpan::~TraceSpan() {
   ev.depth = depth_;
   ev.start_us = start_us_;
   ev.dur_us = trace_->NowRelUs() - start_us_;
+  ev.cpu_us =
+      static_cast<double>(ThreadCpuMicros() - start_cpu_us_);
+  ev.parallel_lane = parallel_lane_;
   ev.arg = arg_;
   trace_->Record(ev);
 }

@@ -38,6 +38,18 @@ struct TraceEvent {
   int depth = 0;          // nesting depth on that thread when opened
   double start_us = 0.0;  // relative to the trace epoch
   double dur_us = 0.0;
+  // CPU time the owning thread spent inside the span; -1 when unknown
+  // (e.g. a re-parsed trace written before this field existed). On an
+  // oversubscribed machine dur_us includes timesliced-out periods; cpu_us
+  // is the span's inherent work and is what the critical path charges.
+  double cpu_us = -1.0;
+  // True for one lane of a data-parallel batch (e.g. a fixed-grain chunk
+  // dispatched to a pool): adjacent same-name lane siblings are parallel
+  // alternatives even when the machine serialized them, so the profiler
+  // clusters them instead of charging the whole batch as a serial chain.
+  // Only set when the batch really had parallel capacity — a chunk loop
+  // run inline at threads=1 records plain spans.
+  bool parallel_lane = false;
   std::int64_t arg = kNoArg;  // optional numeric annotation (level, size...)
 };
 
@@ -99,7 +111,8 @@ class Trace {
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name,
-                     std::int64_t arg = TraceEvent::kNoArg);
+                     std::int64_t arg = TraceEvent::kNoArg,
+                     bool parallel_lane = false);
   ~TraceSpan();
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -110,7 +123,9 @@ class TraceSpan {
   std::int64_t arg_;
   int tid_ = 0;
   int depth_ = 0;
+  bool parallel_lane_ = false;
   double start_us_ = 0.0;
+  std::int64_t start_cpu_us_ = 0;
 };
 
 }  // namespace gl::obs

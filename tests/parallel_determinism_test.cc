@@ -158,5 +158,46 @@ TEST(ParallelDeterminism, RecursivePartitionIsExactlyThreadCountInvariant) {
   }
 }
 
+// Intra-bisection check above the multi-trial gate (parallel_min_vertices):
+// one Bisect call large enough that the parallel coarsening chunks, the
+// pooled FM trials and the projection recomputation all engage. The side
+// vector and the float cut must be bit-identical at every width — and under
+// TSan this is the test that drives the chunked matching/contraction and
+// concurrent FM trials hard enough to surface a data race.
+TEST(ParallelDeterminism, LargeBisectionIsExactlyThreadCountInvariant) {
+  Rng rng(21);
+  Graph g;
+  constexpr int kVertices = 6000;  // > PartitionOptions::parallel_min_vertices
+  for (int i = 0; i < kVertices; ++i) {
+    g.AddVertex(Resource{.cpu = rng.Uniform(20, 60), .mem_gb = 4,
+                         .net_mbps = rng.Uniform(5, 50)},
+                1.0);
+  }
+  for (int s = 0; s + 8 <= kVertices; s += 8) {
+    for (int i = 1; i < 8; ++i) g.AddEdge(s, s + i, rng.Uniform(100, 5000));
+  }
+  for (int e = 0; e < kVertices / 2; ++e) {
+    const auto a = static_cast<VertexIndex>(rng.NextBelow(kVertices));
+    const auto b = static_cast<VertexIndex>(rng.NextBelow(kVertices));
+    if (a != b) g.AddEdge(a, b, rng.Uniform(1, 50));
+  }
+
+  PartitionOptions serial_opts;
+  ASSERT_LT(serial_opts.parallel_min_vertices, kVertices);
+  ASSERT_GE(serial_opts.fm_trials, 2);
+  const Bisection serial = Bisect(g, serial_opts);
+  EXPECT_GT(serial.cut_weight, 0.0);
+  for (const int threads : kThreadCounts) {
+    PartitionOptions popts;
+    popts.threads = threads;
+    const Bisection parallel = Bisect(g, popts);
+    EXPECT_EQ(parallel.side, serial.side) << "threads=" << threads;
+    EXPECT_EQ(parallel.cut_weight, serial.cut_weight)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.side_weight[0], serial.side_weight[0]);
+    EXPECT_EQ(parallel.side_weight[1], serial.side_weight[1]);
+  }
+}
+
 }  // namespace
 }  // namespace gl

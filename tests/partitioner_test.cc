@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "graph/partitioner.h"
+#include "graph/refine.h"
 
 namespace gl {
 namespace {
@@ -415,6 +416,75 @@ TEST_P(RecursivePartitionSweep, HandlesSize) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RecursivePartitionSweep,
                          ::testing::Values(100, 1000, 5000));
+
+// --- multi-trial FM winner fold (graph/refine.h) ----------------------------
+
+TEST(PickFmWinnerTest, SmallerViolationBeatsSmallerCut) {
+  const std::vector<FmTrialOutcome> trials = {
+      {.violation = 2.0, .cut = 1.0},   // best cut, infeasible
+      {.violation = 0.0, .cut = 50.0},  // feasible
+      {.violation = 0.0, .cut = 40.0},  // feasible, best feasible cut
+  };
+  EXPECT_EQ(PickFmWinner(trials), 2u);
+}
+
+TEST(PickFmWinnerTest, TiesKeepTheSmallestTrialId) {
+  const std::vector<FmTrialOutcome> trials = {
+      {.violation = 0.0, .cut = 10.0},
+      {.violation = 0.0, .cut = 10.0},
+      {.violation = 0.0, .cut = 10.0 + 1e-13},  // inside tolerance: a tie
+  };
+  EXPECT_EQ(PickFmWinner(trials), 0u);
+}
+
+TEST(PickFmWinnerTest, FoldIsInvariantToOutcomePermutationModuloIds) {
+  // The fold must be a pure function of the outcome *vector* — the same
+  // outcomes in a different trial order may name a different id, but the
+  // winning (violation, cut) value must be identical. That is exactly the
+  // property the multi-trial refinement relies on: trial results are
+  // gathered into trial-id order before folding, so completion order can
+  // never leak in.
+  std::vector<FmTrialOutcome> trials = {
+      {.violation = 0.0, .cut = 31.0},
+      {.violation = 1.0, .cut = 7.0},
+      {.violation = 0.0, .cut = 29.0},
+      {.violation = 0.0, .cut = 33.0},
+  };
+  const auto base = trials[PickFmWinner(trials)];
+  std::vector<std::size_t> perm = {3, 0, 2, 1};
+  std::vector<FmTrialOutcome> shuffled;
+  for (const auto i : perm) shuffled.push_back(trials[i]);
+  const auto alt = shuffled[PickFmWinner(shuffled)];
+  EXPECT_DOUBLE_EQ(alt.violation, base.violation);
+  EXPECT_DOUBLE_EQ(alt.cut, base.cut);
+}
+
+TEST(BisectTest, MultiTrialRefinementNeverLosesToSingleTrial) {
+  // Trial 0 replays the classic single-trial trajectory and the fold keeps
+  // the best (violation, cut), so enabling trials can only improve the cut
+  // for a feasible result.
+  Rng rng(123);
+  Graph g;
+  constexpr int kN = 6000;  // above parallel_min_vertices: trials engage
+  for (int i = 0; i < kN; ++i) {
+    g.AddVertex(Resource{.cpu = 10, .mem_gb = 1, .net_mbps = 1}, 1.0);
+  }
+  for (int s = 0; s + 8 <= kN; s += 8) {
+    for (int i = 1; i < 8; ++i) g.AddEdge(s, s + i, rng.Uniform(100, 5000));
+  }
+  for (int e = 0; e < kN / 2; ++e) {
+    const auto a = static_cast<VertexIndex>(rng.NextBelow(kN));
+    const auto b = static_cast<VertexIndex>(rng.NextBelow(kN));
+    if (a != b) g.AddEdge(a, b, rng.Uniform(1, 50));
+  }
+  PartitionOptions single;
+  single.fm_trials = 1;
+  const Bisection base = Bisect(g, single);
+  PartitionOptions multi;
+  ASSERT_GE(multi.fm_trials, 2) << "default must exercise the trial fold";
+  const Bisection best = Bisect(g, multi);
+  EXPECT_LE(best.cut_weight, base.cut_weight + 1e-9);
+}
 
 }  // namespace
 }  // namespace gl

@@ -43,13 +43,21 @@ namespace {
 // root, in one overlap cluster spanning [20000, 66000].
 std::vector<obs::TraceEvent> HandBuiltDag() {
   // Sorted by (tid, start_us, depth), as Trace::Events() guarantees.
+  // cpu_us stays at its default (-1, unknown) so the critical path uses the
+  // wall-time fallback these expectations were written against.
   return {
-      {"root", 0, 0, 0.0, 100000.0, obs::TraceEvent::kNoArg},
-      {"prep", 0, 1, 0.0, 20000.0, obs::TraceEvent::kNoArg},
-      {"tail", 0, 1, 70000.0, 30000.0, obs::TraceEvent::kNoArg},
-      {"worker", 1, 0, 20000.0, 40000.0, 1},
-      {"inner", 1, 1, 25000.0, 10000.0, obs::TraceEvent::kNoArg},
-      {"worker", 2, 0, 25000.0, 41000.0, 2},
+      {.name = "root", .tid = 0, .depth = 0, .start_us = 0.0,
+       .dur_us = 100000.0},
+      {.name = "prep", .tid = 0, .depth = 1, .start_us = 0.0,
+       .dur_us = 20000.0},
+      {.name = "tail", .tid = 0, .depth = 1, .start_us = 70000.0,
+       .dur_us = 30000.0},
+      {.name = "worker", .tid = 1, .depth = 0, .start_us = 20000.0,
+       .dur_us = 40000.0, .arg = 1},
+      {.name = "inner", .tid = 1, .depth = 1, .start_us = 25000.0,
+       .dur_us = 10000.0},
+      {.name = "worker", .tid = 2, .depth = 0, .start_us = 25000.0,
+       .dur_us = 41000.0, .arg = 2},
   };
 }
 
@@ -128,6 +136,67 @@ TEST(CriticalPathTest, HandBuiltDagHasExactPathAndSerialShare) {
   EXPECT_DOUBLE_EQ(cp.path_ms, 95.0);
   // Serial share: everything except the width-2 worker step.
   EXPECT_DOUBLE_EQ(cp.serial_ms, 54.0);
+}
+
+TEST(CriticalPathTest, CpuTimeOverridesWallFallbackWhenPresent) {
+  // On an oversubscribed machine span wall time includes timesliced-out
+  // periods; when cpu_us is recorded the path must charge each step its CPU
+  // self time (own cpu minus same-tid direct children's cpu) instead of the
+  // wall remainder. Here every span is stretched 2x in wall terms: the wall
+  // fallback would report a 100 ms path, the cpu costs say 50 ms.
+  const std::vector<obs::TraceEvent> events = {
+      {.name = "root", .tid = 0, .depth = 0, .start_us = 0.0,
+       .dur_us = 100000.0, .cpu_us = 50000.0},
+      {.name = "a", .tid = 0, .depth = 1, .start_us = 10000.0,
+       .dur_us = 80000.0, .cpu_us = 30000.0},
+      {.name = "b", .tid = 0, .depth = 2, .start_us = 20000.0,
+       .dur_us = 30000.0, .cpu_us = 20000.0},
+  };
+  const obs::CriticalPathResult cp = obs::ComputeCriticalPath(events, "root");
+  ASSERT_EQ(cp.steps.size(), 3u);
+  EXPECT_EQ(cp.steps[0].name, "root");
+  EXPECT_DOUBLE_EQ(cp.steps[0].ms, 20.0);  // 50000 - a's 30000
+  EXPECT_EQ(cp.steps[1].name, "a");
+  EXPECT_DOUBLE_EQ(cp.steps[1].ms, 10.0);  // 30000 - b's 20000
+  EXPECT_EQ(cp.steps[2].name, "b");
+  EXPECT_DOUBLE_EQ(cp.steps[2].ms, 20.0);
+  EXPECT_DOUBLE_EQ(cp.path_ms, 50.0);
+  EXPECT_DOUBLE_EQ(cp.serial_ms, 50.0);
+}
+
+TEST(CriticalPathTest, ParallelLanesClusterWithoutWallOverlap) {
+  // Three same-name lanes of a data-parallel batch, machine-serialized onto
+  // one thread (no wall overlap). Declared parallel_lane, they must merge
+  // into one width-3 cluster charged at its best member — not a 90 ms
+  // serial chain.
+  const std::vector<obs::TraceEvent> events = {
+      {.name = "root", .tid = 0, .depth = 0, .start_us = 0.0,
+       .dur_us = 100000.0},
+      {.name = "trial", .tid = 0, .depth = 1, .start_us = 0.0,
+       .dur_us = 30000.0, .parallel_lane = true, .arg = 0},
+      {.name = "trial", .tid = 0, .depth = 1, .start_us = 30000.0,
+       .dur_us = 30000.0, .parallel_lane = true, .arg = 1},
+      {.name = "trial", .tid = 0, .depth = 1, .start_us = 60000.0,
+       .dur_us = 30000.0, .parallel_lane = true, .arg = 2},
+  };
+  const obs::CriticalPathResult cp = obs::ComputeCriticalPath(events, "root");
+  ASSERT_EQ(cp.steps.size(), 2u);
+  EXPECT_EQ(cp.steps[0].name, "root");
+  EXPECT_DOUBLE_EQ(cp.steps[0].ms, 10.0);  // 100000 - 90000 lane extent
+  EXPECT_EQ(cp.steps[1].name, "trial");
+  EXPECT_DOUBLE_EQ(cp.steps[1].ms, 30.0);
+  EXPECT_EQ(cp.steps[1].width, 3);
+  EXPECT_DOUBLE_EQ(cp.path_ms, 40.0);
+  EXPECT_DOUBLE_EQ(cp.serial_ms, 10.0);
+
+  // The same shape without the lane flag is a serial chain: each span is
+  // its own singleton cluster and every millisecond lands on the path.
+  std::vector<obs::TraceEvent> plain = events;
+  for (auto& ev : plain) ev.parallel_lane = false;
+  const obs::CriticalPathResult serial =
+      obs::ComputeCriticalPath(plain, "root");
+  EXPECT_DOUBLE_EQ(serial.serial_ms, serial.path_ms);
+  EXPECT_DOUBLE_EQ(serial.path_ms, 100.0);  // 10 self + 3 x 30
 }
 
 TEST(CriticalPathTest, DefaultRootIsLongestTopLevelSpan) {

@@ -119,9 +119,11 @@ fi
 if [[ "${STAGE}" == "tsan" ]]; then
   # Dynamic half of the concurrency contract (DESIGN.md §9): the thread
   # pool, the parallel partitioner and RunMany raced under TSan. The
-  # parallel determinism tests drive every parallel path at threads up to 8,
-  # so a data race fails this stage even when it happens not to corrupt the
-  # state hashes.
+  # parallel determinism tests drive every parallel path at threads up to 8
+  # -- including the intra-bisection ones (chunked matching/contraction and
+  # concurrent FM trials, via LargeBisectionIsExactlyThreadCountInvariant's
+  # n=6000 graph above the parallel_min_vertices gate) -- so a data race
+  # fails this stage even when it happens not to corrupt the state hashes.
   export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
   run_stage "TSan" build-check-tsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOLDILOCKS_WERROR=ON \

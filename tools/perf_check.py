@@ -18,15 +18,28 @@ more than --threshold above the reference's means parallel efficiency was
 lost even if absolute times look fine (e.g. both got faster but the t8
 speedup evaporated); that also warns rather than fails.
 
-Exit status is always 0 unless the inputs are unreadable, malformed, or no
-records matched (exit 2), so the job cannot silently pass on a broken run.
+One check IS a hard gate: --serial-share-max. serial_share is the width-1
+share of the instrumented run's critical path (serial_ms / path_ms, from
+bench_partitioner_scale's cpu-time attribution) -- the Amdahl wall. Unlike
+wall-clock medians it is a structural property of the trace, not of runner
+load, so shared-runner noise is no excuse: when the flag is given, the
+largest parallel configuration of the FRESH run (highest thread count,
+then largest reference median) must keep serial_share at or below the
+bound or the check exits 1 with a ::error:: annotation. Passing the flag
+against a fresh run whose parallel records lack serial_share exits 2 --
+the gate cannot silently pass on a bench too old to measure it.
+
+Exit status is 0 unless the serial-share gate fails (exit 1) or the
+inputs are unreadable, malformed, or no records matched (exit 2), so the
+job cannot silently pass on a broken run.
 Malformed inputs -- wrong top-level shape, records that are not objects,
 missing or non-numeric fields -- produce a one-line error naming the file
 and the offending record, never a traceback.
 
 Usage:
     tools/perf_check.py --reference BENCH_partitioner.json \
-                        --fresh fresh.json [--threshold 0.15]
+                        --fresh fresh.json [--threshold 0.15] \
+                        [--serial-share-max 0.5]
     tools/perf_check.py --self-test
 """
 
@@ -135,6 +148,34 @@ def check_scaling(ref, fresh, threshold):
     return checked, warned
 
 
+def check_serial_share(fresh, limit):
+    """HARD gate: serial_share at the largest parallel config vs `limit`.
+
+    The gated record is the fresh run's highest-thread-count configuration
+    (ties broken by the larger median, i.e. the biggest problem), because
+    that is where the Amdahl wall binds: a small-n config is allowed to be
+    mostly serial, the flagship sweep point is not. Returns an exit code:
+    0 pass, 1 gate failure, 2 when no parallel record carries a numeric
+    serial_share (a bench too old to measure it must not pass the gate).
+    """
+    candidates = [r for r in fresh.values()
+                  if r["threads"] > 1 and _numeric(r.get("serial_share"))]
+    if not candidates:
+        print("perf_check: --serial-share-max given but no parallel record "
+              "has a numeric serial_share", file=sys.stderr)
+        return 2
+    gated = max(candidates,
+                key=lambda r: (r["threads"], r["median_wall_ms"]))
+    share = gated["serial_share"]
+    line = (f"{gated['name']} threads={gated['threads']}: serial_share "
+            f"{share:.3f} (limit {limit:.3f})")
+    if share > limit:
+        print(f"::error title=partitioner serial-share gate::{line}")
+        return 1
+    print(f"perf_check: OK serial-share {line}")
+    return 0
+
+
 def run(argv):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--reference", required=True,
@@ -144,6 +185,9 @@ def run(argv):
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="warn when fresh median exceeds reference by this "
                          "fraction (default 0.15)")
+    ap.add_argument("--serial-share-max", type=float, default=None,
+                    help="HARD gate: fail (exit 1) when serial_share at the "
+                         "fresh run's largest parallel config exceeds this")
     args = ap.parse_args(argv)
 
     try:
@@ -182,10 +226,13 @@ def run(argv):
         print("perf_check: no records matched the reference", file=sys.stderr)
         return 2
     scaled, scale_warned = check_scaling(ref, fresh, args.threshold)
+    gate_status = 0
+    if args.serial_share_max is not None:
+        gate_status = check_serial_share(fresh, args.serial_share_max)
     print(f"perf_check: {matched} configs checked, "
           f"{regressions} above threshold; {scaled} scaling ratios checked, "
           f"{scale_warned} above threshold")
-    return 0
+    return gate_status
 
 
 def self_test():
@@ -300,6 +347,52 @@ def self_test():
             failures += not ok
             print(f"{'PASS' if ok else 'FAIL'} {label} "
                   f"(exit {got}, info={has_info})")
+
+        # Serial-share hard gate: exceeding the bound at the largest
+        # parallel config exits 1 with an ::error::; a smaller parallel
+        # config over the bound is NOT gated (only the flagship point is);
+        # parallel records without the field exit 2 so an old bench binary
+        # cannot slip past the gate; no flag means no gate.
+        def share_rec(name, threads, median, share=None):
+            r = {"name": name, "threads": threads, "median_wall_ms": median}
+            if share is not None:
+                r["serial_share"] = share
+            return r
+
+        share_ref = {"current": {"records": [
+            share_rec("small", 8, 10.0), share_rec("big", 8, 100.0)]}}
+        share_cases = [
+            ("serial share under the bound passes",
+             [share_rec("big", 8, 100.0, 0.4)], ["0.5"], False, 0),
+            ("serial share over the bound fails hard",
+             [share_rec("big", 8, 100.0, 0.6)], ["0.5"], True, 1),
+            ("only the largest parallel config is gated",
+             [share_rec("small", 8, 10.0, 0.9),
+              share_rec("big", 8, 100.0, 0.4)], ["0.5"], False, 0),
+            ("higher thread count outranks a larger median",
+             [share_rec("small", 8, 10.0, 0.6),
+              share_rec("big", 2, 100.0, 0.1)], ["0.5"], True, 1),
+            ("missing serial_share cannot pass the gate",
+             [share_rec("big", 8, 100.0)], ["0.5"], False, 2),
+            ("no flag means no gate",
+             [share_rec("big", 8, 100.0, 0.9)], [], False, 0),
+        ]
+        for label, fresh_doc, limit, want_error, want in share_cases:
+            with open(ref_path, "w", encoding="utf-8") as f:
+                json.dump(share_ref, f)
+            with open(fresh_path, "w", encoding="utf-8") as f:
+                json.dump(fresh_doc, f)
+            argv = ["--reference", ref_path, "--fresh", fresh_path]
+            if limit:
+                argv += ["--serial-share-max", limit[0]]
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                got = run(argv)
+            errored = "serial-share gate" in out.getvalue()
+            ok = got == want and errored == want_error
+            failures += not ok
+            print(f"{'PASS' if ok else 'FAIL'} {label} "
+                  f"(exit {got}, error={errored})")
 
     if failures == 0:
         print("perf_check self-test: all cases pass")

@@ -300,6 +300,8 @@ bool ParseChromeTrace(const std::string& path, ParsedTrace& out) {
     ev.name = it->second->c_str();
     ev.start_us = ExtractNumber(chunk, "ts", 0.0);
     ev.dur_us = ExtractNumber(chunk, "dur", 0.0);
+    ev.cpu_us = ExtractNumber(chunk, "cpu", -1.0);
+    ev.parallel_lane = ExtractNumber(chunk, "lane", 0.0) != 0.0;
     ev.tid = static_cast<int>(ExtractNumber(chunk, "tid", 0.0));
     ev.arg = static_cast<std::int64_t>(ExtractNumber(
         chunk, "arg", static_cast<double>(gl::obs::TraceEvent::kNoArg)));
